@@ -1,0 +1,86 @@
+// Shared helpers for the snowkit benchmark binaries.
+//
+// Every bench prints the paper-style table(s) it reproduces and then, where
+// meaningful, registers google-benchmark timings.  Tables go to stdout so
+// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/serializability.hpp"
+#include "checker/snow_monitor.hpp"
+#include "checker/tag_order.hpp"
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "metrics/wire_stats.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace snowkit::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 16;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%-*s", w, cells[i].c_str());
+    line += buf;
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+struct SimRunResult {
+  History history;
+  SnowTraceReport snow;
+  LatencySummary read_latency;
+  LatencySummary write_latency;
+  std::uint64_t wire_messages{0};
+  std::uint64_t wire_bytes{0};
+  bool tag_order_ok{false};
+  std::string tag_order_note;
+};
+
+/// Runs a closed-loop workload for `kind` on a fresh simulator and collects
+/// everything the tables need.
+inline SimRunResult run_sim_workload(ProtocolKind kind, Topology topo, WorkloadSpec spec,
+                                     std::uint64_t delay_seed = 1, BuildOptions opts = {}) {
+  SimRuntime sim(make_uniform_delay(50'000, 2'000'000, delay_seed));  // 50us..2ms hops
+  WireStats wire;
+  sim.set_observer(&wire);
+  HistoryRecorder rec(topo.num_objects);
+  auto sys = build_protocol(kind, sim, rec, topo, opts);
+  ClosedLoopDriver driver(sim, *sys, spec);
+  driver.start();
+  sim.run_until_idle();
+
+  SimRunResult out;
+  out.history = rec.snapshot();
+  out.snow = analyze_snow_trace(sim.trace(), topo.num_objects, out.history);
+  out.read_latency = summarize_latency(out.history, /*reads=*/true);
+  out.write_latency = summarize_latency(out.history, /*reads=*/false);
+  out.wire_messages = wire.messages();
+  out.wire_bytes = wire.bytes();
+  if (provides_tags(kind)) {
+    auto verdict = check_tag_order(out.history);
+    out.tag_order_ok = verdict.ok;
+    out.tag_order_note = verdict.explanation;
+  }
+  return out;
+}
+
+inline std::string us(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", ns / 1000.0);
+  return buf;
+}
+
+inline std::string yesno(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace snowkit::bench

@@ -1,0 +1,71 @@
+// Reproduces Fig. 5: Eiger's read-only transactions are not strictly
+// serializable (paper §6) — the exact counterexample execution, plus a
+// sweep showing how often random schedules trip the same bug.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "theory/eiger_fig5.hpp"
+
+namespace snowkit {
+namespace {
+
+void print_fig5() {
+  bench::heading("Figure 5: Eiger's READ transactions violate strict serializability");
+  auto result = theory::run_eiger_fig5();
+  for (std::size_t i = 0; i < result.timeline.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1, result.timeline[i].c_str());
+  }
+  std::printf("\n  R returned A=%lld (w3) and B=%lld (w1) in %d round(s)\n",
+              static_cast<long long>(result.read_a), static_cast<long long>(result.read_b),
+              result.read_rounds);
+  std::printf("  checker verdict: %s\n",
+              result.s_violated ? ("NOT strictly serializable — " + result.violation).c_str()
+                                : "UNEXPECTED: serializable");
+  std::printf("  paper Fig. 5: rA = w3, rB = w1, overlapping logical intervals — reproduced.\n");
+}
+
+void print_random_sweep() {
+  bench::heading("How often do RANDOM schedules trip the Eiger bug? (why the claim survived)");
+  int violations = 0;
+  int inconclusive = 0;
+  const int runs = 20;
+  for (int seed = 1; seed <= runs; ++seed) {
+    WorkloadSpec spec;
+    spec.ops_per_reader = 12;
+    spec.ops_per_writer = 8;
+    spec.read_span = 2;
+    spec.write_span = 1;  // single-object writes: isolates the Fig.5 read
+                          // mechanism from mini-Eiger's non-atomic multi-put
+    spec.seed = static_cast<std::uint64_t>(seed);
+    auto r = bench::run_sim_workload(ProtocolKind::Eiger, Topology{3, 2, 2}, spec,
+                                     static_cast<std::uint64_t>(seed));
+    auto verdict = check_strict_serializability(r.history, CheckOptions{500'000});
+    if (verdict.exhausted) {
+      ++inconclusive;
+    } else if (!verdict.ok) {
+      ++violations;
+    }
+  }
+  std::printf("  %d/%d random runs violated S (%d inconclusive) — the violation needs the\n"
+              "  adversarial interleaving above, which is exactly why it went unnoticed.\n",
+              violations, runs, inconclusive);
+}
+
+void BM_EigerFig5(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = snowkit::theory::run_eiger_fig5();
+    benchmark::DoNotOptimize(result.s_violated);
+  }
+}
+BENCHMARK(BM_EigerFig5);
+
+}  // namespace
+}  // namespace snowkit
+
+int main(int argc, char** argv) {
+  snowkit::print_fig5();
+  snowkit::print_random_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

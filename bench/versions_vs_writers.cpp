@@ -1,0 +1,84 @@
+// E8: validates Algorithm C's |W| bound (Theorem 5 / Fig. 1(b)): with the
+// bounded-version GC extension, the number of versions a read-vals response
+// carries stays within (concurrent writers + 1), independent of history
+// length; without GC it grows with the total number of writes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace snowkit {
+namespace {
+
+void print_table() {
+  bench::heading("Algorithm C: versions per response vs concurrent writers (|W| bound)");
+  const std::vector<int> widths{10, 16, 18, 18, 10};
+  bench::row({"writers", "writes total", "versions (noGC)", "versions (GC)", "S holds"}, widths);
+  for (std::size_t writers : {1, 2, 4, 8}) {
+    WorkloadSpec spec;
+    spec.ops_per_reader = 50;
+    spec.ops_per_writer = 50;
+    spec.read_span = 2;
+    spec.write_span = 2;
+    spec.seed = writers;
+
+    BuildOptions nogc;
+    auto base = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 2, writers}, spec,
+                                        writers, nogc);
+    BuildOptions gc;
+    gc.algo_c.gc_versions = true;
+    auto bounded = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 2, writers}, spec,
+                                           writers + 100, gc);
+    bench::row({std::to_string(writers), std::to_string(writers * 50),
+                std::to_string(base.snow.max_versions_per_response),
+                std::to_string(bounded.snow.max_versions_per_response),
+                bench::yesno(base.tag_order_ok && bounded.tag_order_ok)},
+               widths);
+  }
+  std::printf("\nshape check: the no-GC column grows with total writes (the paper's Vals set\n"
+              "keeps everything); the GC column stays O(|W|) — at most concurrent writers\n"
+              "plus the one stable version, matching Fig. 1(b)'s |W| row.\n");
+}
+
+void print_rounds_vs_span() {
+  bench::heading("one-round property is independent of read width (multi-get size)");
+  const std::vector<int> widths{12, 10, 12};
+  bench::row({"read span", "rounds", "p50(us)"}, widths);
+  for (std::size_t span : {1, 2, 4, 8}) {
+    WorkloadSpec spec;
+    spec.ops_per_reader = 80;
+    spec.ops_per_writer = 20;
+    spec.read_span = span;
+    spec.seed = 9;
+    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{8, 2, 2}, spec, 9);
+    bench::row({std::to_string(span), std::to_string(r.snow.max_read_rounds),
+                bench::us(static_cast<double>(r.read_latency.p50_ns))},
+               widths);
+  }
+}
+
+void BM_AlgoC_Gc(benchmark::State& state) {
+  const bool gc = state.range(0) != 0;
+  for (auto _ : state) {
+    WorkloadSpec spec;
+    spec.ops_per_reader = 50;
+    spec.ops_per_writer = 50;
+    spec.seed = 11;
+    BuildOptions opts;
+    opts.algo_c.gc_versions = gc;
+    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 1, 4}, spec, 11, opts);
+    benchmark::DoNotOptimize(r.wire_bytes);
+    state.counters["wire_MB"] = static_cast<double>(r.wire_bytes) / 1e6;
+  }
+}
+BENCHMARK(BM_AlgoC_Gc)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace snowkit
+
+int main(int argc, char** argv) {
+  snowkit::print_table();
+  snowkit::print_rounds_vs_span();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a strictly serializable sharded store with bounded-
+// latency READ transactions (Algorithm B), write to it, read from it, and
+// verify the run with the built-in checker.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "checker/tag_order.hpp"
+#include "core/system.hpp"
+#include "sim/sim_runtime.hpp"
+
+int main() {
+  using namespace snowkit;
+
+  // A datacenter with 4 shards (one object per server, as in the paper's
+  // model), 1 read-client and 1 write-client, on the deterministic simulator.
+  // Swap SimRuntime for ThreadRuntime to run on real threads — the protocol
+  // code is identical.
+  SimRuntime rt(make_uniform_delay(50'000, 500'000, /*seed=*/1));
+  HistoryRecorder recorder(/*num_objects=*/4);
+  auto system = build_protocol(ProtocolKind::AlgoB, rt, recorder, Topology{4, 1, 1});
+
+  // WRITE transaction: update objects 0 and 2 atomically.
+  invoke_write(rt, system->writer(0), {{0, 100}, {2, 300}}, [](const WriteResult& w) {
+    std::printf("WRITE txn %llu committed\n", static_cast<unsigned long long>(w.txn));
+  });
+  rt.run_until_idle();
+
+  // READ transaction: a consistent multi-get across three shards.  With
+  // Algorithm B this takes exactly two non-blocking rounds and returns one
+  // version per object; Algorithm C would take one round.
+  invoke_read(rt, system->reader(0), {0, 1, 2}, [](const ReadResult& r) {
+    std::printf("READ txn %llu returned:", static_cast<unsigned long long>(r.txn));
+    for (const auto& [obj, value] : r.values) {
+      std::printf("  obj%u=%lld", obj, static_cast<long long>(value));
+    }
+    std::printf("\n");
+  });
+  rt.run_until_idle();
+
+  // Verify the whole run is strictly serializable via the Lemma-20 tags.
+  const auto verdict = check_tag_order(recorder.snapshot());
+  std::printf("strict serializability: %s\n", verdict.ok ? "VERIFIED" : verdict.explanation.c_str());
+  return verdict.ok ? 0 : 1;
+}

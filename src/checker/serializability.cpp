@@ -1,0 +1,298 @@
+#include "checker/serializability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+
+namespace {
+
+struct DenseTxn {
+  const TxnRecord* rec{nullptr};
+  bool is_read{false};
+  std::vector<std::pair<std::size_t, Value>> ops;  // dense object index -> value
+  std::vector<std::size_t> succs;                  // real-time successors
+  int pred_count{0};
+};
+
+struct SearchContext {
+  std::vector<DenseTxn> txns;
+  std::size_t num_objects{0};
+  std::size_t states_visited{0};
+  std::size_t max_states{0};
+  std::unordered_set<std::string> memo;
+  std::string best_stuck;   // deepest dead-end description
+  std::size_t best_depth{0};
+};
+
+std::string memo_key(const std::vector<char>& scheduled, const std::vector<Value>& state) {
+  std::string key;
+  key.reserve(scheduled.size() + state.size() * sizeof(Value));
+  key.append(scheduled.begin(), scheduled.end());
+  key.append(reinterpret_cast<const char*>(state.data()), state.size() * sizeof(Value));
+  return key;
+}
+
+bool read_matches(const DenseTxn& t, const std::vector<Value>& state) {
+  for (const auto& [obj, v] : t.ops) {
+    if (state[obj] != v) return false;
+  }
+  return true;
+}
+
+std::string describe_mismatch(const SearchContext& ctx, std::size_t i,
+                              const std::vector<Value>& state) {
+  const DenseTxn& t = ctx.txns[i];
+  std::ostringstream oss;
+  oss << "READ txn " << t.rec->id << " cannot be serialized here:";
+  for (const auto& [obj, v] : t.ops) {
+    if (state[obj] != v) {
+      oss << " object#" << obj << " returned " << v << " but state has " << state[obj] << ";";
+    }
+  }
+  return oss.str();
+}
+
+// Returns true if a full serialization was found.
+bool dfs(SearchContext& ctx, std::vector<char> scheduled, std::vector<int> pred_count,
+         std::vector<Value> state, std::size_t remaining) {
+  // Greedy phase: schedule every ready READ whose values match the state.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < ctx.txns.size(); ++i) {
+      if (scheduled[i] || pred_count[i] != 0 || !ctx.txns[i].is_read) continue;
+      if (!read_matches(ctx.txns[i], state)) continue;
+      scheduled[i] = 1;
+      --remaining;
+      for (std::size_t s : ctx.txns[i].succs) --pred_count[s];
+      progress = true;
+    }
+  }
+  if (remaining == 0) return true;
+
+  if (++ctx.states_visited > ctx.max_states) return false;
+  if (!ctx.memo.insert(memo_key(scheduled, state)).second) return false;
+
+  // Branch on ready WRITEs.
+  bool any_write = false;
+  for (std::size_t i = 0; i < ctx.txns.size(); ++i) {
+    if (scheduled[i] || pred_count[i] != 0 || ctx.txns[i].is_read) continue;
+    any_write = true;
+    auto scheduled2 = scheduled;
+    auto pred2 = pred_count;
+    auto state2 = state;
+    scheduled2[i] = 1;
+    for (std::size_t s : ctx.txns[i].succs) --pred2[s];
+    for (const auto& [obj, v] : ctx.txns[i].ops) state2[obj] = v;
+    if (dfs(ctx, std::move(scheduled2), std::move(pred2), std::move(state2), remaining - 1)) {
+      return true;
+    }
+  }
+
+  if (!any_write) {
+    // Dead end: sources of the remaining DAG are all mismatched reads.
+    const std::size_t depth = ctx.txns.size() - remaining;
+    if (depth >= ctx.best_depth) {
+      ctx.best_depth = depth;
+      for (std::size_t i = 0; i < ctx.txns.size(); ++i) {
+        if (!scheduled[i] && pred_count[i] == 0 && ctx.txns[i].is_read) {
+          ctx.best_stuck = describe_mismatch(ctx, i, state);
+          break;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult check_strict_serializability(const History& h, CheckOptions opts) {
+  if (auto v = find_unwritten_value(h); !v.empty()) return {false, false, std::move(v)};
+
+  // Dense object ids.
+  std::map<ObjectId, std::size_t> obj_index;
+  for (const auto& t : h.txns) {
+    for (const auto& [o, v] : t.writes) {
+      (void)v;
+      obj_index.emplace(o, obj_index.size());
+    }
+    for (const auto& [o, v] : t.reads) {
+      (void)v;
+      obj_index.emplace(o, obj_index.size());
+    }
+  }
+
+  SearchContext ctx;
+  ctx.num_objects = obj_index.size();
+  ctx.max_states = opts.max_states;
+
+  std::vector<const TxnRecord*> included;
+  for (const auto& t : h.txns) {
+    if (t.is_read && !t.complete) continue;  // ignore incomplete reads
+    included.push_back(&t);
+  }
+  ctx.txns.resize(included.size());
+  for (std::size_t i = 0; i < included.size(); ++i) {
+    DenseTxn& d = ctx.txns[i];
+    d.rec = included[i];
+    d.is_read = included[i]->is_read;
+    const auto& ops = d.is_read ? included[i]->reads : included[i]->writes;
+    for (const auto& [o, v] : ops) d.ops.emplace_back(obj_index.at(o), v);
+  }
+  std::vector<int> pred_count(ctx.txns.size(), 0);
+  for (std::size_t i = 0; i < ctx.txns.size(); ++i) {
+    for (std::size_t j = 0; j < ctx.txns.size(); ++j) {
+      if (i == j) continue;
+      if (History::precedes(*ctx.txns[i].rec, *ctx.txns[j].rec)) {
+        ctx.txns[i].succs.push_back(j);
+        ++pred_count[j];
+      }
+    }
+  }
+
+  std::vector<char> scheduled(ctx.txns.size(), 0);
+  std::vector<Value> state(ctx.num_objects, kInitialValue);
+  const bool ok = dfs(ctx, std::move(scheduled), std::move(pred_count), std::move(state),
+                      ctx.txns.size());
+  CheckResult result;
+  result.ok = ok;
+  result.exhausted = !ok && ctx.states_visited > ctx.max_states;
+  if (!ok) {
+    result.explanation = result.exhausted
+                             ? "search exhausted state cap (inconclusive)"
+                             : (ctx.best_stuck.empty() ? "no serialization order exists"
+                                                       : ctx.best_stuck);
+  }
+  return result;
+}
+
+std::string find_unwritten_value(const History& h) {
+  std::map<ObjectId, std::set<Value>> writable;
+  for (const auto& t : h.txns) {
+    for (const auto& [o, v] : t.writes) writable[o].insert(v);
+  }
+  for (const auto& t : h.txns) {
+    if (!t.is_read || !t.complete) continue;
+    for (const auto& [o, v] : t.reads) {
+      if (v == kInitialValue) continue;
+      auto it = writable.find(o);
+      if (it == writable.end() || it->second.count(v) == 0) {
+        std::ostringstream oss;
+        oss << "READ txn " << t.id << " returned value " << v << " for object " << o
+            << " which no WRITE produced";
+        return oss.str();
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Producer of (object, value): the unique WRITE with that pair, nullptr for
+/// the initial value, or ambiguous (flagged) if several writes share it.
+const TxnRecord* producer_of(const History& h, ObjectId obj, Value v, bool* ambiguous) {
+  const TxnRecord* found = nullptr;
+  *ambiguous = false;
+  for (const auto& t : h.txns) {
+    if (t.is_read) continue;
+    for (const auto& [o, w] : t.writes) {
+      if (o == obj && w == v) {
+        if (found != nullptr) {
+          *ambiguous = true;
+          return nullptr;
+        }
+        found = &t;
+      }
+    }
+  }
+  return found;
+}
+
+bool writes_object(const TxnRecord& t, ObjectId obj, Value* value) {
+  for (const auto& [o, v] : t.writes) {
+    if (o == obj) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string find_fractured_read(const History& h) {
+  for (const auto& r : h.txns) {
+    if (!r.is_read || !r.complete) continue;
+    for (const auto& [obj_a, val_a] : r.reads) {
+      if (val_a == kInitialValue) continue;
+      bool ambiguous = false;
+      const TxnRecord* w = producer_of(h, obj_a, val_a, &ambiguous);
+      if (w == nullptr || ambiguous) continue;
+      // The READ observed w on obj_a, so w serializes before the READ;
+      // every other object w wrote must show w's value or a newer one.
+      for (const auto& [obj_b, val_b] : r.reads) {
+        Value w_val_b = 0;
+        if (obj_b == obj_a || !writes_object(*w, obj_b, &w_val_b)) continue;
+        if (val_b == w_val_b) continue;
+        bool amb_b = false;
+        const TxnRecord* wb = producer_of(h, obj_b, val_b, &amb_b);
+        if (amb_b) continue;
+        const bool older = (wb == nullptr) ||  // initial value: always older than w
+                           History::precedes(*wb, *w);
+        if (older) {
+          std::ostringstream oss;
+          oss << "fractured read: txn " << r.id << " observed WRITE " << w->id << " on object "
+              << obj_a << " but object " << obj_b << " (also written by " << w->id
+              << ") returned " << (wb ? "older WRITE " + std::to_string(wb->id)
+                                      : std::string("the initial value"));
+          return oss.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string find_stale_reread(const History& h) {
+  for (const auto& r1 : h.txns) {
+    if (!r1.is_read || !r1.complete) continue;
+    for (const auto& r2 : h.txns) {
+      if (!r2.is_read || !r2.complete || &r1 == &r2) continue;
+      if (!History::precedes(r1, r2)) continue;
+      for (const auto& [obj, v1] : r1.reads) {
+        for (const auto& [obj2, v2] : r2.reads) {
+          if (obj2 != obj || v1 == v2) continue;
+          bool amb1 = false;
+          bool amb2 = false;
+          const TxnRecord* w1 = producer_of(h, obj, v1, &amb1);
+          const TxnRecord* w2 = producer_of(h, obj, v2, &amb2);
+          if (amb1 || amb2 || w1 == nullptr) continue;  // v1 initial: nothing to show
+          // r1 (earlier) saw w1; r2 (later) saw w2.  Violation when w2 is
+          // provably older: w2 is the initial value, or w2 completed before
+          // w1 was invoked.
+          const bool older = (w2 == nullptr) || History::precedes(*w2, *w1);
+          if (older) {
+            std::ostringstream oss;
+            oss << "stale re-read: txn " << r1.id << " (earlier) saw WRITE " << w1->id
+                << " on object " << obj << " but txn " << r2.id << " (later) saw "
+                << (w2 ? "older WRITE " + std::to_string(w2->id) : std::string("the initial value"));
+            return oss.str();
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace snowkit

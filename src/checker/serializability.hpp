@@ -1,0 +1,61 @@
+// Search-based strict-serializability checker.
+//
+// Implements Definition 7.1 for the paper's data type OT: a history is
+// strictly serializable iff there is a total order of its transactions that
+//   (a) respects real-time precedence (a completed transaction precedes any
+//       transaction invoked after its response), and
+//   (b) replays correctly: every READ returns, per object, the value of the
+//       latest preceding WRITE to that object (or the initial value).
+//
+// The checker searches topological extensions of the real-time partial
+// order.  Two standard reductions keep it fast:
+//   * greedy reads — a ready READ whose values match the current state can
+//     always be scheduled immediately (reads do not change state, and moving
+//     a read earlier never invalidates other placements);
+//   * memoization on (scheduled-set, per-object state) — identical search
+//     states are pruned exactly.
+// Branching therefore happens only on WRITE transactions and the search is
+// exact; `exhausted` reports when the state cap was hit (inconclusive).
+//
+// Incomplete WRITEs are treated as concurrent with everything after their
+// invocation (response at +infinity); incomplete READs are ignored, as in
+// the paper's PSC argument (§7.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "history/history.hpp"
+
+namespace snowkit {
+
+struct CheckOptions {
+  std::size_t max_states{4'000'000};  ///< search-state cap before giving up.
+};
+
+struct CheckResult {
+  bool ok{false};
+  bool exhausted{false};   ///< hit the state cap: result inconclusive.
+  std::string explanation;  ///< for failures: a human-readable witness.
+};
+
+CheckResult check_strict_serializability(const History& h, CheckOptions opts = {});
+
+/// Fast necessary-condition detectors (used on large histories where the
+/// exact search would be too slow).  Each returns a violation description or
+/// an empty string.
+
+/// A READ returned a value no WRITE (and not the initial state) produced.
+std::string find_unwritten_value(const History& h);
+
+/// Fractured read: a READ observed WRITE w on one object but, on another
+/// object that w also wrote, returned a version from a WRITE that is not a
+/// (transitive) successor of w — impossible under any serialization.
+std::string find_fractured_read(const History& h);
+
+/// Real-time cycle through reads: two READS r1 -> r2 ordered in real time
+/// where r2 returned an older version than r1 on some object (version age
+/// taken from the writes' real-time order when unambiguous).
+std::string find_stale_reread(const History& h);
+
+}  // namespace snowkit

@@ -1,0 +1,81 @@
+#include "checker/snow_monitor.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace snowkit {
+
+SnowTraceReport analyze_snow_trace(const Trace& trace, std::size_t num_servers,
+                                   const History& history) {
+  SnowTraceReport report;
+
+  std::set<TxnId> read_txns;
+  std::map<TxnId, NodeId> txn_client;
+  for (const auto& t : history.txns) {
+    txn_client[t.id] = t.client;
+    if (t.is_read) read_txns.insert(t.id);
+  }
+  const auto is_server = [num_servers](NodeId n) { return n < num_servers; };
+  const auto is_read_txn = [&read_txns](TxnId t) { return read_txns.count(t) != 0; };
+
+  // --- N: every server that receives a READ-transaction message responds to
+  // the requester before consuming any other input action.
+  const auto& acts = trace.actions();
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const Action& a = acts[i];
+    if (a.kind != ActionKind::Recv || !is_server(a.node) || !is_read_txn(a.txn)) continue;
+    bool responded = false;
+    bool blocked = false;
+    for (std::size_t j = i + 1; j < acts.size(); ++j) {
+      const Action& b = acts[j];
+      if (b.node != a.node) continue;
+      if (b.kind == ActionKind::Send && b.txn == a.txn && b.peer == a.peer) {
+        responded = true;
+        break;
+      }
+      if (b.is_input()) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!responded) {
+      report.non_blocking = false;
+      std::ostringstream oss;
+      oss << "server n" << a.node << " did not respond to " << a.msg << " of READ txn " << a.txn
+          << (blocked ? " before consuming another input" : " at all");
+      report.violations.push_back(oss.str());
+    }
+  }
+
+  // --- O: rounds per READ (send-waves at the client) and versions per
+  // response.
+  std::map<TxnId, int> rounds;
+  std::map<TxnId, bool> seen_response;
+  for (const Action& a : acts) {
+    if (!is_read_txn(a.txn)) continue;
+    const NodeId client = txn_client[a.txn];
+    if (a.node != client) continue;
+    if (a.kind == ActionKind::Send) {
+      auto [it, inserted] = rounds.emplace(a.txn, 1);
+      if (!inserted && seen_response[a.txn]) {
+        ++it->second;
+        seen_response[a.txn] = false;
+      }
+    } else if (a.kind == ActionKind::Recv) {
+      seen_response[a.txn] = true;
+    }
+  }
+  for (const auto& [txn, r] : rounds) {
+    (void)txn;
+    report.max_read_rounds = std::max(report.max_read_rounds, r);
+  }
+  for (const Action& a : acts) {
+    if (a.kind == ActionKind::Send && is_server(a.node) && is_read_txn(a.txn)) {
+      report.max_versions_per_response = std::max(report.max_versions_per_response, a.versions);
+    }
+  }
+  return report;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,42 @@
+// SNOW property monitors: verify N (non-blocking) and O (one round, one
+// version) mechanically from a simulation trace, independent of what the
+// protocol client reported.
+//
+// Non-blocking (Definition 2.1): after a server receives a read request, its
+// response to the reader must occur with no intervening *input* action at
+// that server.  The monitor scans the trace for exactly that pattern.
+//
+// One-response (Definition 2.2): per READ transaction, each read consists of
+// one round trip and the response carries exactly one version.  Rounds are
+// counted as send-waves: a new wave starts whenever the client sends after
+// having received a response of the same transaction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit {
+
+struct SnowTraceReport {
+  bool non_blocking{true};
+  int max_read_rounds{0};
+  int max_versions_per_response{0};
+  std::vector<std::string> violations;
+
+  bool satisfies_n() const { return non_blocking; }
+  bool satisfies_o() const { return max_read_rounds <= 1 && max_versions_per_response <= 1; }
+  bool one_round() const { return max_read_rounds <= 1; }
+  bool one_version() const { return max_versions_per_response <= 1; }
+};
+
+/// Analyzes a sim trace.  `num_servers` tells the monitor which node ids are
+/// servers (ids [0, num_servers)); `read_txns` restricts round/version
+/// accounting to READ transactions (from the history).
+SnowTraceReport analyze_snow_trace(const Trace& trace, std::size_t num_servers,
+                                   const History& history);
+
+}  // namespace snowkit

@@ -1,0 +1,93 @@
+#include "checker/tag_order.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace snowkit {
+
+namespace {
+
+/// The ≺ relation extended to a deterministic total order for replay:
+/// ties between reads broken by invocation order (any consistent choice
+/// satisfies Lemma 20 since equal-tag reads see the same prefix of writes).
+bool before(const TxnRecord* a, const TxnRecord* b) {
+  if (a->tag != b->tag) return a->tag < b->tag;
+  if (a->is_read != b->is_read) return !a->is_read;  // write before read
+  return a->invoke_order < b->invoke_order;
+}
+
+}  // namespace
+
+TagOrderResult check_tag_order(const History& h) {
+  std::vector<const TxnRecord*> txns;
+  for (const auto& t : h.txns) {
+    if (!t.complete) {
+      std::ostringstream oss;
+      oss << "history not quiescent: txn " << t.id << " incomplete";
+      return {false, oss.str()};
+    }
+    if (t.tag == kInvalidTag) {
+      std::ostringstream oss;
+      oss << "txn " << t.id << " carries no tag";
+      return {false, oss.str()};
+    }
+    txns.push_back(&t);
+  }
+
+  // P3: WRITE tags are distinct.
+  {
+    std::map<Tag, TxnId> write_tags;
+    for (const auto* t : txns) {
+      if (t->is_read) continue;
+      auto [it, inserted] = write_tags.emplace(t->tag, t->id);
+      if (!inserted) {
+        std::ostringstream oss;
+        oss << "P3 violated: WRITEs " << it->second << " and " << t->id << " share tag "
+            << t->tag;
+        return {false, oss.str()};
+      }
+    }
+  }
+
+  // P2: no real-time inversion.  phi ≺ pi must never hold when pi completed
+  // before phi was invoked.
+  for (const auto* a : txns) {
+    for (const auto* b : txns) {
+      if (a == b || !History::precedes(*a, *b)) continue;
+      const bool b_prec_a =
+          b->tag < a->tag || (b->tag == a->tag && !b->is_read && a->is_read);
+      if (b_prec_a) {
+        std::ostringstream oss;
+        oss << "P2 violated: txn " << a->id << " (tag " << a->tag << ") precedes txn " << b->id
+            << " (tag " << b->tag << ") in real time, but " << b->id << " ≺ " << a->id;
+        return {false, oss.str()};
+      }
+    }
+  }
+
+  // P4: replay in tag order and verify every READ.
+  std::vector<const TxnRecord*> order = txns;
+  std::sort(order.begin(), order.end(), before);
+  std::map<ObjectId, Value> state;
+  for (const auto* t : order) {
+    if (t->is_read) {
+      for (const auto& [obj, v] : t->reads) {
+        auto it = state.find(obj);
+        const Value expect = it == state.end() ? kInitialValue : it->second;
+        if (v != expect) {
+          std::ostringstream oss;
+          oss << "P4 violated: READ " << t->id << " (tag " << t->tag << ") returned " << v
+              << " for object " << obj << " but the tag-order state holds " << expect;
+          return {false, oss.str()};
+        }
+      }
+    } else {
+      for (const auto& [obj, v] : t->writes) state[obj] = v;
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace snowkit

@@ -1,0 +1,37 @@
+// Internal invariant checks.  These fire in all build types: the library is a
+// research artifact whose value is correctness evidence, so we never compile
+// the checks out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace snowkit::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "SNOWKIT CHECK FAILED at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace snowkit::detail
+
+#define SNOW_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::snowkit::detail::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define SNOW_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream snow_oss_;                                        \
+      snow_oss_ << msg;                                                    \
+      ::snowkit::detail::check_failed(__FILE__, __LINE__, #expr, snow_oss_.str()); \
+    }                                                                      \
+  } while (0)
+
+#define SNOW_UNREACHABLE(msg) \
+  ::snowkit::detail::check_failed(__FILE__, __LINE__, "unreachable", msg)

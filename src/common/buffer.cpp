@@ -1,0 +1,9 @@
+// buffer.hpp is header-only; this TU exists so the target has a stable anchor
+// for the module and a place for future out-of-line helpers.
+#include "common/buffer.hpp"
+
+namespace snowkit {
+
+static_assert(sizeof(std::uint64_t) == 8, "snowkit assumes 64-bit integer layout");
+
+}  // namespace snowkit

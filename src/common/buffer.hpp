@@ -1,0 +1,87 @@
+// Byte-buffer reader/writer used by the wire codec (src/msg/codec.cpp).
+//
+// The threaded runtime serializes every message through this codec so that
+// protocols exchange bytes, not shared pointers — the closest in-process
+// equivalent of the gRPC deployment the reproduction hint calls for.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_elem) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& e : v) write_elem(*this, e);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    SNOW_CHECK(pos_ + 1 <= buf_.size());
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, sizeof v); return v; }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    SNOW_CHECK(pos_ + n <= buf_.size());
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_elem) {
+    std::uint32_t n = u32();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    SNOW_CHECK(pos_ + n <= buf_.size());
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace snowkit

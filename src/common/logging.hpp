@@ -1,0 +1,34 @@
+// Minimal thread-safe leveled logger.  Default level is Warn so that tests
+// and benches stay quiet; demos raise it to trace executions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace snowkit {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace snowkit
+
+#define SNOW_LOG(level, expr)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::snowkit::log_level())) { \
+      std::ostringstream snow_log_oss_;                              \
+      snow_log_oss_ << expr;                                         \
+      ::snowkit::detail::log_line(level, snow_log_oss_.str());       \
+    }                                                                \
+  } while (0)
+
+#define SNOW_TRACE(expr) SNOW_LOG(::snowkit::LogLevel::Trace, expr)
+#define SNOW_DEBUG(expr) SNOW_LOG(::snowkit::LogLevel::Debug, expr)
+#define SNOW_INFO(expr) SNOW_LOG(::snowkit::LogLevel::Info, expr)
+#define SNOW_WARN(expr) SNOW_LOG(::snowkit::LogLevel::Warn, expr)
+#define SNOW_ERROR(expr) SNOW_LOG(::snowkit::LogLevel::Error, expr)

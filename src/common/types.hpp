@@ -1,0 +1,66 @@
+// Core identifier and value types shared by every snowkit module.
+//
+// The paper's model (§2, §7.1) has k read/write objects, each maintained by a
+// separate server process, plus read-clients and write-clients.  We mirror
+// that: an ObjectId doubles as the index of the server that owns the object,
+// and NodeId identifies any process (client or server) in a runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace snowkit {
+
+/// Identifies a process (client or server) within one Runtime instance.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies one of the k sharded objects; object i lives on server i.
+using ObjectId = std::uint32_t;
+
+/// Object values.  The paper's domains V_i are abstract; 64-bit integers are
+/// enough to carry unique version payloads for checking.
+using Value = std::int64_t;
+inline constexpr Value kInitialValue = 0;
+
+/// Transaction identifiers, unique per history.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxn = std::numeric_limits<TxnId>::max();
+
+/// Tags t in N used by the Lemma-20 serialization order of algorithms A/B/C.
+using Tag = std::uint64_t;
+inline constexpr Tag kInvalidTag = std::numeric_limits<Tag>::max();
+
+/// Simulated or wall-clock time in nanoseconds.
+using TimeNs = std::uint64_t;
+
+/// A WRITE-transaction key kappa = (z, w): the writer's z-th transaction
+/// (§5.2).  Keys uniquely identify WRITE transactions across writers.
+struct WriteKey {
+  std::uint64_t seq{0};      ///< z: per-writer transaction counter.
+  NodeId writer{kInvalidNode};  ///< w: writer id (kInvalidNode = placeholder w0).
+
+  friend bool operator==(const WriteKey&, const WriteKey&) = default;
+  friend auto operator<=>(const WriteKey&, const WriteKey&) = default;
+};
+
+/// kappa_0 = (0, w0): the placeholder key for the initial version (§5.2).
+inline constexpr WriteKey kInitialKey{0, kInvalidNode};
+
+inline std::string to_string(const WriteKey& k) {
+  if (k == kInitialKey) return "k0";
+  return "(" + std::to_string(k.seq) + ",w" + std::to_string(k.writer) + ")";
+}
+
+}  // namespace snowkit
+
+template <>
+struct std::hash<snowkit::WriteKey> {
+  std::size_t operator()(const snowkit::WriteKey& k) const noexcept {
+    std::uint64_t h = k.seq * 0x9E3779B97F4A7C15ull;
+    h ^= (static_cast<std::uint64_t>(k.writer) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+    return static_cast<std::size_t>(h);
+  }
+};

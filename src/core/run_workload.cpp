@@ -1,0 +1,102 @@
+#include "core/run_workload.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+
+ClosedLoopDriver::ClosedLoopDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec)
+    : rt_(rt), sys_(sys), spec_(spec) {
+  SplitMix64 seeds(spec_.seed);
+  for (std::size_t i = 0; i < sys_.num_readers(); ++i) {
+    reader_streams_.emplace_back(sys_.num_objects(), spec_, seeds.next());
+  }
+  for (std::size_t i = 0; i < sys_.num_writers(); ++i) {
+    writer_streams_.emplace_back(sys_.num_objects(), spec_, seeds.next());
+  }
+  total_ops_ = sys_.num_readers() * spec_.ops_per_reader + sys_.num_writers() * spec_.ops_per_writer;
+  remaining_ops_.store(total_ops_, std::memory_order_relaxed);
+}
+
+void ClosedLoopDriver::start() {
+  if (total_ops_ == 0) return;
+  for (std::size_t i = 0; i < sys_.num_readers(); ++i) {
+    if (spec_.ops_per_reader > 0) issue_read(i, spec_.ops_per_reader);
+  }
+  for (std::size_t i = 0; i < sys_.num_writers(); ++i) {
+    if (spec_.ops_per_writer > 0) issue_write(i, spec_.ops_per_writer);
+  }
+}
+
+void ClosedLoopDriver::issue_read(std::size_t reader, std::size_t remaining) {
+  auto objs = reader_streams_[reader].next_objects(spec_.read_span);
+  invoke_read(rt_, sys_.reader(reader), std::move(objs), [this, reader, remaining](const ReadResult&) {
+    op_finished();
+    if (remaining > 1) issue_read(reader, remaining - 1);
+  });
+}
+
+void ClosedLoopDriver::issue_write(std::size_t writer, std::size_t remaining) {
+  auto objs = writer_streams_[writer].next_objects(spec_.write_span);
+  std::vector<std::pair<ObjectId, Value>> writes;
+  writes.reserve(objs.size());
+  for (ObjectId obj : objs) {
+    // Globally unique values let the checkers identify producers exactly.
+    writes.emplace_back(obj, static_cast<Value>(next_value_.fetch_add(1, std::memory_order_relaxed)));
+  }
+  invoke_write(rt_, sys_.writer(writer), std::move(writes),
+               [this, writer, remaining](const WriteResult&) {
+                 op_finished();
+                 if (remaining > 1) issue_write(writer, remaining - 1);
+               });
+}
+
+void ClosedLoopDriver::op_finished() {
+  if (remaining_ops_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+}
+
+bool ClosedLoopDriver::done() const {
+  return remaining_ops_.load(std::memory_order_acquire) == 0;
+}
+
+void ClosedLoopDriver::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done(); });
+}
+
+LatencySummary summarize_latency(const History& h, bool reads) {
+  Histogram hist;
+  for (const auto& t : h.txns) {
+    if (!t.complete || t.is_read != reads) continue;
+    hist.record(t.respond_ns >= t.invoke_ns ? t.respond_ns - t.invoke_ns : 0);
+  }
+  LatencySummary s;
+  s.count = hist.count();
+  s.mean_ns = hist.mean();
+  s.p50_ns = hist.p50();
+  s.p99_ns = hist.p99();
+  s.max_ns = hist.max();
+  return s;
+}
+
+int max_read_rounds(const History& h) {
+  int r = 0;
+  for (const auto& t : h.txns) {
+    if (t.complete && t.is_read) r = std::max(r, t.rounds);
+  }
+  return r;
+}
+
+int max_read_versions(const History& h) {
+  int v = 0;
+  for (const auto& t : h.txns) {
+    if (t.complete && t.is_read) v = std::max(v, t.max_versions);
+  }
+  return v;
+}
+
+}  // namespace snowkit

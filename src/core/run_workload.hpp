@@ -1,0 +1,62 @@
+// Closed-loop workload driver + history-derived run statistics.
+//
+// The driver chains each client's next operation onto the completion callback
+// of the previous one, so every client always has exactly one transaction in
+// flight (the paper's well-formedness condition).  It works on both
+// substrates: with SimRuntime, call start() and then sim.run_until_idle();
+// with ThreadRuntime, call start() then wait().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/system.hpp"
+#include "metrics/histogram.hpp"
+#include "workload/workload.hpp"
+
+namespace snowkit {
+
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec);
+
+  /// Posts the first operation of every client chain.
+  void start();
+
+  /// True once every chain has completed (safe to call from any thread).
+  bool done() const;
+
+  /// Blocks until done (for ThreadRuntime; do not use with SimRuntime).
+  void wait();
+
+  std::size_t total_ops() const { return total_ops_; }
+
+ private:
+  void issue_read(std::size_t reader, std::size_t remaining);
+  void issue_write(std::size_t writer, std::size_t remaining);
+  void op_finished();
+
+  Runtime& rt_;
+  ProtocolSystem& sys_;
+  WorkloadSpec spec_;
+  std::vector<OpStream> reader_streams_;
+  std::vector<OpStream> writer_streams_;
+  std::size_t total_ops_{0};
+  std::atomic<std::size_t> remaining_ops_{0};
+  std::atomic<std::uint64_t> next_value_{1};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Latency summary over the completed READ (or WRITE) transactions of a
+/// history, using recorded invoke/respond timestamps.
+LatencySummary summarize_latency(const History& h, bool reads);
+
+/// Max client-reported rounds over completed READs.
+int max_read_rounds(const History& h);
+
+/// Max versions in any single server response over completed READs.
+int max_read_versions(const History& h);
+
+}  // namespace snowkit

@@ -1,0 +1,66 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace snowkit {
+
+int Histogram::bucket_for(TimeNs v) {
+  if (v == 0) return 0;
+  const int octave = 63 - std::countl_zero(v);
+  int sub;
+  if (octave <= kSubBits) {
+    // Small values: v itself indexes linearly within the first octaves.
+    return static_cast<int>(v);
+  }
+  sub = static_cast<int>((v >> (octave - kSubBits)) & ((1u << kSubBits) - 1));
+  const int b = ((octave - kSubBits) << kSubBits) + (1 << kSubBits) + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+TimeNs Histogram::bucket_mid(int b) {
+  if (b < (2 << kSubBits)) return static_cast<TimeNs>(b);
+  const int octave = (b >> kSubBits) - 1 + kSubBits;
+  const int sub = b & ((1 << kSubBits) - 1);
+  const TimeNs base = TimeNs{1} << octave;
+  const TimeNs step = base >> kSubBits;
+  return base + step * static_cast<TimeNs>(sub) + step / 2;
+}
+
+void Histogram::record(TimeNs value) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+TimeNs Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return std::min(std::max(bucket_mid(i), min_), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  std::ostringstream oss;
+  oss << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean()) << unit
+      << " p50=" << p50() << unit << " p99=" << p99() << unit << " max=" << max() << unit;
+  return oss.str();
+}
+
+}  // namespace snowkit

@@ -1,0 +1,56 @@
+// Latency histogram with logarithmic buckets (HdrHistogram-style, simpler).
+// Records nanosecond durations; reports count/mean/percentiles with bounded
+// relative error (each power-of-two range is split into 32 linear buckets,
+// so quantiles are accurate to ~3%).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snowkit {
+
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets, 0) {}
+
+  void record(TimeNs value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+  TimeNs min() const { return count_ == 0 ? 0 : min_; }
+  TimeNs max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Quantile in [0, 1]; returns a representative value for that rank.
+  TimeNs quantile(double q) const;
+  TimeNs p50() const { return quantile(0.50); }
+  TimeNs p99() const { return quantile(0.99); }
+
+  std::string summary(const std::string& unit = "ns") const;
+
+ private:
+  static constexpr int kSubBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kNumBuckets = 64 * (1 << kSubBits);
+
+  static int bucket_for(TimeNs v);
+  static TimeNs bucket_mid(int b);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  unsigned __int128 sum_ = 0;
+  TimeNs min_ = ~TimeNs{0};
+  TimeNs max_ = 0;
+};
+
+struct LatencySummary {
+  std::uint64_t count{0};
+  double mean_ns{0};
+  TimeNs p50_ns{0};
+  TimeNs p99_ns{0};
+  TimeNs max_ns{0};
+};
+
+}  // namespace snowkit

@@ -1,0 +1,54 @@
+// Wire-volume observer: counts messages and bytes per payload type.
+// Thread-safe (used with both runtimes); attach via Runtime::set_observer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runtime/observer.hpp"
+
+namespace snowkit {
+
+class WireStats final : public MessageObserver {
+ public:
+  void on_send(NodeId, NodeId, const Message& m, std::size_t bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++messages_;
+    bytes_ += bytes;
+    ++per_type_[payload_name(m.payload)];
+  }
+
+  void on_deliver(NodeId, NodeId, const Message&) override {}
+
+  std::uint64_t messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return messages_;
+  }
+
+  std::uint64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  std::map<std::string, std::uint64_t> per_type() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_type_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    messages_ = 0;
+    bytes_ = 0;
+    per_type_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::map<std::string, std::uint64_t> per_type_;
+};
+
+}  // namespace snowkit

@@ -1,0 +1,269 @@
+#include "msg/codec.hpp"
+
+#include "common/assert.hpp"
+#include "common/buffer.hpp"
+
+namespace snowkit {
+
+namespace {
+
+void put_key(BufWriter& w, const WriteKey& k) {
+  w.u64(k.seq);
+  w.u32(k.writer);
+}
+
+WriteKey get_key(BufReader& r) {
+  WriteKey k;
+  k.seq = r.u64();
+  k.writer = r.u32();
+  return k;
+}
+
+void put_mask(BufWriter& w, const std::vector<std::uint8_t>& mask) {
+  w.vec(mask, [](BufWriter& w2, std::uint8_t b) { w2.u8(b); });
+}
+
+std::vector<std::uint8_t> get_mask(BufReader& r) {
+  return r.vec<std::uint8_t>([](BufReader& r2) { return r2.u8(); });
+}
+
+void put_version(BufWriter& w, const Version& v) {
+  put_key(w, v.key);
+  w.i64(v.value);
+}
+
+Version get_version(BufReader& r) {
+  Version v;
+  v.key = get_key(r);
+  v.value = r.i64();
+  return v;
+}
+
+void put_listed(BufWriter& w, const ListedKey& lk) {
+  w.u64(lk.position);
+  put_key(w, lk.key);
+}
+
+ListedKey get_listed(BufReader& r) {
+  ListedKey lk;
+  lk.position = r.u64();
+  lk.key = get_key(r);
+  return lk;
+}
+
+struct Encoder {
+  BufWriter& w;
+
+  void operator()(const WriteValReq& p) { put_key(w, p.key); w.u32(p.obj); w.i64(p.value); }
+  void operator()(const WriteValAck& p) { put_key(w, p.key); w.u32(p.obj); }
+  void operator()(const InfoReaderReq& p) { put_key(w, p.key); put_mask(w, p.mask); }
+  void operator()(const InfoReaderAck& p) { w.u64(p.tag); }
+  void operator()(const UpdateCoorReq& p) { put_key(w, p.key); put_mask(w, p.mask); }
+  void operator()(const UpdateCoorAck& p) { w.u64(p.tag); }
+  void operator()(const GetTagArrReq& p) { put_mask(w, p.want); }
+  void operator()(const GetTagArrResp& p) {
+    w.u64(p.tag);
+    w.vec(p.latest, [](BufWriter& w2, const WriteKey& k) { put_key(w2, k); });
+    w.vec(p.history, [](BufWriter& w2, const std::vector<ListedKey>& h) {
+      w2.vec(h, [](BufWriter& w3, const ListedKey& lk) { put_listed(w3, lk); });
+    });
+  }
+  void operator()(const ReadValReq& p) { w.u32(p.obj); put_key(w, p.key); }
+  void operator()(const ReadValResp& p) { w.u32(p.obj); put_key(w, p.key); w.i64(p.value); }
+  void operator()(const ReadValsReq& p) { w.u32(p.obj); }
+  void operator()(const ReadValsResp& p) {
+    w.u32(p.obj);
+    w.vec(p.versions, [](BufWriter& w2, const Version& v) { put_version(w2, v); });
+  }
+  void operator()(const FinalizeReq& p) { put_key(w, p.key); w.u32(p.obj); w.u64(p.position); }
+  void operator()(const EigerWriteReq& p) { w.u32(p.obj); w.i64(p.value); w.u64(p.lamport); }
+  void operator()(const EigerWriteAck& p) { w.u32(p.obj); w.u64(p.commit_ts); w.u64(p.lamport); }
+  void operator()(const EigerReadReq& p) { w.u32(p.obj); w.u64(p.lamport); }
+  void operator()(const EigerReadResp& p) {
+    w.u32(p.obj); w.i64(p.value); w.u64(p.valid_from); w.u64(p.valid_until); w.u64(p.lamport);
+  }
+  void operator()(const EigerReadAtReq& p) { w.u32(p.obj); w.u64(p.at); w.u64(p.lamport); }
+  void operator()(const EigerReadAtResp& p) { w.u32(p.obj); w.i64(p.value); w.u64(p.lamport); }
+  void operator()(const LockReq& p) { w.u32(p.obj); w.u8(p.exclusive ? 1 : 0); }
+  void operator()(const LockGrant& p) { w.u32(p.obj); w.i64(p.value); }
+  void operator()(const WriteUnlockReq& p) { w.u32(p.obj); w.i64(p.value); }
+  void operator()(const UnlockReq& p) { w.u32(p.obj); }
+  void operator()(const UnlockAck& p) { w.u32(p.obj); }
+  void operator()(const SimpleReadReq& p) { w.u32(p.obj); }
+  void operator()(const SimpleReadResp& p) { w.u32(p.obj); w.i64(p.value); }
+  void operator()(const SimpleWriteReq& p) { w.u32(p.obj); w.i64(p.value); }
+  void operator()(const SimpleWriteAck& p) { w.u32(p.obj); }
+};
+
+template <std::size_t I = 0>
+Payload decode_alternative(std::size_t index, BufReader& r);
+
+struct Decoder {
+  BufReader& r;
+
+  template <typename T>
+  T get();
+};
+
+template <>
+WriteValReq Decoder::get<WriteValReq>() {
+  WriteValReq p; p.key = get_key(r); p.obj = r.u32(); p.value = r.i64(); return p;
+}
+template <>
+WriteValAck Decoder::get<WriteValAck>() {
+  WriteValAck p; p.key = get_key(r); p.obj = r.u32(); return p;
+}
+template <>
+InfoReaderReq Decoder::get<InfoReaderReq>() {
+  InfoReaderReq p; p.key = get_key(r); p.mask = get_mask(r); return p;
+}
+template <>
+InfoReaderAck Decoder::get<InfoReaderAck>() {
+  InfoReaderAck p; p.tag = r.u64(); return p;
+}
+template <>
+UpdateCoorReq Decoder::get<UpdateCoorReq>() {
+  UpdateCoorReq p; p.key = get_key(r); p.mask = get_mask(r); return p;
+}
+template <>
+UpdateCoorAck Decoder::get<UpdateCoorAck>() {
+  UpdateCoorAck p; p.tag = r.u64(); return p;
+}
+template <>
+GetTagArrReq Decoder::get<GetTagArrReq>() {
+  GetTagArrReq p; p.want = get_mask(r); return p;
+}
+template <>
+GetTagArrResp Decoder::get<GetTagArrResp>() {
+  GetTagArrResp p;
+  p.tag = r.u64();
+  p.latest = r.vec<WriteKey>([](BufReader& r2) { return get_key(r2); });
+  p.history = r.vec<std::vector<ListedKey>>([](BufReader& r2) {
+    return r2.vec<ListedKey>([](BufReader& r3) { return get_listed(r3); });
+  });
+  return p;
+}
+template <>
+ReadValReq Decoder::get<ReadValReq>() {
+  ReadValReq p; p.obj = r.u32(); p.key = get_key(r); return p;
+}
+template <>
+ReadValResp Decoder::get<ReadValResp>() {
+  ReadValResp p; p.obj = r.u32(); p.key = get_key(r); p.value = r.i64(); return p;
+}
+template <>
+ReadValsReq Decoder::get<ReadValsReq>() {
+  ReadValsReq p; p.obj = r.u32(); return p;
+}
+template <>
+ReadValsResp Decoder::get<ReadValsResp>() {
+  ReadValsResp p;
+  p.obj = r.u32();
+  p.versions = r.vec<Version>([](BufReader& r2) { return get_version(r2); });
+  return p;
+}
+template <>
+FinalizeReq Decoder::get<FinalizeReq>() {
+  FinalizeReq p; p.key = get_key(r); p.obj = r.u32(); p.position = r.u64(); return p;
+}
+template <>
+EigerWriteReq Decoder::get<EigerWriteReq>() {
+  EigerWriteReq p; p.obj = r.u32(); p.value = r.i64(); p.lamport = r.u64(); return p;
+}
+template <>
+EigerWriteAck Decoder::get<EigerWriteAck>() {
+  EigerWriteAck p; p.obj = r.u32(); p.commit_ts = r.u64(); p.lamport = r.u64(); return p;
+}
+template <>
+EigerReadReq Decoder::get<EigerReadReq>() {
+  EigerReadReq p; p.obj = r.u32(); p.lamport = r.u64(); return p;
+}
+template <>
+EigerReadResp Decoder::get<EigerReadResp>() {
+  EigerReadResp p;
+  p.obj = r.u32(); p.value = r.i64(); p.valid_from = r.u64(); p.valid_until = r.u64();
+  p.lamport = r.u64();
+  return p;
+}
+template <>
+EigerReadAtReq Decoder::get<EigerReadAtReq>() {
+  EigerReadAtReq p; p.obj = r.u32(); p.at = r.u64(); p.lamport = r.u64(); return p;
+}
+template <>
+EigerReadAtResp Decoder::get<EigerReadAtResp>() {
+  EigerReadAtResp p; p.obj = r.u32(); p.value = r.i64(); p.lamport = r.u64(); return p;
+}
+template <>
+LockReq Decoder::get<LockReq>() {
+  LockReq p; p.obj = r.u32(); p.exclusive = r.u8() != 0; return p;
+}
+template <>
+LockGrant Decoder::get<LockGrant>() {
+  LockGrant p; p.obj = r.u32(); p.value = r.i64(); return p;
+}
+template <>
+WriteUnlockReq Decoder::get<WriteUnlockReq>() {
+  WriteUnlockReq p; p.obj = r.u32(); p.value = r.i64(); return p;
+}
+template <>
+UnlockReq Decoder::get<UnlockReq>() {
+  UnlockReq p; p.obj = r.u32(); return p;
+}
+template <>
+UnlockAck Decoder::get<UnlockAck>() {
+  UnlockAck p; p.obj = r.u32(); return p;
+}
+template <>
+SimpleReadReq Decoder::get<SimpleReadReq>() {
+  SimpleReadReq p; p.obj = r.u32(); return p;
+}
+template <>
+SimpleReadResp Decoder::get<SimpleReadResp>() {
+  SimpleReadResp p; p.obj = r.u32(); p.value = r.i64(); return p;
+}
+template <>
+SimpleWriteReq Decoder::get<SimpleWriteReq>() {
+  SimpleWriteReq p; p.obj = r.u32(); p.value = r.i64(); return p;
+}
+template <>
+SimpleWriteAck Decoder::get<SimpleWriteAck>() {
+  SimpleWriteAck p; p.obj = r.u32(); return p;
+}
+
+template <std::size_t I>
+Payload decode_alternative(std::size_t index, BufReader& r) {
+  if constexpr (I < std::variant_size_v<Payload>) {
+    if (index == I) {
+      Decoder d{r};
+      return Payload{d.get<std::variant_alternative_t<I, Payload>>()};
+    }
+    return decode_alternative<I + 1>(index, r);
+  } else {
+    SNOW_UNREACHABLE("bad payload index in decode");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  BufWriter w;
+  w.u64(m.txn);
+  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  std::visit(Encoder{w}, m.payload);
+  return w.take();
+}
+
+Message decode_message(const std::vector<std::uint8_t>& bytes) {
+  BufReader r(bytes);
+  Message m;
+  m.txn = r.u64();
+  std::size_t index = r.u32();
+  SNOW_CHECK_MSG(index < std::variant_size_v<Payload>, "payload index " << index);
+  m.payload = decode_alternative<0>(index, r);
+  SNOW_CHECK_MSG(r.done(), "trailing bytes after payload " << payload_name(m.payload));
+  return m;
+}
+
+std::size_t encoded_size(const Message& m) { return encode_message(m).size(); }
+
+}  // namespace snowkit

@@ -1,0 +1,21 @@
+// Binary wire codec for Message.  Roundtrip property: decode(encode(m)) == m.
+//
+// The threaded runtime encodes every message; the simulator can optionally do
+// so too (codec cross-check mode) to guarantee no protocol smuggles state
+// through shared memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace snowkit {
+
+std::vector<std::uint8_t> encode_message(const Message& m);
+Message decode_message(const std::vector<std::uint8_t>& bytes);
+
+/// Encoded size in bytes (for wire-volume metrics) without retaining a copy.
+std::size_t encoded_size(const Message& m);
+
+}  // namespace snowkit

@@ -1,0 +1,77 @@
+#include "msg/message.hpp"
+
+#include <sstream>
+
+namespace snowkit {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+const char* payload_name(const Payload& p) {
+  return std::visit(
+      Overloaded{
+          [](const WriteValReq&) { return "write-val"; },
+          [](const WriteValAck&) { return "write-val-ack"; },
+          [](const InfoReaderReq&) { return "info-reader"; },
+          [](const InfoReaderAck&) { return "info-reader-ack"; },
+          [](const UpdateCoorReq&) { return "update-coor"; },
+          [](const UpdateCoorAck&) { return "update-coor-ack"; },
+          [](const GetTagArrReq&) { return "get-tag-arr"; },
+          [](const GetTagArrResp&) { return "tag-arr"; },
+          [](const ReadValReq&) { return "read-val"; },
+          [](const ReadValResp&) { return "read-val-resp"; },
+          [](const ReadValsReq&) { return "read-vals"; },
+          [](const ReadValsResp&) { return "read-vals-resp"; },
+          [](const FinalizeReq&) { return "finalize"; },
+          [](const EigerWriteReq&) { return "eiger-write"; },
+          [](const EigerWriteAck&) { return "eiger-write-ack"; },
+          [](const EigerReadReq&) { return "eiger-read"; },
+          [](const EigerReadResp&) { return "eiger-read-resp"; },
+          [](const EigerReadAtReq&) { return "eiger-read-at"; },
+          [](const EigerReadAtResp&) { return "eiger-read-at-resp"; },
+          [](const LockReq&) { return "lock-req"; },
+          [](const LockGrant&) { return "lock-grant"; },
+          [](const WriteUnlockReq&) { return "write-unlock"; },
+          [](const UnlockReq&) { return "unlock"; },
+          [](const UnlockAck&) { return "unlock-ack"; },
+          [](const SimpleReadReq&) { return "simple-read"; },
+          [](const SimpleReadResp&) { return "simple-read-resp"; },
+          [](const SimpleWriteReq&) { return "simple-write"; },
+          [](const SimpleWriteAck&) { return "simple-write-ack"; },
+      },
+      p);
+}
+
+bool is_read_request(const Payload& p) {
+  return std::holds_alternative<ReadValReq>(p) || std::holds_alternative<ReadValsReq>(p) ||
+         std::holds_alternative<GetTagArrReq>(p) || std::holds_alternative<EigerReadReq>(p) ||
+         std::holds_alternative<EigerReadAtReq>(p) || std::holds_alternative<SimpleReadReq>(p);
+}
+
+bool is_read_response(const Payload& p) {
+  return std::holds_alternative<ReadValResp>(p) || std::holds_alternative<ReadValsResp>(p) ||
+         std::holds_alternative<GetTagArrResp>(p) || std::holds_alternative<EigerReadResp>(p) ||
+         std::holds_alternative<EigerReadAtResp>(p) || std::holds_alternative<SimpleReadResp>(p);
+}
+
+int version_count(const Payload& p) {
+  if (const auto* rv = std::get_if<ReadValsResp>(&p)) return static_cast<int>(rv->versions.size());
+  if (is_read_response(p)) return 1;
+  return 0;
+}
+
+std::string describe(const Message& m) {
+  std::ostringstream oss;
+  oss << payload_name(m.payload) << "[txn=" << m.txn << "]";
+  return oss.str();
+}
+
+}  // namespace snowkit

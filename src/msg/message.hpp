@@ -1,0 +1,32 @@
+// The message envelope every transport carries.
+#pragma once
+
+#include <string>
+
+#include "msg/payloads.hpp"
+
+namespace snowkit {
+
+/// Envelope: a payload stamped with the transaction it belongs to.  The txn
+/// id lets the SNOW monitors attribute traffic to transactions and lets
+/// adversarial schedulers target specific operations.
+struct Message {
+  TxnId txn{kInvalidTxn};
+  Payload payload;
+};
+
+/// Stable human-readable payload-type name (used in traces and demos).
+const char* payload_name(const Payload& p);
+
+/// True if this payload is a client->server request that starts a server-side
+/// read step of a READ transaction (used by the non-blocking monitor).
+bool is_read_request(const Payload& p);
+
+/// True if this payload is a server->client response carrying object
+/// versions; `version_count` says how many versions it carries (O property).
+bool is_read_response(const Payload& p);
+int version_count(const Payload& p);
+
+std::string describe(const Message& m);
+
+}  // namespace snowkit

@@ -1,0 +1,219 @@
+// Typed message payloads for every protocol in the library.
+//
+// One shared payload vocabulary keeps the codec in one place and lets the
+// SNOW monitors (checker/snow_monitor) classify traffic without knowing
+// which protocol produced it.  Payload names follow the paper's pseudocode:
+// write-val / info-reader / update-coor / get-tag-arr / read-val / read-vals
+// (Pseudocodes 4-7), plus the mini-Eiger, blocking-2PL, simple and naive
+// protocol messages that serve as comparators.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snowkit {
+
+/// A (key, value) version as stored in a server's Vals set (§5.2).
+struct Version {
+  WriteKey key;
+  Value value{kInitialValue};
+  friend bool operator==(const Version&, const Version&) = default;
+};
+
+/// A List entry (kappa, (b_1..b_k)) plus its position, used when the
+/// coordinator ships per-object key history to readers (Algorithm C).
+struct ListedKey {
+  Tag position{0};   ///< index of this entry in List (1-based; 0 = initial).
+  WriteKey key;
+  friend bool operator==(const ListedKey&, const ListedKey&) = default;
+};
+
+// --- Algorithms A / B / C (paper pseudocodes 4-7) -------------------------
+
+/// write-val: writer -> server s_i, carrying (kappa, v_i).
+struct WriteValReq {
+  WriteKey key;
+  ObjectId obj{0};
+  Value value{kInitialValue};
+};
+
+/// ack for write-val: server -> writer.
+struct WriteValAck {
+  WriteKey key;
+  ObjectId obj{0};
+};
+
+/// info-reader: writer -> reader (Algorithm A; this is the C2C message).
+struct InfoReaderReq {
+  WriteKey key;
+  std::vector<std::uint8_t> mask;  ///< b_1..b_k, 1 iff object i was written.
+};
+
+/// (ack, t_w): reader -> writer.
+struct InfoReaderAck {
+  Tag tag{0};
+};
+
+/// update-coor: writer -> coordinator s* (Algorithms B and C).
+struct UpdateCoorReq {
+  WriteKey key;
+  std::vector<std::uint8_t> mask;
+};
+
+/// (ack, t_w): coordinator -> writer.
+struct UpdateCoorAck {
+  Tag tag{0};
+};
+
+/// get-tag-arr: reader -> coordinator s*.
+struct GetTagArrReq {
+  std::vector<std::uint8_t> want;  ///< interest mask over objects (I).
+};
+
+/// (t_r, (kappa_1..kappa_k)): coordinator -> reader.  For Algorithm C the
+/// response additionally carries, per requested object, the key history
+/// (position, key) up to t_r so the reader can run the feasibility descent
+/// (see DESIGN.md §5 and proto/algo_c).
+struct GetTagArrResp {
+  Tag tag{0};
+  std::vector<WriteKey> latest;              ///< kappa_i per object (index-aligned).
+  std::vector<std::vector<ListedKey>> history;  ///< optional; per requested object.
+};
+
+/// read-val: reader -> server s_i, naming the exact version kappa_i wanted.
+struct ReadValReq {
+  ObjectId obj{0};
+  WriteKey key;
+};
+
+/// one-version response: server -> reader.
+struct ReadValResp {
+  ObjectId obj{0};
+  WriteKey key;
+  Value value{kInitialValue};
+};
+
+/// read-vals: reader -> server s_i (Algorithm C; server returns its Vals).
+struct ReadValsReq {
+  ObjectId obj{0};
+};
+
+/// multi-version response: server -> reader (Algorithm C).
+struct ReadValsResp {
+  ObjectId obj{0};
+  std::vector<Version> versions;
+};
+
+/// finalize: writer -> server, piggybacking the List position assigned to a
+/// completed WRITE so servers can garbage-collect superseded versions.  This
+/// is snowkit's bounded-version extension for Algorithm C (DESIGN.md §5);
+/// it adds no round to any transaction.
+struct FinalizeReq {
+  WriteKey key;
+  ObjectId obj{0};
+  Tag position{0};
+};
+
+// --- mini-Eiger (§6, Fig. 5) ----------------------------------------------
+
+/// Write one object with Lamport-clock metadata.
+struct EigerWriteReq {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+  std::uint64_t lamport{0};
+};
+
+struct EigerWriteAck {
+  ObjectId obj{0};
+  std::uint64_t commit_ts{0};  ///< Lamport timestamp assigned by the server.
+  std::uint64_t lamport{0};
+};
+
+/// First-round read: server returns current value + logical validity interval.
+struct EigerReadReq {
+  ObjectId obj{0};
+  std::uint64_t lamport{0};
+};
+
+struct EigerReadResp {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+  std::uint64_t valid_from{0};   ///< commit timestamp of the returned version.
+  std::uint64_t valid_until{0};  ///< server's Lamport clock when responding.
+  std::uint64_t lamport{0};
+};
+
+/// Second-round read at an explicit effective time (Eiger's slow path).
+struct EigerReadAtReq {
+  ObjectId obj{0};
+  std::uint64_t at{0};
+  std::uint64_t lamport{0};
+};
+
+struct EigerReadAtResp {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+  std::uint64_t lamport{0};
+};
+
+// --- blocking two-phase-locking comparator ---------------------------------
+
+struct LockReq {
+  ObjectId obj{0};
+  bool exclusive{false};
+};
+
+/// Grant; for shared locks carries the current value so a READ needs no
+/// separate fetch round.
+struct LockGrant {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+};
+
+/// Write the value and release the exclusive lock in one step.
+struct WriteUnlockReq {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+};
+
+struct UnlockReq {
+  ObjectId obj{0};
+};
+
+struct UnlockAck {
+  ObjectId obj{0};
+};
+
+// --- simple (non-transactional) and naive one-round protocols --------------
+
+struct SimpleReadReq {
+  ObjectId obj{0};
+};
+
+struct SimpleReadResp {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+};
+
+struct SimpleWriteReq {
+  ObjectId obj{0};
+  Value value{kInitialValue};
+};
+
+struct SimpleWriteAck {
+  ObjectId obj{0};
+};
+
+using Payload = std::variant<
+    WriteValReq, WriteValAck, InfoReaderReq, InfoReaderAck, UpdateCoorReq,
+    UpdateCoorAck, GetTagArrReq, GetTagArrResp, ReadValReq, ReadValResp,
+    ReadValsReq, ReadValsResp, FinalizeReq, EigerWriteReq, EigerWriteAck,
+    EigerReadReq, EigerReadResp, EigerReadAtReq, EigerReadAtResp, LockReq,
+    LockGrant, WriteUnlockReq, UnlockReq, UnlockAck, SimpleReadReq,
+    SimpleReadResp, SimpleWriteReq, SimpleWriteAck>;
+
+}  // namespace snowkit

@@ -1,0 +1,222 @@
+#include "proto/algo_a/algo_a.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+namespace {
+
+class ServerA final : public Node {
+ public:
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
+      store_.insert(wv->key, wv->value);
+      send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
+    } else if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
+      // Non-blocking + one-version: respond immediately with exactly the
+      // requested version.  Algorithm A guarantees kappa_i is present: its
+      // write-val was acked before the info-reader that put it in List.
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+    } else {
+      SNOW_UNREACHABLE("algo-a server got unexpected payload");
+    }
+  }
+
+ private:
+  VersionStore store_;
+};
+
+class ReaderA final : public Node, public ReadClientApi {
+ public:
+  ReaderA(HistoryRecorder& rec, std::size_t k) : rec_(rec), k_(k) {
+    list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+  }
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = objs;
+    pending_->cb = std::move(cb);
+    // The read's Lemma-20 tag is the newest List position overall (not just
+    // over the objects read): any WRITE that completed before this READ was
+    // invoked already sits in List, so P2 (no real-time inversion) holds
+    // even for writes touching other objects.
+    pending_->tag = static_cast<Tag>(list_.size() - 1);
+    for (ObjectId obj : objs) {
+      const std::size_t j = latest_entry_for(obj);
+      send(static_cast<NodeId>(obj), Message{txn, ReadValReq{obj, list_[j].first}});
+    }
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* ir = std::get_if<InfoReaderReq>(&m.payload)) {
+      SNOW_CHECK(ir->mask.size() == k_);
+      list_.push_back({ir->key, ir->mask});
+      send(from, Message{m.txn, InfoReaderAck{static_cast<Tag>(list_.size() - 1)}});
+      return;
+    }
+    if (const auto* rr = std::get_if<ReadValResp>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      pending_->got[rr->obj] = rr->value;
+      if (pending_->got.size() == pending_->objs.size()) complete();
+      return;
+    }
+    SNOW_UNREACHABLE("algo-a reader got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    std::map<ObjectId, Value> got;
+    Tag tag{0};
+    ReadCallback cb;
+  };
+
+  std::size_t latest_entry_for(ObjectId obj) const {
+    for (std::size_t j = list_.size(); j-- > 0;) {
+      if (list_[j].second[obj] != 0) return j;
+    }
+    SNOW_UNREACHABLE("List[0] covers every object");
+  }
+
+  void complete() {
+    ReadResult result;
+    result.txn = pending_->txn;
+    for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->got.at(obj));
+    rec_.finish_read(pending_->txn, result.values, pending_->tag, /*rounds=*/1,
+                     /*max_versions=*/1);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+  std::optional<Pending> pending_;
+};
+
+class WriterA final : public Node, public WriteClientApi {
+ public:
+  WriterA(HistoryRecorder& rec, std::size_t k, std::vector<NodeId> readers)
+      : rec_(rec), k_(k), readers_(std::move(readers)) {}
+
+  void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
+    SNOW_CHECK(!writes.empty());
+    const TxnId txn = rec_.begin_write(id(), writes);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->key = WriteKey{++z_, id()};
+    pending_->mask.assign(k_, 0);
+    pending_->await_server_acks = writes.size();
+    pending_->await_reader_acks = readers_.size();
+    pending_->cb = std::move(cb);
+    for (const auto& [obj, value] : writes) {
+      pending_->mask[obj] = 1;
+      send(static_cast<NodeId>(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
+    }
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (std::holds_alternative<WriteValAck>(m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      if (--pending_->await_server_acks == 0) {
+        // info-reader phase: the C2C step.  With multiple readers (the
+        // deliberately unsafe Fig. 1(a) demo) all readers are informed.
+        for (NodeId r : readers_) {
+          send(r, Message{m.txn, InfoReaderReq{pending_->key, pending_->mask}});
+        }
+      }
+      return;
+    }
+    if (const auto* ack = std::get_if<InfoReaderAck>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      pending_->tag = std::max(pending_->tag, ack->tag);
+      if (--pending_->await_reader_acks == 0) {
+        rec_.finish_write(pending_->txn, pending_->tag, /*rounds=*/2);
+        auto cb = std::move(pending_->cb);
+        const WriteResult result{pending_->txn};
+        pending_.reset();
+        cb(result);
+      }
+      return;
+    }
+    SNOW_UNREACHABLE("algo-a writer got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    WriteKey key;
+    std::vector<std::uint8_t> mask;
+    std::size_t await_server_acks{0};
+    std::size_t await_reader_acks{0};
+    Tag tag{0};
+    WriteCallback cb;
+  };
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  std::vector<NodeId> readers_;
+  std::uint64_t z_ = 0;
+  std::optional<Pending> pending_;
+};
+
+class SystemA final : public ProtocolSystem {
+ public:
+  SystemA(std::size_t k, std::vector<ReaderA*> readers, std::vector<WriterA*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "algo-a"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderA*> readers_;
+  std::vector<WriterA*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_algo_a(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo, AlgoAOptions opts) {
+  SNOW_CHECK_MSG(topo.num_readers == 1 || opts.allow_multiple_readers,
+                 "Algorithm A is SNOW only in MWSR; pass allow_multiple_readers to build the "
+                 "intentionally unsafe multi-reader demo");
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id = rt.add_node(std::make_unique<ServerA>());
+    SNOW_CHECK(id == i);  // servers occupy node ids [0, k)
+  }
+  std::vector<ReaderA*> readers;
+  std::vector<NodeId> reader_ids;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ReaderA>(rec, topo.num_objects);
+    readers.push_back(node.get());
+    reader_ids.push_back(rt.add_node(std::move(node)));
+  }
+  std::vector<WriterA*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<WriterA>(rec, topo.num_objects, reader_ids);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemA>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

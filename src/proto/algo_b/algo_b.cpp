@@ -1,0 +1,181 @@
+#include "proto/algo_b/algo_b.hpp"
+
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "proto/coor_writer.hpp"
+#include "proto/version_store.hpp"
+
+namespace snowkit {
+namespace {
+
+/// Server for Algorithm B.  Every server stores Vals; the coordinator s*
+/// additionally maintains List and answers get-tag-arr / update-coor.
+class ServerB final : public Node {
+ public:
+  ServerB(std::size_t k, bool is_coordinator) : k_(k), is_coordinator_(is_coordinator) {
+    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+  }
+
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
+      store_.insert(wv->key, wv->value);
+      send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
+      return;
+    }
+    if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+      return;
+    }
+    if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
+      SNOW_CHECK(uc->mask.size() == k_);
+      list_.push_back({uc->key, uc->mask});
+      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      return;
+    }
+    if (const auto* gt = std::get_if<GetTagArrReq>(&m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      GetTagArrResp resp;
+      // t_r is the newest List position overall so that reads never order
+      // before a write that already completed (Lemma 20 P2); per-object
+      // version choice still uses the per-object newest entry.
+      resp.tag = static_cast<Tag>(list_.size() - 1);
+      (void)gt;
+      resp.latest.resize(k_);
+      for (std::size_t i = 0; i < k_; ++i) {
+        resp.latest[i] = list_[latest_entry_for(static_cast<ObjectId>(i))].first;
+      }
+      send(from, Message{m.txn, resp});
+      return;
+    }
+    SNOW_UNREACHABLE("algo-b server got unexpected payload");
+  }
+
+ private:
+  std::size_t latest_entry_for(ObjectId obj) const {
+    for (std::size_t j = list_.size(); j-- > 0;) {
+      if (list_[j].second[obj] != 0) return j;
+    }
+    SNOW_UNREACHABLE("List[0] covers every object");
+  }
+
+  std::size_t k_;
+  bool is_coordinator_;
+  VersionStore store_;
+  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+};
+
+class ReaderB final : public Node, public ReadClientApi {
+ public:
+  ReaderB(HistoryRecorder& rec, std::size_t k, NodeId coordinator)
+      : rec_(rec), k_(k), coordinator_(coordinator) {}
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = objs;
+    pending_->cb = std::move(cb);
+    GetTagArrReq req;
+    req.want.assign(k_, 0);
+    for (ObjectId obj : objs) req.want[obj] = 1;
+    send(coordinator_, Message{txn, req});
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (const auto* ta = std::get_if<GetTagArrResp>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      pending_->tag = ta->tag;
+      for (ObjectId obj : pending_->objs) {
+        send(static_cast<NodeId>(obj), Message{m.txn, ReadValReq{obj, ta->latest[obj]}});
+      }
+      return;
+    }
+    if (const auto* rr = std::get_if<ReadValResp>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      pending_->got[rr->obj] = rr->value;
+      if (pending_->got.size() == pending_->objs.size()) complete();
+      return;
+    }
+    SNOW_UNREACHABLE("algo-b reader got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    std::map<ObjectId, Value> got;
+    Tag tag{0};
+    ReadCallback cb;
+  };
+
+  void complete() {
+    ReadResult result;
+    result.txn = pending_->txn;
+    for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->got.at(obj));
+    rec_.finish_read(pending_->txn, result.values, pending_->tag, /*rounds=*/2,
+                     /*max_versions=*/1);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  NodeId coordinator_;
+  std::optional<Pending> pending_;
+};
+
+class SystemB final : public ProtocolSystem {
+ public:
+  SystemB(std::size_t k, std::vector<ReaderB*> readers, std::vector<CoorWriter*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "algo-b"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderB*> readers_;
+  std::vector<CoorWriter*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo, AlgoBOptions opts) {
+  SNOW_CHECK(opts.coordinator < topo.num_objects);
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id =
+        rt.add_node(std::make_unique<ServerB>(topo.num_objects, i == opts.coordinator));
+    SNOW_CHECK(id == i);
+  }
+  const NodeId coor = static_cast<NodeId>(opts.coordinator);
+  std::vector<ReaderB*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ReaderB>(rec, topo.num_objects, coor);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<CoorWriter*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor, /*send_finalize=*/false);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemB>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

@@ -1,0 +1,29 @@
+// Algorithm B (paper §8, Pseudocodes 5 and 6): SNW + one-version READ
+// transactions in the multi-writer multi-reader (MWMR) setting, with no
+// client-to-client communication.  READs take exactly two rounds:
+//
+//   get-tag-array: reader -> coordinator s*, which returns (t_r, kappa_1..k)
+//                  — the newest key per object in the coordinator's List;
+//   read-value:    reader -> each s_i with the exact key kappa_i; servers
+//                  respond non-blocking with exactly one version.
+//
+// WRITEs do write-value to the servers then update-coor to s* (which assigns
+// the List position = the Lemma-20 tag).  Theorem 4: every fair well-formed
+// execution is strictly serializable, non-blocking, one-version.
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+struct AlgoBOptions {
+  /// Which server acts as coordinator s* (object id, < num_objects).
+  ObjectId coordinator{0};
+};
+
+std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo, AlgoBOptions opts = {});
+
+}  // namespace snowkit

@@ -1,0 +1,278 @@
+#include "proto/algo_c/algo_c.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "proto/coor_writer.hpp"
+#include "proto/version_store.hpp"
+
+namespace snowkit {
+namespace {
+
+class ServerC final : public Node {
+ public:
+  ServerC(std::size_t k, bool is_coordinator, bool gc)
+      : k_(k), is_coordinator_(is_coordinator), gc_(gc) {
+    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+    finalized_[kInitialKey] = 0;
+  }
+
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
+      store_.insert(wv->key, wv->value);
+      send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
+      return;
+    }
+    if (std::holds_alternative<ReadValsReq>(m.payload)) {
+      const auto& req = std::get<ReadValsReq>(m.payload);
+      send(from, Message{m.txn, ReadValsResp{req.obj, store_.all()}});
+      return;
+    }
+    if (const auto* fin = std::get_if<FinalizeReq>(&m.payload)) {
+      on_finalize(*fin);
+      return;
+    }
+    if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
+      SNOW_CHECK(uc->mask.size() == k_);
+      list_.push_back({uc->key, uc->mask});
+      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      return;
+    }
+    if (const auto* gt = std::get_if<GetTagArrReq>(&m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      send(from, Message{m.txn, build_tag_arr(*gt)});
+      return;
+    }
+    SNOW_UNREACHABLE("algo-c server got unexpected payload");
+  }
+
+ private:
+  GetTagArrResp build_tag_arr(const GetTagArrReq& req) const {
+    GetTagArrResp resp;
+    // t_r is the newest List position overall (Lemma 20 P2; see algo_b).
+    // The feasibility descent may settle lower, but only past positions of
+    // writes still concurrent with the READ, so no real-time inversion.
+    resp.tag = static_cast<Tag>(list_.size() - 1);
+    resp.latest.resize(k_);
+    resp.history.resize(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::size_t newest = 0;
+      for (std::size_t j = 0; j < list_.size(); ++j) {
+        if (list_[j].second[i] != 0) {
+          newest = j;
+          if (i < req.want.size() && req.want[i] != 0) {
+            resp.history[i].push_back(ListedKey{static_cast<Tag>(j), list_[j].first});
+          }
+        }
+      }
+      resp.latest[i] = list_[newest].first;
+    }
+    return resp;
+  }
+
+  void on_finalize(const FinalizeReq& fin) {
+    finalized_[fin.key] = fin.position;
+    if (!gc_) return;
+    max_final_pos_ = std::max(max_final_pos_, fin.position);
+    // Drop every *finalized* version older than the newest finalized one.
+    // Unfinalized (possibly concurrent) versions are always kept.
+    for (auto it = finalized_.begin(); it != finalized_.end();) {
+      if (it->second < max_final_pos_) {
+        store_.erase(it->first);
+        it = finalized_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t k_;
+  bool is_coordinator_;
+  bool gc_;
+  VersionStore store_;
+  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+  std::map<WriteKey, Tag> finalized_;
+  Tag max_final_pos_ = 0;
+};
+
+class ReaderC final : public Node, public ReadClientApi {
+ public:
+  ReaderC(HistoryRecorder& rec, std::size_t k, NodeId coordinator, bool may_retry)
+      : rec_(rec), k_(k), coordinator_(coordinator), may_retry_(may_retry) {}
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = std::move(objs);
+    pending_->cb = std::move(cb);
+    pending_->attempts = 1;
+    send_round();
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (const auto* ta = std::get_if<GetTagArrResp>(&m.payload)) {
+      // Responses from a superseded retry attempt are indistinguishable from
+      // current ones (same txn id) and safe to consume: any Vals snapshot a
+      // server sent for this READ still supports the t* feasibility argument.
+      if (!pending_ || pending_->txn != m.txn) return;
+      pending_->tag_arr = *ta;
+      maybe_complete();
+      return;
+    }
+    if (const auto* rv = std::get_if<ReadValsResp>(&m.payload)) {
+      if (!pending_ || pending_->txn != m.txn) return;
+      pending_->vals[rv->obj] = rv->versions;
+      maybe_complete();
+      return;
+    }
+    SNOW_UNREACHABLE("algo-c reader got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    ReadCallback cb;
+    std::optional<GetTagArrResp> tag_arr;
+    std::map<ObjectId, std::vector<Version>> vals;
+    int attempts{0};
+  };
+
+  void send_round() {
+    pending_->tag_arr.reset();
+    pending_->vals.clear();
+    GetTagArrReq req;
+    req.want.assign(k_, 0);
+    for (ObjectId obj : pending_->objs) req.want[obj] = 1;
+    send(coordinator_, Message{pending_->txn, req});
+    for (ObjectId obj : pending_->objs) {
+      send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValsReq{obj}});
+    }
+  }
+
+  void maybe_complete() {
+    if (!pending_->tag_arr || pending_->vals.size() != pending_->objs.size()) return;
+
+    const GetTagArrResp& ta = *pending_->tag_arr;
+    // Feasibility descent over List positions t_r >= t >= 0 (header comment).
+    // Candidate cuts: t_r and every listed position (others change nothing).
+    std::vector<Tag> cuts{ta.tag};
+    for (ObjectId obj : pending_->objs) {
+      for (const ListedKey& lk : ta.history[obj]) {
+        if (lk.position <= ta.tag) cuts.push_back(lk.position);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end(), std::greater<>());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    for (Tag t : cuts) {
+      std::vector<std::pair<ObjectId, Value>> values;
+      if (!try_cut(t, values)) continue;
+      complete(t, std::move(values));
+      return;
+    }
+
+    // No feasible cut: only possible when server-side GC raced this READ.
+    SNOW_CHECK_MSG(may_retry_, "algo-c descent failed without GC enabled");
+    SNOW_CHECK_MSG(pending_->attempts < 100, "algo-c read livelocked under GC");
+    ++pending_->attempts;
+    send_round();
+  }
+
+  bool try_cut(Tag t, std::vector<std::pair<ObjectId, Value>>& out) const {
+    const GetTagArrResp& ta = *pending_->tag_arr;
+    for (ObjectId obj : pending_->objs) {
+      // Newest position <= t writing this object; kappa_0 if none.
+      WriteKey key = kInitialKey;
+      for (const ListedKey& lk : ta.history[obj]) {
+        if (lk.position <= t) key = lk.key;  // history is position-ascending
+      }
+      const auto& versions = pending_->vals.at(obj);
+      const auto it = std::find_if(versions.begin(), versions.end(),
+                                   [&](const Version& v) { return v.key == key; });
+      if (it == versions.end()) return false;
+      out.emplace_back(obj, it->value);
+    }
+    return true;
+  }
+
+  void complete(Tag t, std::vector<std::pair<ObjectId, Value>> values) {
+    int max_versions = 0;
+    for (const auto& [obj, versions] : pending_->vals) {
+      (void)obj;
+      max_versions = std::max(max_versions, static_cast<int>(versions.size()));
+    }
+    ReadResult result;
+    result.txn = pending_->txn;
+    result.values = values;
+    rec_.finish_read(pending_->txn, std::move(values), t, /*rounds=*/pending_->attempts,
+                     max_versions);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  NodeId coordinator_;
+  bool may_retry_;
+  std::optional<Pending> pending_;
+};
+
+class SystemC final : public ProtocolSystem {
+ public:
+  SystemC(std::size_t k, std::vector<ReaderC*> readers, std::vector<CoorWriter*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "algo-c"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderC*> readers_;
+  std::vector<CoorWriter*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo, AlgoCOptions opts) {
+  SNOW_CHECK(opts.coordinator < topo.num_objects);
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id = rt.add_node(std::make_unique<ServerC>(
+        topo.num_objects, i == opts.coordinator, opts.gc_versions));
+    SNOW_CHECK(id == i);
+  }
+  const NodeId coor = static_cast<NodeId>(opts.coordinator);
+  std::vector<ReaderC*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node =
+        std::make_unique<ReaderC>(rec, topo.num_objects, coor, /*may_retry=*/opts.gc_versions);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<CoorWriter*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor,
+                                             /*send_finalize=*/opts.gc_versions);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemC>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

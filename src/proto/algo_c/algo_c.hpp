@@ -1,0 +1,45 @@
+// Algorithm C (paper §9, Pseudocodes 5 and 7): SNW + one-round READ
+// transactions in the MWMR setting, no client-to-client communication.
+// A READ sends, in a single parallel round, get-tag-arr to the coordinator
+// s* and read-vals to every server it reads; servers respond non-blocking,
+// but a read-vals response may carry multiple versions — up to the number of
+// concurrent WRITE transactions (the |W| entry of Fig. 1(b)).
+//
+// Version selection.  Pseudocode 7 returns the value whose key matches the
+// coordinator's kappa_j.  Because read-vals may overtake a concurrent
+// write-val in the asynchronous network, kappa_j can be absent from the
+// returned Vals_j; snowkit's reader therefore runs a *feasibility descent*:
+// it takes the largest List position t <= t_r such that, for every object
+// read, the newest position-<=-t key for that object is present in the
+// returned Vals.  Position t* (the newest write that real-time-precedes the
+// READ) is always feasible — every write in List at position <= t* had all
+// its write-vals processed before the READ was invoked — so the descent
+// terminates and the chosen cut satisfies Lemma 20 (see tests/algo_c and
+// DESIGN.md §5).
+//
+// Options:
+//  * gc_versions / finalize: the bounded-version extension.  Writers
+//    piggyback their assigned List position to servers (no extra round) and
+//    servers drop versions superseded by a *finalized* newer version.  This
+//    bounds read-vals responses by |W|+1 versions but — per the race above —
+//    can make a descent fail; the reader then retries the whole READ (giving
+//    up one-round, counted in `rounds`).  The ablation bench measures both
+//    effects.
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+struct AlgoCOptions {
+  ObjectId coordinator{0};
+  /// Enable finalize piggyback + server-side version GC (bounded responses).
+  bool gc_versions{false};
+};
+
+std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo, AlgoCOptions opts = {});
+
+}  // namespace snowkit

@@ -1,0 +1,33 @@
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+void invoke_read(Runtime& rt, ReadClientApi& client, std::vector<ObjectId> objs, ReadCallback cb) {
+  rt.post(client.node_id(), [&client, objs = std::move(objs), cb = std::move(cb)]() mutable {
+    client.read(std::move(objs), std::move(cb));
+  });
+}
+
+void invoke_write(Runtime& rt, WriteClientApi& client,
+                  std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) {
+  rt.post(client.node_id(), [&client, writes = std::move(writes), cb = std::move(cb)]() mutable {
+    client.write(std::move(writes), std::move(cb));
+  });
+}
+
+std::vector<ObjectId> all_objects(std::size_t k) {
+  std::vector<ObjectId> objs(k);
+  for (std::size_t i = 0; i < k; ++i) objs[i] = static_cast<ObjectId>(i);
+  return objs;
+}
+
+std::vector<std::pair<ObjectId, Value>> write_all(std::size_t k, Value base) {
+  std::vector<std::pair<ObjectId, Value>> w;
+  w.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    w.emplace_back(static_cast<ObjectId>(i), base + static_cast<Value>(i));
+  }
+  return w;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,93 @@
+// Public client API shared by all protocols.
+//
+// Each protocol (proto/algo_a, algo_b, algo_c, eiger, blocking, simple,
+// naive) assembles a ProtocolSystem: k servers (one per object, matching the
+// paper's model), some read-clients and some write-clients.  Transactions are
+// invoked through ReadClientApi / WriteClientApi; completion is delivered via
+// callback on the client's executor and recorded in the shared
+// HistoryRecorder.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "history/history.hpp"
+#include "runtime/runtime.hpp"
+
+namespace snowkit {
+
+struct ReadResult {
+  TxnId txn{kInvalidTxn};
+  std::vector<std::pair<ObjectId, Value>> values;
+};
+
+struct WriteResult {
+  TxnId txn{kInvalidTxn};
+};
+
+using ReadCallback = std::function<void(const ReadResult&)>;
+using WriteCallback = std::function<void(const WriteResult&)>;
+
+/// A read-client: executes only READ transactions (paper §2).
+class ReadClientApi {
+ public:
+  virtual ~ReadClientApi() = default;
+
+  /// Invokes R(o_{i1}..o_{iq}).  Must be called on the client's executor
+  /// (use invoke_read below from driver code).  One outstanding transaction
+  /// per client (well-formedness).
+  virtual void read(std::vector<ObjectId> objs, ReadCallback cb) = 0;
+
+  virtual NodeId node_id() const = 0;
+};
+
+/// A write-client: executes only WRITE transactions.
+class WriteClientApi {
+ public:
+  virtual ~WriteClientApi() = default;
+
+  virtual void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) = 0;
+
+  virtual NodeId node_id() const = 0;
+};
+
+/// An assembled protocol instance on some runtime.
+class ProtocolSystem {
+ public:
+  virtual ~ProtocolSystem() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_objects() const = 0;
+  virtual NodeId server_node(ObjectId obj) const = 0;
+
+  virtual std::size_t num_readers() const = 0;
+  virtual std::size_t num_writers() const = 0;
+  virtual ReadClientApi& reader(std::size_t i) = 0;
+  virtual WriteClientApi& writer(std::size_t i) = 0;
+};
+
+/// Topology for building a protocol instance.
+struct Topology {
+  std::size_t num_objects{2};
+  std::size_t num_readers{1};
+  std::size_t num_writers{1};
+};
+
+/// Posts a read invocation onto the client's executor.
+void invoke_read(Runtime& rt, ReadClientApi& client, std::vector<ObjectId> objs, ReadCallback cb);
+
+/// Posts a write invocation onto the client's executor.
+void invoke_write(Runtime& rt, WriteClientApi& client,
+                  std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb);
+
+/// All object ids [0, k).
+std::vector<ObjectId> all_objects(std::size_t k);
+
+/// Builds the (object -> value) list writing `base + i` to each object; used
+/// by tests and demos to give each WRITE a distinguishable payload.
+std::vector<std::pair<ObjectId, Value>> write_all(std::size_t k, Value base);
+
+}  // namespace snowkit

@@ -1,0 +1,235 @@
+#include "proto/blocking/blocking.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+namespace {
+
+/// Lock-manager server.  Grants are FIFO: a request waits iff an earlier
+/// conflicting request holds or awaits the lock, so writers are never
+/// starved by a stream of readers.
+class ServerL final : public Node {
+ public:
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* lr = std::get_if<LockReq>(&m.payload)) {
+      waiters_.push_back(Waiter{from, m.txn, lr->exclusive, lr->obj});
+      pump();
+      return;
+    }
+    if (const auto* wu = std::get_if<WriteUnlockReq>(&m.payload)) {
+      SNOW_CHECK_MSG(exclusive_held_, "write-unlock without exclusive lock");
+      value_ = wu->value;
+      exclusive_held_ = false;
+      send(from, Message{m.txn, UnlockAck{wu->obj}});
+      pump();
+      return;
+    }
+    if (std::holds_alternative<UnlockReq>(m.payload)) {
+      SNOW_CHECK_MSG(shared_count_ > 0, "shared unlock without shared lock");
+      --shared_count_;
+      pump();
+      return;
+    }
+    SNOW_UNREACHABLE("blocking server got unexpected payload");
+  }
+
+ private:
+  struct Waiter {
+    NodeId client{kInvalidNode};
+    TxnId txn{kInvalidTxn};
+    bool exclusive{false};
+    ObjectId obj{0};
+  };
+
+  void pump() {
+    while (!waiters_.empty()) {
+      const Waiter& w = waiters_.front();
+      if (w.exclusive) {
+        if (exclusive_held_ || shared_count_ > 0) break;
+        exclusive_held_ = true;
+      } else {
+        if (exclusive_held_) break;
+        ++shared_count_;
+      }
+      send(w.client, Message{w.txn, LockGrant{w.obj, value_}});
+      waiters_.pop_front();
+    }
+  }
+
+  Value value_ = kInitialValue;
+  bool exclusive_held_ = false;
+  int shared_count_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+class ReaderL final : public Node, public ReadClientApi {
+ public:
+  explicit ReaderL(HistoryRecorder& rec) : rec_(rec) {}
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    std::sort(objs.begin(), objs.end());  // lock-ordering discipline
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = std::move(objs);
+    pending_->cb = std::move(cb);
+    request_next_lock();
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    const auto* g = std::get_if<LockGrant>(&m.payload);
+    SNOW_CHECK(g != nullptr && pending_ && pending_->txn == m.txn);
+    pending_->values.emplace_back(g->obj, g->value);
+    if (pending_->values.size() < pending_->objs.size()) {
+      request_next_lock();
+      return;
+    }
+    // All shared locks held: this is the serialization point.  Release and
+    // respond; releases need no acks.
+    for (ObjectId obj : pending_->objs) {
+      send(static_cast<NodeId>(obj), Message{pending_->txn, UnlockReq{obj}});
+    }
+    ReadResult result;
+    result.txn = pending_->txn;
+    result.values = pending_->values;
+    rec_.finish_read(pending_->txn, pending_->values, kInvalidTag,
+                     static_cast<int>(pending_->objs.size()), /*max_versions=*/1);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    std::vector<std::pair<ObjectId, Value>> values;
+    ReadCallback cb;
+  };
+
+  void request_next_lock() {
+    const ObjectId obj = pending_->objs[pending_->values.size()];
+    send(static_cast<NodeId>(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/false}});
+  }
+
+  HistoryRecorder& rec_;
+  std::optional<Pending> pending_;
+};
+
+class WriterL final : public Node, public WriteClientApi {
+ public:
+  explicit WriterL(HistoryRecorder& rec) : rec_(rec) {}
+
+  void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
+    SNOW_CHECK(!writes.empty());
+    std::sort(writes.begin(), writes.end());
+    const TxnId txn = rec_.begin_write(id(), writes);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->writes = std::move(writes);
+    pending_->cb = std::move(cb);
+    request_next_lock();
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (std::holds_alternative<LockGrant>(m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      ++pending_->locks_held;
+      if (pending_->locks_held < pending_->writes.size()) {
+        request_next_lock();
+        return;
+      }
+      // All exclusive locks held: apply and release in one parallel round.
+      for (const auto& [obj, value] : pending_->writes) {
+        send(static_cast<NodeId>(obj), Message{pending_->txn, WriteUnlockReq{obj, value}});
+      }
+      return;
+    }
+    if (std::holds_alternative<UnlockAck>(m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      if (++pending_->apply_acks < pending_->writes.size()) return;
+      rec_.finish_write(pending_->txn, kInvalidTag,
+                        static_cast<int>(pending_->writes.size()) + 1);
+      auto cb = std::move(pending_->cb);
+      const WriteResult result{pending_->txn};
+      pending_.reset();
+      cb(result);
+      return;
+    }
+    SNOW_UNREACHABLE("blocking writer got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<std::pair<ObjectId, Value>> writes;
+    std::size_t locks_held{0};
+    std::size_t apply_acks{0};
+    WriteCallback cb;
+  };
+
+  void request_next_lock() {
+    const ObjectId obj = pending_->writes[pending_->locks_held].first;
+    send(static_cast<NodeId>(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/true}});
+  }
+
+  HistoryRecorder& rec_;
+  std::optional<Pending> pending_;
+};
+
+class SystemL final : public ProtocolSystem {
+ public:
+  SystemL(std::size_t k, std::vector<ReaderL*> readers, std::vector<WriterL*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "blocking-2pl"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderL*> readers_;
+  std::vector<WriterL*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_blocking(Runtime& rt, HistoryRecorder& rec,
+                                               const Topology& topo) {
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id = rt.add_node(std::make_unique<ServerL>());
+    SNOW_CHECK(id == i);
+  }
+  std::vector<ReaderL*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ReaderL>(rec);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<WriterL*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<WriterL>(rec);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemL>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

@@ -1,0 +1,27 @@
+// Conservative two-phase-locking comparator: the "strong guarantees, but
+// blocking and multi-round" corner of the design space the paper contrasts
+// SNOW reads against.
+//
+// READ:  acquire shared locks on the objects in ascending object order, one
+//        at a time (each grant carries the value), then release all locks
+//        (fire-and-forget) and respond — q rounds for q objects.
+// WRITE: acquire exclusive locks in ascending order, then write+release each
+//        object and await acks — p+1 rounds.
+//
+// Ascending-order acquisition makes the protocol deadlock-free; holding all
+// locks at the final grant makes it strictly serializable (the lock point is
+// the serialization point).  Servers queue conflicting requests FIFO, so
+// reads BLOCK behind concurrent writes: the N property fails by design,
+// which the SNOW monitor demonstrates in tests/benches.
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<ProtocolSystem> build_blocking(Runtime& rt, HistoryRecorder& rec,
+                                               const Topology& topo);
+
+}  // namespace snowkit

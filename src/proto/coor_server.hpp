@@ -1,0 +1,68 @@
+// The server of Pseudocode 6, shared by Algorithm B and the optimistic
+// one-version (OCC) reader: a Vals version store plus, on the coordinator
+// s*, the List of WRITE-transaction masks with get-tag-arr / update-coor.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "proto/api.hpp"
+#include "proto/version_store.hpp"
+
+namespace snowkit {
+
+class CoorServer final : public Node {
+ public:
+  CoorServer(std::size_t k, bool is_coordinator) : k_(k), is_coordinator_(is_coordinator) {
+    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+  }
+
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
+      store_.insert(wv->key, wv->value);
+      send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
+      return;
+    }
+    if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
+      // Non-blocking, one version: any key a client can name was written
+      // before it entered List / a tag array, hence is present (see
+      // algo_b.hpp for the sequencing argument).
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+      return;
+    }
+    if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
+      SNOW_CHECK(uc->mask.size() == k_);
+      list_.push_back({uc->key, uc->mask});
+      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      return;
+    }
+    if (std::holds_alternative<GetTagArrReq>(m.payload)) {
+      SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      GetTagArrResp resp;
+      resp.tag = static_cast<Tag>(list_.size() - 1);  // Lemma-20 P2; see algo_b
+      resp.latest.resize(k_);
+      for (std::size_t i = 0; i < k_; ++i) {
+        resp.latest[i] = list_[latest_entry_for(static_cast<ObjectId>(i))].first;
+      }
+      send(from, Message{m.txn, resp});
+      return;
+    }
+    SNOW_UNREACHABLE("coor-server got unexpected payload");
+  }
+
+ private:
+  std::size_t latest_entry_for(ObjectId obj) const {
+    for (std::size_t j = list_.size(); j-- > 0;) {
+      if (list_[j].second[obj] != 0) return j;
+    }
+    SNOW_UNREACHABLE("List[0] covers every object");
+  }
+
+  std::size_t k_;
+  bool is_coordinator_;
+  VersionStore store_;
+  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+};
+
+}  // namespace snowkit

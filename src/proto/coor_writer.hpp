@@ -1,0 +1,90 @@
+// The writer of Pseudocode 5, shared verbatim by Algorithms B and C:
+//   write-value:  (write-val, (kappa, v_i)) to every server in the write set,
+//                 await all acks;
+//   update-coor:  (update-coor, (kappa, b_1..b_k)) to the coordinator s*,
+//                 which appends to List and returns the tag t_w.
+//
+// When `send_finalize` is set (snowkit's bounded-version extension for
+// Algorithm C) the writer additionally fire-and-forgets the assigned List
+// position to its servers so they can garbage-collect superseded versions;
+// this adds messages but no round.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+class CoorWriter final : public Node, public WriteClientApi {
+ public:
+  CoorWriter(HistoryRecorder& rec, std::size_t k, NodeId coordinator, bool send_finalize)
+      : rec_(rec), k_(k), coordinator_(coordinator), send_finalize_(send_finalize) {}
+
+  void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
+    SNOW_CHECK(!writes.empty());
+    const TxnId txn = rec_.begin_write(id(), writes);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->key = WriteKey{++z_, id()};
+    pending_->writes = writes;
+    pending_->mask.assign(k_, 0);
+    pending_->await_acks = writes.size();
+    pending_->cb = std::move(cb);
+    for (const auto& [obj, value] : writes) {
+      pending_->mask[obj] = 1;
+      send(static_cast<NodeId>(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
+    }
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (std::holds_alternative<WriteValAck>(m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      if (--pending_->await_acks == 0) {
+        send(coordinator_, Message{m.txn, UpdateCoorReq{pending_->key, pending_->mask}});
+      }
+      return;
+    }
+    if (const auto* ack = std::get_if<UpdateCoorAck>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      if (send_finalize_) {
+        for (const auto& [obj, value] : pending_->writes) {
+          (void)value;
+          send(static_cast<NodeId>(obj), Message{m.txn, FinalizeReq{pending_->key, obj, ack->tag}});
+        }
+      }
+      rec_.finish_write(pending_->txn, ack->tag, /*rounds=*/2);
+      auto cb = std::move(pending_->cb);
+      const WriteResult result{pending_->txn};
+      pending_.reset();
+      cb(result);
+      return;
+    }
+    SNOW_UNREACHABLE("coor-writer got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    WriteKey key;
+    std::vector<std::pair<ObjectId, Value>> writes;
+    std::vector<std::uint8_t> mask;
+    std::size_t await_acks{0};
+    WriteCallback cb;
+  };
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  NodeId coordinator_;
+  bool send_finalize_;
+  std::uint64_t z_ = 0;
+  std::optional<Pending> pending_;
+};
+
+}  // namespace snowkit

@@ -1,0 +1,218 @@
+#include "proto/eiger/eiger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+namespace {
+
+class ServerE final : public Node {
+ public:
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* w = std::get_if<EigerWriteReq>(&m.payload)) {
+      bump(w->lamport);
+      versions_.emplace_back(clock_, w->value);
+      send(from, Message{m.txn, EigerWriteAck{w->obj, clock_, clock_}});
+      return;
+    }
+    if (const auto* r = std::get_if<EigerReadReq>(&m.payload)) {
+      bump(r->lamport);
+      const auto& [ts, value] = versions_.back();
+      send(from, Message{m.txn, EigerReadResp{r->obj, value, ts, clock_, clock_}});
+      return;
+    }
+    if (const auto* r = std::get_if<EigerReadAtReq>(&m.payload)) {
+      bump(r->lamport);
+      // Newest version with commit_ts <= at (versions_ is ts-ascending).
+      Value value = versions_.front().second;
+      for (const auto& [ts, v] : versions_) {
+        if (ts <= r->at) value = v;
+      }
+      send(from, Message{m.txn, EigerReadAtResp{r->obj, value, clock_}});
+      return;
+    }
+    SNOW_UNREACHABLE("eiger server got unexpected payload");
+  }
+
+ private:
+  void bump(std::uint64_t incoming) { clock_ = std::max(clock_, incoming) + 1; }
+
+  std::uint64_t clock_ = 0;
+  std::vector<std::pair<std::uint64_t, Value>> versions_{{0, kInitialValue}};
+};
+
+class ReaderE final : public Node, public ReadClientApi {
+ public:
+  explicit ReaderE(HistoryRecorder& rec) : rec_(rec) {}
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = objs;
+    pending_->cb = std::move(cb);
+    for (ObjectId obj : objs) {
+      send(static_cast<NodeId>(obj), Message{txn, EigerReadReq{obj, clock_}});
+    }
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (const auto* r = std::get_if<EigerReadResp>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      clock_ = std::max(clock_, r->lamport) + 1;
+      pending_->first[r->obj] = *r;
+      if (pending_->first.size() == pending_->objs.size()) first_round_done();
+      return;
+    }
+    if (const auto* r = std::get_if<EigerReadAtResp>(&m.payload)) {
+      SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      clock_ = std::max(clock_, r->lamport) + 1;
+      pending_->second[r->obj] = r->value;
+      if (pending_->second.size() == pending_->objs.size()) complete(/*rounds=*/2);
+      return;
+    }
+    SNOW_UNREACHABLE("eiger reader got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    std::map<ObjectId, EigerReadResp> first;
+    std::map<ObjectId, Value> second;
+    std::uint64_t effective{0};
+    ReadCallback cb;
+  };
+
+  void first_round_done() {
+    // Eiger's validity check: do the per-object logical intervals intersect?
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~0ull;
+    for (const auto& [obj, resp] : pending_->first) {
+      (void)obj;
+      lo = std::max(lo, resp.valid_from);
+      hi = std::min(hi, resp.valid_until);
+    }
+    if (lo <= hi) {
+      // Intervals overlap: accept the first-round values (one round).  This
+      // is the acceptance path Fig. 5 exploits.
+      for (const auto& [obj, resp] : pending_->first) pending_->second[obj] = resp.value;
+      complete(/*rounds=*/1);
+      return;
+    }
+    // Slow path: re-read everything at the effective time (second round).
+    pending_->effective = lo;
+    for (ObjectId obj : pending_->objs) {
+      send(static_cast<NodeId>(obj), Message{pending_->txn, EigerReadAtReq{obj, lo, clock_}});
+    }
+  }
+
+  void complete(int rounds) {
+    ReadResult result;
+    result.txn = pending_->txn;
+    for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->second.at(obj));
+    rec_.finish_read(pending_->txn, result.values, kInvalidTag, rounds, /*max_versions=*/1);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+  HistoryRecorder& rec_;
+  std::uint64_t clock_ = 0;
+  std::optional<Pending> pending_;
+};
+
+class WriterE final : public Node, public WriteClientApi {
+ public:
+  explicit WriterE(HistoryRecorder& rec) : rec_(rec) {}
+
+  void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
+    SNOW_CHECK(!writes.empty());
+    const TxnId txn = rec_.begin_write(id(), writes);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->await = writes.size();
+    pending_->cb = std::move(cb);
+    for (const auto& [obj, value] : writes) {
+      send(static_cast<NodeId>(obj), Message{txn, EigerWriteReq{obj, value, clock_}});
+    }
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    const auto* ack = std::get_if<EigerWriteAck>(&m.payload);
+    SNOW_CHECK(ack != nullptr && pending_ && pending_->txn == m.txn);
+    clock_ = std::max(clock_, ack->lamport) + 1;
+    if (--pending_->await != 0) return;
+    rec_.finish_write(pending_->txn, kInvalidTag, /*rounds=*/1);
+    auto cb = std::move(pending_->cb);
+    const WriteResult result{pending_->txn};
+    pending_.reset();
+    cb(result);
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::size_t await{0};
+    WriteCallback cb;
+  };
+
+  HistoryRecorder& rec_;
+  std::uint64_t clock_ = 0;
+  std::optional<Pending> pending_;
+};
+
+class SystemE final : public ProtocolSystem {
+ public:
+  SystemE(std::size_t k, std::vector<ReaderE*> readers, std::vector<WriterE*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "eiger"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderE*> readers_;
+  std::vector<WriterE*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_eiger(Runtime& rt, HistoryRecorder& rec,
+                                            const Topology& topo) {
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id = rt.add_node(std::make_unique<ServerE>());
+    SNOW_CHECK(id == i);
+  }
+  std::vector<ReaderE*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ReaderE>(rec);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<WriterE*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<WriterE>(rec);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemE>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

@@ -1,0 +1,28 @@
+// mini-Eiger: a faithful reduction of Eiger's read-only transaction
+// algorithm [Lloyd et al., NSDI'13] to the mechanism §6 of the paper
+// analyses — Lamport-clock validity intervals.
+//
+// Servers keep a Lamport clock and a multi-version store; every write is
+// committed at timestamp = bumped clock.  A READ's first round returns, per
+// object, the newest value plus its logical validity interval
+// [commit_ts, server_clock_now].  If the intervals of all objects intersect,
+// the reader accepts (one round).  Otherwise it picks the effective time
+// t_eff = max valid_from and re-reads every object at t_eff (second round) —
+// so READs are bounded at two non-blocking rounds.
+//
+// The point of including it: the paper (§6, Fig. 5) shows these *logical*
+// intervals can overlap even when the returned versions are separated by a
+// completed write in *real time*, so mini-Eiger is NOT strictly serializable.
+// bench/fig5_eiger reproduces that execution; the history checker rejects it.
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<ProtocolSystem> build_eiger(Runtime& rt, HistoryRecorder& rec,
+                                            const Topology& topo);
+
+}  // namespace snowkit

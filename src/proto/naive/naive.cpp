@@ -1,0 +1,12 @@
+#include "proto/naive/naive.hpp"
+
+#include "proto/simple/parallel_rw.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<ProtocolSystem> build_naive(Runtime& rt, HistoryRecorder& rec,
+                                            const Topology& topo) {
+  return detail::build_parallel("naive", rt, rec, topo);
+}
+
+}  // namespace snowkit

@@ -1,0 +1,20 @@
+// The "naive" protocol: the obvious SNOW attempt, used as the concrete
+// witness in the impossibility demos (Fig. 1(a) ✗-cells, Fig. 3/4 benches).
+//
+// READ = one parallel round of latest-value fetches; WRITE = one parallel
+// round of per-object updates.  Non-blocking, one round, one version, writes
+// complete — i.e., N, O and W all hold — so by the SNOW Theorem S *must*
+// fail, and adversarial schedules in the benches make it fail observably
+// (fractured reads, and new-then-old reads across two readers).
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<ProtocolSystem> build_naive(Runtime& rt, HistoryRecorder& rec,
+                                            const Topology& topo);
+
+}  // namespace snowkit

@@ -1,0 +1,184 @@
+#include "proto/occ/occ.hpp"
+
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "proto/coor_server.hpp"
+#include "proto/coor_writer.hpp"
+
+namespace snowkit {
+namespace {
+
+class ReaderO final : public Node, public ReadClientApi {
+ public:
+  ReaderO(HistoryRecorder& rec, std::size_t k, NodeId coordinator, int max_optimistic)
+      : rec_(rec), k_(k), coordinator_(coordinator), max_optimistic_(max_optimistic) {}
+
+  void read(std::vector<ObjectId> objs, ReadCallback cb) override {
+    SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
+    SNOW_CHECK(!objs.empty());
+    const TxnId txn = rec_.begin_read(id(), objs);
+    pending_.emplace();
+    pending_->txn = txn;
+    pending_->objs = std::move(objs);
+    pending_->cb = std::move(cb);
+    for (ObjectId obj : pending_->objs) pending_->guesses[obj] = kInitialKey;
+    send_round();
+  }
+
+  NodeId node_id() const override { return id(); }
+
+  void on_message(NodeId, const Message& m) override {
+    if (const auto* ta = std::get_if<GetTagArrResp>(&m.payload)) {
+      if (!pending_ || pending_->txn != m.txn || pending_->pessimistic) return;
+      pending_->tag_arr = *ta;
+      maybe_finish_round();
+      return;
+    }
+    if (const auto* rv = std::get_if<ReadValResp>(&m.payload)) {
+      if (!pending_ || pending_->txn != m.txn) return;
+      // Only responses for the CURRENT guesses count; late responses from a
+      // superseded round carry a stale key and are dropped.
+      auto it = pending_->guesses.find(rv->obj);
+      if (it == pending_->guesses.end() || !(it->second == rv->key)) return;
+      pending_->got[rv->obj] = rv->value;
+      maybe_finish_round();
+      return;
+    }
+    SNOW_UNREACHABLE("occ reader got unexpected payload");
+  }
+
+ private:
+  struct Pending {
+    TxnId txn{kInvalidTxn};
+    std::vector<ObjectId> objs;
+    ReadCallback cb;
+    std::map<ObjectId, WriteKey> guesses;
+    std::map<ObjectId, Value> got;
+    std::optional<GetTagArrResp> tag_arr;
+    int rounds{0};
+    bool pessimistic{false};
+    Tag pessimistic_tag{0};
+  };
+
+  void send_round() {
+    ++pending_->rounds;
+    pending_->tag_arr.reset();
+    pending_->got.clear();
+    GetTagArrReq req;
+    req.want.assign(k_, 0);
+    for (ObjectId obj : pending_->objs) req.want[obj] = 1;
+    send(coordinator_, Message{pending_->txn, req});
+    for (const auto& [obj, key] : pending_->guesses) {
+      send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValReq{obj, key}});
+    }
+  }
+
+  void maybe_finish_round() {
+    if (pending_->got.size() != pending_->objs.size()) return;
+
+    if (pending_->pessimistic) {
+      // Algorithm-B style second phase: the fetched keys were taken from a
+      // tag array, so they form the cut at that array's tag unconditionally.
+      complete(pending_->pessimistic_tag);
+      return;
+    }
+
+    if (!pending_->tag_arr) return;
+    const GetTagArrResp& ta = *pending_->tag_arr;
+    bool validated = true;
+    for (ObjectId obj : pending_->objs) {
+      if (!(ta.latest[obj] == pending_->guesses.at(obj))) {
+        validated = false;
+        break;
+      }
+    }
+    if (validated) {
+      // The values just fetched are still the newest per object as of the
+      // coordinator's List at tag t_r: a consistent cut.
+      complete(ta.tag);
+      return;
+    }
+
+    // Validation failed: adopt the newer keys and retry.
+    for (ObjectId obj : pending_->objs) pending_->guesses[obj] = ta.latest[obj];
+    if (max_optimistic_ > 0 && pending_->rounds >= max_optimistic_) {
+      // Bounded fallback: one pessimistic round reading exactly the cut the
+      // last tag array named (no re-validation needed — Algorithm B).
+      pending_->pessimistic = true;
+      pending_->pessimistic_tag = ta.tag;
+      ++pending_->rounds;
+      pending_->got.clear();
+      for (const auto& [obj, key] : pending_->guesses) {
+        send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValReq{obj, key}});
+      }
+      return;
+    }
+    send_round();
+  }
+
+  void complete(Tag tag) {
+    ReadResult result;
+    result.txn = pending_->txn;
+    for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->got.at(obj));
+    rec_.finish_read(pending_->txn, result.values, tag, pending_->rounds, /*max_versions=*/1);
+    auto cb = std::move(pending_->cb);
+    pending_.reset();
+    cb(result);
+  }
+
+  HistoryRecorder& rec_;
+  std::size_t k_;
+  NodeId coordinator_;
+  int max_optimistic_;
+  std::optional<Pending> pending_;
+};
+
+class SystemO final : public ProtocolSystem {
+ public:
+  SystemO(std::size_t k, std::vector<ReaderO*> readers, std::vector<CoorWriter*> writers)
+      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+
+  std::string name() const override { return "occ-reads"; }
+  std::size_t num_objects() const override { return k_; }
+  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
+  std::size_t num_readers() const override { return readers_.size(); }
+  std::size_t num_writers() const override { return writers_.size(); }
+  ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
+  WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
+
+ private:
+  std::size_t k_;
+  std::vector<ReaderO*> readers_;
+  std::vector<CoorWriter*> writers_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec, const Topology& topo,
+                                          OccOptions opts) {
+  SNOW_CHECK(opts.coordinator < topo.num_objects);
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id =
+        rt.add_node(std::make_unique<CoorServer>(topo.num_objects, i == opts.coordinator));
+    SNOW_CHECK(id == i);
+  }
+  const NodeId coor = static_cast<NodeId>(opts.coordinator);
+  std::vector<ReaderO*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ReaderO>(rec, topo.num_objects, coor, opts.max_optimistic_rounds);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<CoorWriter*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor, /*send_finalize=*/false);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<SystemO>(topo.num_objects, std::move(readers), std::move(writers));
+}
+
+}  // namespace snowkit

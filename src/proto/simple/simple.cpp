@@ -1,0 +1,39 @@
+#include "proto/simple/simple.hpp"
+
+#include "proto/simple/parallel_rw.hpp"
+
+namespace snowkit {
+
+namespace detail {
+
+std::unique_ptr<ProtocolSystem> build_parallel(std::string name, Runtime& rt, HistoryRecorder& rec,
+                                               const Topology& topo) {
+  rec.attach_runtime(&rt);
+  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+    const NodeId id = rt.add_node(std::make_unique<ParallelServer>());
+    SNOW_CHECK(id == i);
+  }
+  std::vector<ParallelReader*> readers;
+  for (std::size_t i = 0; i < topo.num_readers; ++i) {
+    auto node = std::make_unique<ParallelReader>(rec);
+    readers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  std::vector<ParallelWriter*> writers;
+  for (std::size_t i = 0; i < topo.num_writers; ++i) {
+    auto node = std::make_unique<ParallelWriter>(rec);
+    writers.push_back(node.get());
+    rt.add_node(std::move(node));
+  }
+  return std::make_unique<ParallelSystem>(std::move(name), topo.num_objects, std::move(readers),
+                                          std::move(writers));
+}
+
+}  // namespace detail
+
+std::unique_ptr<ProtocolSystem> build_simple(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo) {
+  return detail::build_parallel("simple", rt, rec, topo);
+}
+
+}  // namespace snowkit

@@ -1,0 +1,19 @@
+// The "simple" protocol: non-transactional reads and writes.
+//
+// This is the latency floor the paper measures READ transactions against
+// (§1): a multi-get is one round of parallel, non-blocking, one-version
+// requests with NO cross-shard consistency guarantee, and a multi-put is one
+// round of parallel writes with NO isolation.  It trivially satisfies N and
+// O and trivially fails S — which is exactly its role as a baseline.
+#pragma once
+
+#include <memory>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<ProtocolSystem> build_simple(Runtime& rt, HistoryRecorder& rec,
+                                             const Topology& topo);
+
+}  // namespace snowkit

@@ -1,0 +1,52 @@
+// Per-server multi-version storage: the `Vals ⊆ K × V_i` set of the paper's
+// pseudocode.  Every server keeps all versions it has accepted, keyed by the
+// WRITE-transaction key kappa; the initial version (kappa_0, v0) is present
+// from the start (§5.2 state variables).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "msg/payloads.hpp"
+
+namespace snowkit {
+
+class VersionStore {
+ public:
+  explicit VersionStore(Value initial = kInitialValue) { vals_[kInitialKey] = initial; }
+
+  void insert(const WriteKey& key, Value value) { vals_[key] = value; }
+
+  bool has(const WriteKey& key) const { return vals_.count(key) != 0; }
+
+  Value get(const WriteKey& key) const {
+    auto it = vals_.find(key);
+    SNOW_CHECK_MSG(it != vals_.end(), "version " << to_string(key) << " not in Vals");
+    return it->second;
+  }
+
+  std::optional<Value> try_get(const WriteKey& key) const {
+    auto it = vals_.find(key);
+    if (it == vals_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::vector<Version> all() const {
+    std::vector<Version> out;
+    out.reserve(vals_.size());
+    for (const auto& [k, v] : vals_) out.push_back(Version{k, v});
+    return out;
+  }
+
+  bool erase(const WriteKey& key) { return vals_.erase(key) != 0; }
+
+  std::size_t size() const { return vals_.size(); }
+
+ private:
+  std::map<WriteKey, Value> vals_;
+};
+
+}  // namespace snowkit

@@ -1,0 +1,9 @@
+// Node's out-of-line members live in runtime.cpp (they need Runtime's
+// definition).  This TU anchors the header for build hygiene.
+#include "runtime/runtime.hpp"
+
+namespace snowkit {
+
+static_assert(kInvalidNode != 0, "node ids start at 0; the sentinel must differ");
+
+}  // namespace snowkit

@@ -1,0 +1,19 @@
+// Observation hooks shared by both transports.
+#pragma once
+
+#include <cstddef>
+
+#include "msg/message.hpp"
+
+namespace snowkit {
+
+/// Sees every message at send time.  Implementations must be thread-safe when
+/// used with ThreadRuntime.  Used for wire metrics and SNOW round counting.
+class MessageObserver {
+ public:
+  virtual ~MessageObserver() = default;
+  virtual void on_send(NodeId from, NodeId to, const Message& m, std::size_t bytes) = 0;
+  virtual void on_deliver(NodeId from, NodeId to, const Message& m) = 0;
+};
+
+}  // namespace snowkit

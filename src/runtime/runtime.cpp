@@ -1,0 +1,27 @@
+#include "runtime/runtime.hpp"
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+
+void Node::send(NodeId to, Message m) {
+  SNOW_CHECK_MSG(rt_ != nullptr, "node used before attachment to a runtime");
+  rt_->send(id_, to, std::move(m));
+}
+
+NodeId Runtime::add_node(std::unique_ptr<Node> node) {
+  SNOW_CHECK(node != nullptr);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->rt_ = this;
+  node->id_ = id;
+  nodes_.push_back(std::move(node));
+  on_node_added(id);
+  return id;
+}
+
+Node& Runtime::node(NodeId id) const {
+  SNOW_CHECK_MSG(id < nodes_.size(), "bad node id " << id);
+  return *nodes_[id];
+}
+
+}  // namespace snowkit

@@ -1,0 +1,99 @@
+// Runtime: the execution substrate protocols run on.
+//
+// A protocol is written once as a set of Nodes (event-driven state machines)
+// and runs unchanged on two substrates:
+//   * SimRuntime  (src/sim)     — deterministic discrete-event simulation
+//     with adversarial scheduling; used for the impossibility figures and
+//     for property tests over many seeds.
+//   * ThreadRuntime (this dir)  — one OS thread per node with serialized
+//     message passing; used for wall-clock latency/throughput benches.
+//
+// The contract mirrors the paper's I/O-automata model (§2, Appendix A):
+// channels are reliable but asynchronous, local steps are atomic, and all
+// state of a node is touched only from its own executor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "msg/message.hpp"
+#include "runtime/observer.hpp"
+
+namespace snowkit {
+
+class Runtime;
+
+/// Base class for every process (client or server).
+///
+/// All methods run on the node's executor: exactly one on_message/on_start/
+/// posted task is active per node at a time, so subclasses need no locks.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// A message from `from` has been delivered to this node.
+  virtual void on_message(NodeId from, const Message& m) = 0;
+
+  /// Called once before any message delivery.
+  virtual void on_start() {}
+
+  NodeId id() const { return id_; }
+
+ protected:
+  Runtime& rt() const { return *rt_; }
+  void send(NodeId to, Message m);
+
+ private:
+  friend class Runtime;
+  Runtime* rt_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+/// Abstract transport + executor collection.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a node; returns its id (ids are dense, in registration order).
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  Node& node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Reliable asynchronous unicast.
+  virtual void send(NodeId from, NodeId to, Message m) = 0;
+
+  /// Runs `fn` on `node`'s executor (used to invoke transactions on clients).
+  virtual void post(NodeId node, std::function<void()> fn) = 0;
+
+  /// Current time in nanoseconds (virtual for sim, steady_clock for threads).
+  virtual TimeNs now_ns() const = 0;
+
+  /// Transaction lifecycle notes.  SimRuntime records these as INV/RESP
+  /// actions in its trace; ThreadRuntime ignores them.
+  virtual void note_invoke(NodeId client, TxnId txn) { (void)client; (void)txn; }
+  virtual void note_respond(NodeId client, TxnId txn) { (void)client; (void)txn; }
+
+  void set_observer(MessageObserver* obs) { observer_ = obs; }
+  MessageObserver* observer() const { return observer_; }
+
+ protected:
+  Runtime() = default;
+
+  /// Invoked by subclasses after a node is registered.
+  virtual void on_node_added(NodeId id) { (void)id; }
+
+  void deliver_to(NodeId from, NodeId to, const Message& m) { node(to).on_message(from, m); }
+  void start_node(NodeId id) { node(id).on_start(); }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+ private:
+  MessageObserver* observer_ = nullptr;
+};
+
+}  // namespace snowkit

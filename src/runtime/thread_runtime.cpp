@@ -1,0 +1,114 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "msg/codec.hpp"
+
+namespace snowkit {
+
+ThreadRuntime::~ThreadRuntime() {
+  if (started_) stop();
+}
+
+void ThreadRuntime::on_node_added(NodeId id) {
+  SNOW_CHECK_MSG(!started_, "cannot add nodes after start()");
+  (void)id;
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void ThreadRuntime::start() {
+  SNOW_CHECK(!started_);
+  started_ = true;
+  for (NodeId id = 0; id < node_count(); ++id) start_node(id);
+  threads_.reserve(node_count());
+  for (NodeId id = 0; id < node_count(); ++id) {
+    threads_.emplace_back([this, id] { worker(id); });
+  }
+}
+
+void ThreadRuntime::stop() {
+  if (!started_) return;
+  wait_idle();
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->stop = true;
+    mb->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  started_ = false;
+}
+
+void ThreadRuntime::send(NodeId from, NodeId to, Message m) {
+  SNOW_CHECK_MSG(to < node_count(), "send to unknown node " << to);
+  auto bytes = encode_message(m);
+  if (observer() != nullptr) observer()->on_send(from, to, m, bytes.size());
+  enqueue(to, Mailbox::Item{from, std::move(bytes), nullptr});
+}
+
+void ThreadRuntime::post(NodeId node, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post to unknown node " << node);
+  enqueue(node, Mailbox::Item{kInvalidNode, {}, std::move(fn)});
+}
+
+TimeNs ThreadRuntime::now_ns() const {
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ThreadRuntime::enqueue(NodeId to, Mailbox::Item item) {
+  Mailbox& mb = *mailboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queue.push_back(std::move(item));
+  }
+  mb.cv.notify_one();
+}
+
+void ThreadRuntime::worker(NodeId id) {
+  Mailbox& mb = *mailboxes_[id];
+  while (true) {
+    Mailbox::Item item;
+    {
+      std::unique_lock<std::mutex> lock(mb.mu);
+      mb.cv.wait(lock, [&] { return mb.stop || !mb.queue.empty(); });
+      if (mb.queue.empty()) return;  // stop requested and drained
+      item = std::move(mb.queue.front());
+      mb.queue.pop_front();
+      mb.busy = true;
+    }
+    if (item.task) {
+      item.task();
+    } else {
+      Message m = decode_message(item.bytes);
+      if (observer() != nullptr) observer()->on_deliver(item.from, id, m);
+      deliver_to(item.from, id, m);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.busy = false;
+    }
+    {
+      // Locking idle_mu_ orders this notify after any concurrent predicate
+      // check in wait_idle, so the waiter cannot miss the transition to idle.
+      std::lock_guard<std::mutex> lock(idle_mu_);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadRuntime::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    for (auto& mb : mailboxes_) {
+      std::lock_guard<std::mutex> l(mb->mu);
+      if (!mb->queue.empty() || mb->busy) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace snowkit

@@ -1,0 +1,31 @@
+// Chaos scheduling: a seeded random adversary built on hold/release.
+//
+// Randomized delay models explore only "metric" reorderings — a message can
+// overtake another by at most the delay spread.  The chaos runner instead
+// captures every message with probability `hold_probability` and releases
+// held messages at random points in random order, which reaches the
+// unbounded reorderings the paper's adversary is allowed (any finite delay).
+// Liveness is preserved: everything held is eventually released, so runs
+// terminate and the W property stays checkable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace snowkit {
+
+struct ChaosOptions {
+  double hold_probability{0.5};
+  std::uint64_t seed{1};
+  /// Probability per scheduling step of releasing a random held message
+  /// instead of delivering the next queued event.
+  double release_probability{0.35};
+};
+
+/// Runs the simulation to completion under chaos scheduling.
+/// Returns the number of scheduling decisions taken.
+std::size_t run_chaos(SimRuntime& sim, const ChaosOptions& opts);
+
+}  // namespace snowkit

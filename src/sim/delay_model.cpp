@@ -1,0 +1,16 @@
+#include "sim/delay_model.hpp"
+
+namespace snowkit {
+
+std::unique_ptr<DelayModel> make_fixed_delay(TimeNs d) { return std::make_unique<FixedDelay>(d); }
+
+std::unique_ptr<DelayModel> make_uniform_delay(TimeNs lo, TimeNs hi, std::uint64_t seed) {
+  return std::make_unique<UniformDelay>(lo, hi, seed);
+}
+
+std::unique_ptr<DelayModel> make_spiky_delay(TimeNs base, std::uint32_t spike, double p_spike,
+                                             std::uint64_t seed) {
+  return std::make_unique<SpikyDelay>(base, spike, p_spike, seed);
+}
+
+}  // namespace snowkit

@@ -1,0 +1,75 @@
+// Network delay models for the simulator.
+//
+// The paper's network is reliable but fully asynchronous: "any message sent
+// will eventually arrive, uncorrupted", with arbitrary and unpredictable
+// delay (§2).  A DelayModel samples a finite delay per message; adversarial
+// control beyond delays (holding, targeted reordering) lives in
+// sim/script.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "msg/message.hpp"
+
+namespace snowkit {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual TimeNs delay(NodeId from, NodeId to, const Message& m, TimeNs now) = 0;
+};
+
+/// Constant per-hop delay (the baseline "one round trip == 2*d" model).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(TimeNs d) : d_(d) {}
+  TimeNs delay(NodeId, NodeId, const Message&, TimeNs) override { return d_; }
+
+ private:
+  TimeNs d_;
+};
+
+/// Uniform random delay in [lo, hi]; seeded, hence replayable.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(TimeNs lo, TimeNs hi, std::uint64_t seed) : lo_(lo), hi_(hi), rng_(seed) {}
+
+  TimeNs delay(NodeId, NodeId, const Message&, TimeNs) override {
+    return lo_ + rng_.below(hi_ - lo_ + 1);
+  }
+
+ private:
+  TimeNs lo_;
+  TimeNs hi_;
+  Xoshiro256 rng_;
+};
+
+/// Heavy-tailed delay: mostly `base`, occasionally up to `base * spike`.
+/// Models the stragglers that motivate latency-optimal READ transactions.
+class SpikyDelay final : public DelayModel {
+ public:
+  SpikyDelay(TimeNs base, std::uint32_t spike, double p_spike, std::uint64_t seed)
+      : base_(base), spike_(spike), p_spike_(p_spike), rng_(seed) {}
+
+  TimeNs delay(NodeId, NodeId, const Message&, TimeNs) override {
+    TimeNs d = base_ / 2 + rng_.below(base_);
+    if (rng_.chance(p_spike_)) d *= (1 + rng_.below(spike_));
+    return d;
+  }
+
+ private:
+  TimeNs base_;
+  std::uint32_t spike_;
+  double p_spike_;
+  Xoshiro256 rng_;
+};
+
+std::unique_ptr<DelayModel> make_fixed_delay(TimeNs d);
+std::unique_ptr<DelayModel> make_uniform_delay(TimeNs lo, TimeNs hi, std::uint64_t seed);
+std::unique_ptr<DelayModel> make_spiky_delay(TimeNs base, std::uint32_t spike, double p_spike,
+                                             std::uint64_t seed);
+
+}  // namespace snowkit

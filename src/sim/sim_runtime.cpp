@@ -1,0 +1,140 @@
+#include "sim/sim_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "msg/codec.hpp"
+
+namespace snowkit {
+
+SimRuntime::SimRuntime(std::unique_ptr<DelayModel> delay)
+    : delay_(delay ? std::move(delay) : make_fixed_delay(1000)) {}
+
+void SimRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  for (NodeId id = 0; id < node_count(); ++id) start_node(id);
+}
+
+void SimRuntime::send(NodeId from, NodeId to, Message m) {
+  SNOW_CHECK_MSG(to < node_count(), "send to unknown node " << to);
+  if (codec_check_) {
+    // Round-trip through the wire codec: protocols must not depend on any
+    // state that would not survive real serialization.
+    m = decode_message(encode_message(m));
+  }
+  const std::uint64_t msg_seq = next_msg_seq_++;
+  if (observer() != nullptr) observer()->on_send(from, to, m, encoded_size(m));
+  trace_.append(Action{ActionKind::Send, now_, from, to, m.txn, payload_name(m.payload), msg_seq,
+                       version_count(m.payload)});
+
+  if (hold_pred_ && hold_pred_(from, to, m)) {
+    held_.push_back(HeldMessage{next_hold_++, from, to, std::move(m), msg_seq});
+    return;
+  }
+  const TimeNs at = now_ + delay_->delay(from, to, m, now_);
+  enqueue_delivery(from, to, std::move(m), msg_seq, at);
+}
+
+void SimRuntime::enqueue_delivery(NodeId from, NodeId to, Message m, std::uint64_t msg_seq,
+                                  TimeNs at) {
+  Event ev;
+  ev.time = at;
+  ev.seq = next_seq_++;
+  ev.is_task = false;
+  ev.from = from;
+  ev.to = to;
+  ev.msg = std::move(m);
+  ev.msg_seq = msg_seq;
+  queue_.push(std::move(ev));
+}
+
+void SimRuntime::post(NodeId node, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post to unknown node " << node);
+  Event ev;
+  ev.time = now_;
+  ev.seq = next_seq_++;
+  ev.is_task = true;
+  ev.to = node;
+  ev.task = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+TimeNs SimRuntime::now_ns() const { return now_; }
+
+bool SimRuntime::step() {
+  start();
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, then pop.  Safe
+  // because we pop immediately and never touch the moved-from slot.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = std::max(now_, ev.time);
+  if (ev.is_task) {
+    ev.task();
+    return true;
+  }
+  if (observer() != nullptr) observer()->on_deliver(ev.from, ev.to, ev.msg);
+  trace_.append(Action{ActionKind::Recv, now_, ev.to, ev.from, ev.msg.txn,
+                       payload_name(ev.msg.payload), ev.msg_seq, version_count(ev.msg.payload)});
+  deliver_to(ev.from, ev.to, ev.msg);
+  return true;
+}
+
+void SimRuntime::run_until_idle() {
+  while (step()) {
+  }
+}
+
+bool SimRuntime::run_until(const std::function<bool()>& pred) {
+  start();
+  while (!pred()) {
+    if (!step()) return pred();
+  }
+  return true;
+}
+
+SimRuntime::HoldPredicate SimRuntime::hold_matching(HoldPredicate pred) {
+  auto prev = std::move(hold_pred_);
+  hold_pred_ = std::move(pred);
+  return prev;
+}
+
+bool SimRuntime::release(HoldId id) {
+  auto it = std::find_if(held_.begin(), held_.end(),
+                         [id](const HeldMessage& h) { return h.id == id; });
+  if (it == held_.end()) return false;
+  HeldMessage h = std::move(*it);
+  held_.erase(it);
+  // Deliver immediately: releasing IS the adversary's choice of "this
+  // message arrives now", ahead of anything still sitting in the queue.
+  start();
+  if (observer() != nullptr) observer()->on_deliver(h.from, h.to, h.msg);
+  trace_.append(Action{ActionKind::Recv, now_, h.to, h.from, h.msg.txn,
+                       payload_name(h.msg.payload), h.msg_seq, version_count(h.msg.payload)});
+  deliver_to(h.from, h.to, h.msg);
+  return true;
+}
+
+std::size_t SimRuntime::release_if(const HoldPredicate& pred) {
+  std::vector<HoldId> ids;
+  for (const auto& h : held_) {
+    if (pred(h.from, h.to, h.msg)) ids.push_back(h.id);
+  }
+  for (HoldId id : ids) release(id);
+  return ids.size();
+}
+
+std::size_t SimRuntime::release_all() {
+  return release_if([](NodeId, NodeId, const Message&) { return true; });
+}
+
+void SimRuntime::note_invoke(NodeId client, TxnId txn) {
+  trace_.append(Action{ActionKind::Invoke, now_, client, kInvalidNode, txn, "", 0, 0});
+}
+
+void SimRuntime::note_respond(NodeId client, TxnId txn) {
+  trace_.append(Action{ActionKind::Respond, now_, client, kInvalidNode, txn, "", 0, 0});
+}
+
+}  // namespace snowkit

@@ -1,0 +1,131 @@
+// SimRuntime: deterministic discrete-event simulation of the paper's
+// asynchronous message-passing model.
+//
+// Degrees of freedom exposed to tests/benches, matching what the paper's
+// adversary may do:
+//   * per-message delays (DelayModel), seeded and replayable;
+//   * holding messages indefinitely and releasing them in any order
+//     (hold_matching / release), which is how the Fig. 3/4/5 executions are
+//     scripted;
+//   * step-by-step execution with full action traces (sim/trace.hpp).
+//
+// Delivery is reliable: a held message stays deliverable forever, and
+// run_until_idle() refuses to finish with unreleased messages unless told to.
+#pragma once
+
+#include <functional>
+#include <queue>
+
+#include "runtime/runtime.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit {
+
+using HoldId = std::uint64_t;
+
+class SimRuntime final : public Runtime {
+ public:
+  /// Default delay model is FixedDelay(1000ns).
+  explicit SimRuntime(std::unique_ptr<DelayModel> delay = nullptr);
+
+  // --- Runtime interface ---------------------------------------------------
+  void send(NodeId from, NodeId to, Message m) override;
+  void post(NodeId node, std::function<void()> fn) override;
+  TimeNs now_ns() const override;
+
+  // --- execution control ---------------------------------------------------
+
+  /// Calls on_start on all nodes (idempotent; done lazily by step too).
+  void start();
+
+  /// Delivers the next eligible event.  Returns false if queue is empty.
+  bool step();
+
+  /// Steps until the event queue is empty (held messages do not count).
+  void run_until_idle();
+
+  /// Steps until `pred()` holds or the queue empties; returns pred().
+  bool run_until(const std::function<bool()>& pred);
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t held_count() const { return held_.size(); }
+
+  // --- adversarial message control -----------------------------------------
+
+  using HoldPredicate = std::function<bool(NodeId from, NodeId to, const Message&)>;
+
+  /// Installs a hold predicate: matching messages are captured instead of
+  /// enqueued.  Pass nullptr to stop holding new messages (already-held ones
+  /// stay held).  Returns the previous predicate.
+  HoldPredicate hold_matching(HoldPredicate pred);
+
+  struct HeldMessage {
+    HoldId id{0};
+    NodeId from{kInvalidNode};
+    NodeId to{kInvalidNode};
+    Message msg;
+    std::uint64_t msg_seq{0};
+  };
+
+  const std::vector<HeldMessage>& held() const { return held_; }
+
+  /// Releases one held message, delivering it IMMEDIATELY (before anything
+  /// still in the event queue) — the adversary's "this arrives now".
+  bool release(HoldId id);
+
+  /// Releases all held messages matching `pred`; returns how many.
+  std::size_t release_if(const HoldPredicate& pred);
+
+  /// Releases everything held.
+  std::size_t release_all();
+
+  // --- trace & transaction bookkeeping --------------------------------------
+
+  const Trace& trace() const { return trace_; }
+  Trace& mutable_trace() { return trace_; }
+
+  /// Records INV/RESP actions in the trace.
+  void note_invoke(NodeId client, TxnId txn) override;
+  void note_respond(NodeId client, TxnId txn) override;
+
+  /// When enabled, every sent message is encoded+decoded through the wire
+  /// codec before delivery, guaranteeing protocols live on serializable state.
+  void set_codec_check(bool on) { codec_check_ = on; }
+
+ private:
+  struct Event {
+    TimeNs time{0};
+    std::uint64_t seq{0};
+    // Exactly one of msg / task is active.
+    bool is_task{false};
+    NodeId from{kInvalidNode};
+    NodeId to{kInvalidNode};
+    Message msg;
+    std::uint64_t msg_seq{0};
+    std::function<void()> task;
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue_delivery(NodeId from, NodeId to, Message m, std::uint64_t msg_seq, TimeNs at);
+
+  std::unique_ptr<DelayModel> delay_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<HeldMessage> held_;
+  HoldPredicate hold_pred_;
+  Trace trace_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_hold_ = 1;
+  std::uint64_t next_msg_seq_ = 1;
+  bool started_ = false;
+  bool codec_check_ = true;
+};
+
+}  // namespace snowkit

@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace snowkit {
+
+const char* action_kind_name(ActionKind k) {
+  switch (k) {
+    case ActionKind::Invoke: return "INV";
+    case ActionKind::Respond: return "RESP";
+    case ActionKind::Send: return "send";
+    case ActionKind::Recv: return "recv";
+  }
+  return "?";
+}
+
+std::string to_string(const Action& a) {
+  std::ostringstream oss;
+  oss << action_kind_name(a.kind) << "@n" << a.node;
+  if (a.kind == ActionKind::Send || a.kind == ActionKind::Recv) {
+    oss << (a.kind == ActionKind::Send ? "->n" : "<-n") << a.peer << " " << a.msg;
+  }
+  if (a.txn != kInvalidTxn) oss << " txn=" << a.txn;
+  oss << " t=" << a.time;
+  return oss.str();
+}
+
+std::vector<std::size_t> Trace::at_node(NodeId node) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].node == node) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Trace::of_txn(TxnId txn) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].txn == txn) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    oss << i << ": " << to_string(actions_[i]) << "\n";
+  }
+  return oss.str();
+}
+
+bool well_formed(const Trace& t, std::string* why) {
+  std::map<std::uint64_t, std::size_t> sends;  // msg_seq -> index
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Action& a = t[i];
+    if (a.kind == ActionKind::Send) {
+      sends[a.msg_seq] = i;
+    } else if (a.kind == ActionKind::Recv) {
+      auto it = sends.find(a.msg_seq);
+      if (it == sends.end()) {
+        if (why) *why = "recv at index " + std::to_string(i) + " has no earlier send";
+        return false;
+      }
+      const Action& s = t[it->second];
+      if (s.node != a.peer || s.peer != a.node || s.msg != a.msg) {
+        if (why) *why = "recv at index " + std::to_string(i) + " mismatches its send";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool indistinguishable_at(const Trace& a, const Trace& b, NodeId node) {
+  auto ia = a.at_node(node);
+  auto ib = b.at_node(node);
+  if (ia.size() != ib.size()) return false;
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    const Action& x = a[ia[i]];
+    const Action& y = b[ib[i]];
+    if (x.kind != y.kind || x.peer != y.peer || x.txn != y.txn || x.msg != y.msg) return false;
+  }
+  return true;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,55 @@
+// Mechanical reproduction of the Fig. 3 execution chain (paper §4):
+// the SNOW Theorem for three clients (two readers, one writer), C2C allowed.
+//
+// The paper assumes a hypothetical SNOW algorithm and derives executions
+// alpha_2 .. alpha_10 by fragment transpositions until strict
+// serializability breaks.  snowkit replays the chain on a *concrete* SNOW
+// candidate: Algorithm A deliberately extended to two readers (its C2C
+// info-reader goes to both).  The adversary delays r1's info-reader — the
+// paper's pivotal action a_{k*+1}, which Lemma 5 proves must occur at r1 —
+// and then:
+//
+//   alpha_6:  scripted schedule realizing
+//             P ◦ I2 ◦ I1 ◦ F1x ◦ F2y ◦ F1y ◦ E1 ◦ F2x ◦ E2,
+//             where R1 returns (x0,y0) and R2 returns (x1,y1) (Lemma 10);
+//   alpha_7,8: obtained from alpha_6's trace by Lemma-2 transpositions
+//             (commute.hpp), each verified well-formed and per-automaton
+//             indistinguishable (Lemmas 11, 12);
+//   alpha_9:  fresh scripted run with F2x before F1x (the paper's network
+//             re-construction, Lemma 13), verified indistinguishable at the
+//             servers from the transposed trace;
+//   alpha_10: final transpositions putting every R2 fragment before R1
+//             (Lemma 14), then a *runnable* realization where R2 completes
+//             before R1 is invoked — R2 returns (x1,y1), R1 returns (x0,y0),
+//             and the history checker rejects the execution: the S property
+//             is violated, exactly as Theorem 1 concludes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit::theory {
+
+struct ChainStep {
+  std::string name;         ///< "alpha6", "alpha7", ...
+  std::string description;  ///< which lemma / operation produced it.
+  std::string order;        ///< fragment order string.
+  std::string r1_values;
+  std::string r2_values;
+  bool verified{false};     ///< well-formedness + indistinguishability checks.
+  std::string note;
+};
+
+struct AlphaChainResult {
+  std::vector<ChainStep> steps;
+  bool s_violated{false};          ///< final runnable execution violates S.
+  std::string violation;           ///< checker explanation for alpha_10.
+  History final_history;
+};
+
+AlphaChainResult run_alpha_chain();
+
+}  // namespace snowkit::theory

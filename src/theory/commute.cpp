@@ -1,0 +1,67 @@
+#include "theory/commute.hpp"
+
+#include <set>
+
+namespace snowkit::theory {
+
+bool adjacent(const Fragment& g1, const Fragment& g2) {
+  if (g1.empty() || g2.empty()) return false;
+  for (std::size_t i = 1; i < g1.indices.size(); ++i) {
+    if (g1.indices[i] != g1.indices[i - 1] + 1) return false;
+  }
+  for (std::size_t i = 1; i < g2.indices.size(); ++i) {
+    if (g2.indices[i] != g2.indices[i - 1] + 1) return false;
+  }
+  return g2.first() == g1.last() + 1;
+}
+
+CommuteResult commute(const Trace& t, const Fragment& g1, const Fragment& g2) {
+  CommuteResult r;
+  if (!adjacent(g1, g2)) {
+    r.why = "fragments " + g1.name + " and " + g2.name + " are not adjacent blocks";
+    return r;
+  }
+  if (g1.node == g2.node) {
+    r.why = "fragments occur at the same automaton " + std::to_string(g1.node);
+    return r;
+  }
+  // Causality: every Recv in g2 (which moves earlier) must not consume a
+  // message sent within g1 (which moves later).
+  std::set<std::uint64_t> g1_sends;
+  for (std::size_t i : g1.indices) {
+    if (t[i].kind == ActionKind::Send) g1_sends.insert(t[i].msg_seq);
+  }
+  for (std::size_t i : g2.indices) {
+    if (t[i].kind == ActionKind::Recv && g1_sends.count(t[i].msg_seq) != 0) {
+      r.why = "recv in " + g2.name + " depends on a send in " + g1.name;
+      return r;
+    }
+  }
+
+  Trace out;
+  for (std::size_t i = 0; i < g1.first(); ++i) out.append(t[i]);
+  for (std::size_t i : g2.indices) out.append(t[i]);
+  for (std::size_t i : g1.indices) out.append(t[i]);
+  for (std::size_t i = g2.last() + 1; i < t.size(); ++i) out.append(t[i]);
+
+  std::string why;
+  if (!well_formed(out, &why)) {
+    r.why = "transposed trace ill-formed: " + why;
+    return r;
+  }
+  // Per-automaton indistinguishability (Lemma 2 (i)): the transposition must
+  // not change any automaton's local sequence.
+  std::set<NodeId> nodes;
+  for (const Action& a : t.actions()) nodes.insert(a.node);
+  for (NodeId n : nodes) {
+    if (!indistinguishable_at(t, out, n)) {
+      r.why = "transposition changed the local sequence at node " + std::to_string(n);
+      return r;
+    }
+  }
+  r.ok = true;
+  r.trace = std::move(out);
+  return r;
+}
+
+}  // namespace snowkit::theory

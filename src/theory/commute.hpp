@@ -1,0 +1,32 @@
+// Lemma 2 (commuting fragments), mechanised on traces.
+//
+// Lemma 2 lets the adversary transpose two adjacent execution fragments that
+// occur at distinct automata, provided no causality crosses between them.
+// On recorded traces the precise precondition is: no Recv in the fragment
+// being moved earlier has its matching Send inside the fragment being moved
+// later (message deliveries cannot precede their sends).  The transposition
+// preserves every automaton's local action sequence — the indistinguishability
+// G_i(alpha) ~ G_i(alpha') of the lemma — which commute() re-verifies.
+#pragma once
+
+#include <string>
+
+#include "theory/fragments.hpp"
+
+namespace snowkit::theory {
+
+struct CommuteResult {
+  bool ok{false};
+  std::string why;   ///< reason when !ok.
+  Trace trace;       ///< the transposed trace when ok.
+};
+
+/// True if g1's actions form a contiguous block immediately followed by g2's.
+bool adjacent(const Fragment& g1, const Fragment& g2);
+
+/// Checks Lemma-2 preconditions and returns the trace with g1 ◦ g2 replaced
+/// by g2 ◦ g1.  Verifies the result is still well-formed and per-automaton
+/// indistinguishable from the input.
+CommuteResult commute(const Trace& t, const Fragment& g1, const Fragment& g2);
+
+}  // namespace snowkit::theory

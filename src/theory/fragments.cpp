@@ -1,0 +1,98 @@
+#include "theory/fragments.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace snowkit::theory {
+
+bool Fragment::has_input(const Trace& t) const {
+  return std::any_of(indices.begin(), indices.end(),
+                     [&](std::size_t i) { return t[i].is_input(); });
+}
+
+std::optional<Fragment> extract_invocation_fragment(const Trace& t, TxnId txn, NodeId reader,
+                                                    std::string name) {
+  Fragment f;
+  f.name = std::move(name);
+  f.node = reader;
+  bool started = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Action& a = t[i];
+    if (a.node != reader || a.txn != txn) continue;
+    if (!started) {
+      if (a.kind != ActionKind::Invoke) return std::nullopt;
+      started = true;
+      f.indices.push_back(i);
+      continue;
+    }
+    if (a.kind == ActionKind::Send) {
+      f.indices.push_back(i);
+    } else {
+      break;  // first Recv/RESP of the txn at the reader ends I(R)
+    }
+  }
+  if (!started || f.indices.size() < 2) return std::nullopt;
+  return f;
+}
+
+std::optional<Fragment> extract_server_fragment(const Trace& t, TxnId txn, NodeId server,
+                                                std::string name) {
+  Fragment f;
+  f.name = std::move(name);
+  f.node = server;
+  std::optional<std::size_t> recv_at;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Action& a = t[i];
+    if (a.node != server) continue;
+    if (!recv_at) {
+      if (a.kind == ActionKind::Recv && a.txn == txn) {
+        recv_at = i;
+        f.indices.push_back(i);
+      }
+      continue;
+    }
+    if (a.kind == ActionKind::Send && a.txn == txn) {
+      f.indices.push_back(i);
+      return f;
+    }
+    if (a.is_input()) return std::nullopt;  // blocked: not a non-blocking fragment
+    f.indices.push_back(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<Fragment> extract_response_fragment(const Trace& t, TxnId txn, NodeId reader,
+                                                  std::string name) {
+  Fragment f;
+  f.name = std::move(name);
+  f.node = reader;
+  bool started = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Action& a = t[i];
+    if (a.node != reader || a.txn != txn) continue;
+    if (a.kind == ActionKind::Recv) {
+      started = true;
+      f.indices.push_back(i);
+    } else if (started) {
+      f.indices.push_back(i);
+      if (a.kind == ActionKind::Respond) return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string fragment_order_string(std::vector<Fragment> frags) {
+  frags.erase(std::remove_if(frags.begin(), frags.end(),
+                             [](const Fragment& f) { return f.empty(); }),
+              frags.end());
+  std::sort(frags.begin(), frags.end(),
+            [](const Fragment& a, const Fragment& b) { return a.first() < b.first(); });
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    if (i > 0) oss << " ◦ ";
+    oss << frags[i].name;
+  }
+  return oss.str();
+}
+
+}  // namespace snowkit::theory

@@ -1,0 +1,52 @@
+// Execution fragments (paper §3) extracted from simulation traces.
+//
+// For a READ transaction R by reader r against servers s_x, s_y the paper
+// names four fragments:
+//   I(R)        — INV(R) up to the later of r's two request sends (all at r);
+//   F_{R,s}(v)  — recv(m^r)_{r,s} up to send(v)_{s,r}, no other input at s
+//                 (the "non-blocking fragment" of R at s);
+//   E(R)(x,y)   — the later response recv at r up to RESP(R) (all at r).
+// This module identifies those fragments in a recorded trace so the chain
+// builders (alpha_chain, two_client_chain) can verify fragment ordering and
+// the commuting machinery (commute.hpp) can transpose them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace snowkit::theory {
+
+struct Fragment {
+  std::string name;                 ///< e.g. "I1", "F1x", "E2".
+  NodeId node{kInvalidNode};        ///< the automaton all actions occur at.
+  std::vector<std::size_t> indices; ///< trace indices, ascending.
+
+  bool empty() const { return indices.empty(); }
+  std::size_t first() const { return indices.front(); }
+  std::size_t last() const { return indices.back(); }
+
+  /// True if any action in the fragment is an input (Recv or Invoke).
+  bool has_input(const Trace& t) const;
+};
+
+/// I(R): all actions at `reader` from INV(txn) through the last Send of txn
+/// at the reader that precedes any Recv of txn at the reader.
+std::optional<Fragment> extract_invocation_fragment(const Trace& t, TxnId txn, NodeId reader,
+                                                    std::string name);
+
+/// F_{R,s}: the Recv of txn's request at `server` through the Send of the
+/// response, provided no other input occurs at the server in between.
+std::optional<Fragment> extract_server_fragment(const Trace& t, TxnId txn, NodeId server,
+                                                std::string name);
+
+/// E(R): first response Recv of txn at the reader through RESP(txn).
+std::optional<Fragment> extract_response_fragment(const Trace& t, TxnId txn, NodeId reader,
+                                                  std::string name);
+
+/// Renders "I2 ◦ F2y ◦ F2x ◦ I1 ◦ ..." given fragments sorted by first index.
+std::string fragment_order_string(std::vector<Fragment> frags);
+
+}  // namespace snowkit::theory

@@ -1,0 +1,53 @@
+// Mechanical reproduction of the Fig. 4 construction (paper §5.1): SNOW is
+// impossible with two clients (one reader, one writer) when client-to-client
+// communication is disallowed.
+//
+// The paper builds executions alpha, beta, gamma, eta of a hypothetical SNOW
+// algorithm, then descends over ever-shorter prefixes delta(l) .. delta(f)
+// until the READ's return value flips from (x1,y1) to (x0,y0); the flipping
+// action a_{k+1} is case-analyzed over w, r, s_x, s_y and every case is
+// contradicted.  snowkit replays the construction on the concrete one-round
+// candidate (the `naive` protocol, which is what a SNOW algorithm's READ
+// must look like on the wire):
+//
+//   alpha/beta: W completes, then READ with both request sends delayed;
+//               F1x then F1y delivered — READ returns (x1,y1);
+//   gamma/eta:  the READ's request sends are moved before INV(W) (the
+//               requests sit in the network while W runs) — the READ still
+//               returns (x1,y1), verifying Lemmas 17-19;
+//   descent:    the adversary delivers the READ's requests after exactly
+//               k = 0,1,2,... network events of W, sweeping the boundary.
+//               At the flip, the single action a_{k*+1} occurs at a SERVER —
+//               and because one action at one server cannot coordinate the
+//               version the *other* server returns, the intermediate
+//               schedules yield fractured reads (x1,y0)/(x0,y1): concrete
+//               strict-serializability violations, which is exactly the
+//               contradiction Theorem 2 derives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace snowkit::theory {
+
+struct TwoClientStep {
+  std::string name;
+  std::string description;
+  std::string read_values;
+  bool verified{false};
+  std::string note;
+};
+
+struct TwoClientChainResult {
+  std::vector<TwoClientStep> steps;
+  bool fracture_found{false};
+  std::string fracture;      ///< fractured-read witness from the checker.
+  int flip_k{-1};            ///< minimal k where the READ returns (x1,y1).
+  std::string flip_location; ///< automaton at which a_{k*+1} occurs.
+};
+
+TwoClientChainResult run_two_client_chain();
+
+}  // namespace snowkit::theory

@@ -1,0 +1,60 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace snowkit {
+
+namespace {
+double zeta(std::size_t n, double theta) {
+  double sum = 0;
+  for (std::size_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  SNOW_CHECK(n_ > 0);
+  if (theta_ > 0) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+}
+
+std::size_t ZipfSampler::next() {
+  if (theta_ <= 0) return static_cast<std::size_t>(rng_.below(n_));
+  // Gray et al.'s quick zipf ("A caching relation...", SIGMOD'94), as in YCSB.
+  const double u = rng_.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = eta_ * u - eta_ + 1.0;
+  const auto idx = static_cast<std::size_t>(static_cast<double>(n_) * std::pow(v, alpha_));
+  return std::min(idx, n_ - 1);
+}
+
+OpStream::OpStream(std::size_t num_objects, const WorkloadSpec& spec, std::uint64_t client_seed)
+    : num_objects_(num_objects),
+      zipf_(num_objects, spec.zipf_theta, client_seed ^ 0x5bd1e995u),
+      rng_(client_seed) {}
+
+std::vector<ObjectId> OpStream::next_objects(std::size_t span) {
+  span = std::min(span, num_objects_);
+  SNOW_CHECK(span > 0);
+  std::vector<ObjectId> objs;
+  objs.reserve(span);
+  while (objs.size() < span) {
+    const auto candidate = static_cast<ObjectId>(zipf_.next());
+    if (std::find(objs.begin(), objs.end(), candidate) == objs.end()) objs.push_back(candidate);
+  }
+  std::sort(objs.begin(), objs.end());
+  return objs;
+}
+
+}  // namespace snowkit

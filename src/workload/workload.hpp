@@ -1,0 +1,57 @@
+// Workload specification and generation.
+//
+// Models the read-dominant workloads that motivate the paper (§1: Facebook
+// TAO reports 500 reads per write; Google F1 three orders of magnitude more
+// reads than general transactions): closed-loop read and write clients,
+// multi-get width distributions, uniform or zipfian object popularity.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace snowkit {
+
+struct WorkloadSpec {
+  std::size_t ops_per_reader{50};
+  std::size_t ops_per_writer{10};
+  std::size_t read_span{2};   ///< objects per READ transaction.
+  std::size_t write_span{2};  ///< objects per WRITE transaction.
+  double zipf_theta{0.0};     ///< 0 = uniform object popularity.
+  std::uint64_t seed{1};
+};
+
+/// Zipfian sampler over [0, n) with parameter theta in [0, 1).
+/// theta = 0 degenerates to uniform; theta ~0.99 is YCSB-style skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta, std::uint64_t seed);
+  std::size_t next();
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double alpha_{0};
+  double zetan_{0};
+  double eta_{0};
+  Xoshiro256 rng_;
+};
+
+/// Per-client deterministic op-stream generator.
+class OpStream {
+ public:
+  OpStream(std::size_t num_objects, const WorkloadSpec& spec, std::uint64_t client_seed);
+
+  /// Distinct objects for the next multi-get/multi-put of width `span`.
+  std::vector<ObjectId> next_objects(std::size_t span);
+
+ private:
+  std::size_t num_objects_;
+  ZipfSampler zipf_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace snowkit

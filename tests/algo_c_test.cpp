@@ -1,0 +1,180 @@
+// Algorithm C (§9): SNW + one-round, multi-version, MWMR (Theorem 5),
+// including the feasibility descent and the bounded-version GC extension.
+#include <gtest/gtest.h>
+
+#include "checker/snow_monitor.hpp"
+#include "checker/tag_order.hpp"
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "sim/script.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace snowkit {
+namespace {
+
+struct Rig {
+  SimRuntime sim;
+  HistoryRecorder rec;
+  std::unique_ptr<ProtocolSystem> sys;
+
+  Rig(std::size_t k, std::size_t readers, std::size_t writers, std::uint64_t seed = 1,
+      bool gc = false)
+      : sim(make_uniform_delay(10, 5000, seed)), rec(k) {
+    AlgoCOptions opts;
+    opts.gc_versions = gc;
+    sys = build_algo_c(sim, rec, Topology{k, readers, writers}, opts);
+  }
+};
+
+TEST(AlgoC, WriteThenReadRoundTrip) {
+  Rig rig(3, 1, 1);
+  invoke_write(rig.sim, rig.sys->writer(0), {{0, 1}, {2, 3}}, [](const WriteResult&) {});
+  rig.sim.run_until_idle();
+  ReadResult result;
+  invoke_read(rig.sim, rig.sys->reader(0), {0, 1, 2}, [&](const ReadResult& r) { result = r; });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(result.values[0].second, 1);
+  EXPECT_EQ(result.values[1].second, kInitialValue);
+  EXPECT_EQ(result.values[2].second, 3);
+}
+
+TEST(AlgoC, OneRoundMultipleVersions) {
+  Rig rig(3, 2, 3);
+  WorkloadSpec spec;
+  spec.ops_per_reader = 30;
+  spec.ops_per_writer = 20;
+  spec.read_span = 2;
+  ClosedLoopDriver driver(rig.sim, *rig.sys, spec);
+  driver.start();
+  rig.sim.run_until_idle();
+  const History h = rig.rec.snapshot();
+  const auto report = analyze_snow_trace(rig.sim.trace(), 3, h);
+  EXPECT_TRUE(report.satisfies_n()) << (report.violations.empty() ? "" : report.violations[0]);
+  EXPECT_EQ(report.max_read_rounds, 1);      // the one-round property
+  EXPECT_GT(report.max_versions_per_response, 1);  // ...paid for in versions
+  EXPECT_EQ(max_read_rounds(h), 1);
+}
+
+TEST(AlgoC, StrictSerializabilityUnderManyWritersAndReaders) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull, 24ull}) {
+    Rig rig(4, 3, 3, seed);
+    WorkloadSpec spec;
+    spec.ops_per_reader = 50;
+    spec.ops_per_writer = 25;
+    spec.read_span = 3;
+    spec.write_span = 2;
+    spec.seed = seed;
+    ClosedLoopDriver driver(rig.sim, *rig.sys, spec);
+    driver.start();
+    rig.sim.run_until_idle();
+    auto verdict = check_tag_order(rig.rec.snapshot());
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.explanation;
+  }
+}
+
+TEST(AlgoC, DescentHandlesOvertakingReadVals) {
+  // Force the race the descent exists for: the reader's read-vals reaches
+  // s_y BEFORE the concurrent write lands there, while get-tag-arr reaches
+  // the coordinator AFTER update-coor.  kappa_y is then missing from Vals_y
+  // and the reader must fall back to the previous cut.
+  SimRuntime sim;
+  HistoryRecorder rec(2);
+  auto sys = build_algo_c(sim, rec, Topology{2, 1, 1});
+  sim.start();
+
+  // Script: hold W's write-val to s_y (object 1) and the READ's messages.
+  sim.hold_matching(script::any_of(
+      {script::all_of({script::payload_is("write-val"), script::to_node(1)}),
+       script::payload_is("read-vals"), script::payload_is("get-tag-arr")}));
+
+  bool w_done = false;
+  invoke_write(sim, sys->writer(0), {{0, 10}, {1, 20}}, [&](const WriteResult&) { w_done = true; });
+  sim.run_until_idle();  // write-val@s_x delivered+acked; write-val@s_y held
+
+  ReadResult result;
+  bool r_done = false;
+  invoke_read(sim, sys->reader(0), {0, 1}, [&](const ReadResult& r) {
+    result = r;
+    r_done = true;
+  });
+  sim.run_until_idle();
+
+  // Deliver read-vals to BOTH servers now (s_y has no new version yet)...
+  ASSERT_TRUE(script::release_one(sim, script::all_of({script::payload_is("read-vals"),
+                                                       script::to_node(0)})));
+  ASSERT_TRUE(script::release_one(sim, script::all_of({script::payload_is("read-vals"),
+                                                       script::to_node(1)})));
+  sim.run_until_idle();
+  // ...then let the write finish (write-val@s_y, update-coor)...
+  ASSERT_TRUE(script::release_one(sim, script::payload_is("write-val")));
+  sim.run_until_idle();
+  ASSERT_TRUE(w_done);
+  // ...and only now deliver get-tag-arr: t_r names the new write, whose key
+  // is absent from the reader's Vals_y snapshot.
+  ASSERT_TRUE(script::release_one(sim, script::payload_is("get-tag-arr")));
+  sim.run_until_idle();
+  ASSERT_TRUE(r_done);
+  // Descent must have settled on the old consistent cut.
+  EXPECT_EQ(result.values[0].second, kInitialValue);
+  EXPECT_EQ(result.values[1].second, kInitialValue);
+  auto verdict = check_tag_order(rec.snapshot());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(AlgoC, GcBoundsResponseSizes) {
+  // Without GC the response size grows with the whole write history; with GC
+  // it stays bounded by (concurrent unfinalized writes + 1 stable version).
+  // Fixed delays make a writer's finalize arrive before its next write-val,
+  // so the bound here is writers + 1.
+  auto run = [](bool gc) {
+    SimRuntime sim(make_fixed_delay(1000));
+    HistoryRecorder rec(2);
+    AlgoCOptions opts;
+    opts.gc_versions = gc;
+    auto sys = build_algo_c(sim, rec, Topology{2, 1, 2}, opts);
+    WorkloadSpec spec;
+    spec.ops_per_reader = 40;
+    spec.ops_per_writer = 40;
+    spec.read_span = 2;
+    spec.write_span = 2;
+    ClosedLoopDriver driver(sim, *sys, spec);
+    driver.start();
+    sim.run_until_idle();
+    auto verdict = check_tag_order(rec.snapshot());
+    EXPECT_TRUE(verdict.ok) << "gc=" << gc << ": " << verdict.explanation;
+    return max_read_versions(rec.snapshot());
+  };
+  const int without_gc = run(false);
+  const int with_gc = run(true);
+  EXPECT_GT(without_gc, 10);  // grows with history length
+  EXPECT_LE(with_gc, 2 + 1);  // |W| + 1
+}
+
+TEST(AlgoC, GcPreservesStrictSerializabilityAcrossSeeds) {
+  for (std::uint64_t seed = 31; seed < 39; ++seed) {
+    Rig rig(3, 2, 3, seed, /*gc=*/true);
+    WorkloadSpec spec;
+    spec.ops_per_reader = 40;
+    spec.ops_per_writer = 20;
+    spec.read_span = 2;
+    spec.seed = seed;
+    ClosedLoopDriver driver(rig.sim, *rig.sys, spec);
+    driver.start();
+    rig.sim.run_until_idle();
+    auto verdict = check_tag_order(rig.rec.snapshot());
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.explanation;
+  }
+}
+
+TEST(AlgoC, CoordinatorAlsoServesItsObject) {
+  Rig rig(2, 1, 1);
+  invoke_write(rig.sim, rig.sys->writer(0), {{0, 77}}, [](const WriteResult&) {});
+  rig.sim.run_until_idle();
+  ReadResult result;
+  invoke_read(rig.sim, rig.sys->reader(0), {0}, [&](const ReadResult& r) { result = r; });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(result.values[0].second, 77);  // get-tag-arr + read-vals both at s*
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,149 @@
+// Chaos-schedule property sweeps: under unbounded random reordering the
+// strictly serializable protocols must stay strictly serializable, keep
+// their round/version signatures, and complete every transaction.  The
+// protocols that are NOT strictly serializable get caught red-handed far
+// more often than under mere delay randomization.
+#include <gtest/gtest.h>
+
+#include "checker/serializability.hpp"
+#include "checker/snow_monitor.hpp"
+#include "checker/tag_order.hpp"
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "sim/chaos.hpp"
+
+namespace snowkit {
+namespace {
+
+struct ChaosCase {
+  ProtocolKind kind;
+  std::uint64_t seed;
+};
+
+class ChaosSweep : public testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, StrictProtocolsSurviveUnboundedReordering) {
+  const ChaosCase& c = GetParam();
+  SimRuntime sim;
+  HistoryRecorder rec(3);
+  const std::size_t readers = c.kind == ProtocolKind::AlgoA ? 1 : 2;
+  BuildOptions opts;
+  if (c.seed % 2 == 0) opts.algo_c.gc_versions = true;  // alternate GC mode
+  auto sys = build_protocol(c.kind, sim, rec, Topology{3, readers, 2}, opts);
+
+  WorkloadSpec spec;
+  spec.ops_per_reader = 25;
+  spec.ops_per_writer = 15;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  spec.seed = c.seed;
+  ClosedLoopDriver driver(sim, *sys, spec);
+  driver.start();
+
+  ChaosOptions chaos;
+  chaos.seed = c.seed * 2654435761u;
+  chaos.hold_probability = 0.6;
+  run_chaos(sim, chaos);
+  ASSERT_TRUE(driver.done()) << "chaos must preserve liveness (W property)";
+
+  const History h = rec.snapshot();
+  const auto verdict = check_tag_order(h);
+  EXPECT_TRUE(verdict.ok) << protocol_name(c.kind) << " seed " << c.seed << ": "
+                          << verdict.explanation;
+
+  const auto report = analyze_snow_trace(sim.trace(), 3, h);
+  EXPECT_TRUE(report.satisfies_n()) << (report.violations.empty() ? "" : report.violations[0]);
+  if (c.kind == ProtocolKind::AlgoA) EXPECT_EQ(report.max_read_rounds, 1);
+  if (c.kind == ProtocolKind::AlgoB) EXPECT_LE(report.max_read_rounds, 2);
+  if (c.kind == ProtocolKind::AlgoC && !opts.algo_c.gc_versions) {
+    EXPECT_EQ(report.max_read_rounds, 1);
+  }
+  if (c.kind != ProtocolKind::AlgoC) EXPECT_EQ(report.max_versions_per_response, 1);
+}
+
+std::vector<ChaosCase> make_chaos_cases() {
+  std::vector<ChaosCase> cases;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (ProtocolKind kind :
+         {ProtocolKind::AlgoA, ProtocolKind::AlgoB, ProtocolKind::AlgoC, ProtocolKind::OccReads}) {
+      cases.push_back({kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(StrictProtocols, ChaosSweep, testing::ValuesIn(make_chaos_cases()),
+                         [](const testing::TestParamInfo<ChaosCase>& info) {
+                           std::string n = protocol_name(info.param.kind);
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n + "_s" + std::to_string(info.param.seed);
+                         });
+
+TEST(ChaosSweep, NaiveFracturesFrequentlyUnderChaos) {
+  int violations = 0;
+  const int runs = 10;
+  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+    SimRuntime sim;
+    HistoryRecorder rec(2);
+    auto sys = build_protocol(ProtocolKind::Naive, sim, rec, Topology{2, 1, 2});
+    WorkloadSpec spec;
+    spec.ops_per_reader = 20;
+    spec.ops_per_writer = 10;
+    spec.read_span = 2;
+    spec.write_span = 2;
+    spec.seed = seed;
+    ClosedLoopDriver driver(sim, *sys, spec);
+    driver.start();
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    run_chaos(sim, chaos);
+    if (!find_fractured_read(rec.snapshot()).empty()) ++violations;
+  }
+  EXPECT_GT(violations, runs / 2)
+      << "chaos schedules should fracture the naive protocol most of the time";
+}
+
+TEST(ChaosSweep, BlockingStaysSerializableAndLive) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SimRuntime sim;
+    HistoryRecorder rec(2);
+    auto sys = build_protocol(ProtocolKind::Blocking, sim, rec, Topology{2, 2, 2});
+    WorkloadSpec spec;
+    spec.ops_per_reader = 10;
+    spec.ops_per_writer = 8;
+    spec.seed = seed;
+    ClosedLoopDriver driver(sim, *sys, spec);
+    driver.start();
+    ChaosOptions chaos;
+    chaos.seed = seed + 77;
+    run_chaos(sim, chaos);
+    ASSERT_TRUE(driver.done()) << "no deadlock under chaos";
+    auto verdict = check_strict_serializability(rec.snapshot(), CheckOptions{2'000'000});
+    EXPECT_TRUE(verdict.ok || verdict.exhausted) << verdict.explanation;
+  }
+}
+
+TEST(ChaosSweep, ChaosIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimRuntime sim;
+    HistoryRecorder rec(2);
+    auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, Topology{2, 1, 1});
+    WorkloadSpec spec;
+    spec.ops_per_reader = 10;
+    spec.ops_per_writer = 5;
+    spec.seed = 1;
+    ClosedLoopDriver driver(sim, *sys, spec);
+    driver.start();
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    run_chaos(sim, chaos);
+    return sim.trace().to_text();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,105 @@
+// Round-trip tests for the wire codec: every payload alternative must
+// survive encode/decode bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "msg/codec.hpp"
+
+namespace snowkit {
+namespace {
+
+template <typename T>
+void roundtrip(T payload, TxnId txn = 7) {
+  Message m{txn, Payload{std::move(payload)}};
+  const auto bytes = encode_message(m);
+  const Message back = decode_message(bytes);
+  EXPECT_EQ(back.txn, m.txn);
+  EXPECT_EQ(back.payload.index(), m.payload.index());
+  EXPECT_EQ(std::string(payload_name(back.payload)), payload_name(m.payload));
+}
+
+TEST(Codec, WriteVal) {
+  roundtrip(WriteValReq{WriteKey{3, 9}, 1, 42});
+  Message m{5, WriteValReq{WriteKey{3, 9}, 1, 42}};
+  const Message back = decode_message(encode_message(m));
+  const auto& p = std::get<WriteValReq>(back.payload);
+  EXPECT_EQ(p.key, (WriteKey{3, 9}));
+  EXPECT_EQ(p.obj, 1u);
+  EXPECT_EQ(p.value, 42);
+}
+
+TEST(Codec, WriteValAck) { roundtrip(WriteValAck{WriteKey{1, 2}, 0}); }
+
+TEST(Codec, InfoReader) {
+  Message m{5, InfoReaderReq{WriteKey{8, 1}, {1, 0, 1}}};
+  const Message back = decode_message(encode_message(m));
+  const auto& p = std::get<InfoReaderReq>(back.payload);
+  EXPECT_EQ(p.key, (WriteKey{8, 1}));
+  EXPECT_EQ(p.mask, (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(Codec, InfoReaderAck) { roundtrip(InfoReaderAck{99}); }
+TEST(Codec, UpdateCoor) { roundtrip(UpdateCoorReq{WriteKey{2, 3}, {0, 1}}); }
+TEST(Codec, UpdateCoorAck) { roundtrip(UpdateCoorAck{12}); }
+TEST(Codec, GetTagArr) { roundtrip(GetTagArrReq{{1, 1, 0}}); }
+
+TEST(Codec, GetTagArrRespWithHistory) {
+  GetTagArrResp resp;
+  resp.tag = 4;
+  resp.latest = {WriteKey{1, 0}, WriteKey{2, 1}};
+  resp.history = {{ListedKey{0, kInitialKey}, ListedKey{3, WriteKey{1, 0}}}, {}};
+  Message m{11, resp};
+  const Message back = decode_message(encode_message(m));
+  const auto& p = std::get<GetTagArrResp>(back.payload);
+  EXPECT_EQ(p.tag, 4u);
+  ASSERT_EQ(p.latest.size(), 2u);
+  EXPECT_EQ(p.latest[1], (WriteKey{2, 1}));
+  ASSERT_EQ(p.history.size(), 2u);
+  ASSERT_EQ(p.history[0].size(), 2u);
+  EXPECT_EQ(p.history[0][1].position, 3u);
+  EXPECT_EQ(p.history[0][1].key, (WriteKey{1, 0}));
+  EXPECT_TRUE(p.history[1].empty());
+}
+
+TEST(Codec, ReadVal) { roundtrip(ReadValReq{0, WriteKey{5, 5}}); }
+TEST(Codec, ReadValResp) { roundtrip(ReadValResp{0, WriteKey{5, 5}, -3}); }
+TEST(Codec, ReadVals) { roundtrip(ReadValsReq{2}); }
+
+TEST(Codec, ReadValsRespVersions) {
+  ReadValsResp resp{1, {Version{kInitialKey, 0}, Version{WriteKey{1, 4}, 77}}};
+  Message m{1, resp};
+  const Message back = decode_message(encode_message(m));
+  const auto& p = std::get<ReadValsResp>(back.payload);
+  ASSERT_EQ(p.versions.size(), 2u);
+  EXPECT_EQ(p.versions[1].value, 77);
+}
+
+TEST(Codec, Finalize) { roundtrip(FinalizeReq{WriteKey{9, 9}, 3, 17}); }
+TEST(Codec, EigerWrite) { roundtrip(EigerWriteReq{0, 5, 3}); }
+TEST(Codec, EigerWriteAck) { roundtrip(EigerWriteAck{0, 7, 7}); }
+TEST(Codec, EigerRead) { roundtrip(EigerReadReq{1, 2}); }
+TEST(Codec, EigerReadResp) { roundtrip(EigerReadResp{1, 10, 2, 5, 5}); }
+TEST(Codec, EigerReadAt) { roundtrip(EigerReadAtReq{1, 4, 6}); }
+TEST(Codec, EigerReadAtResp) { roundtrip(EigerReadAtResp{1, 10, 8}); }
+TEST(Codec, Lock) { roundtrip(LockReq{2, true}); }
+TEST(Codec, LockGrant) { roundtrip(LockGrant{2, 123}); }
+TEST(Codec, WriteUnlock) { roundtrip(WriteUnlockReq{2, 9}); }
+TEST(Codec, Unlock) { roundtrip(UnlockReq{2}); }
+TEST(Codec, UnlockAck) { roundtrip(UnlockAck{2}); }
+TEST(Codec, SimpleRead) { roundtrip(SimpleReadReq{0}); }
+TEST(Codec, SimpleReadResp) { roundtrip(SimpleReadResp{0, 1}); }
+TEST(Codec, SimpleWrite) { roundtrip(SimpleWriteReq{0, 1}); }
+TEST(Codec, SimpleWriteAck) { roundtrip(SimpleWriteAck{0}); }
+
+TEST(Codec, EncodedSizeMatches) {
+  Message m{3, ReadValsResp{0, {Version{kInitialKey, 0}}}};
+  EXPECT_EQ(encoded_size(m), encode_message(m).size());
+}
+
+TEST(Codec, VersionCountClassifier) {
+  EXPECT_EQ(version_count(Payload{ReadValResp{}}), 1);
+  EXPECT_EQ(version_count(Payload{ReadValsResp{0, {Version{}, Version{}, Version{}}}}), 3);
+  EXPECT_EQ(version_count(Payload{WriteValReq{}}), 0);
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,96 @@
+// Log-bucket latency histogram: accuracy and merging.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/histogram.hpp"
+
+namespace snowkit {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 12345.0, 12345.0 * 0.04);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (TimeNs v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 32.0, 2.0);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  Xoshiro256 rng(3);
+  std::vector<TimeNs> values;
+  for (int i = 0; i < 200'000; ++i) {
+    const TimeNs v = 1000 + rng.below(10'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const TimeNs exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const TimeNs approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram both;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const TimeNs v = rng.below(1'000'000);
+    (i % 2 == 0 ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.p50(), both.p50());
+  EXPECT_EQ(a.p99(), both.p99());
+  EXPECT_EQ(a.max(), both.max());
+}
+
+TEST(Histogram, HugeValuesClampSafely) {
+  Histogram h;
+  h.record(~TimeNs{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~TimeNs{0});
+  EXPECT_LE(h.quantile(1.0), ~TimeNs{0});
+}
+
+TEST(Histogram, SummaryContainsFields) {
+  Histogram h;
+  h.record(100);
+  const std::string s = h.summary("ns");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snowkit

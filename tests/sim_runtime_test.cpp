@@ -1,0 +1,191 @@
+// Simulator semantics: delivery, determinism, holds/releases, traces.
+#include <gtest/gtest.h>
+
+#include "sim/script.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace snowkit {
+namespace {
+
+/// Echo node: replies to every simple-read with its stored value; applies
+/// simple-writes.
+class Echo final : public Node {
+ public:
+  void on_message(NodeId from, const Message& m) override {
+    if (const auto* w = std::get_if<SimpleWriteReq>(&m.payload)) {
+      value_ = w->value;
+      send(from, Message{m.txn, SimpleWriteAck{w->obj}});
+    } else if (const auto* r = std::get_if<SimpleReadReq>(&m.payload)) {
+      send(from, Message{m.txn, SimpleReadResp{r->obj, value_}});
+    }
+  }
+  Value value_ = 0;
+};
+
+/// Client capturing responses.
+class Probe final : public Node {
+ public:
+  void on_message(NodeId, const Message& m) override {
+    if (const auto* r = std::get_if<SimpleReadResp>(&m.payload)) values.push_back(r->value);
+    if (std::holds_alternative<SimpleWriteAck>(m.payload)) ++acks;
+  }
+  std::vector<Value> values;
+  int acks = 0;
+};
+
+struct Rig {
+  SimRuntime sim;
+  Echo* server;
+  Probe* client;
+  NodeId server_id, client_id;
+
+  explicit Rig(std::unique_ptr<DelayModel> d = nullptr) : sim(std::move(d)) {
+    auto s = std::make_unique<Echo>();
+    auto c = std::make_unique<Probe>();
+    server = s.get();
+    client = c.get();
+    server_id = sim.add_node(std::move(s));
+    client_id = sim.add_node(std::move(c));
+  }
+};
+
+TEST(SimRuntime, DeliversReliably) {
+  Rig rig;
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleWriteReq{0, 42}});
+  });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.server->value_, 42);
+  EXPECT_EQ(rig.client->acks, 1);
+}
+
+TEST(SimRuntime, VirtualTimeAdvancesWithDelays) {
+  Rig rig(make_fixed_delay(500));
+  EXPECT_EQ(rig.sim.now_ns(), 0u);
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+  });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.sim.now_ns(), 1000u);  // request + response, 500ns each
+}
+
+TEST(SimRuntime, HoldCapturesMatchingMessages) {
+  Rig rig;
+  rig.sim.hold_matching(script::payload_is("simple-read"));
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+  });
+  rig.sim.run_until_idle();
+  EXPECT_TRUE(rig.client->values.empty());
+  EXPECT_EQ(rig.sim.held_count(), 1u);
+}
+
+TEST(SimRuntime, ReleaseDeliversImmediatelyBeforeQueuedEvents) {
+  Rig rig;
+  rig.sim.hold_matching(script::payload_is("simple-read"));
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+    rig.sim.send(rig.client_id, rig.server_id, Message{2, SimpleWriteReq{0, 9}});
+  });
+  rig.sim.run_until(
+      [&] { return rig.sim.held_count() == 1; });  // both sends done; write queued
+  // Releasing the read delivers it NOW — before the queued write.
+  ASSERT_TRUE(script::release_one(rig.sim, script::payload_is("simple-read")));
+  EXPECT_EQ(rig.server->value_, 0);  // write not yet applied when read was served
+  rig.sim.run_until_idle();
+  ASSERT_EQ(rig.client->values.size(), 1u);
+  EXPECT_EQ(rig.client->values[0], 0);
+  EXPECT_EQ(rig.server->value_, 9);
+}
+
+TEST(SimRuntime, ReleaseIfFiltersByPredicate) {
+  Rig rig;
+  rig.sim.hold_matching(script::hold_all());
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+    rig.sim.send(rig.client_id, rig.server_id, Message{2, SimpleReadReq{0}});
+  });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.sim.held_count(), 2u);
+  EXPECT_EQ(rig.sim.release_if(script::of_txn(2)), 1u);
+  // txn 2's request was delivered; the server's response was captured by the
+  // still-active hold_all, so txn 1's request and txn 2's response remain.
+  ASSERT_EQ(rig.sim.held_count(), 2u);
+  EXPECT_EQ(rig.sim.held()[0].msg.txn, 1u);
+  EXPECT_EQ(std::string(payload_name(rig.sim.held()[1].msg.payload)), "simple-read-resp");
+}
+
+TEST(SimRuntime, TraceRecordsSendRecvPairs) {
+  Rig rig;
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+  });
+  rig.sim.run_until_idle();
+  const Trace& t = rig.sim.trace();
+  ASSERT_EQ(t.size(), 4u);  // send req, recv req, send resp, recv resp
+  EXPECT_EQ(t[0].kind, ActionKind::Send);
+  EXPECT_EQ(t[1].kind, ActionKind::Recv);
+  EXPECT_EQ(t[0].msg_seq, t[1].msg_seq);
+  std::string why;
+  EXPECT_TRUE(well_formed(t, &why)) << why;
+}
+
+TEST(SimRuntime, DeterministicAcrossRuns) {
+  auto run = [] {
+    Rig rig(make_uniform_delay(10, 1000, 42));
+    for (int i = 0; i < 20; ++i) {
+      rig.sim.post(rig.client_id, [&rig, i] {
+        rig.sim.send(rig.client_id, rig.server_id, Message{static_cast<TxnId>(i), SimpleWriteReq{0, i}});
+      });
+    }
+    rig.sim.run_until_idle();
+    return rig.sim.trace().to_text();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimRuntime, CodecCheckRoundTripsMessages) {
+  Rig rig;
+  rig.sim.set_codec_check(true);
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleWriteReq{0, 77}});
+  });
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.server->value_, 77);
+}
+
+TEST(SimRuntime, RunUntilPredicate) {
+  Rig rig;
+  rig.sim.post(rig.client_id, [&] {
+    rig.sim.send(rig.client_id, rig.server_id, Message{1, SimpleReadReq{0}});
+  });
+  EXPECT_TRUE(rig.sim.run_until([&] { return !rig.client->values.empty(); }));
+  EXPECT_FALSE(rig.sim.run_until([&] { return rig.client->values.size() > 5; }));
+}
+
+TEST(TraceTest, IndistinguishabilityProjection) {
+  Rig a;
+  Rig b;
+  for (Rig* r : {&a, &b}) {
+    r->sim.post(r->client_id, [r] {
+      r->sim.send(r->client_id, r->server_id, Message{1, SimpleReadReq{0}});
+    });
+    r->sim.run_until_idle();
+  }
+  EXPECT_TRUE(indistinguishable_at(a.sim.trace(), b.sim.trace(), a.server_id));
+  EXPECT_TRUE(indistinguishable_at(a.sim.trace(), b.sim.trace(), a.client_id));
+}
+
+TEST(SimRuntime, SpikyDelayStaysFinite) {
+  Rig rig(make_spiky_delay(1000, 10, 0.2, 7));
+  for (int i = 0; i < 50; ++i) {
+    rig.sim.post(rig.client_id, [&rig, i] {
+      rig.sim.send(rig.client_id, rig.server_id, Message{static_cast<TxnId>(i), SimpleReadReq{0}});
+    });
+  }
+  rig.sim.run_until_idle();
+  EXPECT_EQ(rig.client->values.size(), 50u);
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,143 @@
+// The SNOW trace monitor: N/O verdicts computed from synthetic traces.
+#include <gtest/gtest.h>
+
+#include "checker/snow_monitor.hpp"
+
+namespace snowkit {
+namespace {
+
+struct TraceBuilder {
+  Trace t;
+  std::uint64_t seq = 1;
+
+  TraceBuilder& inv(NodeId client, TxnId txn) {
+    t.append(Action{ActionKind::Invoke, 0, client, kInvalidNode, txn, "", 0, 0});
+    return *this;
+  }
+  TraceBuilder& resp(NodeId client, TxnId txn) {
+    t.append(Action{ActionKind::Respond, 0, client, kInvalidNode, txn, "", 0, 0});
+    return *this;
+  }
+  std::uint64_t send(NodeId from, NodeId to, TxnId txn, const char* msg, int versions = 0) {
+    t.append(Action{ActionKind::Send, 0, from, to, txn, msg, seq, versions});
+    return seq++;
+  }
+  TraceBuilder& recv(NodeId at, NodeId from, TxnId txn, const char* msg, std::uint64_t s,
+                     int versions = 0) {
+    t.append(Action{ActionKind::Recv, 0, at, from, txn, msg, s, versions});
+    return *this;
+  }
+};
+
+History one_read_history(NodeId client, TxnId txn) {
+  History h;
+  h.num_objects = 2;
+  TxnRecord r;
+  r.id = txn;
+  r.client = client;
+  r.is_read = true;
+  r.complete = true;
+  h.txns.push_back(r);
+  return h;
+}
+
+TEST(SnowMonitor, OneRoundNonBlockingRead) {
+  TraceBuilder b;
+  b.inv(2, 1);
+  const auto s1 = b.send(2, 0, 1, "read-val");
+  const auto s2 = b.send(2, 1, 1, "read-val");
+  b.recv(0, 2, 1, "read-val", s1);
+  const auto r1 = b.send(0, 2, 1, "read-val-resp", 1);
+  b.recv(1, 2, 1, "read-val", s2);
+  const auto r2 = b.send(1, 2, 1, "read-val-resp", 1);
+  b.recv(2, 0, 1, "read-val-resp", r1, 1).recv(2, 1, 1, "read-val-resp", r2, 1);
+  b.resp(2, 1);
+  const auto report = analyze_snow_trace(b.t, 2, one_read_history(2, 1));
+  EXPECT_TRUE(report.satisfies_n());
+  EXPECT_TRUE(report.satisfies_o());
+  EXPECT_EQ(report.max_read_rounds, 1);
+  EXPECT_EQ(report.max_versions_per_response, 1);
+}
+
+TEST(SnowMonitor, BlockedServerDetected) {
+  TraceBuilder b;
+  b.inv(2, 1);
+  const auto s1 = b.send(2, 0, 1, "lock-req");
+  b.recv(0, 2, 1, "lock-req", s1);
+  // Server receives ANOTHER input before responding: blocking.
+  const auto w = b.send(3, 0, 9, "write-unlock");
+  b.recv(0, 3, 9, "write-unlock", w);
+  const auto g = b.send(0, 2, 1, "lock-grant", 1);
+  b.recv(2, 0, 1, "lock-grant", g, 1);
+  b.resp(2, 1);
+  const auto report = analyze_snow_trace(b.t, 2, one_read_history(2, 1));
+  EXPECT_FALSE(report.satisfies_n());
+  ASSERT_FALSE(report.violations.empty());
+}
+
+TEST(SnowMonitor, NeverRespondedIsBlocking) {
+  TraceBuilder b;
+  b.inv(2, 1);
+  const auto s1 = b.send(2, 0, 1, "read-val");
+  b.recv(0, 2, 1, "read-val", s1);
+  const auto report = analyze_snow_trace(b.t, 2, one_read_history(2, 1));
+  EXPECT_FALSE(report.satisfies_n());
+}
+
+TEST(SnowMonitor, TwoRoundsCounted) {
+  TraceBuilder b;
+  b.inv(2, 1);
+  const auto s1 = b.send(2, 0, 1, "get-tag-arr");
+  b.recv(0, 2, 1, "get-tag-arr", s1);
+  const auto r1 = b.send(0, 2, 1, "tag-arr", 1);
+  b.recv(2, 0, 1, "tag-arr", r1, 1);
+  const auto s2 = b.send(2, 1, 1, "read-val");
+  b.recv(1, 2, 1, "read-val", s2);
+  const auto r2 = b.send(1, 2, 1, "read-val-resp", 1);
+  b.recv(2, 1, 1, "read-val-resp", r2, 1);
+  b.resp(2, 1);
+  const auto report = analyze_snow_trace(b.t, 2, one_read_history(2, 1));
+  EXPECT_EQ(report.max_read_rounds, 2);
+  EXPECT_TRUE(report.satisfies_n());
+  EXPECT_FALSE(report.satisfies_o());  // two rounds break O
+}
+
+TEST(SnowMonitor, MultiVersionResponseCounted) {
+  TraceBuilder b;
+  b.inv(2, 1);
+  const auto s1 = b.send(2, 0, 1, "read-vals");
+  b.recv(0, 2, 1, "read-vals", s1);
+  const auto r1 = b.send(0, 2, 1, "read-vals-resp", 4);
+  b.recv(2, 0, 1, "read-vals-resp", r1, 4);
+  b.resp(2, 1);
+  const auto report = analyze_snow_trace(b.t, 2, one_read_history(2, 1));
+  EXPECT_EQ(report.max_versions_per_response, 4);
+  EXPECT_EQ(report.max_read_rounds, 1);
+  EXPECT_FALSE(report.satisfies_o());  // multi-version breaks one-version
+  EXPECT_TRUE(report.one_round());
+}
+
+TEST(SnowMonitor, WriteTrafficIgnored) {
+  TraceBuilder b;
+  History h;
+  h.num_objects = 2;
+  TxnRecord w;
+  w.id = 9;
+  w.client = 3;
+  w.is_read = false;
+  w.complete = true;
+  h.txns.push_back(w);
+  b.inv(3, 9);
+  const auto s1 = b.send(3, 0, 9, "write-val");
+  b.recv(0, 3, 9, "write-val", s1);
+  // Server does NOT respond before another input — but txn 9 is a WRITE, so
+  // the N verdict for reads is unaffected.
+  const auto s2 = b.send(3, 1, 9, "write-val");
+  b.recv(1, 3, 9, "write-val", s2);
+  const auto report = analyze_snow_trace(b.t, 2, h);
+  EXPECT_TRUE(report.satisfies_n());
+  EXPECT_EQ(report.max_read_rounds, 0);
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,124 @@
+// Lemma-20 tag-order verifier on hand-built histories.
+#include <gtest/gtest.h>
+
+#include "checker/tag_order.hpp"
+
+namespace snowkit {
+namespace {
+
+TxnRecord mk(TxnId id, bool is_read, Tag tag, std::uint64_t inv, std::uint64_t resp,
+             std::vector<std::pair<ObjectId, Value>> ops) {
+  TxnRecord t;
+  t.id = id;
+  t.client = 50 + static_cast<NodeId>(id);
+  t.is_read = is_read;
+  t.tag = tag;
+  t.invoke_order = inv;
+  t.respond_order = resp;
+  t.complete = true;
+  if (is_read) {
+    t.reads = std::move(ops);
+  } else {
+    t.writes = std::move(ops);
+  }
+  return t;
+}
+
+TEST(TagOrder, AcceptsConsistentHistory) {
+  History h;
+  h.num_objects = 2;
+  h.txns = {
+      mk(1, false, 1, 1, 2, {{0, 10}, {1, 20}}),
+      mk(2, true, 1, 3, 4, {{0, 10}, {1, 20}}),   // read at tag 1: sees write 1
+      mk(3, false, 2, 5, 6, {{0, 30}}),
+      mk(4, true, 2, 7, 8, {{0, 30}, {1, 20}}),
+  };
+  auto v = check_tag_order(h);
+  EXPECT_TRUE(v.ok) << v.explanation;
+}
+
+TEST(TagOrder, ReadAtTagZeroSeesInitialValues) {
+  History h;
+  h.num_objects = 2;
+  h.txns = {mk(1, true, 0, 1, 2, {{0, kInitialValue}, {1, kInitialValue}})};
+  EXPECT_TRUE(check_tag_order(h).ok);
+}
+
+TEST(TagOrder, P2RealTimeInversionRejected) {
+  History h;
+  h.num_objects = 1;
+  // Read completes (tag 2) BEFORE a tag-1 read is invoked: the later read's
+  // smaller tag inverts real time.
+  h.txns = {
+      mk(1, false, 1, 1, 2, {{0, 10}}),
+      mk(2, false, 2, 3, 4, {{0, 20}}),
+      mk(3, true, 2, 5, 6, {{0, 20}}),
+      mk(4, true, 1, 7, 8, {{0, 10}}),
+  };
+  auto v = check_tag_order(h);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.explanation.find("P2"), std::string::npos);
+}
+
+TEST(TagOrder, P3DuplicateWriteTagsRejected) {
+  History h;
+  h.num_objects = 1;
+  h.txns = {mk(1, false, 1, 1, 2, {{0, 10}}), mk(2, false, 1, 3, 4, {{0, 20}})};
+  auto v = check_tag_order(h);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.explanation.find("P3"), std::string::npos);
+}
+
+TEST(TagOrder, P4WrongValueRejected) {
+  History h;
+  h.num_objects = 1;
+  h.txns = {
+      mk(1, false, 1, 1, 2, {{0, 10}}),
+      mk(2, true, 1, 3, 4, {{0, kInitialValue}}),  // tag 1 but reads initial
+  };
+  auto v = check_tag_order(h);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.explanation.find("P4"), std::string::npos);
+}
+
+TEST(TagOrder, WriteBeforeReadAtEqualTag) {
+  History h;
+  h.num_objects = 1;
+  // Read with tag 1 must see the tag-1 write (write ≺ read at equal tags).
+  h.txns = {mk(1, false, 1, 1, 2, {{0, 10}}), mk(2, true, 1, 1, 3, {{0, 10}})};
+  EXPECT_TRUE(check_tag_order(h).ok);
+}
+
+TEST(TagOrder, IncompleteTxnRejectedAsNonQuiescent) {
+  History h;
+  h.num_objects = 1;
+  TxnRecord t = mk(1, false, 1, 1, 2, {{0, 10}});
+  t.complete = false;
+  h.txns = {t};
+  auto v = check_tag_order(h);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.explanation.find("quiescent"), std::string::npos);
+}
+
+TEST(TagOrder, MissingTagRejected) {
+  History h;
+  h.num_objects = 1;
+  TxnRecord t = mk(1, true, 0, 1, 2, {{0, kInitialValue}});
+  t.tag = kInvalidTag;
+  h.txns = {t};
+  EXPECT_FALSE(check_tag_order(h).ok);
+}
+
+TEST(TagOrder, EqualTagReadsShareThePrefix) {
+  History h;
+  h.num_objects = 2;
+  h.txns = {
+      mk(1, false, 1, 1, 2, {{0, 10}, {1, 11}}),
+      mk(2, true, 1, 3, 4, {{0, 10}}),
+      mk(3, true, 1, 3, 5, {{1, 11}}),
+  };
+  EXPECT_TRUE(check_tag_order(h).ok);
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,88 @@
+// VersionStore: the per-server Vals set of the paper's pseudocode.
+#include <gtest/gtest.h>
+
+#include "proto/version_store.hpp"
+
+namespace snowkit {
+namespace {
+
+TEST(VersionStore, InitialVersionPresent) {
+  VersionStore s;
+  EXPECT_TRUE(s.has(kInitialKey));
+  EXPECT_EQ(s.get(kInitialKey), kInitialValue);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(VersionStore, CustomInitialValue) {
+  VersionStore s(42);
+  EXPECT_EQ(s.get(kInitialKey), 42);
+}
+
+TEST(VersionStore, InsertAndGet) {
+  VersionStore s;
+  const WriteKey k{1, 7};
+  s.insert(k, 99);
+  EXPECT_TRUE(s.has(k));
+  EXPECT_EQ(s.get(k), 99);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(VersionStore, InsertOverwritesSameKey) {
+  VersionStore s;
+  const WriteKey k{1, 7};
+  s.insert(k, 1);
+  s.insert(k, 2);
+  EXPECT_EQ(s.get(k), 2);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(VersionStore, TryGetMissing) {
+  VersionStore s;
+  EXPECT_FALSE(s.try_get(WriteKey{9, 9}).has_value());
+  EXPECT_TRUE(s.try_get(kInitialKey).has_value());
+}
+
+TEST(VersionStore, AllReturnsEveryVersion) {
+  VersionStore s;
+  s.insert(WriteKey{1, 0}, 10);
+  s.insert(WriteKey{1, 1}, 11);
+  auto all = s.all();
+  EXPECT_EQ(all.size(), 3u);
+  // Keys are distinct.
+  EXPECT_NE(all[0].key, all[1].key);
+  EXPECT_NE(all[1].key, all[2].key);
+}
+
+TEST(VersionStore, EraseRemoves) {
+  VersionStore s;
+  const WriteKey k{3, 3};
+  s.insert(k, 5);
+  EXPECT_TRUE(s.erase(k));
+  EXPECT_FALSE(s.has(k));
+  EXPECT_FALSE(s.erase(k));
+}
+
+TEST(VersionStore, GetMissingAborts) {
+  VersionStore s;
+  EXPECT_DEATH(s.get(WriteKey{5, 5}), "not in Vals");
+}
+
+TEST(VersionStore, KeysFromDifferentWritersDistinct) {
+  VersionStore s;
+  s.insert(WriteKey{1, 0}, 10);
+  s.insert(WriteKey{1, 1}, 20);  // same seq, different writer
+  EXPECT_EQ(s.get(WriteKey{1, 0}), 10);
+  EXPECT_EQ(s.get(WriteKey{1, 1}), 20);
+}
+
+TEST(WriteKeyTest, OrderingAndHash) {
+  EXPECT_LT((WriteKey{1, 0}), (WriteKey{2, 0}));
+  EXPECT_LT((WriteKey{1, 0}), (WriteKey{1, 1}));
+  std::hash<WriteKey> h;
+  EXPECT_NE(h(WriteKey{1, 0}), h(WriteKey{1, 1}));
+  EXPECT_EQ(to_string(kInitialKey), "k0");
+  EXPECT_EQ(to_string(WriteKey{2, 3}), "(2,w3)");
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,92 @@
+// Workload generation: zipfian sampler statistics, op streams, determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.hpp"
+
+namespace snowkit {
+namespace {
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfSampler z(10, 0.0, 42);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) ++counts[z.next()];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    EXPECT_NEAR(c, 10'000, 600);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowIndices) {
+  ZipfSampler z(100, 0.99, 42);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) ++counts[z.next()];
+  int head = 0;
+  for (std::size_t k = 0; k < 10; ++k) head += counts.count(k) ? counts[k] : 0;
+  EXPECT_GT(head, 55'000) << "top 10% of keys should absorb most accesses at theta=0.99";
+  // All samples in range.
+  for (const auto& [k, c] : counts) {
+    (void)c;
+    EXPECT_LT(k, 100u);
+  }
+}
+
+TEST(Zipf, DeterministicAcrossInstances) {
+  ZipfSampler a(50, 0.9, 7);
+  ZipfSampler b(50, 0.9, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(OpStream, DistinctSortedObjects) {
+  WorkloadSpec spec;
+  spec.zipf_theta = 0.9;
+  OpStream s(8, spec, 123);
+  for (int i = 0; i < 200; ++i) {
+    auto objs = s.next_objects(4);
+    ASSERT_EQ(objs.size(), 4u);
+    for (std::size_t j = 1; j < objs.size(); ++j) {
+      EXPECT_LT(objs[j - 1], objs[j]);  // sorted + distinct
+    }
+    for (ObjectId o : objs) EXPECT_LT(o, 8u);
+  }
+}
+
+TEST(OpStream, SpanClampedToObjectCount) {
+  WorkloadSpec spec;
+  OpStream s(3, spec, 1);
+  auto objs = s.next_objects(10);
+  EXPECT_EQ(objs.size(), 3u);
+}
+
+TEST(OpStream, SeedsGiveDifferentStreams) {
+  WorkloadSpec spec;
+  OpStream a(16, spec, 1);
+  OpStream b(16, spec, 2);
+  int diffs = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.next_objects(2) != b.next_objects(2)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(Rng, Xoshiro256BelowIsUnbiasedEnough) {
+  Xoshiro256 rng(9);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 30'000; ++i) ++counts[rng.below(3)];
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    EXPECT_NEAR(c, 10'000, 500);
+  }
+}
+
+TEST(Rng, SplitMix64StreamsDiffer) {
+  SplitMix64 sm(1);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace snowkit
