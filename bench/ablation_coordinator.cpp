@@ -19,7 +19,7 @@ void print_coordinator_placement() {
   bench::heading("ablation 1: coordinator placement (8 shards, zipfian hot shard = 0)");
   const std::vector<int> widths{10, 14, 12, 12, 10};
   bench::row({"protocol", "s* location", "p50(us)", "p99(us)", "S holds"}, widths);
-  for (ProtocolKind kind : {ProtocolKind::AlgoB, ProtocolKind::AlgoC}) {
+  for (const char* kind : {"algo-b", "algo-c"}) {
     for (ObjectId coor : {ObjectId{0}, ObjectId{7}}) {
       WorkloadSpec spec;
       spec.ops_per_reader = 80;
@@ -28,10 +28,9 @@ void print_coordinator_placement() {
       spec.zipf_theta = 0.9;
       spec.seed = 17;
       BuildOptions opts;
-      opts.algo_b.coordinator = coor;
-      opts.algo_c.coordinator = coor;
+      opts.set("coordinator", coor);
       auto r = bench::run_sim_workload(kind, Topology{8, 2, 2}, spec, 17, opts);
-      bench::row({protocol_name(kind), coor == 0 ? "hot shard" : "cold shard",
+      bench::row({kind, coor == 0 ? "hot shard" : "cold shard",
                   bench::us(static_cast<double>(r.read_latency.p50_ns)),
                   bench::us(static_cast<double>(r.read_latency.p99_ns)),
                   bench::yesno(r.tag_order_ok)},
@@ -54,8 +53,8 @@ void print_gc_ablation() {
     spec.write_span = 2;
     spec.seed = 23;
     BuildOptions opts;
-    opts.algo_c.gc_versions = gc;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 2, 4}, spec, 23, opts);
+    opts.set("gc_versions", gc);
+    auto r = bench::run_sim_workload("algo-c", Topology{2, 2, 4}, spec, 23, opts);
     int retried = 0;
     for (const auto& t : r.history.txns) {
       if (t.is_read && t.complete && t.rounds > 1) ++retried;
@@ -76,7 +75,7 @@ void print_c2c_cost() {
   bench::heading("ablation 3: Algorithm A's write path (the cost of SNOW reads in MWSR)");
   const std::vector<int> widths{12, 14, 14, 14};
   bench::row({"protocol", "write p50(us)", "write p99(us)", "read p50(us)"}, widths);
-  for (ProtocolKind kind : {ProtocolKind::AlgoA, ProtocolKind::AlgoB, ProtocolKind::Simple}) {
+  for (const char* kind : {"algo-a", "algo-b", "simple"}) {
     WorkloadSpec spec;
     spec.ops_per_reader = 60;
     spec.ops_per_writer = 60;
@@ -85,7 +84,7 @@ void print_c2c_cost() {
     spec.seed = 29;
     const std::size_t readers = 1;  // MWSR for a fair A comparison
     auto r = bench::run_sim_workload(kind, Topology{4, readers, 3}, spec, 29);
-    bench::row({protocol_name(kind), bench::us(static_cast<double>(r.write_latency.p50_ns)),
+    bench::row({kind, bench::us(static_cast<double>(r.write_latency.p50_ns)),
                 bench::us(static_cast<double>(r.write_latency.p99_ns)),
                 bench::us(static_cast<double>(r.read_latency.p50_ns))},
                widths);
@@ -104,8 +103,8 @@ void BM_CoordinatorPlacement(benchmark::State& state) {
     spec.zipf_theta = 0.9;
     spec.seed = 31;
     BuildOptions opts;
-    opts.algo_b.coordinator = coor;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoB, Topology{8, 2, 2}, spec, 31, opts);
+    opts.set("coordinator", coor);
+    auto r = bench::run_sim_workload("algo-b", Topology{8, 2, 2}, spec, 31, opts);
     benchmark::DoNotOptimize(r.read_latency.count);
   }
 }

@@ -41,30 +41,34 @@ struct SimRunResult {
   SnowTraceReport snow;
   LatencySummary read_latency;
   LatencySummary write_latency;
+  LatencySummary sojourn_latency;  ///< arrival->completion incl. backlog queueing.
   std::uint64_t wire_messages{0};
   std::uint64_t wire_bytes{0};
   bool tag_order_ok{false};
   std::string tag_order_note;
 };
 
-/// Runs a closed-loop workload for `kind` on a fresh simulator and collects
-/// everything the tables need.
-inline SimRunResult run_sim_workload(ProtocolKind kind, Topology topo, WorkloadSpec spec,
-                                     std::uint64_t delay_seed = 1, BuildOptions opts = {}) {
+/// Runs a workload for protocol `kind` (a registry name) on a fresh simulator
+/// and collects everything the tables need.  `cfg.num_servers` may shard the
+/// objects over a smaller fleet; `driver_opts` selects closed vs open loop.
+inline SimRunResult run_sim_workload(const std::string& kind, SystemConfig cfg, WorkloadSpec spec,
+                                     std::uint64_t delay_seed = 1, BuildOptions opts = {},
+                                     DriverOptions driver_opts = {}) {
   SimRuntime sim(make_uniform_delay(50'000, 2'000'000, delay_seed));  // 50us..2ms hops
   WireStats wire;
   sim.set_observer(&wire);
-  HistoryRecorder rec(topo.num_objects);
-  auto sys = build_protocol(kind, sim, rec, topo, opts);
-  ClosedLoopDriver driver(sim, *sys, spec);
+  HistoryRecorder rec(cfg.num_objects);
+  auto sys = build_protocol(kind, sim, rec, cfg, opts);
+  WorkloadDriver driver(sim, *sys, spec, driver_opts);
   driver.start();
   sim.run_until_idle();
 
   SimRunResult out;
   out.history = rec.snapshot();
-  out.snow = analyze_snow_trace(sim.trace(), topo.num_objects, out.history);
+  out.snow = analyze_snow_trace(sim.trace(), sys->num_servers(), out.history);
   out.read_latency = summarize_latency(out.history, /*reads=*/true);
   out.write_latency = summarize_latency(out.history, /*reads=*/false);
+  out.sojourn_latency = driver.sojourn_latency();
   out.wire_messages = wire.messages();
   out.wire_bytes = wire.bytes();
   if (provides_tags(kind)) {

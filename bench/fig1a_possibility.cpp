@@ -30,7 +30,7 @@ std::string snow_ok_cell(std::size_t writers, int seeds) {
     spec.read_span = 2;
     spec.write_span = 2;
     spec.seed = static_cast<std::uint64_t>(seed);
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoA, Topology{2, 1, writers}, spec,
+    auto r = bench::run_sim_workload("algo-a", Topology{2, 1, writers}, spec,
                                      static_cast<std::uint64_t>(seed));
     if (!r.tag_order_ok) return "UNEXPECTED S-violation: " + r.tag_order_note;
     if (!r.snow.satisfies_n() || !r.snow.satisfies_o()) return "UNEXPECTED N/O violation";
@@ -84,7 +84,7 @@ void BM_AlgoA_SnowVerifiedRun(benchmark::State& state) {
     spec.ops_per_reader = 30;
     spec.ops_per_writer = 10;
     spec.seed = 7;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoA,
+    auto r = bench::run_sim_workload("algo-a",
                                      Topology{2, 1, static_cast<std::size_t>(state.range(0))},
                                      spec, 7);
     benchmark::DoNotOptimize(r.tag_order_ok);

@@ -30,7 +30,7 @@ struct CellResult {
   bool s_ok{false};
 };
 
-CellResult run_cell(ProtocolKind kind, std::size_t writers) {
+CellResult run_cell(const std::string& kind, std::size_t writers) {
   CellResult cell;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     WorkloadSpec spec;
@@ -54,9 +54,9 @@ void print_table() {
   row({"cell (rounds, versions)", "rounds", "versions", "non-blocking", "S holds"}, widths);
 
   const std::size_t W = 3;  // concurrent writers
-  const CellResult b = run_cell(ProtocolKind::AlgoB, W);
-  const CellResult c = run_cell(ProtocolKind::AlgoC, W);
-  const CellResult o = run_cell(ProtocolKind::OccReads, W);
+  const CellResult b = run_cell("algo-b", W);
+  const CellResult c = run_cell("algo-c", W);
+  const CellResult o = run_cell("occ-reads", W);
 
   auto chain = theory::run_two_client_chain();
   row({"(1, 1)  — impossible", "1", "1", "yes", "NO*"}, widths);
@@ -82,7 +82,7 @@ void BM_AlgoB_ReadRound(benchmark::State& state) {
     spec.ops_per_reader = 40;
     spec.ops_per_writer = 10;
     spec.seed = 3;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoB, Topology{3, 2, 2}, spec, 3);
+    auto r = bench::run_sim_workload("algo-b", Topology{3, 2, 2}, spec, 3);
     benchmark::DoNotOptimize(r.read_latency.count);
   }
 }
@@ -94,7 +94,7 @@ void BM_AlgoC_ReadRound(benchmark::State& state) {
     spec.ops_per_reader = 40;
     spec.ops_per_writer = 10;
     spec.seed = 3;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{3, 2, 2}, spec, 3);
+    auto r = bench::run_sim_workload("algo-c", Topology{3, 2, 2}, spec, 3);
     benchmark::DoNotOptimize(r.read_latency.count);
   }
 }

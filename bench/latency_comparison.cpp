@@ -15,7 +15,7 @@ namespace {
 
 struct Line {
   const char* name;
-  ProtocolKind kind;
+  std::string kind;
   std::size_t readers;
   std::size_t writers;
   const char* guarantee;
@@ -28,13 +28,13 @@ void print_table() {
              widths);
 
   const Line lines[] = {
-      {"simple", ProtocolKind::Simple, 2, 1, "none (floor)"},
-      {"algo-a", ProtocolKind::AlgoA, 1, 2, "strict serializability"},
-      {"algo-b", ProtocolKind::AlgoB, 2, 2, "strict serializability"},
-      {"algo-c", ProtocolKind::AlgoC, 2, 2, "strict serializability"},
-      {"occ-reads", ProtocolKind::OccReads, 2, 2, "strict serializability"},
-      {"eiger", ProtocolKind::Eiger, 2, 2, "NOT strict (see fig5)"},
-      {"blocking-2pl", ProtocolKind::Blocking, 2, 2, "strict serializability"},
+      {"simple", "simple", 2, 1, "none (floor)"},
+      {"algo-a", "algo-a", 1, 2, "strict serializability"},
+      {"algo-b", "algo-b", 2, 2, "strict serializability"},
+      {"algo-c", "algo-c", 2, 2, "strict serializability"},
+      {"occ-reads", "occ-reads", 2, 2, "strict serializability"},
+      {"eiger", "eiger", 2, 2, "NOT strict (see fig5)"},
+      {"blocking-2pl", "blocking-2pl", 2, 2, "strict serializability"},
   };
 
   double floor_p50 = 0;
@@ -47,7 +47,7 @@ void print_table() {
     spec.zipf_theta = 0.9;
     spec.seed = 42;
     auto r = bench::run_sim_workload(line.kind, Topology{4, line.readers, line.writers}, spec, 42);
-    if (line.kind == ProtocolKind::Simple) floor_p50 = static_cast<double>(r.read_latency.p50_ns);
+    if (line.kind == "simple") floor_p50 = static_cast<double>(r.read_latency.p50_ns);
     bench::row({line.name, std::to_string(r.snow.max_read_rounds),
                 bench::us(static_cast<double>(r.read_latency.p50_ns)),
                 bench::us(static_cast<double>(r.read_latency.p99_ns)),
@@ -67,7 +67,7 @@ void print_contention_sensitivity() {
   const std::vector<int> widths{14, 12, 12, 12};
   bench::row({"protocol", "writers", "p50(us)", "p99(us)"}, widths);
   for (std::size_t writers : {1, 4, 8}) {
-    for (ProtocolKind kind : {ProtocolKind::Blocking, ProtocolKind::AlgoB}) {
+    for (const std::string kind : {"blocking-2pl", "algo-b"}) {
       WorkloadSpec spec;
       spec.ops_per_reader = 200;
       spec.ops_per_writer = 100;
@@ -75,8 +75,7 @@ void print_contention_sensitivity() {
       spec.write_span = 2;
       spec.seed = 7;
       auto r = bench::run_sim_workload(kind, Topology{2, 2, writers}, spec, 7);
-      bench::row({kind == ProtocolKind::Blocking ? "blocking-2pl" : "algo-b",
-                  std::to_string(writers),
+      bench::row({kind, std::to_string(writers),
                   bench::us(static_cast<double>(r.read_latency.p50_ns)),
                   bench::us(static_cast<double>(r.read_latency.p99_ns))},
                  widths);
@@ -86,8 +85,10 @@ void print_contention_sensitivity() {
               "(non-blocking servers answer immediately regardless of concurrent WRITEs).\n");
 }
 
+const char* const kBmProtocols[] = {"algo-b", "algo-c", "simple"};
+
 void BM_SimReadLatency(benchmark::State& state) {
-  const auto kind = static_cast<ProtocolKind>(state.range(0));
+  const std::string kind = kBmProtocols[state.range(0)];
   for (auto _ : state) {
     WorkloadSpec spec;
     spec.ops_per_reader = 100;
@@ -99,9 +100,9 @@ void BM_SimReadLatency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimReadLatency)
-    ->Arg(static_cast<int>(ProtocolKind::AlgoB))
-    ->Arg(static_cast<int>(ProtocolKind::AlgoC))
-    ->Arg(static_cast<int>(ProtocolKind::Simple));
+    ->Arg(0)   // algo-b
+    ->Arg(1)   // algo-c
+    ->Arg(2);  // simple
 
 }  // namespace
 }  // namespace snowkit

@@ -22,11 +22,11 @@ void print_table() {
     spec.seed = writers;
 
     BuildOptions nogc;
-    auto base = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 2, writers}, spec,
+    auto base = bench::run_sim_workload("algo-c", Topology{2, 2, writers}, spec,
                                         writers, nogc);
     BuildOptions gc;
-    gc.algo_c.gc_versions = true;
-    auto bounded = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 2, writers}, spec,
+    gc.set("gc_versions", true);
+    auto bounded = bench::run_sim_workload("algo-c", Topology{2, 2, writers}, spec,
                                            writers + 100, gc);
     bench::row({std::to_string(writers), std::to_string(writers * 50),
                 std::to_string(base.snow.max_versions_per_response),
@@ -49,7 +49,7 @@ void print_rounds_vs_span() {
     spec.ops_per_writer = 20;
     spec.read_span = span;
     spec.seed = 9;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{8, 2, 2}, spec, 9);
+    auto r = bench::run_sim_workload("algo-c", Topology{8, 2, 2}, spec, 9);
     bench::row({std::to_string(span), std::to_string(r.snow.max_read_rounds),
                 bench::us(static_cast<double>(r.read_latency.p50_ns))},
                widths);
@@ -64,8 +64,8 @@ void BM_AlgoC_Gc(benchmark::State& state) {
     spec.ops_per_writer = 50;
     spec.seed = 11;
     BuildOptions opts;
-    opts.algo_c.gc_versions = gc;
-    auto r = bench::run_sim_workload(ProtocolKind::AlgoC, Topology{2, 1, 4}, spec, 11, opts);
+    opts.set("gc_versions", gc);
+    auto r = bench::run_sim_workload("algo-c", Topology{2, 1, 4}, spec, 11, opts);
     benchmark::DoNotOptimize(r.wire_bytes);
     state.counters["wire_MB"] = static_cast<double>(r.wire_bytes) / 1e6;
   }

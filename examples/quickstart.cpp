@@ -2,7 +2,7 @@
 // latency READ transactions (Algorithm B), write to it, read from it, and
 // verify the run with the built-in checker.
 //
-//   cmake --build build && ./build/examples/quickstart
+//   cmake --build build && ./build/example_quickstart
 #include <cstdio>
 
 #include "checker/tag_order.hpp"
@@ -12,24 +12,34 @@
 int main() {
   using namespace snowkit;
 
-  // A datacenter with 4 shards (one object per server, as in the paper's
-  // model), 1 read-client and 1 write-client, on the deterministic simulator.
-  // Swap SimRuntime for ThreadRuntime to run on real threads — the protocol
-  // code is identical.
-  SimRuntime rt(make_uniform_delay(50'000, 500'000, /*seed=*/1));
-  HistoryRecorder recorder(/*num_objects=*/4);
-  auto system = build_protocol(ProtocolKind::AlgoB, rt, recorder, Topology{4, 1, 1});
+  // A datacenter with 8 objects hash-sharded over 3 servers, 1 read-client
+  // and 1 write-client, on the deterministic simulator.  Protocols resolve
+  // by registry name — swap "algo-b" for any of registered_protocols(), and
+  // SimRuntime for ThreadRuntime to run on real threads; the protocol code
+  // is identical.  Leave num_servers at 0 for the paper's one-server-per-
+  // object model.
+  SystemConfig config{/*num_objects=*/8, /*num_readers=*/1, /*num_writers=*/1};
+  config.num_servers = 3;
+  config.placement = PlacementKind::kHash;
 
-  // WRITE transaction: update objects 0 and 2 atomically.
-  invoke_write(rt, system->writer(0), {{0, 100}, {2, 300}}, [](const WriteResult& w) {
+  SimRuntime rt(make_uniform_delay(50'000, 500'000, /*seed=*/1));
+  HistoryRecorder recorder(config.num_objects);
+  auto system = build_protocol("algo-b", rt, recorder, config);
+  std::printf("built %s: %zu objects on %zu servers\n", system->name().c_str(),
+              system->num_objects(), system->num_servers());
+
+  // WRITE transaction: update objects 0 and 2 atomically, via the unified
+  // client API (a TxnRequest is a read-set or a write-set).
+  system->client(0).submit(write_txn({{0, 100}, {2, 300}}), [](const TxnResult& w) {
     std::printf("WRITE txn %llu committed\n", static_cast<unsigned long long>(w.txn));
   });
   rt.run_until_idle();
 
-  // READ transaction: a consistent multi-get across three shards.  With
-  // Algorithm B this takes exactly two non-blocking rounds and returns one
-  // version per object; Algorithm C would take one round.
-  invoke_read(rt, system->reader(0), {0, 1, 2}, [](const ReadResult& r) {
+  // READ transaction: a consistent multi-get across three objects — which
+  // may live on fewer servers.  With Algorithm B this takes exactly two
+  // non-blocking rounds and returns one version per object; Algorithm C
+  // would take one round.
+  system->client(0).submit(read_txn({0, 1, 2}), [](const TxnResult& r) {
     std::printf("READ txn %llu returned:", static_cast<unsigned long long>(r.txn));
     for (const auto& [obj, value] : r.values) {
       std::printf("  obj%u=%lld", obj, static_cast<long long>(value));

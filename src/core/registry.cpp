@@ -1,0 +1,134 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace snowkit {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+}  // namespace
+
+BuildOptions& BuildOptions::set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+  return *this;
+}
+
+BuildOptions& BuildOptions::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+BuildOptions& BuildOptions::set(const std::string& key, bool value) {
+  return set(key, std::string(value ? "true" : "false"));
+}
+
+BuildOptions& BuildOptions::set(const std::string& key, std::int64_t value) {
+  return set(key, std::to_string(value));
+}
+
+std::string BuildOptions::get(const std::string& key, const std::string& def) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? def : it->second;
+}
+
+bool BuildOptions::get_bool(const std::string& key, bool def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("BuildOptions: '" + key + "=" + v + "' is not a boolean");
+}
+
+std::int64_t BuildOptions::get_int(const std::string& key, std::int64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("BuildOptions: '" + key + "=" + it->second +
+                                "' is not an integer");
+  }
+}
+
+BuildOptions BuildOptions::parse(const std::string& csv) {
+  BuildOptions opts;
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("BuildOptions: expected key=value, got '" + item + "'");
+    }
+    opts.set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return opts;
+}
+
+ProtocolRegistry& ProtocolRegistry::global() {
+  static ProtocolRegistry* instance = new ProtocolRegistry();  // never destroyed
+  return *instance;
+}
+
+void ProtocolRegistry::add(ProtocolTraits traits, ProtocolFactory factory) {
+  if (traits.name.empty()) throw std::logic_error("ProtocolRegistry: empty protocol name");
+  if (!factory) throw std::logic_error("ProtocolRegistry: null factory for " + traits.name);
+  const std::string name = traits.name;
+  if (!entries_.emplace(name, Entry{std::move(traits), std::move(factory)}).second) {
+    throw std::logic_error("ProtocolRegistry: duplicate registration of '" + name + "'");
+  }
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+const ProtocolRegistry::Entry& ProtocolRegistry::lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown protocol '" + name +
+                                "'; registered protocols: " + join(names()));
+  }
+  return it->second;
+}
+
+const ProtocolTraits& ProtocolRegistry::traits(const std::string& name) const {
+  return lookup(name).traits;
+}
+
+std::unique_ptr<ProtocolSystem> ProtocolRegistry::build(const std::string& name, Runtime& rt,
+                                                        HistoryRecorder& rec,
+                                                        const SystemConfig& cfg,
+                                                        const BuildOptions& opts) const {
+  const Entry& entry = lookup(name);
+  cfg.validate();
+  auto sys = entry.factory(rt, rec, cfg, opts);
+  if (!sys) throw std::logic_error("protocol factory for '" + name + "' returned null");
+  return sys;
+}
+
+ProtocolRegistration::ProtocolRegistration(ProtocolTraits traits, ProtocolFactory factory) {
+  ProtocolRegistry::global().add(std::move(traits), std::move(factory));
+}
+
+}  // namespace snowkit

@@ -1,0 +1,125 @@
+// String-keyed protocol registry.
+//
+// Every protocol under src/proto/* registers itself at static-initialization
+// time with a factory plus a ProtocolTraits capability record, so
+// `ProtocolRegistry::global().build("algo-b", ...)` resolves by name, new
+// protocols need zero edits to src/core, and benches/CLIs can parse protocol
+// names generically.  The idiom follows hermes' pluggable Checker registry.
+//
+// Lookups fail fast: an unknown name throws std::invalid_argument naming the
+// offender and listing every registered protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/api.hpp"
+
+namespace snowkit {
+
+/// Capability record a protocol publishes alongside its factory.  The SNOW
+/// fields are the protocol's CLAIMS about its READ transactions (paper §2);
+/// the checkers exist precisely to audit them.
+struct ProtocolTraits {
+  std::string name;     ///< registry key, e.g. "algo-b".
+  std::string summary;  ///< one-line description for docs/CLIs.
+
+  /// Claims strict serializability for READ transactions.  Eiger claims it
+  /// too — §6 shows the claim does not hold, which the checkers expose.
+  bool claims_strict_serializability{false};
+  /// Assigns Lemma-20 tags (enables the fast tag-order checker).
+  bool provides_tags{false};
+
+  // SNOW-property claims (Definition 2.1-2.4).
+  bool snow_s{false};  ///< S: strict serializability.
+  bool snow_n{false};  ///< N: non-blocking servers.
+  bool snow_o{false};  ///< O: one round, one version per response.
+  bool snow_w{false};  ///< W: conflicting WRITE transactions supported.
+
+  /// True when READs are multi-writer multi-reader; Algorithm A is MWSR.
+  bool mwmr{true};
+};
+
+/// Generic, protocol-agnostic build options: a string key/value bag that
+/// factories interpret (and CLIs populate from `key=value` flags).  Unknown
+/// keys are ignored by factories, so one options bag can be shared across a
+/// protocol sweep.
+class BuildOptions {
+ public:
+  BuildOptions() = default;
+
+  BuildOptions& set(const std::string& key, std::string value);
+  BuildOptions& set(const std::string& key, const char* value);
+  BuildOptions& set(const std::string& key, bool value);
+  BuildOptions& set(const std::string& key, std::int64_t value);
+  BuildOptions& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  BuildOptions& set(const std::string& key, std::uint32_t value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  BuildOptions& set(const std::string& key, std::size_t value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+
+  bool has(const std::string& key) const { return entries_.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& def = "") const;
+  bool get_bool(const std::string& key, bool def = false) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def = 0) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  /// Parses "key=value,key=value" (as taken from a CLI flag).  Throws
+  /// std::invalid_argument on malformed input.
+  static BuildOptions parse(const std::string& csv);
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+using ProtocolFactory = std::function<std::unique_ptr<ProtocolSystem>(
+    Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts)>;
+
+class ProtocolRegistry {
+ public:
+  /// The process-wide registry all protocols register into.
+  static ProtocolRegistry& global();
+
+  /// Registers a protocol; throws std::logic_error on duplicate names.
+  void add(ProtocolTraits traits, ProtocolFactory factory);
+
+  bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Fails fast on unknown names: throws std::invalid_argument carrying the
+  /// offending name and the full registered list.
+  const ProtocolTraits& traits(const std::string& name) const;
+
+  /// Validates `cfg`, resolves `name` and builds the protocol instance.
+  std::unique_ptr<ProtocolSystem> build(const std::string& name, Runtime& rt,
+                                        HistoryRecorder& rec, const SystemConfig& cfg,
+                                        const BuildOptions& opts = {}) const;
+
+ private:
+  struct Entry {
+    ProtocolTraits traits;
+    ProtocolFactory factory;
+  };
+
+  const Entry& lookup(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Static-init registration helper:
+///   namespace { const ProtocolRegistration reg{traits, factory}; }
+struct ProtocolRegistration {
+  ProtocolRegistration(ProtocolTraits traits, ProtocolFactory factory);
+};
+
+}  // namespace snowkit

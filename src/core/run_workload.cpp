@@ -1,69 +1,199 @@
 #include "core/run_workload.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/assert.hpp"
 
 namespace snowkit {
 
-ClosedLoopDriver::ClosedLoopDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec)
-    : rt_(rt), sys_(sys), spec_(spec) {
+namespace {
+
+void validate_span(const char* what, std::size_t span, std::size_t num_objects) {
+  if (span == 0) {
+    throw std::invalid_argument(std::string("WorkloadSpec: ") + what + " must be >= 1");
+  }
+  if (span > num_objects) {
+    throw std::invalid_argument(std::string("WorkloadSpec: ") + what + " (" +
+                                std::to_string(span) + ") exceeds num_objects (" +
+                                std::to_string(num_objects) + ")");
+  }
+}
+
+}  // namespace
+
+WorkloadDriver::WorkloadDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec,
+                               DriverOptions opts)
+    : rt_(rt), sys_(sys), spec_(spec), opts_(opts), coin_(spec.seed ^ 0xC0FFEEull) {
+  const std::size_t k = sys_.num_objects();
+  const bool issues_reads =
+      opts_.mode == ArrivalMode::kOpenLoop || opts_.mixed
+          ? true
+          : (sys_.num_readers() > 0 && spec_.ops_per_reader > 0);
+  const bool issues_writes =
+      opts_.mode == ArrivalMode::kOpenLoop || opts_.mixed
+          ? true
+          : (sys_.num_writers() > 0 && spec_.ops_per_writer > 0);
+  if (issues_reads) validate_span("read_span", spec_.read_span, k);
+  if (issues_writes) validate_span("write_span", spec_.write_span, k);
+
   SplitMix64 seeds(spec_.seed);
-  for (std::size_t i = 0; i < sys_.num_readers(); ++i) {
-    reader_streams_.emplace_back(sys_.num_objects(), spec_, seeds.next());
+  if (opts_.mode == ArrivalMode::kClosedLoop && !opts_.mixed) {
+    // Split closed loop: the seed driver's exact behaviour (and seeds).
+    for (std::size_t i = 0; i < sys_.num_readers(); ++i) {
+      reader_streams_.emplace_back(k, spec_, seeds.next());
+    }
+    for (std::size_t i = 0; i < sys_.num_writers(); ++i) {
+      writer_streams_.emplace_back(k, spec_, seeds.next());
+    }
+    total_ops_ =
+        sys_.num_readers() * spec_.ops_per_reader + sys_.num_writers() * spec_.ops_per_writer;
+  } else {
+    for (std::size_t i = 0; i < sys_.num_clients(); ++i) {
+      client_streams_.emplace_back(k, spec_, seeds.next());
+      client_coins_.emplace_back(seeds.next());
+    }
+    if (opts_.mode == ArrivalMode::kOpenLoop) {
+      total_ops_ = opts_.total_ops;
+      if (opts_.arrival_interval_ns == 0) {
+        throw std::invalid_argument("DriverOptions: open loop needs arrival_interval_ns > 0");
+      }
+    } else {
+      total_ops_ = sys_.num_clients() * opts_.ops_per_client;
+    }
+    if (opts_.read_fraction > 0 && sys_.num_readers() == 0) {
+      throw std::invalid_argument("DriverOptions: read_fraction > 0 but the system has no "
+                                  "read clients");
+    }
+    if (opts_.read_fraction < 1 && sys_.num_writers() == 0) {
+      throw std::invalid_argument("DriverOptions: read_fraction < 1 but the system has no "
+                                  "write clients");
+    }
   }
-  for (std::size_t i = 0; i < sys_.num_writers(); ++i) {
-    writer_streams_.emplace_back(sys_.num_objects(), spec_, seeds.next());
-  }
-  total_ops_ = sys_.num_readers() * spec_.ops_per_reader + sys_.num_writers() * spec_.ops_per_writer;
+  arrivals_left_ = opts_.mode == ArrivalMode::kOpenLoop ? total_ops_ : 0;
   remaining_ops_.store(total_ops_, std::memory_order_relaxed);
 }
 
-void ClosedLoopDriver::start() {
+void WorkloadDriver::start() {
   if (total_ops_ == 0) return;
+  if (opts_.mode == ArrivalMode::kOpenLoop) {
+    schedule_arrival();
+    return;
+  }
+  if (opts_.mixed) {
+    for (std::size_t i = 0; i < sys_.num_clients(); ++i) {
+      issue_mixed_chain(i, opts_.ops_per_client);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < sys_.num_readers(); ++i) {
-    if (spec_.ops_per_reader > 0) issue_read(i, spec_.ops_per_reader);
+    if (spec_.ops_per_reader > 0) issue_read_chain(i, spec_.ops_per_reader);
   }
   for (std::size_t i = 0; i < sys_.num_writers(); ++i) {
-    if (spec_.ops_per_writer > 0) issue_write(i, spec_.ops_per_writer);
+    if (spec_.ops_per_writer > 0) issue_write_chain(i, spec_.ops_per_writer);
   }
 }
 
-void ClosedLoopDriver::issue_read(std::size_t reader, std::size_t remaining) {
-  auto objs = reader_streams_[reader].next_objects(spec_.read_span);
-  invoke_read(rt_, sys_.reader(reader), std::move(objs), [this, reader, remaining](const ReadResult&) {
-    op_finished();
-    if (remaining > 1) issue_read(reader, remaining - 1);
-  });
-}
-
-void ClosedLoopDriver::issue_write(std::size_t writer, std::size_t remaining) {
-  auto objs = writer_streams_[writer].next_objects(spec_.write_span);
+TxnRequest WorkloadDriver::next_request(std::size_t client, bool is_read) {
+  OpStream& stream =
+      !client_streams_.empty()
+          ? client_streams_[client]
+          : (is_read ? reader_streams_[client] : writer_streams_[client]);
+  if (is_read) {
+    return read_txn(stream.next_objects(spec_.read_span));
+  }
+  auto objs = stream.next_objects(spec_.write_span);
   std::vector<std::pair<ObjectId, Value>> writes;
   writes.reserve(objs.size());
   for (ObjectId obj : objs) {
     // Globally unique values let the checkers identify producers exactly.
-    writes.emplace_back(obj, static_cast<Value>(next_value_.fetch_add(1, std::memory_order_relaxed)));
+    writes.emplace_back(obj,
+                        static_cast<Value>(next_value_.fetch_add(1, std::memory_order_relaxed)));
   }
-  invoke_write(rt_, sys_.writer(writer), std::move(writes),
-               [this, writer, remaining](const WriteResult&) {
-                 op_finished();
-                 if (remaining > 1) issue_write(writer, remaining - 1);
-               });
+  return write_txn(std::move(writes));
 }
 
-void ClosedLoopDriver::op_finished() {
+void WorkloadDriver::submit_one(std::size_t client, bool is_read, TxnCallback cb) {
+  if (opts_.mode != ArrivalMode::kOpenLoop) {
+    // Closed loop has no backlog to measure; skip the shared-histogram lock
+    // so concurrent completion chains on ThreadRuntime don't serialize here.
+    sys_.client(client).submit(next_request(client, is_read), std::move(cb));
+    return;
+  }
+  const TimeNs arrived = rt_.now_ns();
+  sys_.client(client).submit(
+      next_request(client, is_read),
+      [this, arrived, cb = std::move(cb)](const TxnResult& result) {
+        const TimeNs now = rt_.now_ns();
+        {
+          std::lock_guard<std::mutex> lock(sojourn_mu_);
+          sojourn_.record(now >= arrived ? now - arrived : 0);
+        }
+        cb(result);
+      });
+}
+
+LatencySummary WorkloadDriver::sojourn_latency() const {
+  std::lock_guard<std::mutex> lock(sojourn_mu_);
+  LatencySummary s;
+  s.count = sojourn_.count();
+  s.mean_ns = sojourn_.mean();
+  s.p50_ns = sojourn_.p50();
+  s.p99_ns = sojourn_.p99();
+  s.max_ns = sojourn_.max();
+  return s;
+}
+
+void WorkloadDriver::issue_read_chain(std::size_t reader, std::size_t remaining) {
+  submit_one(reader, /*is_read=*/true, [this, reader, remaining](const TxnResult&) {
+    op_finished(/*was_read=*/true);
+    if (remaining > 1) issue_read_chain(reader, remaining - 1);
+  });
+}
+
+void WorkloadDriver::issue_write_chain(std::size_t writer, std::size_t remaining) {
+  submit_one(writer, /*is_read=*/false, [this, writer, remaining](const TxnResult&) {
+    op_finished(/*was_read=*/false);
+    if (remaining > 1) issue_write_chain(writer, remaining - 1);
+  });
+}
+
+void WorkloadDriver::issue_mixed_chain(std::size_t client, std::size_t remaining) {
+  const bool is_read = client_coins_[client].chance(opts_.read_fraction);
+  submit_one(client, is_read, [this, client, remaining, is_read](const TxnResult&) {
+    op_finished(is_read);
+    if (remaining > 1) issue_mixed_chain(client, remaining - 1);
+  });
+}
+
+void WorkloadDriver::schedule_arrival() {
+  // The timer chain runs on node 0's executor (a server always exists), so
+  // arrival state needs no locking: one arrival fires at a time.
+  rt_.post_after(0, opts_.arrival_interval_ns, [this] {
+    SNOW_CHECK(arrivals_left_ > 0);
+    --arrivals_left_;
+    const std::size_t client = next_client_;
+    next_client_ = (next_client_ + 1) % sys_.num_clients();
+    const bool is_read = coin_.chance(opts_.read_fraction);
+    submit_one(client, is_read,
+               [this, is_read](const TxnResult&) { op_finished(is_read); });
+    if (arrivals_left_ > 0) schedule_arrival();
+  });
+}
+
+void WorkloadDriver::op_finished(bool was_read) {
+  (was_read ? reads_done_ : writes_done_).fetch_add(1, std::memory_order_acq_rel);
   if (remaining_ops_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(mu_);
     cv_.notify_all();
   }
 }
 
-bool ClosedLoopDriver::done() const {
+bool WorkloadDriver::done() const {
   return remaining_ops_.load(std::memory_order_acquire) == 0;
 }
 
-void ClosedLoopDriver::wait() {
+void WorkloadDriver::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return done(); });
 }

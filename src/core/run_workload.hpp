@@ -1,10 +1,21 @@
-// Closed-loop workload driver + history-derived run statistics.
+// Workload driver + history-derived run statistics.
 //
-// The driver chains each client's next operation onto the completion callback
-// of the previous one, so every client always has exactly one transaction in
-// flight (the paper's well-formedness condition).  It works on both
-// substrates: with SimRuntime, call start() and then sim.run_until_idle();
-// with ThreadRuntime, call start() then wait().
+// WorkloadDriver pushes a WorkloadSpec through a ProtocolSystem's unified
+// TxnClient API on either substrate.  Three arrival disciplines:
+//
+//  * split closed loop (default, the seed's ClosedLoopDriver): reader i
+//    chains ops_per_reader READs, writer j chains ops_per_writer WRITEs —
+//    every client always has exactly one transaction in flight (the paper's
+//    well-formedness condition);
+//  * mixed closed loop: each unified client chains ops_per_client operations,
+//    choosing READ vs WRITE per op with probability read_fraction;
+//  * open loop: total_ops arrivals at a fixed interval (runtime timers, so
+//    virtual time on SimRuntime and wall clock on ThreadRuntime), round-robin
+//    over unified clients, READ vs WRITE by read_fraction.  Arrivals beyond a
+//    busy protocol client queue inside TxnClient — genuine open-loop backlog.
+//
+// With SimRuntime, call start() and then sim.run_until_idle(); with
+// ThreadRuntime, call start() then wait().
 #pragma once
 
 #include <atomic>
@@ -17,37 +28,90 @@
 
 namespace snowkit {
 
-class ClosedLoopDriver {
- public:
-  ClosedLoopDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec);
+enum class ArrivalMode {
+  kClosedLoop,  ///< next op issued from the previous op's completion.
+  kOpenLoop,    ///< ops issued at a fixed rate regardless of completions.
+};
 
-  /// Posts the first operation of every client chain.
+struct DriverOptions {
+  ArrivalMode mode{ArrivalMode::kClosedLoop};
+
+  /// Closed loop only: route mixed READ/WRITE chains through the unified
+  /// clients instead of the split reader/writer chains.
+  bool mixed{false};
+  /// Mixed closed loop: ops per unified client.
+  std::size_t ops_per_client{0};
+
+  /// Open loop: total operations across all clients.
+  std::size_t total_ops{0};
+  /// Open loop: fixed inter-arrival gap (sim ns / wall ns).
+  TimeNs arrival_interval_ns{100'000};
+
+  /// Mixed + open loop: probability an op is a READ transaction.
+  double read_fraction{0.9};
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec, DriverOptions opts = {});
+
+  /// Posts the first operation of every chain (closed loop) or schedules the
+  /// first arrival (open loop).
   void start();
 
-  /// True once every chain has completed (safe to call from any thread).
+  /// True once every submitted operation completed (safe from any thread).
   bool done() const;
 
   /// Blocks until done (for ThreadRuntime; do not use with SimRuntime).
   void wait();
 
   std::size_t total_ops() const { return total_ops_; }
+  std::size_t completed_reads() const { return reads_done_.load(std::memory_order_acquire); }
+  std::size_t completed_writes() const { return writes_done_.load(std::memory_order_acquire); }
+
+  /// Client-perceived latency: arrival (submit) to completion, INCLUDING any
+  /// open-loop backlog queueing inside TxnClient.  History latencies measure
+  /// only protocol invocation to response, so under overload this is the
+  /// honest number.  Recorded for open-loop runs only (closed loops have no
+  /// backlog and skip the bookkeeping); empty otherwise.
+  LatencySummary sojourn_latency() const;
 
  private:
-  void issue_read(std::size_t reader, std::size_t remaining);
-  void issue_write(std::size_t writer, std::size_t remaining);
-  void op_finished();
+  void issue_read_chain(std::size_t reader, std::size_t remaining);
+  void issue_write_chain(std::size_t writer, std::size_t remaining);
+  void issue_mixed_chain(std::size_t client, std::size_t remaining);
+  void schedule_arrival();
+  void submit_one(std::size_t client, bool is_read, TxnCallback cb);
+  TxnRequest next_request(std::size_t client, bool is_read);
+  void op_finished(bool was_read);
 
   Runtime& rt_;
   ProtocolSystem& sys_;
   WorkloadSpec spec_;
-  std::vector<OpStream> reader_streams_;
-  std::vector<OpStream> writer_streams_;
+  DriverOptions opts_;
+  std::vector<OpStream> reader_streams_;  ///< split mode: per reader.
+  std::vector<OpStream> writer_streams_;  ///< split mode: per writer.
+  std::vector<OpStream> client_streams_;  ///< mixed/open: per unified client.
+  /// READ/WRITE choice.  Open loop uses coin_ (single-threaded timer chain);
+  /// mixed closed loop uses one coin per client, since chains advance on
+  /// their own node executors concurrently under ThreadRuntime.
+  Xoshiro256 coin_;
+  std::vector<Xoshiro256> client_coins_;
   std::size_t total_ops_{0};
+  std::size_t arrivals_left_{0};  ///< open loop; touched only on the timer chain.
+  std::size_t next_client_{0};    ///< open loop round-robin; timer chain only.
   std::atomic<std::size_t> remaining_ops_{0};
+  std::atomic<std::size_t> reads_done_{0};
+  std::atomic<std::size_t> writes_done_{0};
   std::atomic<std::uint64_t> next_value_{1};
+  mutable std::mutex sojourn_mu_;
+  Histogram sojourn_;
   std::mutex mu_;
   std::condition_variable cv_;
 };
+
+/// Deprecated name for the default split-closed-loop configuration.
+using ClosedLoopDriver = WorkloadDriver;
 
 /// Latency summary over the completed READ (or WRITE) transactions of a
 /// history, using recorded invoke/respond timestamps.

@@ -1,69 +1,23 @@
 #include "core/system.hpp"
 
-#include "common/assert.hpp"
-#include "proto/blocking/blocking.hpp"
-#include "proto/eiger/eiger.hpp"
-#include "proto/naive/naive.hpp"
-#include "proto/simple/simple.hpp"
-
 namespace snowkit {
 
-const char* protocol_name(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::AlgoA: return "algo-a";
-    case ProtocolKind::AlgoB: return "algo-b";
-    case ProtocolKind::AlgoC: return "algo-c";
-    case ProtocolKind::Eiger: return "eiger";
-    case ProtocolKind::Blocking: return "blocking-2pl";
-    case ProtocolKind::Simple: return "simple";
-    case ProtocolKind::Naive: return "naive";
-    case ProtocolKind::OccReads: return "occ-reads";
-  }
-  return "?";
-}
-
-bool claims_strict_serializability(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::AlgoA:
-    case ProtocolKind::AlgoB:
-    case ProtocolKind::AlgoC:
-    case ProtocolKind::Blocking:
-    case ProtocolKind::OccReads:
-      return true;
-    case ProtocolKind::Eiger:  // claimed by Eiger; §6 shows it does not hold
-    case ProtocolKind::Simple:
-    case ProtocolKind::Naive:
-      return false;
-  }
-  return false;
-}
-
-bool provides_tags(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::AlgoA:
-    case ProtocolKind::AlgoB:
-    case ProtocolKind::AlgoC:
-    case ProtocolKind::OccReads:
-      return true;
-    default:
-      return false;
-  }
-}
-
-std::unique_ptr<ProtocolSystem> build_protocol(ProtocolKind kind, Runtime& rt,
-                                               HistoryRecorder& rec, const Topology& topo,
+std::unique_ptr<ProtocolSystem> build_protocol(const std::string& name, Runtime& rt,
+                                               HistoryRecorder& rec, const SystemConfig& cfg,
                                                const BuildOptions& opts) {
-  switch (kind) {
-    case ProtocolKind::AlgoA: return build_algo_a(rt, rec, topo, opts.algo_a);
-    case ProtocolKind::AlgoB: return build_algo_b(rt, rec, topo, opts.algo_b);
-    case ProtocolKind::AlgoC: return build_algo_c(rt, rec, topo, opts.algo_c);
-    case ProtocolKind::Eiger: return build_eiger(rt, rec, topo);
-    case ProtocolKind::Blocking: return build_blocking(rt, rec, topo);
-    case ProtocolKind::Simple: return build_simple(rt, rec, topo);
-    case ProtocolKind::Naive: return build_naive(rt, rec, topo);
-    case ProtocolKind::OccReads: return build_occ(rt, rec, topo, opts.occ);
-  }
-  SNOW_UNREACHABLE("bad protocol kind");
+  return ProtocolRegistry::global().build(name, rt, rec, cfg, opts);
+}
+
+bool claims_strict_serializability(const std::string& name) {
+  return ProtocolRegistry::global().traits(name).claims_strict_serializability;
+}
+
+bool provides_tags(const std::string& name) {
+  return ProtocolRegistry::global().traits(name).provides_tags;
+}
+
+std::vector<std::string> registered_protocols() {
+  return ProtocolRegistry::global().names();
 }
 
 }  // namespace snowkit

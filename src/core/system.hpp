@@ -1,53 +1,39 @@
-// snowkit's public entry point: pick a protocol, a topology and a substrate,
-// get back a runnable transaction-processing system.
+// snowkit's public entry point: pick a protocol BY NAME, a system config and
+// a substrate, and get back a runnable transaction-processing system.
 //
 //   SimRuntime sim;                      // or ThreadRuntime
 //   HistoryRecorder rec(k);
-//   auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, {k, readers, writers});
-//   invoke_read(sim, sys->reader(0), all_objects(k), cb);
+//   auto sys = build_protocol("algo-b", sim, rec, {k, readers, writers});
+//   sys->client(0).submit(read_txn(all_objects(k)), cb);
 //   sim.run_until_idle();
 //   auto verdict = check_tag_order(rec.snapshot());
+//
+// Protocols self-register into the ProtocolRegistry (core/registry.hpp), so
+// this header carries no per-protocol knowledge: adding a protocol under
+// src/proto/* requires zero edits to src/core.  Unknown names fail fast with
+// the list of registered protocols.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "proto/algo_a/algo_a.hpp"
-#include "proto/algo_b/algo_b.hpp"
-#include "proto/algo_c/algo_c.hpp"
-#include "proto/api.hpp"
-#include "proto/occ/occ.hpp"
+#include "core/registry.hpp"
 
 namespace snowkit {
 
-enum class ProtocolKind {
-  AlgoA,     ///< §5.2: SNOW, MWSR, requires C2C.
-  AlgoB,     ///< §8: SNW + one-version, two rounds, MWMR.
-  AlgoC,     ///< §9: SNW + one-round, ≤|W| versions, MWMR.
-  Eiger,     ///< §6: mini-Eiger (logical-clock RO txns; NOT strictly serializable).
-  Blocking,  ///< conservative 2PL comparator (strong guarantees, blocking reads).
-  Simple,    ///< non-transactional reads/writes (latency floor).
-  Naive,     ///< one-round latest-value READ "transactions" (fails S).
-  OccReads,  ///< optimistic one-version reads: the (inf,1) cell of Fig. 1(b).
-};
-
-const char* protocol_name(ProtocolKind kind);
+/// Resolves `name` in the global ProtocolRegistry and builds an instance.
+/// Throws std::invalid_argument for unknown names or invalid configs.
+std::unique_ptr<ProtocolSystem> build_protocol(const std::string& name, Runtime& rt,
+                                               HistoryRecorder& rec, const SystemConfig& cfg,
+                                               const BuildOptions& opts = {});
 
 /// True if the protocol claims strict serializability for READ transactions.
-bool claims_strict_serializability(ProtocolKind kind);
+bool claims_strict_serializability(const std::string& name);
 
 /// True if the protocol assigns Lemma-20 tags (enables the fast checker).
-bool provides_tags(ProtocolKind kind);
+bool provides_tags(const std::string& name);
 
-struct BuildOptions {
-  AlgoAOptions algo_a;
-  AlgoBOptions algo_b;
-  AlgoCOptions algo_c;
-  OccOptions occ;
-};
-
-std::unique_ptr<ProtocolSystem> build_protocol(ProtocolKind kind, Runtime& rt,
-                                               HistoryRecorder& rec, const Topology& topo,
-                                               const BuildOptions& opts = {});
+/// All registered protocol names, sorted.
+std::vector<std::string> registered_protocols();
 
 }  // namespace snowkit

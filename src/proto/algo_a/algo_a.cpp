@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 
 namespace snowkit {
 namespace {
@@ -11,25 +12,26 @@ class ServerA final : public Node {
  public:
   void on_message(NodeId from, const Message& m) override {
     if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
-      store_.insert(wv->key, wv->value);
+      stores_[wv->obj].insert(wv->key, wv->value);
       send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
     } else if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
       // Non-blocking + one-version: respond immediately with exactly the
       // requested version.  Algorithm A guarantees kappa_i is present: its
       // write-val was acked before the info-reader that put it in List.
-      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, stores_[rv->obj].get(rv->key)}});
     } else {
       SNOW_UNREACHABLE("algo-a server got unexpected payload");
     }
   }
 
  private:
-  VersionStore store_;
+  std::map<ObjectId, VersionStore> stores_;  ///< per hosted object.
 };
 
 class ReaderA final : public Node, public ReadClientApi {
  public:
-  ReaderA(HistoryRecorder& rec, std::size_t k) : rec_(rec), k_(k) {
+  ReaderA(HistoryRecorder& rec, const Placement& place)
+      : rec_(rec), place_(place), k_(place.num_objects()) {
     list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
   }
 
@@ -48,7 +50,7 @@ class ReaderA final : public Node, public ReadClientApi {
     pending_->tag = static_cast<Tag>(list_.size() - 1);
     for (ObjectId obj : objs) {
       const std::size_t j = latest_entry_for(obj);
-      send(static_cast<NodeId>(obj), Message{txn, ReadValReq{obj, list_[j].first}});
+      send(place_.server_node(obj), Message{txn, ReadValReq{obj, list_[j].first}});
     }
   }
 
@@ -98,6 +100,7 @@ class ReaderA final : public Node, public ReadClientApi {
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
   std::optional<Pending> pending_;
@@ -105,8 +108,8 @@ class ReaderA final : public Node, public ReadClientApi {
 
 class WriterA final : public Node, public WriteClientApi {
  public:
-  WriterA(HistoryRecorder& rec, std::size_t k, std::vector<NodeId> readers)
-      : rec_(rec), k_(k), readers_(std::move(readers)) {}
+  WriterA(HistoryRecorder& rec, const Placement& place, std::vector<NodeId> readers)
+      : rec_(rec), place_(place), k_(place.num_objects()), readers_(std::move(readers)) {}
 
   void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
@@ -121,7 +124,7 @@ class WriterA final : public Node, public WriteClientApi {
     pending_->cb = std::move(cb);
     for (const auto& [obj, value] : writes) {
       pending_->mask[obj] = 1;
-      send(static_cast<NodeId>(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
+      send(place_.server_node(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
     }
   }
 
@@ -166,6 +169,7 @@ class WriterA final : public Node, public WriteClientApi {
   };
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   std::vector<NodeId> readers_;
   std::uint64_t z_ = 0;
@@ -174,49 +178,67 @@ class WriterA final : public Node, public WriteClientApi {
 
 class SystemA final : public ProtocolSystem {
  public:
-  SystemA(std::size_t k, std::vector<ReaderA*> readers, std::vector<WriterA*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemA(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderA*> readers,
+          std::vector<WriterA*> writers)
+      : ProtocolSystem("algo-a", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "algo-a"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderA*> readers_;
   std::vector<WriterA*> writers_;
 };
 
+const ProtocolRegistration kRegisterAlgoA{
+    ProtocolTraits{
+        .name = "algo-a",
+        .summary = "§5.2: full SNOW READs via client-to-client communication, MWSR",
+        .claims_strict_serializability = true,
+        .provides_tags = true,
+        .snow_s = true,
+        .snow_n = true,
+        .snow_o = true,
+        .snow_w = true,
+        .mwmr = false,  // single reader; multi-reader builds are unsafe demos
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
+      AlgoAOptions o;
+      o.allow_multiple_readers = opts.get_bool("allow_multiple_readers", false);
+      return build_algo_a(rt, rec, cfg, o);
+    }};
+
 }  // namespace
 
 std::unique_ptr<ProtocolSystem> build_algo_a(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoAOptions opts) {
-  SNOW_CHECK_MSG(topo.num_readers == 1 || opts.allow_multiple_readers,
+                                             const SystemConfig& cfg, AlgoAOptions opts) {
+  cfg.validate();
+  SNOW_CHECK_MSG(cfg.num_readers == 1 || opts.allow_multiple_readers,
                  "Algorithm A is SNOW only in MWSR; pass allow_multiple_readers to build the "
                  "intentionally unsafe multi-reader demo");
+  const Placement place(cfg);
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id = rt.add_node(std::make_unique<ServerA>());
-    SNOW_CHECK(id == i);  // servers occupy node ids [0, k)
+    SNOW_CHECK(id == i);  // servers occupy node ids [0, s)
   }
   std::vector<ReaderA*> readers;
   std::vector<NodeId> reader_ids;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ReaderA>(rec, topo.num_objects);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderA>(rec, place);
     readers.push_back(node.get());
     reader_ids.push_back(rt.add_node(std::move(node)));
   }
   std::vector<WriterA*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<WriterA>(rec, topo.num_objects, reader_ids);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<WriterA>(rec, place, reader_ids);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemA>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemA>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

@@ -35,9 +35,9 @@ struct AlgoAOptions {
   bool allow_multiple_readers{false};
 };
 
-/// Builds an Algorithm-A instance: servers first (node ids 0..k-1), then
+/// Builds an Algorithm-A instance: servers first (node ids 0..s-1), then
 /// readers, then writers.
 std::unique_ptr<ProtocolSystem> build_algo_a(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoAOptions opts = {});
+                                             const SystemConfig& cfg, AlgoAOptions opts = {});
 
 }  // namespace snowkit

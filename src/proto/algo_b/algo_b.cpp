@@ -2,16 +2,19 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 #include "proto/coor_writer.hpp"
 #include "proto/version_store.hpp"
 
 namespace snowkit {
 namespace {
 
-/// Server for Algorithm B.  Every server stores Vals; the coordinator s*
-/// additionally maintains List and answers get-tag-arr / update-coor.
+/// Server for Algorithm B.  Every server stores per-object Vals; the
+/// coordinator s* additionally maintains List and answers get-tag-arr /
+/// update-coor.
 class ServerB final : public Node {
  public:
   ServerB(std::size_t k, bool is_coordinator) : k_(k), is_coordinator_(is_coordinator) {
@@ -20,12 +23,12 @@ class ServerB final : public Node {
 
   void on_message(NodeId from, const Message& m) override {
     if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
-      store_.insert(wv->key, wv->value);
+      stores_[wv->obj].insert(wv->key, wv->value);
       send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
       return;
     }
     if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
-      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, stores_[rv->obj].get(rv->key)}});
       return;
     }
     if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
@@ -63,14 +66,14 @@ class ServerB final : public Node {
 
   std::size_t k_;
   bool is_coordinator_;
-  VersionStore store_;
+  std::map<ObjectId, VersionStore> stores_;
   std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
 };
 
 class ReaderB final : public Node, public ReadClientApi {
  public:
-  ReaderB(HistoryRecorder& rec, std::size_t k, NodeId coordinator)
-      : rec_(rec), k_(k), coordinator_(coordinator) {}
+  ReaderB(HistoryRecorder& rec, const Placement& place, NodeId coordinator)
+      : rec_(rec), place_(place), k_(place.num_objects()), coordinator_(coordinator) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -93,7 +96,7 @@ class ReaderB final : public Node, public ReadClientApi {
       SNOW_CHECK(pending_ && pending_->txn == m.txn);
       pending_->tag = ta->tag;
       for (ObjectId obj : pending_->objs) {
-        send(static_cast<NodeId>(obj), Message{m.txn, ReadValReq{obj, ta->latest[obj]}});
+        send(place_.server_node(obj), Message{m.txn, ReadValReq{obj, ta->latest[obj]}});
       }
       return;
     }
@@ -127,6 +130,7 @@ class ReaderB final : public Node, public ReadClientApi {
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   NodeId coordinator_;
   std::optional<Pending> pending_;
@@ -134,48 +138,70 @@ class ReaderB final : public Node, public ReadClientApi {
 
 class SystemB final : public ProtocolSystem {
  public:
-  SystemB(std::size_t k, std::vector<ReaderB*> readers, std::vector<CoorWriter*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemB(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderB*> readers,
+          std::vector<CoorWriter*> writers)
+      : ProtocolSystem("algo-b", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "algo-b"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderB*> readers_;
   std::vector<CoorWriter*> writers_;
 };
 
+const ProtocolRegistration kRegisterAlgoB{
+    ProtocolTraits{
+        .name = "algo-b",
+        .summary = "§8: SNW + one-version two-round READs, MWMR, coordinator-ordered",
+        .claims_strict_serializability = true,
+        .provides_tags = true,
+        .snow_s = true,
+        .snow_n = true,
+        .snow_o = false,  // two rounds
+        .snow_w = true,
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
+      AlgoBOptions o;
+      o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
+      return build_algo_b(rt, rec, cfg, o);
+    }};
+
 }  // namespace
 
 std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoBOptions opts) {
-  SNOW_CHECK(opts.coordinator < topo.num_objects);
+                                             const SystemConfig& cfg, AlgoBOptions opts) {
+  cfg.validate();
+  const Placement place(cfg);
+  if (opts.coordinator >= place.num_servers()) {
+    throw std::invalid_argument("coordinator shard " + std::to_string(opts.coordinator) +
+                                " out of range (servers = " +
+                                std::to_string(place.num_servers()) + ")");
+  }
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id =
-        rt.add_node(std::make_unique<ServerB>(topo.num_objects, i == opts.coordinator));
-    SNOW_CHECK(id == i);
+        rt.add_node(std::make_unique<ServerB>(cfg.num_objects, i == opts.coordinator));
+    SNOW_CHECK(id == i);  // servers occupy node ids [0, s)
   }
   const NodeId coor = static_cast<NodeId>(opts.coordinator);
   std::vector<ReaderB*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ReaderB>(rec, topo.num_objects, coor);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderB>(rec, place, coor);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<CoorWriter*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor, /*send_finalize=*/false);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, place, coor, /*send_finalize=*/false);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemB>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemB>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

@@ -4,14 +4,18 @@
 //
 //   get-tag-array: reader -> coordinator s*, which returns (t_r, kappa_1..k)
 //                  — the newest key per object in the coordinator's List;
-//   read-value:    reader -> each s_i with the exact key kappa_i; servers
-//                  respond non-blocking with exactly one version.
+//   read-value:    reader -> each object's server with the exact key kappa_i;
+//                  servers respond non-blocking with exactly one version.
 //
 // WRITEs do write-value to the servers then update-coor to s* (which assigns
 // the List position = the Lemma-20 tag).  Theorem 4: every fair well-formed
 // execution is strictly serializable, non-blocking, one-version.
+//
+// Objects route to servers through the SystemConfig's Placement, so several
+// objects may share a server; each carries its own Vals store.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "proto/api.hpp"
@@ -19,11 +23,11 @@
 namespace snowkit {
 
 struct AlgoBOptions {
-  /// Which server acts as coordinator s* (object id, < num_objects).
-  ObjectId coordinator{0};
+  /// Which server shard acts as coordinator s* (index < server_count()).
+  std::size_t coordinator{0};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoBOptions opts = {});
+                                             const SystemConfig& cfg, AlgoBOptions opts = {});
 
 }  // namespace snowkit

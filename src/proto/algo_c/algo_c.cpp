@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 #include "proto/coor_writer.hpp"
 #include "proto/version_store.hpp"
 
@@ -16,18 +18,17 @@ class ServerC final : public Node {
   ServerC(std::size_t k, bool is_coordinator, bool gc)
       : k_(k), is_coordinator_(is_coordinator), gc_(gc) {
     if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
-    finalized_[kInitialKey] = 0;
   }
 
   void on_message(NodeId from, const Message& m) override {
     if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
-      store_.insert(wv->key, wv->value);
+      store(wv->obj).vals.insert(wv->key, wv->value);
       send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
       return;
     }
     if (std::holds_alternative<ReadValsReq>(m.payload)) {
       const auto& req = std::get<ReadValsReq>(m.payload);
-      send(from, Message{m.txn, ReadValsResp{req.obj, store_.all()}});
+      send(from, Message{m.txn, ReadValsResp{req.obj, store(req.obj).vals.all()}});
       return;
     }
     if (const auto* fin = std::get_if<FinalizeReq>(&m.payload)) {
@@ -50,6 +51,18 @@ class ServerC final : public Node {
   }
 
  private:
+  /// Vals plus GC bookkeeping for one hosted object.  Finalization and
+  /// version retirement are per object: a version of o_i superseded by a
+  /// newer finalized write of o_i may go, regardless of the other objects
+  /// this server happens to host.
+  struct ObjectStore {
+    VersionStore vals;
+    std::map<WriteKey, Tag> finalized{{kInitialKey, 0}};
+    Tag max_final_pos{0};
+  };
+
+  ObjectStore& store(ObjectId obj) { return stores_[obj]; }
+
   GetTagArrResp build_tag_arr(const GetTagArrReq& req) const {
     GetTagArrResp resp;
     // t_r is the newest List position overall (Lemma 20 P2; see algo_b).
@@ -74,15 +87,16 @@ class ServerC final : public Node {
   }
 
   void on_finalize(const FinalizeReq& fin) {
-    finalized_[fin.key] = fin.position;
+    ObjectStore& os = store(fin.obj);
+    os.finalized[fin.key] = fin.position;
     if (!gc_) return;
-    max_final_pos_ = std::max(max_final_pos_, fin.position);
+    os.max_final_pos = std::max(os.max_final_pos, fin.position);
     // Drop every *finalized* version older than the newest finalized one.
     // Unfinalized (possibly concurrent) versions are always kept.
-    for (auto it = finalized_.begin(); it != finalized_.end();) {
-      if (it->second < max_final_pos_) {
-        store_.erase(it->first);
-        it = finalized_.erase(it);
+    for (auto it = os.finalized.begin(); it != os.finalized.end();) {
+      if (it->second < os.max_final_pos) {
+        os.vals.erase(it->first);
+        it = os.finalized.erase(it);
       } else {
         ++it;
       }
@@ -92,16 +106,15 @@ class ServerC final : public Node {
   std::size_t k_;
   bool is_coordinator_;
   bool gc_;
-  VersionStore store_;
+  std::map<ObjectId, ObjectStore> stores_;
   std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
-  std::map<WriteKey, Tag> finalized_;
-  Tag max_final_pos_ = 0;
 };
 
 class ReaderC final : public Node, public ReadClientApi {
  public:
-  ReaderC(HistoryRecorder& rec, std::size_t k, NodeId coordinator, bool may_retry)
-      : rec_(rec), k_(k), coordinator_(coordinator), may_retry_(may_retry) {}
+  ReaderC(HistoryRecorder& rec, const Placement& place, NodeId coordinator, bool may_retry)
+      : rec_(rec), place_(place), k_(place.num_objects()), coordinator_(coordinator),
+        may_retry_(may_retry) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -154,7 +167,7 @@ class ReaderC final : public Node, public ReadClientApi {
     for (ObjectId obj : pending_->objs) req.want[obj] = 1;
     send(coordinator_, Message{pending_->txn, req});
     for (ObjectId obj : pending_->objs) {
-      send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValsReq{obj}});
+      send(place_.server_node(obj), Message{pending_->txn, ReadValsReq{obj}});
     }
   }
 
@@ -221,6 +234,7 @@ class ReaderC final : public Node, public ReadClientApi {
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   NodeId coordinator_;
   bool may_retry_;
@@ -229,50 +243,72 @@ class ReaderC final : public Node, public ReadClientApi {
 
 class SystemC final : public ProtocolSystem {
  public:
-  SystemC(std::size_t k, std::vector<ReaderC*> readers, std::vector<CoorWriter*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemC(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderC*> readers,
+          std::vector<CoorWriter*> writers)
+      : ProtocolSystem("algo-c", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "algo-c"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderC*> readers_;
   std::vector<CoorWriter*> writers_;
 };
 
+const ProtocolRegistration kRegisterAlgoC{
+    ProtocolTraits{
+        .name = "algo-c",
+        .summary = "§9: SNW + one-round READs at <=|W| versions per response, MWMR",
+        .claims_strict_serializability = true,
+        .provides_tags = true,
+        .snow_s = true,
+        .snow_n = true,
+        .snow_o = false,  // one round but multi-version responses
+        .snow_w = true,
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
+      AlgoCOptions o;
+      o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
+      o.gc_versions = opts.get_bool("gc_versions", false);
+      return build_algo_c(rt, rec, cfg, o);
+    }};
+
 }  // namespace
 
 std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoCOptions opts) {
-  SNOW_CHECK(opts.coordinator < topo.num_objects);
+                                             const SystemConfig& cfg, AlgoCOptions opts) {
+  cfg.validate();
+  const Placement place(cfg);
+  if (opts.coordinator >= place.num_servers()) {
+    throw std::invalid_argument("coordinator shard " + std::to_string(opts.coordinator) +
+                                " out of range (servers = " +
+                                std::to_string(place.num_servers()) + ")");
+  }
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id = rt.add_node(std::make_unique<ServerC>(
-        topo.num_objects, i == opts.coordinator, opts.gc_versions));
+        cfg.num_objects, i == opts.coordinator, opts.gc_versions));
     SNOW_CHECK(id == i);
   }
   const NodeId coor = static_cast<NodeId>(opts.coordinator);
   std::vector<ReaderC*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node =
-        std::make_unique<ReaderC>(rec, topo.num_objects, coor, /*may_retry=*/opts.gc_versions);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderC>(rec, place, coor, /*may_retry=*/opts.gc_versions);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<CoorWriter*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor,
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, place, coor,
                                              /*send_finalize=*/opts.gc_versions);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemC>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemC>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

@@ -34,12 +34,13 @@
 namespace snowkit {
 
 struct AlgoCOptions {
-  ObjectId coordinator{0};
+  /// Which server shard acts as coordinator s* (index < server_count()).
+  std::size_t coordinator{0};
   /// Enable finalize piggyback + server-side version GC (bounded responses).
   bool gc_versions{false};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo, AlgoCOptions opts = {});
+                                             const SystemConfig& cfg, AlgoCOptions opts = {});
 
 }  // namespace snowkit

@@ -1,6 +1,181 @@
 #include "proto/api.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
 namespace snowkit {
+
+void SystemConfig::validate() const {
+  if (num_objects == 0) {
+    throw std::invalid_argument("SystemConfig: num_objects must be >= 1 (a system with no "
+                                "objects has nothing to read or write)");
+  }
+  if (num_readers == 0 && num_writers == 0) {
+    throw std::invalid_argument("SystemConfig: at least one client is required "
+                                "(num_readers + num_writers >= 1)");
+  }
+  if (server_count() == 0) {
+    throw std::invalid_argument("SystemConfig: num_servers must be >= 1 (use 0 for the "
+                                "one-server-per-object default)");
+  }
+}
+
+std::vector<ObjectId> Placement::objects_on(std::size_t shard) const {
+  std::vector<ObjectId> out;
+  for (std::size_t i = 0; i < num_objects_; ++i) {
+    const auto obj = static_cast<ObjectId>(i);
+    if (shard_of(obj) == shard) out.push_back(obj);
+  }
+  return out;
+}
+
+TxnRequest read_txn(std::vector<ObjectId> objs) {
+  TxnRequest req;
+  req.reads = std::move(objs);
+  return req;
+}
+
+TxnRequest write_txn(std::vector<std::pair<ObjectId, Value>> writes) {
+  TxnRequest req;
+  req.writes = std::move(writes);
+  return req;
+}
+
+// --- unified-client hub -------------------------------------------------------
+
+namespace {
+
+/// FIFO gate in front of one underlying protocol client (a reader or a
+/// writer node).  The protocol clients enforce the paper's well-formedness
+/// rule — at most one outstanding transaction per client — with a hard
+/// check; the slot queues excess submissions instead of tripping it, which
+/// is exactly the backlog behaviour an open-loop driver wants.
+struct ClientSlot {
+  struct Item {
+    TxnRequest req;
+    TxnCallback cb;
+  };
+
+  std::mutex mu;
+  bool busy{false};
+  std::deque<Item> queue;
+};
+
+}  // namespace
+
+struct ProtocolSystem::ClientHub {
+  struct UnifiedClient final : public TxnClient {
+    ClientHub* hub{nullptr};
+    ClientSlot* read_slot{nullptr};    // null when the system has no readers
+    ClientSlot* write_slot{nullptr};   // null when the system has no writers
+    ReadClientApi* reader{nullptr};
+    WriteClientApi* writer{nullptr};
+
+    void submit(TxnRequest req, TxnCallback cb) override {
+      SNOW_CHECK_MSG(req.reads.empty() != req.writes.empty(),
+                     "TxnRequest must carry exactly one of a read-set or a write-set");
+      ClientSlot* slot = req.is_read() ? read_slot : write_slot;
+      SNOW_CHECK_MSG(slot != nullptr, "protocol system '" << hub->sys->name() << "' has no "
+                     << (req.is_read() ? "read" : "write") << " clients for this request");
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (slot->busy) {
+          slot->queue.push_back({std::move(req), std::move(cb)});
+          return;
+        }
+        slot->busy = true;
+      }
+      fire(slot, std::move(req), std::move(cb));
+    }
+
+    void fire(ClientSlot* slot, TxnRequest req, TxnCallback cb) {
+      Runtime& rt = hub->sys->runtime();
+      if (req.is_read()) {
+        invoke_read(rt, *reader, std::move(req.reads),
+                    [this, slot, cb = std::move(cb)](const ReadResult& r) {
+                      TxnResult out;
+                      out.txn = r.txn;
+                      out.is_read = true;
+                      out.values = r.values;
+                      finish(slot, out, cb);
+                    });
+      } else {
+        invoke_write(rt, *writer, std::move(req.writes),
+                     [this, slot, cb = std::move(cb)](const WriteResult& w) {
+                       TxnResult out;
+                       out.txn = w.txn;
+                       finish(slot, out, cb);
+                     });
+      }
+    }
+
+    void finish(ClientSlot* slot, const TxnResult& result, const TxnCallback& cb) {
+      // Release the slot BEFORE the callback runs so a closed-loop driver's
+      // chained submit fires immediately instead of queueing behind itself.
+      std::optional<ClientSlot::Item> next;
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (slot->queue.empty()) {
+          slot->busy = false;
+        } else {
+          next.emplace(std::move(slot->queue.front()));
+          slot->queue.pop_front();
+        }
+      }
+      if (cb) cb(result);
+      if (next) fire(slot, std::move(next->req), std::move(next->cb));
+    }
+  };
+
+  ProtocolSystem* sys{nullptr};
+  std::vector<std::unique_ptr<ClientSlot>> read_slots;
+  std::vector<std::unique_ptr<ClientSlot>> write_slots;
+  std::vector<std::unique_ptr<UnifiedClient>> clients;
+};
+
+ProtocolSystem::ProtocolSystem(std::string name, const SystemConfig& cfg, Runtime& rt)
+    : name_(std::move(name)), cfg_(cfg), placement_(cfg), rt_(rt) {}
+
+ProtocolSystem::~ProtocolSystem() = default;
+
+std::size_t ProtocolSystem::num_clients() const {
+  return std::max(num_readers(), num_writers());
+}
+
+TxnClient& ProtocolSystem::client(std::size_t i) {
+  std::lock_guard<std::mutex> lock(hub_mu_);
+  if (!hub_) {
+    const std::size_t readers = num_readers();
+    const std::size_t writers = num_writers();
+    SNOW_CHECK_MSG(readers + writers > 0, "protocol system '" << name_ << "' has no clients");
+    auto hub = std::make_unique<ClientHub>();
+    hub->sys = this;
+    for (std::size_t r = 0; r < readers; ++r) hub->read_slots.push_back(std::make_unique<ClientSlot>());
+    for (std::size_t w = 0; w < writers; ++w) hub->write_slots.push_back(std::make_unique<ClientSlot>());
+    const std::size_t n = std::max(readers, writers);
+    for (std::size_t c = 0; c < n; ++c) {
+      auto uc = std::make_unique<ClientHub::UnifiedClient>();
+      uc->hub = hub.get();
+      if (readers > 0) {
+        uc->read_slot = hub->read_slots[c % readers].get();
+        uc->reader = &reader(c % readers);
+      }
+      if (writers > 0) {
+        uc->write_slot = hub->write_slots[c % writers].get();
+        uc->writer = &writer(c % writers);
+      }
+      hub->clients.push_back(std::move(uc));
+    }
+    hub_ = std::move(hub);
+  }
+  SNOW_CHECK_MSG(i < hub_->clients.size(),
+                 "client index " << i << " out of range (num_clients = " << hub_->clients.size()
+                                 << ")");
+  return *hub_->clients[i];
+}
 
 void invoke_read(Runtime& rt, ReadClientApi& client, std::vector<ObjectId> objs, ReadCallback cb) {
   rt.post(client.node_id(), [&client, objs = std::move(objs), cb = std::move(cb)]() mutable {

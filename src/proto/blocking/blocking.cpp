@@ -6,33 +6,38 @@
 #include <optional>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 
 namespace snowkit {
 namespace {
 
-/// Lock-manager server.  Grants are FIFO: a request waits iff an earlier
-/// conflicting request holds or awaits the lock, so writers are never
-/// starved by a stream of readers.
+/// Lock-manager server.  One independent lock table entry per hosted object;
+/// grants are FIFO per object: a request waits iff an earlier conflicting
+/// request holds or awaits that object's lock, so writers are never starved
+/// by a stream of readers.
 class ServerL final : public Node {
  public:
   void on_message(NodeId from, const Message& m) override {
     if (const auto* lr = std::get_if<LockReq>(&m.payload)) {
-      waiters_.push_back(Waiter{from, m.txn, lr->exclusive, lr->obj});
-      pump();
+      LockState& ls = locks_[lr->obj];
+      ls.waiters.push_back(Waiter{from, m.txn, lr->exclusive});
+      pump(lr->obj, ls);
       return;
     }
     if (const auto* wu = std::get_if<WriteUnlockReq>(&m.payload)) {
-      SNOW_CHECK_MSG(exclusive_held_, "write-unlock without exclusive lock");
-      value_ = wu->value;
-      exclusive_held_ = false;
+      LockState& ls = locks_[wu->obj];
+      SNOW_CHECK_MSG(ls.exclusive_held, "write-unlock without exclusive lock");
+      ls.value = wu->value;
+      ls.exclusive_held = false;
       send(from, Message{m.txn, UnlockAck{wu->obj}});
-      pump();
+      pump(wu->obj, ls);
       return;
     }
-    if (std::holds_alternative<UnlockReq>(m.payload)) {
-      SNOW_CHECK_MSG(shared_count_ > 0, "shared unlock without shared lock");
-      --shared_count_;
-      pump();
+    if (const auto* u = std::get_if<UnlockReq>(&m.payload)) {
+      LockState& ls = locks_[u->obj];
+      SNOW_CHECK_MSG(ls.shared_count > 0, "shared unlock without shared lock");
+      --ls.shared_count;
+      pump(u->obj, ls);
       return;
     }
     SNOW_UNREACHABLE("blocking server got unexpected payload");
@@ -43,33 +48,36 @@ class ServerL final : public Node {
     NodeId client{kInvalidNode};
     TxnId txn{kInvalidTxn};
     bool exclusive{false};
-    ObjectId obj{0};
   };
 
-  void pump() {
-    while (!waiters_.empty()) {
-      const Waiter& w = waiters_.front();
+  struct LockState {
+    Value value = kInitialValue;
+    bool exclusive_held = false;
+    int shared_count = 0;
+    std::deque<Waiter> waiters;
+  };
+
+  void pump(ObjectId obj, LockState& ls) {
+    while (!ls.waiters.empty()) {
+      const Waiter& w = ls.waiters.front();
       if (w.exclusive) {
-        if (exclusive_held_ || shared_count_ > 0) break;
-        exclusive_held_ = true;
+        if (ls.exclusive_held || ls.shared_count > 0) break;
+        ls.exclusive_held = true;
       } else {
-        if (exclusive_held_) break;
-        ++shared_count_;
+        if (ls.exclusive_held) break;
+        ++ls.shared_count;
       }
-      send(w.client, Message{w.txn, LockGrant{w.obj, value_}});
-      waiters_.pop_front();
+      send(w.client, Message{w.txn, LockGrant{obj, ls.value}});
+      ls.waiters.pop_front();
     }
   }
 
-  Value value_ = kInitialValue;
-  bool exclusive_held_ = false;
-  int shared_count_ = 0;
-  std::deque<Waiter> waiters_;
+  std::map<ObjectId, LockState> locks_;
 };
 
 class ReaderL final : public Node, public ReadClientApi {
  public:
-  explicit ReaderL(HistoryRecorder& rec) : rec_(rec) {}
+  ReaderL(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -96,7 +104,7 @@ class ReaderL final : public Node, public ReadClientApi {
     // All shared locks held: this is the serialization point.  Release and
     // respond; releases need no acks.
     for (ObjectId obj : pending_->objs) {
-      send(static_cast<NodeId>(obj), Message{pending_->txn, UnlockReq{obj}});
+      send(place_.server_node(obj), Message{pending_->txn, UnlockReq{obj}});
     }
     ReadResult result;
     result.txn = pending_->txn;
@@ -118,16 +126,17 @@ class ReaderL final : public Node, public ReadClientApi {
 
   void request_next_lock() {
     const ObjectId obj = pending_->objs[pending_->values.size()];
-    send(static_cast<NodeId>(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/false}});
+    send(place_.server_node(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/false}});
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::optional<Pending> pending_;
 };
 
 class WriterL final : public Node, public WriteClientApi {
  public:
-  explicit WriterL(HistoryRecorder& rec) : rec_(rec) {}
+  WriterL(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
@@ -153,7 +162,7 @@ class WriterL final : public Node, public WriteClientApi {
       }
       // All exclusive locks held: apply and release in one parallel round.
       for (const auto& [obj, value] : pending_->writes) {
-        send(static_cast<NodeId>(obj), Message{pending_->txn, WriteUnlockReq{obj, value}});
+        send(place_.server_node(obj), Message{pending_->txn, WriteUnlockReq{obj, value}});
       }
       return;
     }
@@ -182,54 +191,71 @@ class WriterL final : public Node, public WriteClientApi {
 
   void request_next_lock() {
     const ObjectId obj = pending_->writes[pending_->locks_held].first;
-    send(static_cast<NodeId>(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/true}});
+    send(place_.server_node(obj), Message{pending_->txn, LockReq{obj, /*exclusive=*/true}});
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::optional<Pending> pending_;
 };
 
 class SystemL final : public ProtocolSystem {
  public:
-  SystemL(std::size_t k, std::vector<ReaderL*> readers, std::vector<WriterL*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemL(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderL*> readers,
+          std::vector<WriterL*> writers)
+      : ProtocolSystem("blocking-2pl", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "blocking-2pl"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderL*> readers_;
   std::vector<WriterL*> writers_;
 };
 
+const ProtocolRegistration kRegisterBlocking{
+    ProtocolTraits{
+        .name = "blocking-2pl",
+        .summary = "conservative 2PL comparator: strong guarantees, blocking multi-round reads",
+        .claims_strict_serializability = true,
+        .provides_tags = false,
+        .snow_s = true,
+        .snow_n = false,  // reads queue behind writers by design
+        .snow_o = false,
+        .snow_w = true,
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions&) {
+      return build_blocking(rt, rec, cfg);
+    }};
+
 }  // namespace
 
 std::unique_ptr<ProtocolSystem> build_blocking(Runtime& rt, HistoryRecorder& rec,
-                                               const Topology& topo) {
+                                               const SystemConfig& cfg) {
+  cfg.validate();
+  const Placement place(cfg);
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id = rt.add_node(std::make_unique<ServerL>());
     SNOW_CHECK(id == i);
   }
   std::vector<ReaderL*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ReaderL>(rec);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderL>(rec, place);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<WriterL*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<WriterL>(rec);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<WriterL>(rec, place);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemL>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemL>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

@@ -22,6 +22,6 @@
 namespace snowkit {
 
 std::unique_ptr<ProtocolSystem> build_blocking(Runtime& rt, HistoryRecorder& rec,
-                                               const Topology& topo);
+                                               const SystemConfig& cfg);
 
 }  // namespace snowkit

@@ -1,8 +1,11 @@
 // The server of Pseudocode 6, shared by Algorithm B and the optimistic
-// one-version (OCC) reader: a Vals version store plus, on the coordinator
-// s*, the List of WRITE-transaction masks with get-tag-arr / update-coor.
+// one-version (OCC) reader: per-object Vals version stores plus, on the
+// coordinator s*, the List of WRITE-transaction masks with get-tag-arr /
+// update-coor.  One server instance may host many objects under a sharded
+// Placement; every request names its object, so the stores stay disjoint.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -19,7 +22,7 @@ class CoorServer final : public Node {
 
   void on_message(NodeId from, const Message& m) override {
     if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
-      store_.insert(wv->key, wv->value);
+      stores_[wv->obj].insert(wv->key, wv->value);
       send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
       return;
     }
@@ -27,7 +30,7 @@ class CoorServer final : public Node {
       // Non-blocking, one version: any key a client can name was written
       // before it entered List / a tag array, hence is present (see
       // algo_b.hpp for the sequencing argument).
-      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, store_.get(rv->key)}});
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, stores_[rv->obj].get(rv->key)}});
       return;
     }
     if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
@@ -61,7 +64,7 @@ class CoorServer final : public Node {
 
   std::size_t k_;
   bool is_coordinator_;
-  VersionStore store_;
+  std::map<ObjectId, VersionStore> stores_;  ///< per hosted object.
   std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
 };
 

@@ -4,6 +4,10 @@
 //   update-coor:  (update-coor, (kappa, b_1..b_k)) to the coordinator s*,
 //                 which appends to List and returns the tag t_w.
 //
+// Object->server routing goes through the system's Placement, so the write
+// set may span fewer servers than objects (sharded fleets); servers answer
+// one WriteValAck per object either way.
+//
 // When `send_finalize` is set (snowkit's bounded-version extension for
 // Algorithm C) the writer additionally fire-and-forgets the assigned List
 // position to its servers so they can garbage-collect superseded versions;
@@ -21,8 +25,9 @@ namespace snowkit {
 
 class CoorWriter final : public Node, public WriteClientApi {
  public:
-  CoorWriter(HistoryRecorder& rec, std::size_t k, NodeId coordinator, bool send_finalize)
-      : rec_(rec), k_(k), coordinator_(coordinator), send_finalize_(send_finalize) {}
+  CoorWriter(HistoryRecorder& rec, const Placement& place, NodeId coordinator, bool send_finalize)
+      : rec_(rec), place_(place), k_(place.num_objects()), coordinator_(coordinator),
+        send_finalize_(send_finalize) {}
 
   void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
@@ -37,7 +42,7 @@ class CoorWriter final : public Node, public WriteClientApi {
     pending_->cb = std::move(cb);
     for (const auto& [obj, value] : writes) {
       pending_->mask[obj] = 1;
-      send(static_cast<NodeId>(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
+      send(place_.server_node(obj), Message{txn, WriteValReq{pending_->key, obj, value}});
     }
   }
 
@@ -56,7 +61,7 @@ class CoorWriter final : public Node, public WriteClientApi {
       if (send_finalize_) {
         for (const auto& [obj, value] : pending_->writes) {
           (void)value;
-          send(static_cast<NodeId>(obj), Message{m.txn, FinalizeReq{pending_->key, obj, ack->tag}});
+          send(place_.server_node(obj), Message{m.txn, FinalizeReq{pending_->key, obj, ack->tag}});
         }
       }
       rec_.finish_write(pending_->txn, ack->tag, /*rounds=*/2);
@@ -80,6 +85,7 @@ class CoorWriter final : public Node, public WriteClientApi {
   };
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   NodeId coordinator_;
   bool send_finalize_;

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 
 namespace snowkit {
 namespace {
@@ -14,21 +15,22 @@ class ServerE final : public Node {
   void on_message(NodeId from, const Message& m) override {
     if (const auto* w = std::get_if<EigerWriteReq>(&m.payload)) {
       bump(w->lamport);
-      versions_.emplace_back(clock_, w->value);
+      versions(w->obj).emplace_back(clock_, w->value);
       send(from, Message{m.txn, EigerWriteAck{w->obj, clock_, clock_}});
       return;
     }
     if (const auto* r = std::get_if<EigerReadReq>(&m.payload)) {
       bump(r->lamport);
-      const auto& [ts, value] = versions_.back();
+      const auto& [ts, value] = versions(r->obj).back();
       send(from, Message{m.txn, EigerReadResp{r->obj, value, ts, clock_, clock_}});
       return;
     }
     if (const auto* r = std::get_if<EigerReadAtReq>(&m.payload)) {
       bump(r->lamport);
-      // Newest version with commit_ts <= at (versions_ is ts-ascending).
-      Value value = versions_.front().second;
-      for (const auto& [ts, v] : versions_) {
+      // Newest version with commit_ts <= at (the list is ts-ascending).
+      const auto& vers = versions(r->obj);
+      Value value = vers.front().second;
+      for (const auto& [ts, v] : vers) {
         if (ts <= r->at) value = v;
       }
       send(from, Message{m.txn, EigerReadAtResp{r->obj, value, clock_}});
@@ -40,13 +42,22 @@ class ServerE final : public Node {
  private:
   void bump(std::uint64_t incoming) { clock_ = std::max(clock_, incoming) + 1; }
 
+  /// Per-object ts-ascending version list, lazily seeded with the initial
+  /// version.  The Lamport clock stays per server: co-hosted objects share
+  /// it, which only tightens Eiger's validity intervals.
+  std::vector<std::pair<std::uint64_t, Value>>& versions(ObjectId obj) {
+    auto [it, inserted] = versions_.try_emplace(obj);
+    if (inserted) it->second.emplace_back(0, kInitialValue);
+    return it->second;
+  }
+
   std::uint64_t clock_ = 0;
-  std::vector<std::pair<std::uint64_t, Value>> versions_{{0, kInitialValue}};
+  std::map<ObjectId, std::vector<std::pair<std::uint64_t, Value>>> versions_;
 };
 
 class ReaderE final : public Node, public ReadClientApi {
  public:
-  explicit ReaderE(HistoryRecorder& rec) : rec_(rec) {}
+  ReaderE(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -57,7 +68,7 @@ class ReaderE final : public Node, public ReadClientApi {
     pending_->objs = objs;
     pending_->cb = std::move(cb);
     for (ObjectId obj : objs) {
-      send(static_cast<NodeId>(obj), Message{txn, EigerReadReq{obj, clock_}});
+      send(place_.server_node(obj), Message{txn, EigerReadReq{obj, clock_}});
     }
   }
 
@@ -110,7 +121,7 @@ class ReaderE final : public Node, public ReadClientApi {
     // Slow path: re-read everything at the effective time (second round).
     pending_->effective = lo;
     for (ObjectId obj : pending_->objs) {
-      send(static_cast<NodeId>(obj), Message{pending_->txn, EigerReadAtReq{obj, lo, clock_}});
+      send(place_.server_node(obj), Message{pending_->txn, EigerReadAtReq{obj, lo, clock_}});
     }
   }
 
@@ -125,13 +136,14 @@ class ReaderE final : public Node, public ReadClientApi {
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::uint64_t clock_ = 0;
   std::optional<Pending> pending_;
 };
 
 class WriterE final : public Node, public WriteClientApi {
  public:
-  explicit WriterE(HistoryRecorder& rec) : rec_(rec) {}
+  WriterE(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
@@ -142,7 +154,7 @@ class WriterE final : public Node, public WriteClientApi {
     pending_->await = writes.size();
     pending_->cb = std::move(cb);
     for (const auto& [obj, value] : writes) {
-      send(static_cast<NodeId>(obj), Message{txn, EigerWriteReq{obj, value, clock_}});
+      send(place_.server_node(obj), Message{txn, EigerWriteReq{obj, value, clock_}});
     }
   }
 
@@ -168,51 +180,68 @@ class WriterE final : public Node, public WriteClientApi {
   };
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::uint64_t clock_ = 0;
   std::optional<Pending> pending_;
 };
 
 class SystemE final : public ProtocolSystem {
  public:
-  SystemE(std::size_t k, std::vector<ReaderE*> readers, std::vector<WriterE*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemE(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderE*> readers,
+          std::vector<WriterE*> writers)
+      : ProtocolSystem("eiger", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "eiger"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderE*> readers_;
   std::vector<WriterE*> writers_;
 };
 
+const ProtocolRegistration kRegisterEiger{
+    ProtocolTraits{
+        .name = "eiger",
+        .summary = "§6: mini-Eiger logical-clock RO txns; S claim refuted by Fig. 5",
+        .claims_strict_serializability = false,  // claimed by Eiger; §6 shows otherwise
+        .provides_tags = false,
+        .snow_s = false,
+        .snow_n = true,
+        .snow_o = false,  // up to two rounds
+        .snow_w = true,
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions&) {
+      return build_eiger(rt, rec, cfg);
+    }};
+
 }  // namespace
 
 std::unique_ptr<ProtocolSystem> build_eiger(Runtime& rt, HistoryRecorder& rec,
-                                            const Topology& topo) {
+                                            const SystemConfig& cfg) {
+  cfg.validate();
+  const Placement place(cfg);
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id = rt.add_node(std::make_unique<ServerE>());
     SNOW_CHECK(id == i);
   }
   std::vector<ReaderE*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ReaderE>(rec);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderE>(rec, place);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<WriterE*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<WriterE>(rec);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<WriterE>(rec, place);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemE>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemE>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

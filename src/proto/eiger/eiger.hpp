@@ -23,6 +23,6 @@
 namespace snowkit {
 
 std::unique_ptr<ProtocolSystem> build_eiger(Runtime& rt, HistoryRecorder& rec,
-                                            const Topology& topo);
+                                            const SystemConfig& cfg);
 
 }  // namespace snowkit

@@ -15,6 +15,6 @@
 namespace snowkit {
 
 std::unique_ptr<ProtocolSystem> build_naive(Runtime& rt, HistoryRecorder& rec,
-                                            const Topology& topo);
+                                            const SystemConfig& cfg);
 
 }  // namespace snowkit

@@ -2,8 +2,10 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "common/assert.hpp"
+#include "core/registry.hpp"
 #include "proto/coor_server.hpp"
 #include "proto/coor_writer.hpp"
 
@@ -12,8 +14,9 @@ namespace {
 
 class ReaderO final : public Node, public ReadClientApi {
  public:
-  ReaderO(HistoryRecorder& rec, std::size_t k, NodeId coordinator, int max_optimistic)
-      : rec_(rec), k_(k), coordinator_(coordinator), max_optimistic_(max_optimistic) {}
+  ReaderO(HistoryRecorder& rec, const Placement& place, NodeId coordinator, int max_optimistic)
+      : rec_(rec), place_(place), k_(place.num_objects()), coordinator_(coordinator),
+        max_optimistic_(max_optimistic) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -71,7 +74,7 @@ class ReaderO final : public Node, public ReadClientApi {
     for (ObjectId obj : pending_->objs) req.want[obj] = 1;
     send(coordinator_, Message{pending_->txn, req});
     for (const auto& [obj, key] : pending_->guesses) {
-      send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValReq{obj, key}});
+      send(place_.server_node(obj), Message{pending_->txn, ReadValReq{obj, key}});
     }
   }
 
@@ -111,7 +114,7 @@ class ReaderO final : public Node, public ReadClientApi {
       ++pending_->rounds;
       pending_->got.clear();
       for (const auto& [obj, key] : pending_->guesses) {
-        send(static_cast<NodeId>(obj), Message{pending_->txn, ReadValReq{obj, key}});
+        send(place_.server_node(obj), Message{pending_->txn, ReadValReq{obj, key}});
       }
       return;
     }
@@ -129,6 +132,7 @@ class ReaderO final : public Node, public ReadClientApi {
   }
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::size_t k_;
   NodeId coordinator_;
   int max_optimistic_;
@@ -137,48 +141,71 @@ class ReaderO final : public Node, public ReadClientApi {
 
 class SystemO final : public ProtocolSystem {
  public:
-  SystemO(std::size_t k, std::vector<ReaderO*> readers, std::vector<CoorWriter*> writers)
-      : k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  SystemO(const SystemConfig& cfg, Runtime& rt, std::vector<ReaderO*> readers,
+          std::vector<CoorWriter*> writers)
+      : ProtocolSystem("occ-reads", cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return "occ-reads"; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::size_t k_;
   std::vector<ReaderO*> readers_;
   std::vector<CoorWriter*> writers_;
 };
 
+const ProtocolRegistration kRegisterOcc{
+    ProtocolTraits{
+        .name = "occ-reads",
+        .summary = "optimistic one-version reads: the (inf, 1) cell of Fig. 1(b)",
+        .claims_strict_serializability = true,
+        .provides_tags = true,
+        .snow_s = true,
+        .snow_n = true,
+        .snow_o = false,  // one version but unbounded rounds
+        .snow_w = true,
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
+      OccOptions o;
+      o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
+      o.max_optimistic_rounds = static_cast<int>(opts.get_int("max_optimistic_rounds", 0));
+      return build_occ(rt, rec, cfg, o);
+    }};
+
 }  // namespace
 
-std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec, const Topology& topo,
-                                          OccOptions opts) {
-  SNOW_CHECK(opts.coordinator < topo.num_objects);
+std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec,
+                                          const SystemConfig& cfg, OccOptions opts) {
+  cfg.validate();
+  const Placement place(cfg);
+  if (opts.coordinator >= place.num_servers()) {
+    throw std::invalid_argument("coordinator shard " + std::to_string(opts.coordinator) +
+                                " out of range (servers = " +
+                                std::to_string(place.num_servers()) + ")");
+  }
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id =
-        rt.add_node(std::make_unique<CoorServer>(topo.num_objects, i == opts.coordinator));
+        rt.add_node(std::make_unique<CoorServer>(cfg.num_objects, i == opts.coordinator));
     SNOW_CHECK(id == i);
   }
   const NodeId coor = static_cast<NodeId>(opts.coordinator);
   std::vector<ReaderO*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ReaderO>(rec, topo.num_objects, coor, opts.max_optimistic_rounds);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ReaderO>(rec, place, coor, opts.max_optimistic_rounds);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<CoorWriter*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<CoorWriter>(rec, topo.num_objects, coor, /*send_finalize=*/false);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<CoorWriter>(rec, place, coor, /*send_finalize=*/false);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<SystemO>(topo.num_objects, std::move(readers), std::move(writers));
+  return std::make_unique<SystemO>(cfg, rt, std::move(readers), std::move(writers));
 }
 
 }  // namespace snowkit

@@ -30,13 +30,14 @@
 namespace snowkit {
 
 struct OccOptions {
-  ObjectId coordinator{0};
+  /// Which server shard acts as coordinator s* (index < server_count()).
+  std::size_t coordinator{0};
   /// 0 = retry forever (the literal (∞,1) cell).  n > 0 = after n failed
   /// optimistic rounds, run one pessimistic Algorithm-B round (bounded).
   int max_optimistic_rounds{0};
 };
 
-std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec, const Topology& topo,
-                                          OccOptions opts = {});
+std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec,
+                                          const SystemConfig& cfg, OccOptions opts = {});
 
 }  // namespace snowkit

@@ -21,24 +21,26 @@ class ParallelServer final : public Node {
  public:
   void on_message(NodeId from, const Message& m) override {
     if (const auto* w = std::get_if<SimpleWriteReq>(&m.payload)) {
-      value_ = w->value;
+      values_[w->obj] = w->value;
       send(from, Message{m.txn, SimpleWriteAck{w->obj}});
       return;
     }
     if (const auto* r = std::get_if<SimpleReadReq>(&m.payload)) {
-      send(from, Message{m.txn, SimpleReadResp{r->obj, value_}});
+      const auto it = values_.find(r->obj);
+      const Value v = it == values_.end() ? kInitialValue : it->second;
+      send(from, Message{m.txn, SimpleReadResp{r->obj, v}});
       return;
     }
     SNOW_UNREACHABLE("parallel server got unexpected payload");
   }
 
  private:
-  Value value_ = kInitialValue;
+  std::map<ObjectId, Value> values_;  ///< latest value per hosted object.
 };
 
 class ParallelReader final : public Node, public ReadClientApi {
  public:
-  explicit ParallelReader(HistoryRecorder& rec) : rec_(rec) {}
+  ParallelReader(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void read(std::vector<ObjectId> objs, ReadCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "reader " << id() << " already has a READ in flight");
@@ -48,7 +50,7 @@ class ParallelReader final : public Node, public ReadClientApi {
     pending_->txn = txn;
     pending_->objs = objs;
     pending_->cb = std::move(cb);
-    for (ObjectId obj : objs) send(static_cast<NodeId>(obj), Message{txn, SimpleReadReq{obj}});
+    for (ObjectId obj : objs) send(place_.server_node(obj), Message{txn, SimpleReadReq{obj}});
   }
 
   NodeId node_id() const override { return id(); }
@@ -76,12 +78,13 @@ class ParallelReader final : public Node, public ReadClientApi {
   };
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::optional<Pending> pending_;
 };
 
 class ParallelWriter final : public Node, public WriteClientApi {
  public:
-  explicit ParallelWriter(HistoryRecorder& rec) : rec_(rec) {}
+  ParallelWriter(HistoryRecorder& rec, const Placement& place) : rec_(rec), place_(place) {}
 
   void write(std::vector<std::pair<ObjectId, Value>> writes, WriteCallback cb) override {
     SNOW_CHECK_MSG(!pending_, "writer " << id() << " already has a WRITE in flight");
@@ -92,7 +95,7 @@ class ParallelWriter final : public Node, public WriteClientApi {
     pending_->await = writes.size();
     pending_->cb = std::move(cb);
     for (const auto& [obj, value] : writes) {
-      send(static_cast<NodeId>(obj), Message{txn, SimpleWriteReq{obj, value}});
+      send(place_.server_node(obj), Message{txn, SimpleWriteReq{obj, value}});
     }
   }
 
@@ -117,32 +120,29 @@ class ParallelWriter final : public Node, public WriteClientApi {
   };
 
   HistoryRecorder& rec_;
+  Placement place_;
   std::optional<Pending> pending_;
 };
 
 /// Assembles servers/readers/writers for `simple` and `naive`.
 class ParallelSystem final : public ProtocolSystem {
  public:
-  ParallelSystem(std::string name, std::size_t k, std::vector<ParallelReader*> readers,
-                 std::vector<ParallelWriter*> writers)
-      : name_(std::move(name)), k_(k), readers_(std::move(readers)), writers_(std::move(writers)) {}
+  ParallelSystem(std::string name, const SystemConfig& cfg, Runtime& rt,
+                 std::vector<ParallelReader*> readers, std::vector<ParallelWriter*> writers)
+      : ProtocolSystem(std::move(name), cfg, rt), readers_(std::move(readers)),
+        writers_(std::move(writers)) {}
 
-  std::string name() const override { return name_; }
-  std::size_t num_objects() const override { return k_; }
-  NodeId server_node(ObjectId obj) const override { return static_cast<NodeId>(obj); }
   std::size_t num_readers() const override { return readers_.size(); }
   std::size_t num_writers() const override { return writers_.size(); }
   ReadClientApi& reader(std::size_t i) override { return *readers_.at(i); }
   WriteClientApi& writer(std::size_t i) override { return *writers_.at(i); }
 
  private:
-  std::string name_;
-  std::size_t k_;
   std::vector<ParallelReader*> readers_;
   std::vector<ParallelWriter*> writers_;
 };
 
 std::unique_ptr<ProtocolSystem> build_parallel(std::string name, Runtime& rt, HistoryRecorder& rec,
-                                               const Topology& topo);
+                                               const SystemConfig& cfg);
 
 }  // namespace snowkit::detail

@@ -1,5 +1,6 @@
 #include "proto/simple/simple.hpp"
 
+#include "core/registry.hpp"
 #include "proto/simple/parallel_rw.hpp"
 
 namespace snowkit {
@@ -7,33 +8,55 @@ namespace snowkit {
 namespace detail {
 
 std::unique_ptr<ProtocolSystem> build_parallel(std::string name, Runtime& rt, HistoryRecorder& rec,
-                                               const Topology& topo) {
+                                               const SystemConfig& cfg) {
+  cfg.validate();
+  const Placement place(cfg);
   rec.attach_runtime(&rt);
-  for (std::size_t i = 0; i < topo.num_objects; ++i) {
+  for (std::size_t i = 0; i < place.num_servers(); ++i) {
     const NodeId id = rt.add_node(std::make_unique<ParallelServer>());
     SNOW_CHECK(id == i);
   }
   std::vector<ParallelReader*> readers;
-  for (std::size_t i = 0; i < topo.num_readers; ++i) {
-    auto node = std::make_unique<ParallelReader>(rec);
+  for (std::size_t i = 0; i < cfg.num_readers; ++i) {
+    auto node = std::make_unique<ParallelReader>(rec, place);
     readers.push_back(node.get());
     rt.add_node(std::move(node));
   }
   std::vector<ParallelWriter*> writers;
-  for (std::size_t i = 0; i < topo.num_writers; ++i) {
-    auto node = std::make_unique<ParallelWriter>(rec);
+  for (std::size_t i = 0; i < cfg.num_writers; ++i) {
+    auto node = std::make_unique<ParallelWriter>(rec, place);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }
-  return std::make_unique<ParallelSystem>(std::move(name), topo.num_objects, std::move(readers),
+  return std::make_unique<ParallelSystem>(std::move(name), cfg, rt, std::move(readers),
                                           std::move(writers));
 }
 
 }  // namespace detail
 
+namespace {
+
+const ProtocolRegistration kRegisterSimple{
+    ProtocolTraits{
+        .name = "simple",
+        .summary = "non-transactional parallel reads/writes: the latency floor",
+        .claims_strict_serializability = false,
+        .provides_tags = false,
+        .snow_s = false,
+        .snow_n = true,
+        .snow_o = true,
+        .snow_w = false,  // writes are not transactions; no isolation claimed
+        .mwmr = true,
+    },
+    [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions&) {
+      return build_simple(rt, rec, cfg);
+    }};
+
+}  // namespace
+
 std::unique_ptr<ProtocolSystem> build_simple(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo) {
-  return detail::build_parallel("simple", rt, rec, topo);
+                                             const SystemConfig& cfg) {
+  return detail::build_parallel("simple", rt, rec, cfg);
 }
 
 }  // namespace snowkit

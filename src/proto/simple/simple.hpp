@@ -14,6 +14,6 @@
 namespace snowkit {
 
 std::unique_ptr<ProtocolSystem> build_simple(Runtime& rt, HistoryRecorder& rec,
-                                             const Topology& topo);
+                                             const SystemConfig& cfg);
 
 }  // namespace snowkit

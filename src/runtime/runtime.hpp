@@ -70,6 +70,11 @@ class Runtime {
   /// Runs `fn` on `node`'s executor (used to invoke transactions on clients).
   virtual void post(NodeId node, std::function<void()> fn) = 0;
 
+  /// Runs `fn` on `node`'s executor after `delay_ns` (virtual time for sim,
+  /// wall clock for threads).  Open-loop workload drivers use this to pace
+  /// fixed arrival rates on either substrate.
+  virtual void post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) = 0;
+
   /// Current time in nanoseconds (virtual for sim, steady_clock for threads).
   virtual TimeNs now_ns() const = 0;
 

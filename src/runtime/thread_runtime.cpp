@@ -8,7 +8,11 @@
 namespace snowkit {
 
 ThreadRuntime::~ThreadRuntime() {
-  if (started_) stop();
+  if (started_) {
+    stop();
+  } else {
+    stop_timer_thread();
+  }
 }
 
 void ThreadRuntime::on_node_added(NodeId id) {
@@ -29,6 +33,7 @@ void ThreadRuntime::start() {
 
 void ThreadRuntime::stop() {
   if (!started_) return;
+  stop_timer_thread();
   wait_idle();
   for (auto& mb : mailboxes_) {
     std::lock_guard<std::mutex> lock(mb->mu);
@@ -50,6 +55,53 @@ void ThreadRuntime::send(NodeId from, NodeId to, Message m) {
 void ThreadRuntime::post(NodeId node, std::function<void()> fn) {
   SNOW_CHECK_MSG(node < node_count(), "post to unknown node " << node);
   enqueue(node, Mailbox::Item{kInvalidNode, {}, std::move(fn)});
+}
+
+void ThreadRuntime::post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post_after to unknown node " << node);
+  const auto due = std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns);
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    SNOW_CHECK_MSG(!timer_stop_, "post_after after stop()");
+    timers_.emplace(due, Timer{due, node, std::move(fn)});
+    if (!timer_thread_.joinable()) {
+      timer_thread_ = std::thread([this] { timer_worker(); });
+    }
+  }
+  timer_cv_.notify_one();
+}
+
+void ThreadRuntime::timer_worker() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!timer_stop_) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, [&] { return timer_stop_ || !timers_.empty(); });
+      continue;
+    }
+    const auto due = timers_.begin()->first;
+    if (timer_cv_.wait_until(lock, due, [&] {
+          return timer_stop_ || (!timers_.empty() && timers_.begin()->first < due);
+        })) {
+      continue;  // stopped, or an earlier timer arrived — re-evaluate
+    }
+    // `due` has passed: fire every expired timer.
+    while (!timers_.empty() && timers_.begin()->first <= std::chrono::steady_clock::now()) {
+      Timer t = std::move(timers_.begin()->second);
+      timers_.erase(timers_.begin());
+      lock.unlock();
+      post(t.node, std::move(t.fn));
+      lock.lock();
+    }
+  }
+}
+
+void ThreadRuntime::stop_timer_thread() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 TimeNs ThreadRuntime::now_ns() const {

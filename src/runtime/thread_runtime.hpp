@@ -10,8 +10,10 @@
 // (scheduling), FIFO per (sender, receiver) pair.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -33,6 +35,9 @@ class ThreadRuntime final : public Runtime {
 
   void send(NodeId from, NodeId to, Message m) override;
   void post(NodeId node, std::function<void()> fn) override;
+  /// Delivered by a dedicated timer thread; timers still pending at stop()
+  /// are discarded.
+  void post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) override;
   TimeNs now_ns() const override;
 
   /// Blocks until every mailbox is empty and every node is idle.  Only valid
@@ -55,10 +60,23 @@ class ThreadRuntime final : public Runtime {
 
   void worker(NodeId id);
   void enqueue(NodeId to, Mailbox::Item item);
+  void timer_worker();
+  void stop_timer_thread();
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> threads_;
   bool started_ = false;
+
+  struct Timer {
+    std::chrono::steady_clock::time_point due;
+    NodeId node{kInvalidNode};
+    std::function<void()> fn;
+  };
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_;
+  std::thread timer_thread_;
+  bool timer_stop_ = false;
 
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;

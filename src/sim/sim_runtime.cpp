@@ -60,6 +60,17 @@ void SimRuntime::post(NodeId node, std::function<void()> fn) {
   queue_.push(std::move(ev));
 }
 
+void SimRuntime::post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post_after to unknown node " << node);
+  Event ev;
+  ev.time = now_ + delay_ns;
+  ev.seq = next_seq_++;
+  ev.is_task = true;
+  ev.to = node;
+  ev.task = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
 TimeNs SimRuntime::now_ns() const { return now_; }
 
 bool SimRuntime::step() {

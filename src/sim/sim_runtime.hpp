@@ -32,6 +32,7 @@ class SimRuntime final : public Runtime {
   // --- Runtime interface ---------------------------------------------------
   void send(NodeId from, NodeId to, Message m) override;
   void post(NodeId node, std::function<void()> fn) override;
+  void post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) override;
   TimeNs now_ns() const override;
 
   // --- execution control ---------------------------------------------------

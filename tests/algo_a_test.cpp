@@ -6,6 +6,7 @@
 #include "checker/tag_order.hpp"
 #include "core/run_workload.hpp"
 #include "core/system.hpp"
+#include "proto/algo_a/algo_a.hpp"
 #include "sim/script.hpp"
 #include "sim/sim_runtime.hpp"
 

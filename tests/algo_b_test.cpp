@@ -5,6 +5,7 @@
 #include "checker/tag_order.hpp"
 #include "core/run_workload.hpp"
 #include "core/system.hpp"
+#include "proto/algo_b/algo_b.hpp"
 #include "sim/script.hpp"
 #include "sim/sim_runtime.hpp"
 

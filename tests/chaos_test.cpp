@@ -16,7 +16,7 @@ namespace snowkit {
 namespace {
 
 struct ChaosCase {
-  ProtocolKind kind;
+  std::string kind;
   std::uint64_t seed;
 };
 
@@ -26,9 +26,9 @@ TEST_P(ChaosSweep, StrictProtocolsSurviveUnboundedReordering) {
   const ChaosCase& c = GetParam();
   SimRuntime sim;
   HistoryRecorder rec(3);
-  const std::size_t readers = c.kind == ProtocolKind::AlgoA ? 1 : 2;
+  const std::size_t readers = c.kind == "algo-a" ? 1 : 2;
   BuildOptions opts;
-  if (c.seed % 2 == 0) opts.algo_c.gc_versions = true;  // alternate GC mode
+  if (c.seed % 2 == 0) opts.set("gc_versions", true);  // alternate GC mode
   auto sys = build_protocol(c.kind, sim, rec, Topology{3, readers, 2}, opts);
 
   WorkloadSpec spec;
@@ -48,24 +48,24 @@ TEST_P(ChaosSweep, StrictProtocolsSurviveUnboundedReordering) {
 
   const History h = rec.snapshot();
   const auto verdict = check_tag_order(h);
-  EXPECT_TRUE(verdict.ok) << protocol_name(c.kind) << " seed " << c.seed << ": "
+  EXPECT_TRUE(verdict.ok) << c.kind << " seed " << c.seed << ": "
                           << verdict.explanation;
 
   const auto report = analyze_snow_trace(sim.trace(), 3, h);
   EXPECT_TRUE(report.satisfies_n()) << (report.violations.empty() ? "" : report.violations[0]);
-  if (c.kind == ProtocolKind::AlgoA) EXPECT_EQ(report.max_read_rounds, 1);
-  if (c.kind == ProtocolKind::AlgoB) EXPECT_LE(report.max_read_rounds, 2);
-  if (c.kind == ProtocolKind::AlgoC && !opts.algo_c.gc_versions) {
+  if (c.kind == "algo-a") EXPECT_EQ(report.max_read_rounds, 1);
+  if (c.kind == "algo-b") EXPECT_LE(report.max_read_rounds, 2);
+  if (c.kind == "algo-c" && !opts.get_bool("gc_versions")) {
     EXPECT_EQ(report.max_read_rounds, 1);
   }
-  if (c.kind != ProtocolKind::AlgoC) EXPECT_EQ(report.max_versions_per_response, 1);
+  if (c.kind != "algo-c") EXPECT_EQ(report.max_versions_per_response, 1);
 }
 
 std::vector<ChaosCase> make_chaos_cases() {
   std::vector<ChaosCase> cases;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    for (ProtocolKind kind :
-         {ProtocolKind::AlgoA, ProtocolKind::AlgoB, ProtocolKind::AlgoC, ProtocolKind::OccReads}) {
+    for (const char* kind :
+         {"algo-a", "algo-b", "algo-c", "occ-reads"}) {
       cases.push_back({kind, seed});
     }
   }
@@ -74,7 +74,7 @@ std::vector<ChaosCase> make_chaos_cases() {
 
 INSTANTIATE_TEST_SUITE_P(StrictProtocols, ChaosSweep, testing::ValuesIn(make_chaos_cases()),
                          [](const testing::TestParamInfo<ChaosCase>& info) {
-                           std::string n = protocol_name(info.param.kind);
+                           std::string n = info.param.kind;
                            for (auto& ch : n) {
                              if (ch == '-') ch = '_';
                            }
@@ -87,7 +87,7 @@ TEST(ChaosSweep, NaiveFracturesFrequentlyUnderChaos) {
   for (std::uint64_t seed = 1; seed <= runs; ++seed) {
     SimRuntime sim;
     HistoryRecorder rec(2);
-    auto sys = build_protocol(ProtocolKind::Naive, sim, rec, Topology{2, 1, 2});
+    auto sys = build_protocol("naive", sim, rec, Topology{2, 1, 2});
     WorkloadSpec spec;
     spec.ops_per_reader = 20;
     spec.ops_per_writer = 10;
@@ -109,7 +109,7 @@ TEST(ChaosSweep, BlockingStaysSerializableAndLive) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     SimRuntime sim;
     HistoryRecorder rec(2);
-    auto sys = build_protocol(ProtocolKind::Blocking, sim, rec, Topology{2, 2, 2});
+    auto sys = build_protocol("blocking-2pl", sim, rec, Topology{2, 2, 2});
     WorkloadSpec spec;
     spec.ops_per_reader = 10;
     spec.ops_per_writer = 8;
@@ -129,7 +129,7 @@ TEST(ChaosSweep, ChaosIsDeterministicPerSeed) {
   auto run = [](std::uint64_t seed) {
     SimRuntime sim;
     HistoryRecorder rec(2);
-    auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, Topology{2, 1, 1});
+    auto sys = build_protocol("algo-b", sim, rec, Topology{2, 1, 1});
     WorkloadSpec spec;
     spec.ops_per_reader = 10;
     spec.ops_per_writer = 5;

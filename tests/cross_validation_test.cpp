@@ -15,7 +15,7 @@ namespace snowkit {
 namespace {
 
 struct XCase {
-  ProtocolKind kind;
+  std::string kind;
   std::uint64_t seed;
 };
 
@@ -25,7 +25,7 @@ TEST_P(CheckerCrossValidation, TagOrderAndSearchAgree) {
   const XCase& c = GetParam();
   SimRuntime sim(make_uniform_delay(10, 6000, c.seed));
   HistoryRecorder rec(3);
-  const std::size_t readers = c.kind == ProtocolKind::AlgoA ? 1 : 2;  // A is MWSR
+  const std::size_t readers = c.kind == "algo-a" ? 1 : 2;  // A is MWSR
   auto sys = build_protocol(c.kind, sim, rec, Topology{3, readers, 2});
   WorkloadSpec spec;
   spec.ops_per_reader = 10;  // small so the exact search stays fast
@@ -48,18 +48,18 @@ TEST_P(CheckerCrossValidation, TagOrderAndSearchAgree) {
 std::vector<XCase> make_xcases() {
   std::vector<XCase> cases;
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    for (ProtocolKind kind : {ProtocolKind::AlgoB, ProtocolKind::AlgoC}) {
+    for (const char* kind : {"algo-b", "algo-c"}) {
       cases.push_back({kind, seed});
     }
   }
   // Algorithm A in MWSR.
-  for (std::uint64_t seed = 1; seed <= 4; ++seed) cases.push_back({ProtocolKind::AlgoA, seed});
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) cases.push_back({"algo-a", seed});
   return cases;
 }
 
 INSTANTIATE_TEST_SUITE_P(Protocols, CheckerCrossValidation, testing::ValuesIn(make_xcases()),
                          [](const testing::TestParamInfo<XCase>& info) {
-                           std::string n = protocol_name(info.param.kind);
+                           std::string n = info.param.kind;
                            for (auto& ch : n) {
                              if (ch == '-') ch = '_';
                            }
@@ -75,7 +75,7 @@ TEST(DetectorSoundness, FractureAndStaleImplySearchRejection) {
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     SimRuntime sim(make_uniform_delay(10, 4000, seed));
     HistoryRecorder rec(2);
-    auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, Topology{2, 1, 2});
+    auto sys = build_protocol("algo-b", sim, rec, Topology{2, 1, 2});
     WorkloadSpec spec;
     spec.ops_per_reader = 8;
     spec.ops_per_writer = 5;
@@ -112,7 +112,7 @@ TEST(DetectorSoundness, CleanHistoriesTriggerNoDetector) {
   for (std::uint64_t seed = 20; seed <= 26; ++seed) {
     SimRuntime sim(make_uniform_delay(10, 4000, seed));
     HistoryRecorder rec(3);
-    auto sys = build_protocol(ProtocolKind::AlgoC, sim, rec, Topology{3, 2, 2});
+    auto sys = build_protocol("algo-c", sim, rec, Topology{3, 2, 2});
     WorkloadSpec spec;
     spec.ops_per_reader = 15;
     spec.ops_per_writer = 8;

@@ -16,7 +16,7 @@ TEST(WireStats, CountsMessagesAndBytesOnSim) {
   WireStats wire;
   sim.set_observer(&wire);
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Simple, sim, rec, Topology{2, 1, 1});
+  auto sys = build_protocol("simple", sim, rec, Topology{2, 1, 1});
   invoke_write(sim, sys->writer(0), {{0, 1}, {1, 2}}, [](const WriteResult&) {});
   sim.run_until_idle();
   EXPECT_EQ(wire.messages(), 4u);  // 2 writes + 2 acks
@@ -44,7 +44,7 @@ TEST(WireStats, ResetClears) {
 TEST(Driver, CompletesExactOpCounts) {
   SimRuntime sim;
   HistoryRecorder rec(3);
-  auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, Topology{3, 2, 2});
+  auto sys = build_protocol("algo-b", sim, rec, Topology{3, 2, 2});
   WorkloadSpec spec;
   spec.ops_per_reader = 7;
   spec.ops_per_writer = 5;
@@ -61,7 +61,7 @@ TEST(Driver, CompletesExactOpCounts) {
 TEST(Driver, UniqueWriteValuesAcrossWriters) {
   SimRuntime sim;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::AlgoB, sim, rec, Topology{2, 1, 3});
+  auto sys = build_protocol("algo-b", sim, rec, Topology{2, 1, 3});
   WorkloadSpec spec;
   spec.ops_per_reader = 1;
   spec.ops_per_writer = 20;
@@ -84,7 +84,7 @@ TEST(Driver, UniqueWriteValuesAcrossWriters) {
 TEST(Driver, ZeroOpsIsANoop) {
   SimRuntime sim;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Simple, sim, rec, Topology{2, 1, 1});
+  auto sys = build_protocol("simple", sim, rec, Topology{2, 1, 1});
   WorkloadSpec spec;
   spec.ops_per_reader = 0;
   spec.ops_per_writer = 0;
@@ -98,7 +98,7 @@ TEST(Driver, ZeroOpsIsANoop) {
 TEST(Driver, WaitBlocksUntilDoneOnThreads) {
   ThreadRuntime rt;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Simple, rt, rec, Topology{2, 2, 1});
+  auto sys = build_protocol("simple", rt, rec, Topology{2, 2, 1});
   rt.start();
   WorkloadSpec spec;
   spec.ops_per_reader = 50;

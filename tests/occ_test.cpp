@@ -16,7 +16,7 @@ namespace {
 TEST(OccReads, UncontendedReadTakesOneRound) {
   SimRuntime sim;
   HistoryRecorder rec(3);
-  auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{3, 1, 1});
+  auto sys = build_protocol("occ-reads", sim, rec, Topology{3, 1, 1});
   invoke_write(sim, sys->writer(0), {{0, 5}, {2, 7}}, [](const WriteResult&) {});
   sim.run_until_idle();
   ReadResult result;
@@ -40,7 +40,7 @@ TEST(OccReads, StrictSerializabilityAcrossSeeds) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     SimRuntime sim(make_uniform_delay(10, 6000, seed));
     HistoryRecorder rec(3);
-    auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{3, 2, 3});
+    auto sys = build_protocol("occ-reads", sim, rec, Topology{3, 2, 3});
     WorkloadSpec spec;
     spec.ops_per_reader = 40;
     spec.ops_per_writer = 25;
@@ -59,7 +59,7 @@ TEST(OccReads, StrictSerializabilityAcrossSeeds) {
 TEST(OccReads, OneVersionAndNonBlockingOnTrace) {
   SimRuntime sim(make_uniform_delay(10, 5000, 3));
   HistoryRecorder rec(3);
-  auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{3, 2, 2});
+  auto sys = build_protocol("occ-reads", sim, rec, Topology{3, 2, 2});
   WorkloadSpec spec;
   spec.ops_per_reader = 30;
   spec.ops_per_writer = 15;
@@ -79,7 +79,7 @@ TEST(OccReads, ContentionForcesRetries) {
   // face of the unbounded worst case that keeps (inf,1) an inf cell.
   SimRuntime sim;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{2, 1, 1});
+  auto sys = build_protocol("occ-reads", sim, rec, Topology{2, 1, 1});
   sim.start();
   sim.hold_matching(script::any_of(
       {script::payload_is("update-coor"), script::payload_is("get-tag-arr")}));
@@ -124,8 +124,8 @@ TEST(OccReads, BoundedFallbackCapsRounds) {
   SimRuntime sim(make_uniform_delay(10, 6000, 5));
   HistoryRecorder rec(2);
   BuildOptions opts;
-  opts.occ.max_optimistic_rounds = 2;
-  auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{2, 2, 4}, opts);
+  opts.set("max_optimistic_rounds", 2);
+  auto sys = build_protocol("occ-reads", sim, rec, Topology{2, 2, 4}, opts);
   WorkloadSpec spec;
   spec.ops_per_reader = 60;
   spec.ops_per_writer = 60;  // heavy write contention
@@ -145,7 +145,7 @@ TEST(OccReads, RoundsGrowUnderWriteContention) {
   // Statistical: with many writers, some reads need >1 round.
   SimRuntime sim(make_uniform_delay(10, 8000, 9));
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::OccReads, sim, rec, Topology{2, 2, 4});
+  auto sys = build_protocol("occ-reads", sim, rec, Topology{2, 2, 4});
   WorkloadSpec spec;
   spec.ops_per_reader = 80;
   spec.ops_per_writer = 80;

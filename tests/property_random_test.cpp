@@ -16,7 +16,7 @@ namespace snowkit {
 namespace {
 
 struct SweepCase {
-  ProtocolKind kind;
+  std::string kind;
   std::size_t objects;
   std::size_t readers;
   std::size_t writers;
@@ -28,7 +28,7 @@ struct SweepCase {
 
 std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
   const SweepCase& c = info.param;
-  std::string n = protocol_name(c.kind);
+  std::string n = c.kind;
   for (auto& ch : n) {
     if (ch == '-') ch = '_';
   }
@@ -65,7 +65,7 @@ TEST_P(ProtocolSweep, InvariantsHoldUnderRandomAsynchrony) {
   if (provides_tags(c.kind)) {
     const auto verdict = check_tag_order(h);
     EXPECT_TRUE(verdict.ok) << verdict.explanation;
-  } else if (c.kind == ProtocolKind::Blocking) {
+  } else if (c.kind == "blocking-2pl") {
     const auto verdict = check_strict_serializability(h, CheckOptions{2'000'000});
     EXPECT_TRUE(verdict.ok || verdict.exhausted) << verdict.explanation;
   }
@@ -90,22 +90,22 @@ std::vector<SweepCase> make_cases() {
   std::vector<SweepCase> cases;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     // Algorithm A: MWSR only; 1 round, 1 version, non-blocking.
-    cases.push_back({ProtocolKind::AlgoA, 3, 1, 3, seed, 1, 1, true});
-    cases.push_back({ProtocolKind::AlgoA, 6, 1, 2, seed, 1, 1, true});
+    cases.push_back({"algo-a", 3, 1, 3, seed, 1, 1, true});
+    cases.push_back({"algo-a", 6, 1, 2, seed, 1, 1, true});
     // Algorithm B: MWMR; 2 rounds, 1 version, non-blocking.
-    cases.push_back({ProtocolKind::AlgoB, 3, 2, 2, seed, 2, 1, true});
-    cases.push_back({ProtocolKind::AlgoB, 6, 3, 3, seed, 2, 1, true});
+    cases.push_back({"algo-b", 3, 2, 2, seed, 2, 1, true});
+    cases.push_back({"algo-b", 6, 3, 3, seed, 2, 1, true});
     // Algorithm C: MWMR; 1 round, many versions, non-blocking.
-    cases.push_back({ProtocolKind::AlgoC, 3, 2, 2, seed, 1, -1, true});
-    cases.push_back({ProtocolKind::AlgoC, 6, 3, 3, seed, 1, -1, true});
+    cases.push_back({"algo-c", 3, 2, 2, seed, 1, -1, true});
+    cases.push_back({"algo-c", 6, 3, 3, seed, 1, -1, true});
     // Eiger: <=2 rounds, non-blocking (but not S — not asserted here).
-    cases.push_back({ProtocolKind::Eiger, 3, 2, 2, seed, 2, 1, true});
+    cases.push_back({"eiger", 3, 2, 2, seed, 2, 1, true});
     // OCC reads: one version, non-blocking, rounds finite but unbounded.
-    cases.push_back({ProtocolKind::OccReads, 3, 2, 2, seed, -1, 1, true});
+    cases.push_back({"occ-reads", 3, 2, 2, seed, -1, 1, true});
     // Blocking 2PL: multi-round, blocking — only S and liveness asserted.
-    cases.push_back({ProtocolKind::Blocking, 3, 2, 2, seed, -1, 1, false});
+    cases.push_back({"blocking-2pl", 3, 2, 2, seed, -1, 1, false});
     // Simple: 1 round, non-blocking, no S claim.
-    cases.push_back({ProtocolKind::Simple, 4, 2, 2, seed, 1, 1, true});
+    cases.push_back({"simple", 4, 2, 2, seed, 1, 1, true});
   }
   return cases;
 }
@@ -122,8 +122,8 @@ TEST_P(AlgoCGcSweep, GcKeepsStrictSerializability) {
   SimRuntime sim(make_uniform_delay(10, 8000, seed));
   HistoryRecorder rec(4);
   BuildOptions opts;
-  opts.algo_c.gc_versions = true;
-  auto sys = build_protocol(ProtocolKind::AlgoC, sim, rec, Topology{4, 2, 4}, opts);
+  opts.set("gc_versions", true);
+  auto sys = build_protocol("algo-c", sim, rec, Topology{4, 2, 4}, opts);
   WorkloadSpec spec;
   spec.ops_per_reader = 50;
   spec.ops_per_writer = 30;
@@ -142,7 +142,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AlgoCGcSweep, testing::Range<std::uint64_t>(1, 1
 // --- coordinator-placement sweep for B and C --------------------------------
 
 struct CoorCase {
-  ProtocolKind kind;
+  std::string kind;
   ObjectId coordinator;
   std::uint64_t seed;
 };
@@ -154,8 +154,7 @@ TEST_P(CoordinatorSweep, AnyCoordinatorPreservesS) {
   SimRuntime sim(make_uniform_delay(10, 5000, c.seed));
   HistoryRecorder rec(4);
   BuildOptions opts;
-  opts.algo_b.coordinator = c.coordinator;
-  opts.algo_c.coordinator = c.coordinator;
+  opts.set("coordinator", c.coordinator);
   auto sys = build_protocol(c.kind, sim, rec, Topology{4, 2, 2}, opts);
   WorkloadSpec spec;
   spec.ops_per_reader = 30;
@@ -171,11 +170,11 @@ TEST_P(CoordinatorSweep, AnyCoordinatorPreservesS) {
 
 INSTANTIATE_TEST_SUITE_P(
     Placements, CoordinatorSweep,
-    testing::Values(CoorCase{ProtocolKind::AlgoB, 0, 1}, CoorCase{ProtocolKind::AlgoB, 3, 2},
-                    CoorCase{ProtocolKind::AlgoC, 0, 3}, CoorCase{ProtocolKind::AlgoC, 3, 4},
-                    CoorCase{ProtocolKind::AlgoB, 1, 5}, CoorCase{ProtocolKind::AlgoC, 2, 6}),
+    testing::Values(CoorCase{"algo-b", 0, 1}, CoorCase{"algo-b", 3, 2},
+                    CoorCase{"algo-c", 0, 3}, CoorCase{"algo-c", 3, 4},
+                    CoorCase{"algo-b", 1, 5}, CoorCase{"algo-c", 2, 6}),
     [](const testing::TestParamInfo<CoorCase>& info) {
-      return std::string(info.param.kind == ProtocolKind::AlgoB ? "B" : "C") + "_coor" +
+      return std::string(info.param.kind == "algo-b" ? "B" : "C") + "_coor" +
              std::to_string(info.param.coordinator) + "_s" + std::to_string(info.param.seed);
     });
 

@@ -77,18 +77,20 @@ TEST(Naive, BenignSchedulesLookSerializable) {
   EXPECT_TRUE(verdict.ok) << verdict.explanation;
 }
 
-TEST(Naive, ProtocolRegistryNames) {
-  EXPECT_STREQ(protocol_name(ProtocolKind::Naive), "naive");
-  EXPECT_FALSE(claims_strict_serializability(ProtocolKind::Naive));
-  EXPECT_FALSE(provides_tags(ProtocolKind::Naive));
-  EXPECT_TRUE(claims_strict_serializability(ProtocolKind::AlgoB));
-  EXPECT_TRUE(provides_tags(ProtocolKind::AlgoC));
+TEST(Naive, ProtocolRegistryTraits) {
+  EXPECT_FALSE(claims_strict_serializability("naive"));
+  EXPECT_FALSE(provides_tags("naive"));
+  EXPECT_TRUE(claims_strict_serializability("algo-b"));
+  EXPECT_TRUE(provides_tags("algo-c"));
+  const ProtocolTraits& naive = ProtocolRegistry::global().traits("naive");
+  EXPECT_TRUE(naive.snow_n && naive.snow_o && naive.snow_w);
+  EXPECT_FALSE(naive.snow_s);  // the SNOW Theorem, as a capability record
 }
 
 TEST(Simple, BuildViaRegistry) {
   SimRuntime sim;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Simple, sim, rec, Topology{2, 1, 1});
+  auto sys = build_protocol("simple", sim, rec, Topology{2, 1, 1});
   EXPECT_EQ(sys->name(), "simple");
   EXPECT_EQ(sys->num_objects(), 2u);
   EXPECT_EQ(sys->num_readers(), 1u);

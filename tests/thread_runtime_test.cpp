@@ -12,7 +12,7 @@ namespace {
 TEST(ThreadRuntime, AlgoBWorkloadIsStrictlySerializable) {
   ThreadRuntime rt;
   HistoryRecorder rec(3);
-  auto sys = build_protocol(ProtocolKind::AlgoB, rt, rec, Topology{3, 2, 2});
+  auto sys = build_protocol("algo-b", rt, rec, Topology{3, 2, 2});
   rt.start();
   WorkloadSpec spec;
   spec.ops_per_reader = 100;
@@ -29,7 +29,7 @@ TEST(ThreadRuntime, AlgoBWorkloadIsStrictlySerializable) {
 TEST(ThreadRuntime, AlgoCWorkloadIsStrictlySerializable) {
   ThreadRuntime rt;
   HistoryRecorder rec(3);
-  auto sys = build_protocol(ProtocolKind::AlgoC, rt, rec, Topology{3, 2, 2});
+  auto sys = build_protocol("algo-c", rt, rec, Topology{3, 2, 2});
   rt.start();
   WorkloadSpec spec;
   spec.ops_per_reader = 100;
@@ -46,7 +46,7 @@ TEST(ThreadRuntime, AlgoCWorkloadIsStrictlySerializable) {
 TEST(ThreadRuntime, AlgoAMwsrUnderThreads) {
   ThreadRuntime rt;
   HistoryRecorder rec(4);
-  auto sys = build_protocol(ProtocolKind::AlgoA, rt, rec, Topology{4, 1, 3});
+  auto sys = build_protocol("algo-a", rt, rec, Topology{4, 1, 3});
   rt.start();
   WorkloadSpec spec;
   spec.ops_per_reader = 150;
@@ -63,7 +63,7 @@ TEST(ThreadRuntime, AlgoAMwsrUnderThreads) {
 TEST(ThreadRuntime, BlockingProtocolDrainsWithoutDeadlock) {
   ThreadRuntime rt;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Blocking, rt, rec, Topology{2, 2, 2});
+  auto sys = build_protocol("blocking-2pl", rt, rec, Topology{2, 2, 2});
   rt.start();
   WorkloadSpec spec;
   spec.ops_per_reader = 50;
@@ -78,7 +78,7 @@ TEST(ThreadRuntime, BlockingProtocolDrainsWithoutDeadlock) {
 TEST(ThreadRuntime, StopIsIdempotentAndDrains) {
   ThreadRuntime rt;
   HistoryRecorder rec(2);
-  auto sys = build_protocol(ProtocolKind::Simple, rt, rec, Topology{2, 1, 1});
+  auto sys = build_protocol("simple", rt, rec, Topology{2, 1, 1});
   rt.start();
   ClosedLoopDriver driver(rt, *sys, WorkloadSpec{.ops_per_reader = 5, .ops_per_writer = 5});
   driver.start();
