@@ -1,4 +1,5 @@
-// E10b: ablations for the design choices DESIGN.md calls out.
+// Scenario "ablation_coordinator": ablations for the design choices
+// DESIGN.md calls out.
 //
 //  1. Coordinator placement (Algorithms B/C): does colocating s* with a hot
 //     object change read latency?  (It shouldn't materially: the coordinator
@@ -8,53 +9,62 @@
 //     bounded responses is a small probability of an extra round.
 //  3. Algorithm A's C2C fan-out: writer-side latency as the only cost of
 //     SNOW reads in MWSR.
-#include <benchmark/benchmark.h>
-
 #include "bench_util.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_coordinator_placement() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+void run_coordinator_placement(const ScenarioOptions& opts, ScenarioResult& result) {
   bench::heading("ablation 1: coordinator placement (8 shards, zipfian hot shard = 0)");
   const std::vector<int> widths{10, 14, 12, 12, 10};
   bench::row({"protocol", "s* location", "p50(us)", "p99(us)", "S holds"}, widths);
   for (const char* kind : {"algo-b", "algo-c"}) {
+    if (!opts.wants(kind)) continue;
     for (ObjectId coor : {ObjectId{0}, ObjectId{7}}) {
       WorkloadSpec spec;
-      spec.ops_per_reader = 80;
-      spec.ops_per_writer = 30;
+      spec.ops_per_reader = opts.scaled(80);
+      spec.ops_per_writer = opts.scaled(30);
       spec.read_span = 3;
       spec.zipf_theta = 0.9;
       spec.seed = 17;
-      BuildOptions opts;
-      opts.set("coordinator", coor);
-      auto r = bench::run_sim_workload(kind, Topology{8, 2, 2}, spec, 17, opts);
+      BuildOptions bopts;
+      bopts.set("coordinator", coor);
+      const Topology topo{8, 2, 2};
+      auto r = bench::run_sim_workload(kind, topo, spec, 17, bopts);
       bench::row({kind, coor == 0 ? "hot shard" : "cold shard",
                   bench::us(static_cast<double>(r.read_latency.p50_ns)),
                   bench::us(static_cast<double>(r.read_latency.p99_ns)),
                   bench::yesno(r.tag_order_ok)},
                  widths);
+      auto rec = bench::sim_record(kind, topo, r, r.read_latency);
+      rec.set("ablation", "coordinator-placement");
+      rec.set("coordinator", coor == 0 ? "hot" : "cold");
+      result.records.push_back(std::move(rec));
     }
   }
   std::printf("\nshape check: placement shifts load, not rounds — latency differences stay\n"
               "within network noise because the coordinator answers non-blocking either way.\n");
 }
 
-void print_gc_ablation() {
+void run_gc_ablation(const ScenarioOptions& opts, ScenarioResult& result) {
+  if (!opts.wants("algo-c")) return;
   bench::heading("ablation 2: Algorithm C bounded-version GC (2 shards, 4 writers)");
   const std::vector<int> widths{8, 16, 14, 14, 12, 10};
   bench::row({"GC", "max versions", "wire bytes", "extra-round", "p50(us)", "S holds"}, widths);
   for (bool gc : {false, true}) {
     WorkloadSpec spec;
-    spec.ops_per_reader = 100;
-    spec.ops_per_writer = 60;
+    spec.ops_per_reader = opts.scaled(100);
+    spec.ops_per_writer = opts.scaled(60);
     spec.read_span = 2;
     spec.write_span = 2;
     spec.seed = 23;
-    BuildOptions opts;
-    opts.set("gc_versions", gc);
-    auto r = bench::run_sim_workload("algo-c", Topology{2, 2, 4}, spec, 23, opts);
+    BuildOptions bopts;
+    bopts.set("gc_versions", gc);
+    const Topology topo{2, 2, 4};
+    auto r = bench::run_sim_workload("algo-c", topo, spec, 23, bopts);
     int retried = 0;
     for (const auto& t : r.history.txns) {
       if (t.is_read && t.complete && t.rounds > 1) ++retried;
@@ -65,59 +75,58 @@ void print_gc_ablation() {
                 bench::us(static_cast<double>(r.read_latency.p50_ns)),
                 bench::yesno(r.tag_order_ok)},
                widths);
+    auto rec = bench::sim_record("algo-c", topo, r, r.read_latency);
+    rec.set("ablation", "gc");
+    rec.set("gc", bench::yesno(gc));
+    rec.set("read_retries", std::to_string(retried));
+    result.records.push_back(std::move(rec));
   }
   std::printf("\nshape check: GC bounds responses at |W|+1 and cuts wire volume sharply; the\n"
               "cost is a rare descent failure that retries the READ (an extra round) — the\n"
               "trade the paper's one-round/one-version dichotomy predicts.\n");
 }
 
-void print_c2c_cost() {
+void run_c2c_cost(const ScenarioOptions& opts, ScenarioResult& result) {
   bench::heading("ablation 3: Algorithm A's write path (the cost of SNOW reads in MWSR)");
   const std::vector<int> widths{12, 14, 14, 14};
   bench::row({"protocol", "write p50(us)", "write p99(us)", "read p50(us)"}, widths);
   for (const char* kind : {"algo-a", "algo-b", "simple"}) {
+    if (!opts.wants(kind)) continue;
     WorkloadSpec spec;
-    spec.ops_per_reader = 60;
-    spec.ops_per_writer = 60;
+    spec.ops_per_reader = opts.scaled(60);
+    spec.ops_per_writer = opts.scaled(60);
     spec.write_span = 3;
     spec.read_span = 3;
     spec.seed = 29;
     const std::size_t readers = 1;  // MWSR for a fair A comparison
-    auto r = bench::run_sim_workload(kind, Topology{4, readers, 3}, spec, 29);
+    const Topology topo{4, readers, 3};
+    auto r = bench::run_sim_workload(kind, topo, spec, 29);
     bench::row({kind, bench::us(static_cast<double>(r.write_latency.p50_ns)),
                 bench::us(static_cast<double>(r.write_latency.p99_ns)),
                 bench::us(static_cast<double>(r.read_latency.p50_ns))},
                widths);
+    auto rec = bench::sim_record(kind, topo, r, r.read_latency);
+    rec.set("ablation", "c2c-write-cost");
+    rec.set("write_p50_us", bench::us(static_cast<double>(r.write_latency.p50_ns)));
+    result.records.push_back(std::move(rec));
   }
   std::printf("\nshape check: algo-a's WRITEs pay an extra C2C round (info-reader) relative to\n"
               "simple writes — that is where SNOW's read optimality is paid for; algo-b pays\n"
               "the same extra round at the coordinator instead.\n");
 }
 
-void BM_CoordinatorPlacement(benchmark::State& state) {
-  const auto coor = static_cast<ObjectId>(state.range(0));
-  for (auto _ : state) {
-    WorkloadSpec spec;
-    spec.ops_per_reader = 40;
-    spec.ops_per_writer = 10;
-    spec.zipf_theta = 0.9;
-    spec.seed = 31;
-    BuildOptions opts;
-    opts.set("coordinator", coor);
-    auto r = bench::run_sim_workload("algo-b", Topology{8, 2, 2}, spec, 31, opts);
-    benchmark::DoNotOptimize(r.read_latency.count);
-  }
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
+  ScenarioResult result;
+  run_coordinator_placement(opts, result);
+  run_gc_ablation(opts, result);
+  if (!opts.quick) run_c2c_cost(opts, result);
+  return result;
 }
-BENCHMARK(BM_CoordinatorPlacement)->Arg(0)->Arg(7);
+
+const bench::ScenarioRegistration kReg{
+    "ablation_coordinator",
+    "design ablations: coordinator placement, Algorithm C GC, Algorithm A C2C write cost",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_coordinator_placement();
-  snowkit::print_gc_ablation();
-  snowkit::print_c2c_cost();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

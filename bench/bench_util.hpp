@@ -1,8 +1,8 @@
-// Shared helpers for the snowkit benchmark binaries.
+// Shared helpers for the snowkit benchmark scenarios.
 //
-// Every bench prints the paper-style table(s) it reproduces and then, where
-// meaningful, registers google-benchmark timings.  Tables go to stdout so
-// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+// Every scenario prints the paper-style table(s) it reproduces to stdout
+// (run `bench_harness --all` to regenerate the whole evaluation) and returns
+// BenchRecords that the harness serializes to BENCH_<scenario>.json.
 #pragma once
 
 #include <cstdio>
@@ -15,6 +15,7 @@
 #include "checker/tag_order.hpp"
 #include "core/run_workload.hpp"
 #include "core/system.hpp"
+#include "harness.hpp"
 #include "metrics/wire_stats.hpp"
 #include "sim/sim_runtime.hpp"
 
@@ -86,5 +87,22 @@ inline std::string us(double ns) {
 }
 
 inline std::string yesno(bool b) { return b ? "yes" : "no"; }
+
+/// BenchRecord skeleton for a simulated run: protocol/shard/wire fields from
+/// the run, sojourn percentiles from the given latency summary (open-loop
+/// runs pass r.sojourn_latency; closed loops — which have no backlog, so
+/// invoke->respond IS the sojourn — pass r.read_latency).  ops_per_sec stays
+/// 0: simulated time is virtual.
+inline BenchRecord sim_record(const std::string& protocol, const SystemConfig& cfg,
+                              const SimRunResult& r, const LatencySummary& sojourn) {
+  BenchRecord rec;
+  rec.protocol = protocol;
+  rec.shards = cfg.server_count();
+  rec.ops = r.history.completed_reads() + r.history.completed_writes();
+  rec.latency(sojourn);
+  rec.wire_messages = r.wire_messages;
+  rec.wire_bytes = r.wire_bytes;
+  return rec;
+}
 
 }  // namespace snowkit::bench

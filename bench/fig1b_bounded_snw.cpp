@@ -1,6 +1,7 @@
-// Reproduces Fig. 1(b): bounded SNW algorithms — the (rounds x versions)
-// matrix for strictly serializable, non-blocking READ transactions with
-// conflicting WRITEs and no client-to-client communication.
+// Scenario "fig1b_bounded_snw": reproduces Fig. 1(b): bounded SNW
+// algorithms — the (rounds x versions) matrix for strictly serializable,
+// non-blocking READ transactions with conflicting WRITEs and no
+// client-to-client communication.
 //
 //   versions \ rounds |  1       2        inf
 //   ------------------+--------------------------
@@ -11,8 +12,6 @@
 // schedules: max rounds per READ, max versions per server response, the
 // non-blocking verdict from the trace monitor, and the Lemma-20 S verdict.
 // The (1,1) cell is witnessed impossible via the naive candidate's fracture.
-#include <benchmark/benchmark.h>
-
 #include "bench_util.hpp"
 #include "theory/two_client_chain.hpp"
 
@@ -22,6 +21,8 @@ namespace {
 using bench::heading;
 using bench::row;
 using bench::yesno;
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
 
 struct CellResult {
   int rounds{0};
@@ -30,9 +31,9 @@ struct CellResult {
   bool s_ok{false};
 };
 
-CellResult run_cell(const std::string& kind, std::size_t writers) {
+CellResult run_cell(const std::string& kind, std::size_t writers, std::uint64_t seeds) {
   CellResult cell;
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     WorkloadSpec spec;
     spec.ops_per_reader = 60;
     spec.ops_per_writer = 30;
@@ -48,15 +49,16 @@ CellResult run_cell(const std::string& kind, std::size_t writers) {
   return cell;
 }
 
-void print_table() {
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
   heading("Figure 1(b): bounded SNW algorithms (S + N + W, no C2C)");
   const std::vector<int> widths{28, 10, 12, 14, 10};
   row({"cell (rounds, versions)", "rounds", "versions", "non-blocking", "S holds"}, widths);
 
   const std::size_t W = 3;  // concurrent writers
-  const CellResult b = run_cell("algo-b", W);
-  const CellResult c = run_cell("algo-c", W);
-  const CellResult o = run_cell("occ-reads", W);
+  const std::uint64_t seeds = opts.quick ? 2 : 5;
+  const CellResult b = run_cell("algo-b", W, seeds);
+  const CellResult c = run_cell("algo-c", W, seeds);
+  const CellResult o = run_cell("occ-reads", W, seeds);
 
   auto chain = theory::run_two_client_chain();
   row({"(1, 1)  — impossible", "1", "1", "yes", "NO*"}, widths);
@@ -74,38 +76,31 @@ void print_table() {
               "(<= total writes without GC; see ablation_coordinator for the bounded-GC mode).\n",
               W, c.versions);
   std::printf("paper Fig.1(b): (1,1) x | (2,1) ✓ B | (inf,1) ✓ | (1,|W|) ✓ C — reproduced.\n");
+
+  ScenarioResult result;
+  auto record = [&](const char* name, const std::string& protocol, const CellResult& cell) {
+    bench::BenchRecord rec;
+    rec.protocol = protocol;
+    rec.shards = 3;
+    rec.set("cell", name);
+    rec.set("rounds", std::to_string(cell.rounds));
+    rec.set("versions", std::to_string(cell.versions));
+    rec.set("nonblocking", yesno(cell.nonblocking));
+    rec.set("s_holds", yesno(cell.s_ok));
+    result.records.push_back(std::move(rec));
+  };
+  record("(2,1)", "algo-b", b);
+  record("(1,|W|)", "algo-c", c);
+  record("(inf,1)", "occ-reads", o);
+  result.note("impossible_cell_witness", chain.fracture);
+  result.note("reproduced", (b.s_ok && c.s_ok && o.s_ok && chain.fracture_found) ? "yes" : "no");
+  return result;
 }
 
-void BM_AlgoB_ReadRound(benchmark::State& state) {
-  for (auto _ : state) {
-    WorkloadSpec spec;
-    spec.ops_per_reader = 40;
-    spec.ops_per_writer = 10;
-    spec.seed = 3;
-    auto r = bench::run_sim_workload("algo-b", Topology{3, 2, 2}, spec, 3);
-    benchmark::DoNotOptimize(r.read_latency.count);
-  }
-}
-BENCHMARK(BM_AlgoB_ReadRound);
-
-void BM_AlgoC_ReadRound(benchmark::State& state) {
-  for (auto _ : state) {
-    WorkloadSpec spec;
-    spec.ops_per_reader = 40;
-    spec.ops_per_writer = 10;
-    spec.seed = 3;
-    auto r = bench::run_sim_workload("algo-c", Topology{3, 2, 2}, spec, 3);
-    benchmark::DoNotOptimize(r.read_latency.count);
-  }
-}
-BENCHMARK(BM_AlgoC_ReadRound);
+const bench::ScenarioRegistration kReg{
+    "fig1b_bounded_snw",
+    "Fig. 1(b) bounded SNW matrix: rounds/versions/N/S per implemented cell",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

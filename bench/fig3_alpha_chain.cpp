@@ -1,47 +1,53 @@
-// Reproduces Fig. 3: the alpha_2..alpha_10 execution chain of the SNOW
-// Theorem proof (Theorem 1, three clients, C2C allowed), mechanised on
-// Algorithm A extended to two readers.  Each row is an execution; the
-// transpositions are real Lemma-2 commutes on recorded traces.
-#include <benchmark/benchmark.h>
-
+// Scenario "fig3_alpha_chain": reproduces Fig. 3: the alpha_2..alpha_10
+// execution chain of the SNOW Theorem proof (Theorem 1, three clients, C2C
+// allowed), mechanised on Algorithm A extended to two readers.  Each row is
+// an execution; the transpositions are real Lemma-2 commutes on recorded
+// traces.
 #include "bench_util.hpp"
 #include "theory/alpha_chain.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_chain() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+ScenarioResult run_scenario(const ScenarioOptions&) {
   bench::heading("Figure 3: execution chain for the 3-client SNOW impossibility (Theorem 1)");
-  auto result = theory::run_alpha_chain();
+  auto chain = theory::run_alpha_chain();
   const std::vector<int> widths{9, 52, 10, 10, 9};
   bench::row({"execution", "fragment order", "R1", "R2", "verified"}, widths);
-  for (const auto& step : result.steps) {
+  ScenarioResult result;
+  bool all_verified = true;
+  for (const auto& step : chain.steps) {
     bench::row({step.name, step.order, step.r1_values, step.r2_values,
                 step.verified ? "yes" : "NO"},
                widths);
     if (!step.note.empty()) std::printf("          note: %s\n", step.note.c_str());
+    all_verified = all_verified && step.verified;
+    bench::BenchRecord rec;
+    rec.protocol = "algo-a";
+    rec.shards = 2;
+    rec.set("execution", step.name);
+    rec.set("r1", step.r1_values);
+    rec.set("r2", step.r2_values);
+    rec.set("verified", step.verified ? "yes" : "no");
+    result.records.push_back(std::move(rec));
   }
   std::printf("\nfinal verdict: %s\n",
-              result.s_violated
-                  ? ("alpha10 violates strict serializability — " + result.violation).c_str()
+              chain.s_violated
+                  ? ("alpha10 violates strict serializability — " + chain.violation).c_str()
                   : "UNEXPECTED: no violation");
   std::printf("paper: R2 precedes R1 yet returns the newer version — S broken.  Reproduced.\n");
+  result.note("s_violated", chain.s_violated ? "yes" : "no");
+  result.note("reproduced", (chain.s_violated && all_verified) ? "yes" : "no");
+  return result;
 }
 
-void BM_AlphaChain(benchmark::State& state) {
-  for (auto _ : state) {
-    auto result = snowkit::theory::run_alpha_chain();
-    benchmark::DoNotOptimize(result.s_violated);
-  }
-}
-BENCHMARK(BM_AlphaChain);
+const bench::ScenarioRegistration kReg{
+    "fig3_alpha_chain",
+    "Fig. 3 alpha-chain: mechanised Theorem-1 impossibility executions",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_chain();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

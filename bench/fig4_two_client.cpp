@@ -1,46 +1,52 @@
-// Reproduces Fig. 4: the two-client (no C2C) impossibility construction
-// (Theorem 2) — executions alpha, beta, gamma/eta and the delta descent,
-// replayed on the concrete one-round candidate.
-#include <benchmark/benchmark.h>
-
+// Scenario "fig4_two_client": reproduces Fig. 4: the two-client (no C2C)
+// impossibility construction (Theorem 2) — executions alpha, beta,
+// gamma/eta and the delta descent, replayed on the concrete one-round
+// candidate.
 #include "bench_util.hpp"
 #include "theory/two_client_chain.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_chain() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+ScenarioResult run_scenario(const ScenarioOptions&) {
   bench::heading("Figure 4: two-client no-C2C impossibility (Theorem 2)");
-  auto result = theory::run_two_client_chain();
+  auto chain = theory::run_two_client_chain();
   const std::vector<int> widths{12, 62, 10, 9};
   bench::row({"execution", "construction", "R", "verified"}, widths);
-  for (const auto& step : result.steps) {
+  ScenarioResult result;
+  bool all_verified = true;
+  for (const auto& step : chain.steps) {
     bench::row({step.name, step.description, step.read_values, step.verified ? "yes" : "NO"},
                widths);
     if (!step.note.empty()) std::printf("            note: %s\n", step.note.c_str());
+    all_verified = all_verified && step.verified;
+    bench::BenchRecord rec;
+    rec.protocol = "naive";
+    rec.shards = 2;
+    rec.set("execution", step.name);
+    rec.set("read_values", step.read_values);
+    rec.set("verified", step.verified ? "yes" : "no");
+    result.records.push_back(std::move(rec));
   }
-  std::printf("\nflip boundary: k* = %d, a_{k*+1} occurs at %s\n", result.flip_k,
-              result.flip_location.c_str());
-  std::printf("fracture witness: %s\n", result.fracture.c_str());
+  std::printf("\nflip boundary: k* = %d, a_{k*+1} occurs at %s\n", chain.flip_k,
+              chain.flip_location.c_str());
+  std::printf("fracture witness: %s\n", chain.fracture.c_str());
   std::printf("paper: one action at a single server cannot coordinate both servers' versions,\n"
               "so the boundary schedules violate S.  Reproduced: the intermediate delta\n"
               "executions return fractured (x1,y0)-style results.\n");
+  result.note("flip_k", std::to_string(chain.flip_k));
+  result.note("fracture", chain.fracture);
+  result.note("reproduced", (chain.fracture_found && all_verified) ? "yes" : "no");
+  return result;
 }
 
-void BM_TwoClientChain(benchmark::State& state) {
-  for (auto _ : state) {
-    auto result = snowkit::theory::run_two_client_chain();
-    benchmark::DoNotOptimize(result.fracture_found);
-  }
-}
-BENCHMARK(BM_TwoClientChain);
+const bench::ScenarioRegistration kReg{
+    "fig4_two_client",
+    "Fig. 4 two-client descent: mechanised Theorem-2 impossibility executions",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_chain();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -1,34 +1,34 @@
-// Reproduces Fig. 5: Eiger's read-only transactions are not strictly
-// serializable (paper §6) — the exact counterexample execution, plus a
-// sweep showing how often random schedules trip the same bug.
-#include <benchmark/benchmark.h>
-
+// Scenario "fig5_eiger": reproduces Fig. 5: Eiger's read-only transactions
+// are not strictly serializable (paper §6) — the exact counterexample
+// execution, plus a sweep showing how often random schedules trip the same
+// bug.
 #include "bench_util.hpp"
 #include "theory/eiger_fig5.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_fig5() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
   bench::heading("Figure 5: Eiger's READ transactions violate strict serializability");
-  auto result = theory::run_eiger_fig5();
-  for (std::size_t i = 0; i < result.timeline.size(); ++i) {
-    std::printf("  %zu. %s\n", i + 1, result.timeline[i].c_str());
+  auto fig5 = theory::run_eiger_fig5();
+  for (std::size_t i = 0; i < fig5.timeline.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1, fig5.timeline[i].c_str());
   }
   std::printf("\n  R returned A=%lld (w3) and B=%lld (w1) in %d round(s)\n",
-              static_cast<long long>(result.read_a), static_cast<long long>(result.read_b),
-              result.read_rounds);
+              static_cast<long long>(fig5.read_a), static_cast<long long>(fig5.read_b),
+              fig5.read_rounds);
   std::printf("  checker verdict: %s\n",
-              result.s_violated ? ("NOT strictly serializable — " + result.violation).c_str()
-                                : "UNEXPECTED: serializable");
+              fig5.s_violated ? ("NOT strictly serializable — " + fig5.violation).c_str()
+                              : "UNEXPECTED: serializable");
   std::printf("  paper Fig. 5: rA = w3, rB = w1, overlapping logical intervals — reproduced.\n");
-}
 
-void print_random_sweep() {
   bench::heading("How often do RANDOM schedules trip the Eiger bug? (why the claim survived)");
   int violations = 0;
   int inconclusive = 0;
-  const int runs = 20;
+  const int runs = opts.quick ? 5 : 20;
   for (int seed = 1; seed <= runs; ++seed) {
     WorkloadSpec spec;
     spec.ops_per_reader = 12;
@@ -49,23 +49,23 @@ void print_random_sweep() {
   std::printf("  %d/%d random runs violated S (%d inconclusive) — the violation needs the\n"
               "  adversarial interleaving above, which is exactly why it went unnoticed.\n",
               violations, runs, inconclusive);
+
+  ScenarioResult result;
+  bench::BenchRecord rec;
+  rec.protocol = "eiger";
+  rec.shards = 2;
+  rec.set("s_violated", fig5.s_violated ? "yes" : "no");
+  rec.set("read_rounds", std::to_string(fig5.read_rounds));
+  rec.set("random_violations", std::to_string(violations) + "/" + std::to_string(runs));
+  result.records.push_back(std::move(rec));
+  result.note("reproduced", fig5.s_violated ? "yes" : "no");
+  return result;
 }
 
-void BM_EigerFig5(benchmark::State& state) {
-  for (auto _ : state) {
-    auto result = snowkit::theory::run_eiger_fig5();
-    benchmark::DoNotOptimize(result.s_violated);
-  }
-}
-BENCHMARK(BM_EigerFig5);
+const bench::ScenarioRegistration kReg{
+    "fig5_eiger",
+    "Fig. 5 Eiger counterexample + random-schedule trip rate",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_fig5();
-  snowkit::print_random_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

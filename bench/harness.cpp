@@ -1,0 +1,146 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace snowkit::bench {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* reg = new ScenarioRegistry();
+  return *reg;
+}
+
+void ScenarioRegistry::add(std::string name, std::string summary, ScenarioFn fn) {
+  if (entries_.count(name) != 0) {
+    throw std::logic_error("duplicate bench scenario: " + name);
+  }
+  entries_.emplace(std::move(name), Entry{std::move(summary), std::move(fn)});
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const ScenarioRegistry::Entry& ScenarioRegistry::lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string msg = "unknown bench scenario \"" + name + "\"; registered:";
+    for (const auto& n : names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  return it->second;
+}
+
+const std::string& ScenarioRegistry::summary(const std::string& name) const {
+  return lookup(name).summary;
+}
+
+ScenarioResult ScenarioRegistry::run(const std::string& name, const ScenarioOptions& opts) const {
+  return lookup(name).fn(opts);
+}
+
+ScenarioRegistration::ScenarioRegistration(std::string name, std::string summary, ScenarioFn fn) {
+  ScenarioRegistry::global().add(std::move(name), std::move(summary), std::move(fn));
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void append_string_map(std::string& out,
+                       const std::vector<std::pair<std::string, std::string>>& kv) {
+  out += "{";
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string bench_json(const std::string& scenario, const ScenarioOptions& opts,
+                       const ScenarioResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"snowkit-bench-v1\",\n";
+  out += "  \"scenario\": \"" + json_escape(scenario) + "\",\n";
+  out += std::string("  \"quick\": ") + (opts.quick ? "true" : "false") + ",\n";
+  out += "  \"seed\": " + std::to_string(opts.seed) + ",\n";
+  out += "  \"protocol_filter\": \"" + json_escape(opts.protocol) + "\",\n";
+  out += "  \"notes\": ";
+  append_string_map(out, result.notes);
+  out += ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const BenchRecord& r = result.records[i];
+    out += "    {";
+    out += "\"protocol\": \"" + json_escape(r.protocol) + "\", ";
+    out += "\"shards\": " + std::to_string(r.shards) + ", ";
+    out += "\"threads\": " + std::to_string(r.threads) + ", ";
+    out += "\"ops\": " + std::to_string(r.ops) + ", ";
+    out += "\"ops_per_sec\": " + num(r.ops_per_sec) + ", ";
+    out += "\"sojourn_p50_us\": " + num(r.sojourn_p50_us) + ", ";
+    out += "\"sojourn_p95_us\": " + num(r.sojourn_p95_us) + ", ";
+    out += "\"sojourn_p99_us\": " + num(r.sojourn_p99_us) + ", ";
+    out += "\"wire_messages\": " + std::to_string(r.wire_messages) + ", ";
+    out += "\"wire_bytes\": " + std::to_string(r.wire_bytes) + ", ";
+    out += "\"extra\": ";
+    append_string_map(out, r.extra);
+    out += i + 1 < result.records.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string write_bench_json(const std::string& out_dir, const std::string& scenario,
+                             const ScenarioOptions& opts, const ScenarioResult& result) {
+  const std::string dir = out_dir.empty() ? std::string(".") : out_dir;
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/BENCH_" + scenario + ".json";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << bench_json(scenario, opts, result);
+  f.close();
+  if (!f) throw std::runtime_error("short write to " + path);
+  return path;
+}
+
+}  // namespace snowkit::bench

@@ -1,0 +1,129 @@
+// bench_harness CLI: run registered scenarios, print their paper-style
+// tables, and write machine-readable BENCH_<scenario>.json files.
+//
+//   bench_harness --list
+//   bench_harness --scenario latency --protocol algo-b --quick
+//   bench_harness --all --quick --out-dir bench-out
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "harness.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: bench_harness [--scenario NAME | --all] [options]\n"
+      "\n"
+      "options:\n"
+      "  --scenario NAME   run one scenario (see --list)\n"
+      "  --all             run every registered scenario\n"
+      "  --protocol NAME   restrict protocol sweeps to one registry name\n"
+      "                    (scenarios without protocol sweeps ignore it)\n"
+      "  --quick           CI smoke mode: shrunk op counts, skipped sweeps\n"
+      "  --seed N          base seed (default 1; runs are deterministic per seed)\n"
+      "  --out-dir DIR     where BENCH_<scenario>.json is written (default .)\n"
+      "  --list            list scenarios and exit\n");
+}
+
+void list_scenarios() {
+  auto& reg = snowkit::bench::ScenarioRegistry::global();
+  std::printf("registered scenarios:\n");
+  for (const auto& name : reg.names()) {
+    std::printf("  %-22s %s\n", name.c_str(), reg.summary(name).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using snowkit::bench::ScenarioOptions;
+  using snowkit::bench::ScenarioRegistry;
+
+  ScenarioOptions opts;
+  std::vector<std::string> scenarios;
+  std::string out_dir = ".";
+  bool all = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenarios.emplace_back(next());
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--protocol") {
+      opts.protocol = next();
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--list") {
+      list_scenarios();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  auto& reg = ScenarioRegistry::global();
+  if (all) scenarios = reg.names();
+  if (scenarios.empty()) {
+    usage();
+    std::printf("\n");
+    list_scenarios();
+    return 1;
+  }
+
+  if (!opts.protocol.empty()) {
+    // Fail fast on unknown protocol names, like ProtocolRegistry does.
+    const auto known = snowkit::registered_protocols();
+    bool found = false;
+    for (const auto& name : known) found = found || name == opts.protocol;
+    if (!found) {
+      std::fprintf(stderr, "error: unknown protocol \"%s\"; registered:", opts.protocol.c_str());
+      for (const auto& name : known) std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  }
+
+  try {
+    for (const auto& name : scenarios) {
+      auto result = reg.run(name, opts);
+      if (result.records.empty()) {
+        // Don't emit a file that violates the records-non-empty schema
+        // invariant CI gates on (e.g. --protocol filtered everything out).
+        std::fprintf(stderr,
+                     "[bench_harness] %s produced no records (filter too narrow?) — "
+                     "skipping BENCH_%s.json\n",
+                     name.c_str(), name.c_str());
+        continue;
+      }
+      const std::string path = snowkit::bench::write_bench_json(out_dir, name, opts, result);
+      std::printf("\n[bench_harness] wrote %s (%zu records)\n", path.c_str(),
+                  result.records.size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

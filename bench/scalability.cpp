@@ -1,36 +1,44 @@
-// E10a: scaling with shard count — latency and wire volume per protocol as
-// the number of servers (and read width) grows.  READ-transaction cost per
-// object should stay flat for the one-round protocols; Algorithm C's
-// get-tag-arr history payload and the coordinator's fan-in are the costs to
-// watch.
-#include <benchmark/benchmark.h>
-
+// Scenario "scalability": scaling with shard count — latency and wire volume
+// per protocol as the number of servers (and read width) grows.
+// READ-transaction cost per object should stay flat for the one-round
+// protocols; Algorithm C's get-tag-arr history payload and the coordinator's
+// fan-in are the costs to watch.
 #include "bench_util.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_servers_sweep() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+void run_servers_sweep(const ScenarioOptions& opts, ScenarioResult& result) {
   bench::heading("scaling with shard count (read span = k/2, 2 readers, 2 writers)");
   const std::vector<int> widths{10, 12, 10, 12, 14, 14};
   bench::row({"protocol", "servers", "rounds", "p50(us)", "msgs/txn", "bytes/txn"}, widths);
   for (const std::string kind : {"algo-a", "algo-b", "algo-c"}) {
+    if (!opts.wants(kind)) continue;
     for (std::size_t k : {2, 4, 8, 16}) {
       if (kind == "algo-a" && k > 8) continue;  // keep the MWSR case small
+      if (opts.quick && k > 4) continue;
       WorkloadSpec spec;
-      spec.ops_per_reader = 60;
-      spec.ops_per_writer = 20;
+      spec.ops_per_reader = opts.scaled(60);
+      spec.ops_per_writer = opts.scaled(20);
       spec.read_span = std::max<std::size_t>(1, k / 2);
       spec.write_span = 2;
       spec.seed = k;
       const std::size_t readers = kind == "algo-a" ? 1 : 2;
-      auto r = bench::run_sim_workload(kind, Topology{k, readers, 2}, spec, k);
+      const Topology topo{k, readers, 2};
+      auto r = bench::run_sim_workload(kind, topo, spec, k);
       const std::size_t txns = r.history.completed_reads() + r.history.completed_writes();
       bench::row({kind, std::to_string(k), std::to_string(r.snow.max_read_rounds),
                   bench::us(static_cast<double>(r.read_latency.p50_ns)),
                   std::to_string(r.wire_messages / std::max<std::size_t>(1, txns)),
                   std::to_string(r.wire_bytes / std::max<std::size_t>(1, txns))},
                  widths);
+      auto rec = bench::sim_record(kind, topo, r, r.read_latency);
+      rec.set("sweep", "servers");
+      rec.set("max_read_rounds", std::to_string(r.snow.max_read_rounds));
+      result.records.push_back(std::move(rec));
     }
   }
   std::printf("\nshape check: rounds stay constant in k for all three algorithms (1/2/1);\n"
@@ -38,15 +46,16 @@ void print_servers_sweep() {
               "model; algo-c's bytes grow fastest (multi-version responses + key history).\n");
 }
 
-void print_multiget_width() {
+void print_multiget_width(const ScenarioOptions& opts) {
   bench::heading("latency vs multi-get width (16 shards)");
   const std::vector<int> widths{10, 8, 12, 12};
   bench::row({"protocol", "span", "p50(us)", "p99(us)"}, widths);
   for (const char* kind : {"simple", "algo-b", "algo-c"}) {
+    if (!opts.wants(kind)) continue;
     for (std::size_t span : {1, 4, 8, 16}) {
       WorkloadSpec spec;
-      spec.ops_per_reader = 60;
-      spec.ops_per_writer = 10;
+      spec.ops_per_reader = opts.scaled(60);
+      spec.ops_per_writer = opts.scaled(10);
       spec.read_span = span;
       spec.seed = span;
       auto r = bench::run_sim_workload(kind, Topology{16, 2, 2}, spec, span);
@@ -61,20 +70,22 @@ void print_multiget_width() {
               "max(hop) + hop regardless of span.\n");
 }
 
-void print_sharded_fleet() {
+void run_sharded_fleet(const ScenarioOptions& opts, ScenarioResult& result) {
   bench::heading("object placement: 16 objects sharded over smaller server fleets");
   const std::vector<int> widths{10, 10, 12, 10, 12, 14};
   bench::row({"protocol", "servers", "placement", "rounds", "p50(us)", "S holds"}, widths);
   for (const std::string kind : {"algo-b", "algo-c"}) {
+    if (!opts.wants(kind)) continue;
     for (std::size_t servers : {16, 8, 4, 2}) {
+      if (opts.quick && servers != 4) continue;
       for (PlacementKind placement : {PlacementKind::kHash, PlacementKind::kRange}) {
         if (servers == 16 && placement == PlacementKind::kRange) continue;  // identity either way
         SystemConfig cfg{16, 2, 2};
         cfg.num_servers = servers;
         cfg.placement = placement;
         WorkloadSpec spec;
-        spec.ops_per_reader = 60;
-        spec.ops_per_writer = 20;
+        spec.ops_per_reader = opts.scaled(60);
+        spec.ops_per_writer = opts.scaled(20);
         spec.read_span = 4;
         spec.write_span = 2;
         spec.seed = servers;
@@ -85,6 +96,11 @@ void print_sharded_fleet() {
                     bench::us(static_cast<double>(r.read_latency.p50_ns)),
                     bench::yesno(r.tag_order_ok)},
                    widths);
+        auto rec = bench::sim_record(kind, cfg, r, r.read_latency);
+        rec.set("sweep", "placement");
+        rec.set("placement", placement == PlacementKind::kHash ? "hash" : "range");
+        rec.set("s_holds", bench::yesno(r.tag_order_ok));
+        result.records.push_back(std::move(rec));
       }
     }
   }
@@ -93,59 +109,55 @@ void print_sharded_fleet() {
               "parallel requests share a server hop.\n");
 }
 
-void print_open_loop() {
+void run_open_loop(const ScenarioOptions& opts, ScenarioResult& result) {
+  if (!opts.wants("algo-c")) return;
   bench::heading("open-loop mixed workload (algo-c, 8 objects on 3 servers, 90% reads)");
   const std::vector<int> widths{18, 10, 16, 16, 10};
   bench::row({"arrival gap (us)", "ops", "sojourn p50(us)", "sojourn p99(us)", "S holds"},
              widths);
   for (TimeNs gap_ns : {2'000'000, 500'000, 100'000, 20'000}) {
+    if (opts.quick && gap_ns != 100'000) continue;
     SystemConfig cfg{8, 2, 2};
     cfg.num_servers = 3;
     WorkloadSpec spec;
     spec.read_span = 3;
     spec.write_span = 2;
     spec.seed = 7;
-    DriverOptions opts;
-    opts.mode = ArrivalMode::kOpenLoop;
-    opts.total_ops = 200;
-    opts.arrival_interval_ns = gap_ns;
-    opts.read_fraction = 0.9;
-    auto r = bench::run_sim_workload("algo-c", cfg, spec, 7, {}, opts);
+    DriverOptions dopts;
+    dopts.mode = ArrivalMode::kOpenLoop;
+    dopts.total_ops = opts.scaled(200, 2);
+    dopts.arrival_interval_ns = gap_ns;
+    dopts.read_fraction = 0.9;
+    auto r = bench::run_sim_workload("algo-c", cfg, spec, 7, {}, dopts);
     bench::row({bench::us(static_cast<double>(gap_ns)),
                 std::to_string(r.history.completed_reads() + r.history.completed_writes()),
                 bench::us(static_cast<double>(r.sojourn_latency.p50_ns)),
                 bench::us(static_cast<double>(r.sojourn_latency.p99_ns)),
                 bench::yesno(r.tag_order_ok)},
                widths);
+    auto rec = bench::sim_record("algo-c", cfg, r, r.sojourn_latency);
+    rec.set("sweep", "open-loop");
+    rec.set("arrival_gap_us", bench::us(static_cast<double>(gap_ns)));
+    result.records.push_back(std::move(rec));
   }
   std::printf("\nshape check: closed-loop latencies hide queueing; as the open-loop arrival\n"
               "gap drops below service time, client-side backlog inflates p99 while strict\n"
               "serializability holds — the knee is the capacity of the 3-server fleet.\n");
 }
 
-void BM_Scal_AlgoC_Servers(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    WorkloadSpec spec;
-    spec.ops_per_reader = 30;
-    spec.ops_per_writer = 10;
-    spec.read_span = std::max<std::size_t>(1, k / 2);
-    spec.seed = 13;
-    auto r = bench::run_sim_workload("algo-c", Topology{k, 2, 2}, spec, 13);
-    benchmark::DoNotOptimize(r.read_latency.count);
-  }
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
+  ScenarioResult result;
+  run_servers_sweep(opts, result);
+  if (!opts.quick) print_multiget_width(opts);
+  run_sharded_fleet(opts, result);
+  run_open_loop(opts, result);
+  return result;
 }
-BENCHMARK(BM_Scal_AlgoC_Servers)->Arg(2)->Arg(8)->Arg(16);
+
+const bench::ScenarioRegistration kReg{
+    "scalability",
+    "shard-count / placement / multi-get-width / open-loop sweeps on the simulator",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_servers_sweep();
-  snowkit::print_multiget_width();
-  snowkit::print_sharded_fleet();
-  snowkit::print_open_loop();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -1,52 +1,62 @@
-// E8: validates Algorithm C's |W| bound (Theorem 5 / Fig. 1(b)): with the
-// bounded-version GC extension, the number of versions a read-vals response
-// carries stays within (concurrent writers + 1), independent of history
-// length; without GC it grows with the total number of writes.
-#include <benchmark/benchmark.h>
-
+// Scenario "versions_vs_writers": validates Algorithm C's |W| bound
+// (Theorem 5 / Fig. 1(b)): with the bounded-version GC extension, the number
+// of versions a read-vals response carries stays within (concurrent writers
+// + 1), independent of history length; without GC it grows with the total
+// number of writes.
 #include "bench_util.hpp"
 
 namespace snowkit {
 namespace {
 
-void print_table() {
+using bench::ScenarioOptions;
+using bench::ScenarioResult;
+
+void run_table(const ScenarioOptions& opts, ScenarioResult& result) {
   bench::heading("Algorithm C: versions per response vs concurrent writers (|W| bound)");
   const std::vector<int> widths{10, 16, 18, 18, 10};
   bench::row({"writers", "writes total", "versions (noGC)", "versions (GC)", "S holds"}, widths);
   for (std::size_t writers : {1, 2, 4, 8}) {
+    if (opts.quick && writers > 4) continue;
     WorkloadSpec spec;
-    spec.ops_per_reader = 50;
-    spec.ops_per_writer = 50;
+    spec.ops_per_reader = opts.scaled(50);
+    spec.ops_per_writer = opts.scaled(50);
     spec.read_span = 2;
     spec.write_span = 2;
     spec.seed = writers;
 
+    const Topology topo{2, 2, writers};
     BuildOptions nogc;
-    auto base = bench::run_sim_workload("algo-c", Topology{2, 2, writers}, spec,
-                                        writers, nogc);
+    auto base = bench::run_sim_workload("algo-c", topo, spec, writers, nogc);
     BuildOptions gc;
     gc.set("gc_versions", true);
-    auto bounded = bench::run_sim_workload("algo-c", Topology{2, 2, writers}, spec,
-                                           writers + 100, gc);
-    bench::row({std::to_string(writers), std::to_string(writers * 50),
+    auto bounded = bench::run_sim_workload("algo-c", topo, spec, writers + 100, gc);
+    bench::row({std::to_string(writers), std::to_string(writers * spec.ops_per_writer),
                 std::to_string(base.snow.max_versions_per_response),
                 std::to_string(bounded.snow.max_versions_per_response),
                 bench::yesno(base.tag_order_ok && bounded.tag_order_ok)},
                widths);
+    for (const auto* pair : {&base, &bounded}) {
+      auto rec = bench::sim_record("algo-c", topo, *pair, pair->read_latency);
+      rec.set("gc", pair == &bounded ? "on" : "off");
+      rec.set("writers", std::to_string(writers));
+      rec.set("max_versions_per_response",
+              std::to_string(pair->snow.max_versions_per_response));
+      result.records.push_back(std::move(rec));
+    }
   }
   std::printf("\nshape check: the no-GC column grows with total writes (the paper's Vals set\n"
               "keeps everything); the GC column stays O(|W|) — at most concurrent writers\n"
               "plus the one stable version, matching Fig. 1(b)'s |W| row.\n");
 }
 
-void print_rounds_vs_span() {
+void print_rounds_vs_span(const ScenarioOptions& opts) {
   bench::heading("one-round property is independent of read width (multi-get size)");
   const std::vector<int> widths{12, 10, 12};
   bench::row({"read span", "rounds", "p50(us)"}, widths);
   for (std::size_t span : {1, 2, 4, 8}) {
     WorkloadSpec spec;
-    spec.ops_per_reader = 80;
-    spec.ops_per_writer = 20;
+    spec.ops_per_reader = opts.scaled(80);
+    spec.ops_per_writer = opts.scaled(20);
     spec.read_span = span;
     spec.seed = 9;
     auto r = bench::run_sim_workload("algo-c", Topology{8, 2, 2}, spec, 9);
@@ -56,29 +66,17 @@ void print_rounds_vs_span() {
   }
 }
 
-void BM_AlgoC_Gc(benchmark::State& state) {
-  const bool gc = state.range(0) != 0;
-  for (auto _ : state) {
-    WorkloadSpec spec;
-    spec.ops_per_reader = 50;
-    spec.ops_per_writer = 50;
-    spec.seed = 11;
-    BuildOptions opts;
-    opts.set("gc_versions", gc);
-    auto r = bench::run_sim_workload("algo-c", Topology{2, 1, 4}, spec, 11, opts);
-    benchmark::DoNotOptimize(r.wire_bytes);
-    state.counters["wire_MB"] = static_cast<double>(r.wire_bytes) / 1e6;
-  }
+ScenarioResult run_scenario(const ScenarioOptions& opts) {
+  ScenarioResult result;
+  run_table(opts, result);
+  if (!opts.quick) print_rounds_vs_span(opts);
+  return result;
 }
-BENCHMARK(BM_AlgoC_Gc)->Arg(0)->Arg(1);
+
+const bench::ScenarioRegistration kReg{
+    "versions_vs_writers",
+    "Algorithm C |W| bound: versions per response with and without the GC extension",
+    run_scenario};
 
 }  // namespace
 }  // namespace snowkit
-
-int main(int argc, char** argv) {
-  snowkit::print_table();
-  snowkit::print_rounds_vs_span();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

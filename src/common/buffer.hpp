@@ -16,7 +16,20 @@ namespace snowkit {
 
 class BufWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Writes into an internally owned buffer (retrieve with take()).
+  BufWriter() : buf_(&own_) {}
+
+  /// Writes into `out`, clearing it first but KEEPING its capacity — the
+  /// ThreadRuntime fast path encodes every message into a recycled buffer,
+  /// so steady-state sends allocate nothing.
+  explicit BufWriter(std::vector<std::uint8_t>& out) : buf_(&out) { out.clear(); }
+
+  // buf_ may point at own_, which copying/moving would leave aliased or
+  // dangling; writers are scoped helpers, never passed by value.
+  BufWriter(const BufWriter&) = delete;
+  BufWriter& operator=(const BufWriter&) = delete;
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
   void i64(std::int64_t v) { raw(&v, sizeof v); }
@@ -32,15 +45,38 @@ class BufWriter {
     for (const auto& e : v) write_elem(*this, e);
   }
 
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(*buf_); }
+  std::size_t size() const { return buf_->size(); }
 
  private:
   void raw(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    buf_->insert(buf_->end(), b, b + n);
   }
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_;
+};
+
+/// Drop-in BufWriter stand-in that only counts bytes: encoded_size() runs the
+/// encoder against this, so wire-volume accounting never heap-allocates.
+class SizeWriter {
+ public:
+  void u8(std::uint8_t) { n_ += 1; }
+  void u32(std::uint32_t) { n_ += 4; }
+  void u64(std::uint64_t) { n_ += 8; }
+  void i64(std::int64_t) { n_ += 8; }
+  void str(const std::string& s) { n_ += 4 + s.size(); }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_elem) {
+    n_ += 4;
+    for (const auto& e : v) write_elem(*this, e);
+  }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
 };
 
 class BufReader {

@@ -135,13 +135,7 @@ void WorkloadDriver::submit_one(std::size_t client, bool is_read, TxnCallback cb
 
 LatencySummary WorkloadDriver::sojourn_latency() const {
   std::lock_guard<std::mutex> lock(sojourn_mu_);
-  LatencySummary s;
-  s.count = sojourn_.count();
-  s.mean_ns = sojourn_.mean();
-  s.p50_ns = sojourn_.p50();
-  s.p99_ns = sojourn_.p99();
-  s.max_ns = sojourn_.max();
-  return s;
+  return summarize_histogram(sojourn_);
 }
 
 void WorkloadDriver::issue_read_chain(std::size_t reader, std::size_t remaining) {
@@ -204,13 +198,7 @@ LatencySummary summarize_latency(const History& h, bool reads) {
     if (!t.complete || t.is_read != reads) continue;
     hist.record(t.respond_ns >= t.invoke_ns ? t.respond_ns - t.invoke_ns : 0);
   }
-  LatencySummary s;
-  s.count = hist.count();
-  s.mean_ns = hist.mean();
-  s.p50_ns = hist.p50();
-  s.p99_ns = hist.p99();
-  s.max_ns = hist.max();
-  return s;
+  return summarize_histogram(hist);
 }
 
 int max_read_rounds(const History& h) {

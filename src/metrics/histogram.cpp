@@ -56,6 +56,17 @@ TimeNs Histogram::quantile(double q) const {
   return max_;
 }
 
+LatencySummary summarize_histogram(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean_ns = h.mean();
+  s.p50_ns = h.p50();
+  s.p95_ns = h.p95();
+  s.p99_ns = h.p99();
+  s.max_ns = h.max();
+  return s;
+}
+
 std::string Histogram::summary(const std::string& unit) const {
   std::ostringstream oss;
   oss << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean()) << unit

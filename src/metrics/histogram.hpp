@@ -27,6 +27,7 @@ class Histogram {
   /// Quantile in [0, 1]; returns a representative value for that rank.
   TimeNs quantile(double q) const;
   TimeNs p50() const { return quantile(0.50); }
+  TimeNs p95() const { return quantile(0.95); }
   TimeNs p99() const { return quantile(0.99); }
 
   std::string summary(const std::string& unit = "ns") const;
@@ -49,8 +50,12 @@ struct LatencySummary {
   std::uint64_t count{0};
   double mean_ns{0};
   TimeNs p50_ns{0};
+  TimeNs p95_ns{0};
   TimeNs p99_ns{0};
   TimeNs max_ns{0};
 };
+
+/// Builds a LatencySummary snapshot from a histogram.
+LatencySummary summarize_histogram(const Histogram& h);
 
 }  // namespace snowkit

@@ -7,7 +7,11 @@ namespace snowkit {
 
 namespace {
 
-void put_key(BufWriter& w, const WriteKey& k) {
+// The put_* helpers and Encoder are templated over the writer so the same
+// encoding logic runs against BufWriter (serialize) and SizeWriter (count).
+
+template <typename W>
+void put_key(W& w, const WriteKey& k) {
   w.u64(k.seq);
   w.u32(k.writer);
 }
@@ -19,15 +23,17 @@ WriteKey get_key(BufReader& r) {
   return k;
 }
 
-void put_mask(BufWriter& w, const std::vector<std::uint8_t>& mask) {
-  w.vec(mask, [](BufWriter& w2, std::uint8_t b) { w2.u8(b); });
+template <typename W>
+void put_mask(W& w, const std::vector<std::uint8_t>& mask) {
+  w.vec(mask, [](auto& w2, std::uint8_t b) { w2.u8(b); });
 }
 
 std::vector<std::uint8_t> get_mask(BufReader& r) {
   return r.vec<std::uint8_t>([](BufReader& r2) { return r2.u8(); });
 }
 
-void put_version(BufWriter& w, const Version& v) {
+template <typename W>
+void put_version(W& w, const Version& v) {
   put_key(w, v.key);
   w.i64(v.value);
 }
@@ -39,7 +45,8 @@ Version get_version(BufReader& r) {
   return v;
 }
 
-void put_listed(BufWriter& w, const ListedKey& lk) {
+template <typename W>
+void put_listed(W& w, const ListedKey& lk) {
   w.u64(lk.position);
   put_key(w, lk.key);
 }
@@ -51,8 +58,9 @@ ListedKey get_listed(BufReader& r) {
   return lk;
 }
 
+template <typename W>
 struct Encoder {
-  BufWriter& w;
+  W& w;
 
   void operator()(const WriteValReq& p) { put_key(w, p.key); w.u32(p.obj); w.i64(p.value); }
   void operator()(const WriteValAck& p) { put_key(w, p.key); w.u32(p.obj); }
@@ -63,9 +71,9 @@ struct Encoder {
   void operator()(const GetTagArrReq& p) { put_mask(w, p.want); }
   void operator()(const GetTagArrResp& p) {
     w.u64(p.tag);
-    w.vec(p.latest, [](BufWriter& w2, const WriteKey& k) { put_key(w2, k); });
-    w.vec(p.history, [](BufWriter& w2, const std::vector<ListedKey>& h) {
-      w2.vec(h, [](BufWriter& w3, const ListedKey& lk) { put_listed(w3, lk); });
+    w.vec(p.latest, [](auto& w2, const WriteKey& k) { put_key(w2, k); });
+    w.vec(p.history, [](auto& w2, const std::vector<ListedKey>& h) {
+      w2.vec(h, [](auto& w3, const ListedKey& lk) { put_listed(w3, lk); });
     });
   }
   void operator()(const ReadValReq& p) { w.u32(p.obj); put_key(w, p.key); }
@@ -73,7 +81,7 @@ struct Encoder {
   void operator()(const ReadValsReq& p) { w.u32(p.obj); }
   void operator()(const ReadValsResp& p) {
     w.u32(p.obj);
-    w.vec(p.versions, [](BufWriter& w2, const Version& v) { put_version(w2, v); });
+    w.vec(p.versions, [](auto& w2, const Version& v) { put_version(w2, v); });
   }
   void operator()(const FinalizeReq& p) { put_key(w, p.key); w.u32(p.obj); w.u64(p.position); }
   void operator()(const EigerWriteReq& p) { w.u32(p.obj); w.i64(p.value); w.u64(p.lamport); }
@@ -249,8 +257,15 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
   BufWriter w;
   w.u64(m.txn);
   w.u32(static_cast<std::uint32_t>(m.payload.index()));
-  std::visit(Encoder{w}, m.payload);
+  std::visit(Encoder<BufWriter>{w}, m.payload);
   return w.take();
+}
+
+void encode_message_into(const Message& m, std::vector<std::uint8_t>& out) {
+  BufWriter w(out);
+  w.u64(m.txn);
+  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  std::visit(Encoder<BufWriter>{w}, m.payload);
 }
 
 Message decode_message(const std::vector<std::uint8_t>& bytes) {
@@ -264,6 +279,12 @@ Message decode_message(const std::vector<std::uint8_t>& bytes) {
   return m;
 }
 
-std::size_t encoded_size(const Message& m) { return encode_message(m).size(); }
+std::size_t encoded_size(const Message& m) {
+  SizeWriter w;
+  w.u64(m.txn);
+  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  std::visit(Encoder<SizeWriter>{w}, m.payload);
+  return w.size();
+}
 
 }  // namespace snowkit

@@ -15,7 +15,14 @@ namespace snowkit {
 std::vector<std::uint8_t> encode_message(const Message& m);
 Message decode_message(const std::vector<std::uint8_t>& bytes);
 
-/// Encoded size in bytes (for wire-volume metrics) without retaining a copy.
+/// Encodes `m` into `out`.  `out` is cleared first but its CAPACITY is kept,
+/// so encoding into a recycled buffer is allocation-free once warm — this is
+/// the ThreadRuntime fast path (one scratch buffer per sender thread, swapped
+/// into a per-mailbox buffer pool on enqueue).
+void encode_message_into(const Message& m, std::vector<std::uint8_t>& out);
+
+/// Encoded size in bytes (for wire-volume metrics).  Counts without
+/// serializing: no allocation, no copy.
 std::size_t encoded_size(const Message& m);
 
 }  // namespace snowkit

@@ -13,6 +13,8 @@ namespace snowkit {
 struct Message {
   TxnId txn{kInvalidTxn};
   Payload payload;
+
+  friend bool operator==(const Message&, const Message&) = default;
 };
 
 /// Stable human-readable payload-type name (used in traces and demos).

@@ -39,39 +39,51 @@ struct WriteValReq {
   WriteKey key;
   ObjectId obj{0};
   Value value{kInitialValue};
+
+  friend bool operator==(const WriteValReq&, const WriteValReq&) = default;
 };
 
 /// ack for write-val: server -> writer.
 struct WriteValAck {
   WriteKey key;
   ObjectId obj{0};
+
+  friend bool operator==(const WriteValAck&, const WriteValAck&) = default;
 };
 
 /// info-reader: writer -> reader (Algorithm A; this is the C2C message).
 struct InfoReaderReq {
   WriteKey key;
   std::vector<std::uint8_t> mask;  ///< b_1..b_k, 1 iff object i was written.
+  friend bool operator==(const InfoReaderReq&, const InfoReaderReq&) = default;
 };
 
 /// (ack, t_w): reader -> writer.
 struct InfoReaderAck {
   Tag tag{0};
+
+  friend bool operator==(const InfoReaderAck&, const InfoReaderAck&) = default;
 };
 
 /// update-coor: writer -> coordinator s* (Algorithms B and C).
 struct UpdateCoorReq {
   WriteKey key;
   std::vector<std::uint8_t> mask;
+
+  friend bool operator==(const UpdateCoorReq&, const UpdateCoorReq&) = default;
 };
 
 /// (ack, t_w): coordinator -> writer.
 struct UpdateCoorAck {
   Tag tag{0};
+
+  friend bool operator==(const UpdateCoorAck&, const UpdateCoorAck&) = default;
 };
 
 /// get-tag-arr: reader -> coordinator s*.
 struct GetTagArrReq {
   std::vector<std::uint8_t> want;  ///< interest mask over objects (I).
+  friend bool operator==(const GetTagArrReq&, const GetTagArrReq&) = default;
 };
 
 /// (t_r, (kappa_1..kappa_k)): coordinator -> reader.  For Algorithm C the
@@ -82,12 +94,15 @@ struct GetTagArrResp {
   Tag tag{0};
   std::vector<WriteKey> latest;              ///< kappa_i per object (index-aligned).
   std::vector<std::vector<ListedKey>> history;  ///< optional; per requested object.
+  friend bool operator==(const GetTagArrResp&, const GetTagArrResp&) = default;
 };
 
 /// read-val: reader -> server s_i, naming the exact version kappa_i wanted.
 struct ReadValReq {
   ObjectId obj{0};
   WriteKey key;
+
+  friend bool operator==(const ReadValReq&, const ReadValReq&) = default;
 };
 
 /// one-version response: server -> reader.
@@ -95,17 +110,23 @@ struct ReadValResp {
   ObjectId obj{0};
   WriteKey key;
   Value value{kInitialValue};
+
+  friend bool operator==(const ReadValResp&, const ReadValResp&) = default;
 };
 
 /// read-vals: reader -> server s_i (Algorithm C; server returns its Vals).
 struct ReadValsReq {
   ObjectId obj{0};
+
+  friend bool operator==(const ReadValsReq&, const ReadValsReq&) = default;
 };
 
 /// multi-version response: server -> reader (Algorithm C).
 struct ReadValsResp {
   ObjectId obj{0};
   std::vector<Version> versions;
+
+  friend bool operator==(const ReadValsResp&, const ReadValsResp&) = default;
 };
 
 /// finalize: writer -> server, piggybacking the List position assigned to a
@@ -116,6 +137,8 @@ struct FinalizeReq {
   WriteKey key;
   ObjectId obj{0};
   Tag position{0};
+
+  friend bool operator==(const FinalizeReq&, const FinalizeReq&) = default;
 };
 
 // --- mini-Eiger (§6, Fig. 5) ----------------------------------------------
@@ -125,18 +148,24 @@ struct EigerWriteReq {
   ObjectId obj{0};
   Value value{kInitialValue};
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerWriteReq&, const EigerWriteReq&) = default;
 };
 
 struct EigerWriteAck {
   ObjectId obj{0};
   std::uint64_t commit_ts{0};  ///< Lamport timestamp assigned by the server.
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerWriteAck&, const EigerWriteAck&) = default;
 };
 
 /// First-round read: server returns current value + logical validity interval.
 struct EigerReadReq {
   ObjectId obj{0};
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerReadReq&, const EigerReadReq&) = default;
 };
 
 struct EigerReadResp {
@@ -145,6 +174,8 @@ struct EigerReadResp {
   std::uint64_t valid_from{0};   ///< commit timestamp of the returned version.
   std::uint64_t valid_until{0};  ///< server's Lamport clock when responding.
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerReadResp&, const EigerReadResp&) = default;
 };
 
 /// Second-round read at an explicit effective time (Eiger's slow path).
@@ -152,12 +183,16 @@ struct EigerReadAtReq {
   ObjectId obj{0};
   std::uint64_t at{0};
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerReadAtReq&, const EigerReadAtReq&) = default;
 };
 
 struct EigerReadAtResp {
   ObjectId obj{0};
   Value value{kInitialValue};
   std::uint64_t lamport{0};
+
+  friend bool operator==(const EigerReadAtResp&, const EigerReadAtResp&) = default;
 };
 
 // --- blocking two-phase-locking comparator ---------------------------------
@@ -165,6 +200,8 @@ struct EigerReadAtResp {
 struct LockReq {
   ObjectId obj{0};
   bool exclusive{false};
+
+  friend bool operator==(const LockReq&, const LockReq&) = default;
 };
 
 /// Grant; for shared locks carries the current value so a READ needs no
@@ -172,40 +209,56 @@ struct LockReq {
 struct LockGrant {
   ObjectId obj{0};
   Value value{kInitialValue};
+
+  friend bool operator==(const LockGrant&, const LockGrant&) = default;
 };
 
 /// Write the value and release the exclusive lock in one step.
 struct WriteUnlockReq {
   ObjectId obj{0};
   Value value{kInitialValue};
+
+  friend bool operator==(const WriteUnlockReq&, const WriteUnlockReq&) = default;
 };
 
 struct UnlockReq {
   ObjectId obj{0};
+
+  friend bool operator==(const UnlockReq&, const UnlockReq&) = default;
 };
 
 struct UnlockAck {
   ObjectId obj{0};
+
+  friend bool operator==(const UnlockAck&, const UnlockAck&) = default;
 };
 
 // --- simple (non-transactional) and naive one-round protocols --------------
 
 struct SimpleReadReq {
   ObjectId obj{0};
+
+  friend bool operator==(const SimpleReadReq&, const SimpleReadReq&) = default;
 };
 
 struct SimpleReadResp {
   ObjectId obj{0};
   Value value{kInitialValue};
+
+  friend bool operator==(const SimpleReadResp&, const SimpleReadResp&) = default;
 };
 
 struct SimpleWriteReq {
   ObjectId obj{0};
   Value value{kInitialValue};
+
+  friend bool operator==(const SimpleWriteReq&, const SimpleWriteReq&) = default;
 };
 
 struct SimpleWriteAck {
   ObjectId obj{0};
+
+  friend bool operator==(const SimpleWriteAck&, const SimpleWriteAck&) = default;
 };
 
 using Payload = std::variant<
