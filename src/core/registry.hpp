@@ -31,6 +31,15 @@ struct ProtocolTraits {
   /// Claims strict serializability for READ transactions.  Eiger claims it
   /// too — §6 shows the claim does not hold, which the checkers expose.
   bool claims_strict_serializability{false};
+  /// The claim the ORIGINAL system makes about its READ transactions, as
+  /// opposed to claims_strict_serializability, the registry's adjudicated
+  /// truth.  The fuzzer (src/fuzz) audits every protocol whose claimed OR
+  /// advertised level is strict serializability; a violation on a protocol
+  /// that advertises but does not truthfully claim it (eiger, naive, the
+  /// broken-stale fault stub) is an EXPECTED divergence — the paper's
+  /// counterexamples rediscovered — while a violation on a truthful claimer
+  /// fails the build.
+  bool advertises_strict_serializability{false};
   /// Assigns Lemma-20 tags (enables the fast tag-order checker).
   bool provides_tags{false};
 

@@ -1,0 +1,189 @@
+#include "fuzz/fuzz_case.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+
+namespace snowkit::fuzz {
+
+namespace {
+
+/// Rejects malformed cases (hand-edited or truncated trace files) with a
+/// precise message instead of tripping protocol asserts mid-run.
+void validate_case(const FuzzCase& c) {
+  if (c.num_objects == 0) throw std::invalid_argument("FuzzCase: num_objects must be >= 1");
+  if (c.num_readers == 0 && c.num_writers == 0) {
+    throw std::invalid_argument("FuzzCase: needs at least one client");
+  }
+  // Magnitude bounds: cases come from trace FILES too, and a corrupted
+  // header must fail here with a message, not OOM building a billion nodes.
+  constexpr std::uint32_t kMaxFleet = 4096;
+  if (c.num_objects > kMaxFleet || c.num_readers > kMaxFleet || c.num_writers > kMaxFleet ||
+      c.num_servers > kMaxFleet) {
+    throw std::invalid_argument("FuzzCase: topology exceeds the " +
+                                std::to_string(kMaxFleet) + "-node sanity bound");
+  }
+  const std::size_t clients = c.num_clients();
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const FuzzOp& op = c.ops[i];
+    const std::string at = "FuzzCase: op " + std::to_string(i);
+    if (op.client >= clients) throw std::invalid_argument(at + " names an unknown client");
+    if (op.objects.empty()) throw std::invalid_argument(at + " has an empty object set");
+    if (op.is_read) {
+      if (!op.values.empty()) throw std::invalid_argument(at + " is a READ carrying values");
+      if (c.num_readers == 0) throw std::invalid_argument(at + " is a READ but there are no read-clients");
+    } else {
+      if (op.values.size() != op.objects.size()) {
+        throw std::invalid_argument(at + " write values not aligned with objects");
+      }
+      if (c.num_writers == 0) throw std::invalid_argument(at + " is a WRITE but there are no write-clients");
+      for (Value v : op.values) {
+        if (v == kInitialValue) throw std::invalid_argument(at + " writes the reserved initial value");
+      }
+    }
+    std::vector<ObjectId> objs = op.objects;
+    std::sort(objs.begin(), objs.end());
+    if (std::adjacent_find(objs.begin(), objs.end()) != objs.end()) {
+      throw std::invalid_argument(at + " repeats an object");
+    }
+    if (objs.back() >= c.num_objects) throw std::invalid_argument(at + " names an unknown object");
+  }
+}
+
+/// `span` distinct objects out of [0, k), deterministically per rng state.
+std::vector<ObjectId> sample_objects(Xoshiro256& rng, std::uint32_t k, std::uint32_t span) {
+  std::vector<ObjectId> ids(k);
+  for (std::uint32_t i = 0; i < k; ++i) ids[i] = i;
+  for (std::uint32_t i = 0; i < span; ++i) {
+    const std::uint32_t j = i + static_cast<std::uint32_t>(rng.below(k - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(span);
+  return ids;
+}
+
+CaseRun execute(const FuzzCase& c, SchedulePolicy& policy, ScheduleLog* record,
+                std::size_t max_decisions) {
+  validate_case(c);
+  CaseRun out;
+  SimRuntime sim;
+  HistoryRecorder rec(c.num_objects);
+  auto sys = build_protocol(c.protocol, sim, rec, c.config());
+  out.num_servers = sys->num_servers();
+
+  std::vector<std::vector<const FuzzOp*>> per_client(sys->num_clients());
+  for (const FuzzOp& op : c.ops) per_client[op.client].push_back(&op);
+
+  std::size_t remaining = c.ops.size();
+  // Closed-loop chain per client: op i+1 is submitted from op i's completion
+  // callback, preserving the program order the case records.
+  std::function<void(std::size_t, std::size_t)> issue = [&](std::size_t client, std::size_t idx) {
+    const FuzzOp& op = *per_client[client][idx];
+    TxnRequest req;
+    if (op.is_read) {
+      req = read_txn(op.objects);
+    } else {
+      std::vector<std::pair<ObjectId, Value>> writes;
+      writes.reserve(op.objects.size());
+      for (std::size_t i = 0; i < op.objects.size(); ++i) {
+        writes.emplace_back(op.objects[i], op.values[i]);
+      }
+      req = write_txn(std::move(writes));
+    }
+    sys->client(client).submit(std::move(req), [&, client, idx](const TxnResult&) {
+      --remaining;
+      if (idx + 1 < per_client[client].size()) issue(client, idx + 1);
+    });
+  };
+  for (std::size_t client = 0; client < per_client.size(); ++client) {
+    if (!per_client[client].empty()) issue(client, 0);
+  }
+
+  out.stats = run_scheduled(sim, policy, record, max_decisions);
+  out.completed = remaining == 0;
+  out.history = rec.snapshot();
+  out.trace = sim.trace();
+  return out;
+}
+
+}  // namespace
+
+SystemConfig FuzzCase::config() const {
+  SystemConfig cfg{num_objects, num_readers, num_writers};
+  cfg.num_servers = num_servers;
+  cfg.placement = placement;
+  return cfg;
+}
+
+std::size_t FuzzCase::num_clients() const {
+  return std::max<std::size_t>(num_readers, num_writers);
+}
+
+FuzzCase generate_case(const std::string& protocol, const GenParams& params, std::uint64_t seed) {
+  const ProtocolTraits& traits = ProtocolRegistry::global().traits(protocol);
+  SplitMix64 streams(seed);
+  Xoshiro256 rng(streams.next());
+
+  FuzzCase c;
+  c.protocol = protocol;
+  c.schedule_seed = streams.next();
+  c.num_objects = 2 + static_cast<std::uint32_t>(rng.below(std::max<std::uint32_t>(params.max_objects, 2) - 1));
+  const bool single_reader = params.single_reader || !traits.mwmr;
+  c.num_readers = single_reader ? 1 : 1 + static_cast<std::uint32_t>(rng.below(params.max_readers));
+  c.num_writers = 1 + static_cast<std::uint32_t>(rng.below(params.max_writers));
+  // Mostly the paper's one-server-per-object model (where the adversary has
+  // the most freedom); one case in four shards objects over fewer servers.
+  if (c.num_objects > 1 && rng.chance(0.25)) {
+    c.num_servers = 1 + static_cast<std::uint32_t>(rng.below(c.num_objects - 1));
+    c.placement = rng.chance(0.5) ? PlacementKind::kHash : PlacementKind::kRange;
+  }
+  const double hold_choices[] = {0.3, 0.5, 0.7, 0.9};
+  const double release_choices[] = {0.1, 0.25, 0.35, 0.5};
+  c.hold_probability = hold_choices[rng.below(4)];
+  c.release_probability = release_choices[rng.below(4)];
+
+  Value next_value = 1;
+  const std::size_t clients = c.num_clients();
+  for (std::uint32_t client = 0; client < clients; ++client) {
+    const std::size_t n_ops = 1 + rng.below(params.max_ops_per_client);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      FuzzOp op;
+      op.client = client;
+      op.is_read = rng.chance(params.read_fraction);
+      // Multi-object transactions are where anomalies live: bias spans up.
+      const std::uint32_t span =
+          c.num_objects == 1 ? 1
+                             : (rng.chance(0.7) ? c.num_objects
+                                                : 1 + static_cast<std::uint32_t>(
+                                                          rng.below(c.num_objects)));
+      op.objects = sample_objects(rng, c.num_objects, span);
+      if (!op.is_read) {
+        op.values.reserve(op.objects.size());
+        for (std::size_t j = 0; j < op.objects.size(); ++j) op.values.push_back(next_value++);
+      }
+      c.ops.push_back(std::move(op));
+    }
+  }
+  return c;
+}
+
+CaseRun run_case(const FuzzCase& c, std::size_t max_decisions) {
+  RandomSchedulePolicy policy(c.schedule_seed, c.hold_probability, c.release_probability);
+  ScheduleLog log;
+  CaseRun out = execute(c, policy, &log, max_decisions);
+  out.log = std::move(log);
+  return out;
+}
+
+CaseRun replay_case(const FuzzCase& c, const ScheduleLog& log, std::size_t max_decisions) {
+  RecordedSchedulePolicy policy(log);
+  ScheduleLog replayed;
+  CaseRun out = execute(c, policy, &replayed, max_decisions);
+  out.log = std::move(replayed);
+  return out;
+}
+
+}  // namespace snowkit::fuzz

@@ -1,0 +1,96 @@
+// Fuzz cases: explicit, shrinkable workloads over the deterministic simulator.
+//
+// Where WorkloadDriver generates operations on the fly from a seed, a
+// FuzzCase carries the full client program as data — every transaction's
+// client, kind, object set and write values — so the delta-debugging
+// minimizer (fuzz/shrink.hpp) can drop transactions, drop objects from a
+// multi-get, cut clients and renumber values while the schedule seed stays
+// fixed.  run_case() executes a case under the seeded chaos adversary
+// (recording the full ScheduleLog); replay_case() re-executes it under a
+// recorded log, byte-identically when the case is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+#include "proto/api.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit::fuzz {
+
+/// One transaction of the client program.  `objects` is the read-set or the
+/// write-set keys; `values` is index-aligned with `objects` for writes and
+/// empty for reads.
+struct FuzzOp {
+  std::uint32_t client{0};
+  bool is_read{false};
+  std::vector<ObjectId> objects;
+  std::vector<Value> values;
+
+  friend bool operator==(const FuzzOp&, const FuzzOp&) = default;
+};
+
+/// A self-contained (protocol, workload, schedule) triple.  Everything the
+/// simulator needs to reproduce a run lives here; serialization is in
+/// fuzz/trace_io.hpp.
+struct FuzzCase {
+  std::string protocol;
+  std::uint32_t num_objects{2};
+  std::uint32_t num_readers{1};
+  std::uint32_t num_writers{1};
+  std::uint32_t num_servers{0};  ///< 0 = one server per object (paper model).
+  PlacementKind placement{PlacementKind::kHash};
+  std::uint64_t schedule_seed{1};
+  double hold_probability{0.6};
+  double release_probability{0.35};
+  std::vector<FuzzOp> ops;
+
+  SystemConfig config() const;
+  std::size_t num_clients() const;
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+/// Workload-shape knobs for the generator.  Defaults keep histories small
+/// enough for the exact serializability search to stay cheap per run.
+struct GenParams {
+  std::uint32_t max_objects{3};
+  std::uint32_t max_readers{2};
+  std::uint32_t max_writers{2};
+  std::size_t max_ops_per_client{10};
+  double read_fraction{0.5};
+  /// Force a single read-client (required for MWSR protocols like algo-a,
+  /// and for differential groups that include one).
+  bool single_reader{false};
+};
+
+/// Deterministically generates the (protocol, seed) case: topology, client
+/// program and chaos knobs all derive from `seed`.  Respects the protocol's
+/// traits (MWSR protocols get one read-client).
+FuzzCase generate_case(const std::string& protocol, const GenParams& params, std::uint64_t seed);
+
+/// The outcome of executing a case.
+struct CaseRun {
+  History history;
+  Trace trace;
+  ScheduleLog log;  ///< recorded (run_case) or as-replayed (replay_case).
+  ScheduleRunStats stats;
+  bool completed{false};  ///< every op of the client program finished.
+  std::size_t num_servers{0};
+};
+
+/// Executes the case under RandomSchedulePolicy(schedule_seed), recording
+/// the complete ScheduleLog.  `max_decisions` is the liveness guard passed
+/// to run_scheduled (0 = unlimited).
+CaseRun run_case(const FuzzCase& c, std::size_t max_decisions = 1'000'000);
+
+/// Re-executes the case under a recorded log.  For the exact case the log
+/// was recorded from this reproduces the original run byte-identically
+/// (compare encode_trace / trace_fingerprint).
+CaseRun replay_case(const FuzzCase& c, const ScheduleLog& log,
+                    std::size_t max_decisions = 1'000'000);
+
+}  // namespace snowkit::fuzz

@@ -1,0 +1,132 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "checker/serializability.hpp"
+#include "checker/snow_monitor.hpp"
+#include "checker/tag_order.hpp"
+#include "core/registry.hpp"
+
+namespace snowkit::fuzz {
+
+namespace {
+
+OracleReport violation(const ProtocolTraits& traits, bool s_family, std::string checker,
+                       std::string explanation) {
+  OracleReport r;
+  r.violation = true;
+  // Only the strict-serializability family can be an expected divergence:
+  // liveness, tag sanity and non-blocking are unconditional contracts.
+  r.expected = s_family && !traits.claims_strict_serializability;
+  r.checker = std::move(checker);
+  r.explanation = std::move(explanation);
+  return r;
+}
+
+}  // namespace
+
+bool audits_strict_serializability(const std::string& protocol) {
+  const ProtocolTraits& t = ProtocolRegistry::global().traits(protocol);
+  return t.claims_strict_serializability || t.advertises_strict_serializability;
+}
+
+std::vector<std::string> strict_serializable_class() {
+  std::vector<std::string> out;
+  for (const std::string& name : ProtocolRegistry::global().names()) {
+    if (audits_strict_serializability(name)) out.push_back(name);
+  }
+  return out;
+}
+
+OracleReport check_run(const std::string& protocol, const CaseRun& run,
+                       const OracleOptions& opts) {
+  const ProtocolTraits& traits = ProtocolRegistry::global().traits(protocol);
+
+  if (!run.completed) {
+    return violation(traits, /*s_family=*/false, "liveness",
+                     "client program did not complete (deadlock or lost completion)");
+  }
+
+  if (traits.provides_tags) {
+    const TagOrderResult tags = check_tag_order(run.history);
+    if (!tags.ok) return violation(traits, /*s_family=*/false, "tag-order", tags.explanation);
+  }
+
+  if (traits.snow_n) {
+    const SnowTraceReport snow = analyze_snow_trace(run.trace, run.num_servers, run.history);
+    if (!snow.satisfies_n()) {
+      return violation(traits, /*s_family=*/false, "non-blocking",
+                       snow.violations.empty() ? "server blocked during a read"
+                                               : snow.violations.front());
+    }
+  }
+
+  const bool audited_s =
+      traits.claims_strict_serializability || traits.advertises_strict_serializability;
+  if (audited_s) {
+    if (std::string why = find_unwritten_value(run.history); !why.empty()) {
+      return violation(traits, /*s_family=*/true, "unwritten-value", std::move(why));
+    }
+    if (std::string why = find_fractured_read(run.history); !why.empty()) {
+      return violation(traits, /*s_family=*/true, "fractured-read", std::move(why));
+    }
+    if (std::string why = find_stale_reread(run.history); !why.empty()) {
+      return violation(traits, /*s_family=*/true, "stale-reread", std::move(why));
+    }
+    const std::size_t completed =
+        run.history.completed_reads() + run.history.completed_writes();
+    if (completed <= opts.max_search_txns) {
+      const CheckResult exact =
+          check_strict_serializability(run.history, CheckOptions{opts.max_states});
+      if (!exact.ok && !exact.exhausted) {
+        return violation(traits, /*s_family=*/true, "serializability", exact.explanation);
+      }
+    }
+  }
+
+  return OracleReport{};
+}
+
+DifferentialReport differential_check(const FuzzCase& base,
+                                      const std::vector<std::string>& protocols,
+                                      const OracleOptions& opts) {
+  DifferentialReport report;
+  std::ostringstream details;
+  bool any_pass = false;
+  for (const std::string& name : protocols) {
+    FuzzCase c = base;
+    c.protocol = name;
+    const CaseRun run = run_case(c);
+    DifferentialOutcome out;
+    out.protocol = name;
+    out.report = check_run(name, run, opts);
+    out.completed_reads = run.history.completed_reads();
+    std::set<std::pair<ObjectId, Value>> observed;
+    for (const TxnRecord& t : run.history.txns) {
+      if (!t.complete || !t.is_read) continue;
+      for (const auto& pair : t.reads) observed.insert(pair);
+    }
+    out.distinct_read_observations = observed.size();
+    details << "  " << name << ": "
+            << (out.report.violation
+                    ? (out.report.expected ? "EXPECTED divergence (" : "VIOLATION (") +
+                          out.report.checker + "): " + out.report.explanation
+                    : "ok")
+            << " [reads=" << out.completed_reads
+            << " distinct-observations=" << out.distinct_read_observations << "]\n";
+    if (out.report.violation) {
+      report.divergence = true;  // provisional; requires a passing peer below
+      if (!out.report.expected) report.unexpected = true;
+    } else {
+      any_pass = true;
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+  report.divergence = report.divergence && any_pass;
+  report.details = details.str();
+  return report;
+}
+
+}  // namespace snowkit::fuzz

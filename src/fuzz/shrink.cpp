@@ -1,0 +1,170 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace snowkit::fuzz {
+
+namespace {
+
+struct Shrinker {
+  std::string checker;
+  OracleOptions oracle_opts;
+  ShrinkOptions opts;
+  std::size_t runs{0};
+
+  FuzzCase best;
+  OracleReport best_report;
+  ScheduleLog best_log;
+  std::uint64_t best_hash{0};
+
+  bool budget_left() const { return runs < opts.max_runs; }
+
+  /// Executes a candidate; accepts it as the new best iff the same checker
+  /// still fires.
+  bool try_candidate(const FuzzCase& candidate) {
+    if (!budget_left()) return false;
+    ++runs;
+    CaseRun run;
+    try {
+      run = run_case(candidate, opts.max_decisions);
+    } catch (const std::exception&) {
+      return false;  // candidate broke a protocol precondition; discard
+    }
+    const OracleReport report = check_run(candidate.protocol, run, oracle_opts);
+    if (!report.violation || report.checker != checker) return false;
+    best = candidate;
+    best_report = report;
+    best_log = std::move(run.log);
+    best_hash = trace_fingerprint(run.trace);
+    return true;
+  }
+
+  /// Phase 1: ddmin over whole transactions.
+  void shrink_ops() {
+    std::size_t chunk = std::max<std::size_t>(1, best.ops.size() / 2);
+    while (chunk >= 1 && budget_left()) {
+      bool removed_any = false;
+      for (std::size_t start = 0; start < best.ops.size() && budget_left();) {
+        FuzzCase candidate = best;
+        const std::size_t end = std::min(start + chunk, candidate.ops.size());
+        candidate.ops.erase(candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
+                            candidate.ops.begin() + static_cast<std::ptrdiff_t>(end));
+        if (!candidate.ops.empty() && try_candidate(candidate)) {
+          removed_any = true;  // best shrank; retry the same offset
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1 && !removed_any) break;
+      if (!removed_any) chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  /// Phase 2: drop individual objects from multi-object transactions.
+  void shrink_spans() {
+    bool progress = true;
+    while (progress && budget_left()) {
+      progress = false;
+      for (std::size_t i = 0; i < best.ops.size() && budget_left(); ++i) {
+        for (std::size_t j = 0; j < best.ops[i].objects.size() && budget_left();) {
+          if (best.ops[i].objects.size() <= 1) break;
+          FuzzCase candidate = best;
+          FuzzOp& op = candidate.ops[i];
+          op.objects.erase(op.objects.begin() + static_cast<std::ptrdiff_t>(j));
+          if (!op.is_read) op.values.erase(op.values.begin() + static_cast<std::ptrdiff_t>(j));
+          if (try_candidate(candidate)) {
+            progress = true;  // same j now names the next object
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+  }
+
+  /// Phase 3: fewer clients (folding the program modulo the smaller fleet).
+  void shrink_clients() {
+    bool progress = true;
+    while (progress && budget_left()) {
+      progress = false;
+      for (const bool readers : {true, false}) {
+        FuzzCase candidate = best;
+        std::uint32_t& count = readers ? candidate.num_readers : candidate.num_writers;
+        if (count <= 1) continue;
+        --count;
+        const auto clients = static_cast<std::uint32_t>(candidate.num_clients());
+        for (FuzzOp& op : candidate.ops) op.client %= clients;
+        if (try_candidate(candidate)) progress = true;
+      }
+    }
+  }
+
+  /// Phase 4: drop unused objects and renumber the rest densely.
+  void compact_objects() {
+    std::set<ObjectId> used;
+    for (const FuzzOp& op : best.ops) used.insert(op.objects.begin(), op.objects.end());
+    if (used.empty() || used.size() == best.num_objects) return;
+    std::map<ObjectId, ObjectId> remap;
+    for (ObjectId obj : used) remap[obj] = static_cast<ObjectId>(remap.size());
+    FuzzCase candidate = best;
+    candidate.num_objects = static_cast<std::uint32_t>(used.size());
+    if (candidate.num_servers >= candidate.num_objects) candidate.num_servers = 0;
+    for (FuzzOp& op : candidate.ops) {
+      for (ObjectId& obj : op.objects) obj = remap.at(obj);
+    }
+    try_candidate(candidate);
+  }
+
+  /// Phase 5: renumber write values to 1..n in order of first appearance.
+  void renumber_values() {
+    std::map<Value, Value> remap;
+    FuzzCase candidate = best;
+    for (FuzzOp& op : candidate.ops) {
+      for (Value& v : op.values) {
+        auto [it, inserted] = remap.try_emplace(v, static_cast<Value>(remap.size() + 1));
+        v = it->second;
+      }
+    }
+    if (candidate != best) try_candidate(candidate);
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing, const std::string& checker,
+                         const OracleOptions& oracle_opts, const ShrinkOptions& shrink_opts) {
+  Shrinker s;
+  s.checker = checker;
+  s.oracle_opts = oracle_opts;
+  s.opts = shrink_opts;
+  s.best = failing;  // placeholder until re-verified
+  if (!s.try_candidate(failing)) {
+    throw std::invalid_argument("shrink_case: the input case does not reproduce checker '" +
+                                checker + "'");
+  }
+
+  // Two passes over the phases: later structural reductions (fewer clients,
+  // fewer objects) often unlock further transaction drops.
+  for (int pass = 0; pass < 2 && s.budget_left(); ++pass) {
+    const FuzzCase before = s.best;
+    s.shrink_ops();
+    s.shrink_spans();
+    s.shrink_clients();
+    s.compact_objects();
+    if (s.best == before) break;
+  }
+  s.renumber_values();
+
+  ShrinkResult result;
+  result.minimized = std::move(s.best);
+  result.report = std::move(s.best_report);
+  result.log = std::move(s.best_log);
+  result.trace_hash = s.best_hash;
+  result.runs = s.runs;
+  return result;
+}
+
+}  // namespace snowkit::fuzz

@@ -1,0 +1,44 @@
+// Failing-schedule minimization: delta debugging over the client program.
+//
+// Given a failing FuzzCase, shrink_case() searches for a smaller case that
+// still trips the SAME checker under its (fixed) schedule seed:
+//   1. ddmin over whole transactions (drop chunks, halving granularity);
+//   2. per-transaction object-set reduction (shrink multi-gets/multi-puts);
+//   3. client-count reduction (fold clients modulo the smaller fleet);
+//   4. object-space compaction (drop unused objects, renumber densely);
+//   5. write-value renumbering to small consecutive integers.
+// Every candidate is re-executed under the seeded chaos adversary and kept
+// only if the violation persists, so the result is always a true repro.  The
+// minimized run's ScheduleLog and trace fingerprint are returned for the
+// byte-identical replay artifact (fuzz/trace_io.hpp).
+#pragma once
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace snowkit::fuzz {
+
+struct ShrinkOptions {
+  /// Budget: candidate executions before settling for the best-so-far.
+  std::size_t max_runs{400};
+  /// Liveness guard per candidate execution.
+  std::size_t max_decisions{500'000};
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  OracleReport report;      ///< the violation as observed on `minimized`.
+  ScheduleLog log;          ///< recorded schedule of the minimized failing run.
+  std::uint64_t trace_hash{0};  ///< trace_fingerprint of that run.
+  std::size_t runs{0};      ///< candidate executions spent.
+};
+
+/// Minimizes `failing` while preserving a violation of `checker` (the value
+/// of OracleReport::checker from the original failure).  `failing` itself
+/// must trip that checker; shrink_case re-verifies it first and throws
+/// std::invalid_argument if it does not reproduce.
+ShrinkResult shrink_case(const FuzzCase& failing, const std::string& checker,
+                         const OracleOptions& oracle_opts = {},
+                         const ShrinkOptions& shrink_opts = {});
+
+}  // namespace snowkit::fuzz

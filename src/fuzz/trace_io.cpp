@@ -1,0 +1,153 @@
+#include "fuzz/trace_io.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/buffer.hpp"
+
+namespace snowkit::fuzz {
+
+namespace {
+
+/// Bounds-checked reader over untrusted on-disk bytes: where BufReader
+/// treats truncation as a fatal in-process invariant violation (SNOW_CHECK
+/// aborts), a malformed trace FILE is expected input and must throw.
+class ThrowingReader {
+ public:
+  explicit ThrowingReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, sizeof v); return v; }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_elem) {
+    const std::uint32_t n = u32();
+    need(n);  // every element is at least one byte: rejects absurd counts early
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > buf_.size()) throw std::invalid_argument("fuzz trace: truncated file");
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+void encode_case(const FuzzCase& c, BufWriter& w) {
+  w.str(c.protocol);
+  w.u32(c.num_objects);
+  w.u32(c.num_readers);
+  w.u32(c.num_writers);
+  w.u32(c.num_servers);
+  w.u8(static_cast<std::uint8_t>(c.placement));
+  w.u64(c.schedule_seed);
+  w.u64(std::bit_cast<std::uint64_t>(c.hold_probability));
+  w.u64(std::bit_cast<std::uint64_t>(c.release_probability));
+  w.vec(c.ops, [](BufWriter& w2, const FuzzOp& op) {
+    w2.u32(op.client);
+    w2.u8(op.is_read ? 1 : 0);
+    w2.vec(op.objects, [](BufWriter& w3, ObjectId obj) { w3.u32(obj); });
+    w2.vec(op.values, [](BufWriter& w3, Value v) { w3.i64(v); });
+  });
+}
+
+FuzzCase decode_case(ThrowingReader& r) {
+  FuzzCase c;
+  c.protocol = r.str();
+  c.num_objects = r.u32();
+  c.num_readers = r.u32();
+  c.num_writers = r.u32();
+  c.num_servers = r.u32();
+  c.placement = static_cast<PlacementKind>(r.u8());
+  c.schedule_seed = r.u64();
+  c.hold_probability = std::bit_cast<double>(r.u64());
+  c.release_probability = std::bit_cast<double>(r.u64());
+  c.ops = r.vec<FuzzOp>([](ThrowingReader& r2) {
+    FuzzOp op;
+    op.client = r2.u32();
+    op.is_read = r2.u8() != 0;
+    op.objects = r2.vec<ObjectId>([](ThrowingReader& r3) { return r3.u32(); });
+    op.values = r2.vec<Value>([](ThrowingReader& r3) { return r3.i64(); });
+    return op;
+  });
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace_file(const FuzzTraceFile& f) {
+  BufWriter w;
+  w.str(kFuzzTraceSchema);
+  encode_case(f.c, w);
+  encode_schedule_log(f.log, w);
+  w.str(f.checker);
+  w.str(f.explanation);
+  w.u64(f.trace_hash);
+  return w.take();
+}
+
+FuzzTraceFile decode_trace_file(const std::vector<std::uint8_t>& bytes) {
+  ThrowingReader r(bytes);
+  const std::string schema = r.str();
+  if (schema != kFuzzTraceSchema) {
+    throw std::invalid_argument("fuzz trace: unknown schema '" + schema + "' (expected " +
+                                kFuzzTraceSchema + ")");
+  }
+  FuzzTraceFile f;
+  f.c = decode_case(r);
+  f.log = decode_schedule_log(r);
+  f.checker = r.str();
+  f.explanation = r.str();
+  f.trace_hash = r.u64();
+  if (!r.done()) throw std::invalid_argument("fuzz trace: trailing bytes");
+  return f;
+}
+
+void write_trace_file(const std::string& path, const FuzzTraceFile& f) {
+  const auto bytes = encode_trace_file(f);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) throw std::runtime_error("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), out);
+  const int close_err = std::fclose(out);
+  if (written != bytes.size() || close_err != 0) {
+    throw std::runtime_error("short write to " + path);
+  }
+}
+
+FuzzTraceFile read_trace_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(in);
+  return decode_trace_file(bytes);
+}
+
+}  // namespace snowkit::fuzz

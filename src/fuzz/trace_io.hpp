@@ -1,0 +1,40 @@
+// Fuzz trace files: the on-disk repro artifact.
+//
+// A trace file bundles everything needed to re-trigger a checker failure
+// deterministically: the minimized FuzzCase, the recorded ScheduleLog of the
+// failing run, the checker that fired with its explanation, and an FNV-1a
+// fingerprint of the failing run's sim/trace so a replay can assert
+// byte-identical reproduction.  The binary format reuses the wire codec's
+// Buffer machinery (schema tag "snowkit-fuzz-trace-v1"); files are
+// platform-independent on little-endian machines, like the wire codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.hpp"
+
+namespace snowkit::fuzz {
+
+inline constexpr const char* kFuzzTraceSchema = "snowkit-fuzz-trace-v1";
+
+struct FuzzTraceFile {
+  FuzzCase c;
+  ScheduleLog log;
+  std::string checker;
+  std::string explanation;
+  std::uint64_t trace_hash{0};
+
+  friend bool operator==(const FuzzTraceFile&, const FuzzTraceFile&) = default;
+};
+
+std::vector<std::uint8_t> encode_trace_file(const FuzzTraceFile& f);
+/// Throws std::invalid_argument on schema mismatch or truncation.
+FuzzTraceFile decode_trace_file(const std::vector<std::uint8_t>& bytes);
+
+/// Throws std::runtime_error on I/O failure.
+void write_trace_file(const std::string& path, const FuzzTraceFile& f);
+FuzzTraceFile read_trace_file(const std::string& path);
+
+}  // namespace snowkit::fuzz

@@ -12,6 +12,7 @@ const ProtocolRegistration kRegisterNaive{
         .name = "naive",
         .summary = "one-round latest-value READ \"transactions\": the SNOW-impossible cell",
         .claims_strict_serializability = false,
+        .advertises_strict_serializability = true,  // presents itself as a txn system
         .provides_tags = false,
         .snow_s = false,  // the SNOW Theorem's content: N+O+W here forces !S
         .snow_n = true,

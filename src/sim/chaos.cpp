@@ -3,32 +3,8 @@
 namespace snowkit {
 
 std::size_t run_chaos(SimRuntime& sim, const ChaosOptions& opts) {
-  Xoshiro256 rng(opts.seed);
-  Xoshiro256 hold_rng(opts.seed ^ 0x9E3779B97F4A7C15ull);
-
-  // Capture a random subset of all traffic.  The predicate must be
-  // deterministic per message presentation, which a seeded draw per call is
-  // (the call sequence itself is deterministic under a fixed seed).
-  sim.hold_matching([&hold_rng, p = opts.hold_probability](NodeId, NodeId, const Message&) {
-    return hold_rng.chance(p);
-  });
-
-  std::size_t decisions = 0;
-  while (true) {
-    ++decisions;
-    const bool has_queue = sim.pending_events() > 0;
-    const bool has_held = sim.held_count() > 0;
-    if (!has_queue && !has_held) break;
-    if (has_held && (!has_queue || rng.chance(opts.release_probability))) {
-      // Release a uniformly random held message (delivered immediately).
-      const auto& held = sim.held();
-      sim.release(held[rng.below(held.size())].id);
-    } else {
-      sim.step();
-    }
-  }
-  sim.hold_matching(nullptr);
-  return decisions;
+  RandomSchedulePolicy policy(opts.seed, opts.hold_probability, opts.release_probability);
+  return run_scheduled(sim, policy, /*record=*/nullptr, opts.max_decisions).decisions;
 }
 
 }  // namespace snowkit

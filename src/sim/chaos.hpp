@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "sim/schedule.hpp"
 #include "sim/sim_runtime.hpp"
 
 namespace snowkit {
@@ -22,6 +23,11 @@ struct ChaosOptions {
   /// Probability per scheduling step of releasing a random held message
   /// instead of delivering the next queued event.
   double release_probability{0.35};
+  /// Liveness guard: after this many scheduling decisions the adversary is
+  /// abandoned and the run drains deterministically (see run_scheduled).
+  /// 0 = unlimited; the default adversary terminates on its own because
+  /// everything held is eventually released.
+  std::size_t max_decisions{0};
 };
 
 /// Runs the simulation to completion under chaos scheduling.

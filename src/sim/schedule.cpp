@@ -1,0 +1,66 @@
+#include "sim/schedule.hpp"
+
+namespace snowkit {
+
+void encode_schedule_log(const ScheduleLog& log, BufWriter& w) {
+  w.vec(log.holds, [](BufWriter& w2, std::uint8_t h) { w2.u8(h); });
+  w.vec(log.decisions, [](BufWriter& w2, const ScheduleDecision& d) {
+    w2.u8(static_cast<std::uint8_t>(d.kind));
+    w2.u32(d.held_index);
+  });
+}
+
+ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy, ScheduleLog* record,
+                               std::size_t max_decisions) {
+  ScheduleRunStats stats;
+  bool guard = false;  // once set, the policy is out of the loop for good
+  auto prev = sim.hold_matching([&guard, &policy, record](NodeId from, NodeId to,
+                                                          const Message& m) {
+    const bool hold = !guard && policy.should_hold(from, to, m);
+    if (record != nullptr) record->holds.push_back(hold ? 1 : 0);
+    return hold;
+  });
+
+  while (sim.pending_events() > 0 || sim.held_count() > 0) {
+    if (!guard && max_decisions != 0 && stats.decisions >= max_decisions) {
+      guard = true;
+      stats.guard_tripped = true;
+    }
+    std::optional<ScheduleDecision> d;
+    if (!guard) {
+      d = policy.next(sim.pending_events(), sim.held_count());
+      if (!d) {
+        // The policy ran out before quiescence (e.g. a truncated recorded
+        // log): that IS a trip — the header's contract for guard_tripped.
+        guard = true;
+        stats.guard_tripped = true;
+      }
+    }
+    if (guard) {
+      // Deterministic drain preserving liveness: flush held messages oldest
+      // first (each release may trigger new sends, which are no longer
+      // held), then step the queue dry.
+      d = sim.held_count() > 0 ? ScheduleDecision{ScheduleDecisionKind::kRelease, 0}
+                               : ScheduleDecision{ScheduleDecisionKind::kStep, 0};
+    } else if ((d->kind == ScheduleDecisionKind::kRelease && d->held_index >= sim.held_count()) ||
+               (d->kind == ScheduleDecisionKind::kStep && sim.pending_events() == 0)) {
+      // Inapplicable decision (e.g. a recorded log replayed over a shrunk
+      // workload): abandon the policy rather than guessing at intent.
+      guard = true;
+      stats.guard_tripped = true;
+      continue;
+    }
+    if (record != nullptr) record->decisions.push_back(*d);
+    ++stats.decisions;
+    if (d->kind == ScheduleDecisionKind::kRelease) {
+      sim.release(sim.held()[d->held_index].id);
+    } else {
+      sim.step();
+    }
+  }
+
+  sim.hold_matching(std::move(prev));
+  return stats;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,152 @@
+// Pluggable schedule exploration over SimRuntime's hold/release hooks.
+//
+// A SchedulePolicy makes the two adversary choices the simulator exposes:
+// whether to capture a freshly sent message (should_hold) and what to do at
+// each scheduling step (deliver the next queued event, or release one held
+// message).  run_scheduled() drives a simulation to quiescence under a
+// policy, optionally recording every choice into a ScheduleLog — a compact,
+// serializable decision stream.  Replaying a recorded log over the same
+// initial conditions (protocol, workload, delay model) reproduces the run
+// byte-identically, which is the contract the fuzzer's record/replay and
+// shrink machinery (src/fuzz) is built on.
+//
+// RandomSchedulePolicy reproduces the chaos adversary (sim/chaos.hpp) with
+// the exact RNG call order of the original run_chaos loop, so chaos seeds
+// keep their meaning.  RecordedSchedulePolicy replays a log; if the log no
+// longer matches the run (e.g. after the workload was shrunk), the runner
+// falls back to a deterministic drain that preserves liveness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/rng.hpp"
+#include "sim/sim_runtime.hpp"
+
+namespace snowkit {
+
+enum class ScheduleDecisionKind : std::uint8_t {
+  kStep = 0,     ///< deliver the next queued event.
+  kRelease = 1,  ///< release held()[held_index] immediately.
+};
+
+struct ScheduleDecision {
+  ScheduleDecisionKind kind{ScheduleDecisionKind::kStep};
+  std::uint32_t held_index{0};  ///< index into sim.held() at decision time.
+
+  friend bool operator==(const ScheduleDecision&, const ScheduleDecision&) = default;
+};
+
+/// The complete record of one scheduled run: per-send hold choices (in send
+/// presentation order) plus the decision sequence, including any
+/// deterministic drain decisions taken after the policy was exhausted.
+struct ScheduleLog {
+  std::vector<std::uint8_t> holds;  ///< 0/1 per SimRuntime::send presentation.
+  std::vector<ScheduleDecision> decisions;
+
+  friend bool operator==(const ScheduleLog&, const ScheduleLog&) = default;
+};
+
+void encode_schedule_log(const ScheduleLog& log, BufWriter& w);
+
+/// Generic over the reader so callers choose the failure mode: BufReader
+/// (aborting SNOW_CHECKs, for trusted in-process bytes) or the fuzz trace
+/// file's throwing reader (for untrusted on-disk artifacts).
+template <typename Reader>
+ScheduleLog decode_schedule_log(Reader& r) {
+  ScheduleLog log;
+  log.holds = r.template vec<std::uint8_t>([](Reader& r2) { return r2.u8(); });
+  log.decisions = r.template vec<ScheduleDecision>([](Reader& r2) {
+    ScheduleDecision d;
+    d.kind = static_cast<ScheduleDecisionKind>(r2.u8());
+    d.held_index = r2.u32();
+    return d;
+  });
+  return log;
+}
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  /// Called once per message presentation (SimRuntime::send); true = capture.
+  virtual bool should_hold(NodeId from, NodeId to, const Message& m) = 0;
+
+  /// Next decision given current queue/held occupancy.  std::nullopt means
+  /// the policy is exhausted: the runner drains deterministically from there.
+  virtual std::optional<ScheduleDecision> next(std::size_t pending_events,
+                                               std::size_t held_count) = 0;
+};
+
+/// The chaos adversary as a policy (same knobs & RNG streams as run_chaos).
+class RandomSchedulePolicy final : public SchedulePolicy {
+ public:
+  RandomSchedulePolicy(std::uint64_t seed, double hold_probability, double release_probability)
+      : rng_(seed), hold_rng_(seed ^ 0x9E3779B97F4A7C15ull), hold_p_(hold_probability),
+        release_p_(release_probability) {}
+
+  bool should_hold(NodeId, NodeId, const Message&) override { return hold_rng_.chance(hold_p_); }
+
+  std::optional<ScheduleDecision> next(std::size_t pending_events,
+                                       std::size_t held_count) override {
+    // Short-circuit order matters: it keeps the RNG call sequence identical
+    // to the original run_chaos loop, preserving historical seed behaviour.
+    if (held_count > 0 && (pending_events == 0 || rng_.chance(release_p_))) {
+      return ScheduleDecision{ScheduleDecisionKind::kRelease,
+                              static_cast<std::uint32_t>(rng_.below(held_count))};
+    }
+    return ScheduleDecision{ScheduleDecisionKind::kStep, 0};
+  }
+
+ private:
+  Xoshiro256 rng_;
+  Xoshiro256 hold_rng_;
+  double hold_p_;
+  double release_p_;
+};
+
+/// Replays a recorded ScheduleLog.  Exhausting either stream (holds or
+/// decisions) ends the policy; the runner then drains deterministically.
+class RecordedSchedulePolicy final : public SchedulePolicy {
+ public:
+  explicit RecordedSchedulePolicy(ScheduleLog log) : log_(std::move(log)) {}
+
+  bool should_hold(NodeId, NodeId, const Message&) override {
+    if (hold_pos_ >= log_.holds.size()) return false;
+    return log_.holds[hold_pos_++] != 0;
+  }
+
+  std::optional<ScheduleDecision> next(std::size_t, std::size_t) override {
+    if (decision_pos_ >= log_.decisions.size()) return std::nullopt;
+    return log_.decisions[decision_pos_++];
+  }
+
+ private:
+  ScheduleLog log_;
+  std::size_t hold_pos_{0};
+  std::size_t decision_pos_{0};
+};
+
+struct ScheduleRunStats {
+  std::size_t decisions{0};
+  /// True if the runner stopped consulting the policy before quiescence —
+  /// max_decisions was hit, or the policy produced an inapplicable decision
+  /// (stale held index / step on an empty queue), or it ran out mid-run.
+  bool guard_tripped{false};
+};
+
+/// Drives `sim` to quiescence (empty queue AND nothing held) under `policy`.
+///
+/// If `record` is non-null, every hold choice and every applied decision —
+/// including deterministic drain decisions — is appended, so replaying the
+/// log reproduces the run exactly.  `max_decisions` (0 = unlimited) is the
+/// liveness guard: once that many decisions have been applied the policy is
+/// abandoned, newly sent messages are no longer held, and the run drains
+/// deterministically (release the oldest held message until none remain,
+/// then step), so termination is guaranteed for any policy.
+ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy,
+                               ScheduleLog* record = nullptr, std::size_t max_decisions = 0);
+
+}  // namespace snowkit

@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "common/buffer.hpp"
+
 namespace snowkit {
 
 const char* action_kind_name(ActionKind k) {
@@ -48,6 +50,50 @@ std::string Trace::to_text() const {
     oss << i << ": " << to_string(actions_[i]) << "\n";
   }
   return oss.str();
+}
+
+std::vector<std::uint8_t> encode_trace(const Trace& t) {
+  BufWriter w;
+  w.vec(t.actions(), [](BufWriter& w2, const Action& a) {
+    w2.u8(static_cast<std::uint8_t>(a.kind));
+    w2.u64(a.time);
+    w2.u32(a.node);
+    w2.u32(a.peer);
+    w2.u64(a.txn);
+    w2.str(a.msg);
+    w2.u64(a.msg_seq);
+    w2.u32(static_cast<std::uint32_t>(a.versions));
+  });
+  return w.take();
+}
+
+Trace decode_trace(const std::vector<std::uint8_t>& bytes) {
+  BufReader r(bytes);
+  Trace t;
+  const auto actions = r.vec<Action>([](BufReader& r2) {
+    Action a;
+    a.kind = static_cast<ActionKind>(r2.u8());
+    a.time = r2.u64();
+    a.node = r2.u32();
+    a.peer = r2.u32();
+    a.txn = r2.u64();
+    a.msg = r2.str();
+    a.msg_seq = r2.u64();
+    a.versions = static_cast<int>(r2.u32());
+    return a;
+  });
+  for (const Action& a : actions) t.append(a);
+  return t;
+}
+
+std::uint64_t trace_fingerprint(const Trace& t) {
+  const auto bytes = encode_trace(t);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
 }
 
 bool well_formed(const Trace& t, std::string* why) {

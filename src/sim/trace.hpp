@@ -74,6 +74,16 @@ class Trace {
   std::vector<Action> actions_;
 };
 
+/// Binary trace codec (same Buffer machinery as the wire codec).  Two runs
+/// are byte-identical executions iff their encoded traces compare equal —
+/// the determinism contract the fuzzer's record/replay machinery pins.
+std::vector<std::uint8_t> encode_trace(const Trace& t);
+Trace decode_trace(const std::vector<std::uint8_t>& bytes);
+
+/// FNV-1a fingerprint of encode_trace(t); stored in fuzz trace files so a
+/// replay can assert byte-identical reproduction without shipping the trace.
+std::uint64_t trace_fingerprint(const Trace& t);
+
 /// True if `t` is a well-formed execution: every Recv has a matching earlier
 /// Send with the same msg_seq, endpoints, and payload name.
 bool well_formed(const Trace& t, std::string* why = nullptr);

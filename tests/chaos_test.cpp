@@ -125,6 +125,68 @@ TEST(ChaosSweep, BlockingStaysSerializableAndLive) {
   }
 }
 
+// Degenerate adversary knobs must still terminate: hold_probability 0.0
+// (nothing captured), 1.0 (everything captured), and release_probability
+// 0.0 (releases happen only when the queue runs dry).  Each run must take a
+// bounded number of scheduling decisions — at most a small multiple of the
+// messages exchanged — and complete every transaction.
+TEST(ChaosEdgeCases, DegenerateProbabilitiesTerminateWithBoundedDecisions) {
+  struct Edge {
+    double hold;
+    double release;
+  };
+  for (const Edge edge : {Edge{0.0, 0.0}, Edge{1.0, 0.0}, Edge{0.0, 1.0}, Edge{1.0, 1.0}}) {
+    SimRuntime sim;
+    HistoryRecorder rec(2);
+    auto sys = build_protocol("algo-b", sim, rec, Topology{2, 1, 2});
+    WorkloadSpec spec;
+    spec.ops_per_reader = 10;
+    spec.ops_per_writer = 8;
+    spec.seed = 3;
+    ClosedLoopDriver driver(sim, *sys, spec);
+    driver.start();
+    ChaosOptions chaos;
+    chaos.seed = 9;
+    chaos.hold_probability = edge.hold;
+    chaos.release_probability = edge.release;
+    const std::size_t decisions = run_chaos(sim, chaos);
+    ASSERT_TRUE(driver.done()) << "hold=" << edge.hold << " release=" << edge.release
+                               << " lost liveness";
+    // Every decision either delivers a queued event or releases a held
+    // message, and each message is held at most once, so decisions are
+    // bounded by twice the recorded actions (sends + receives + tasks) plus
+    // slack for the task events the trace does not count.
+    EXPECT_LE(decisions, 4 * sim.trace().size() + 64)
+        << "hold=" << edge.hold << " release=" << edge.release;
+    const auto verdict = check_tag_order(rec.snapshot());
+    EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  }
+}
+
+// The max_decisions liveness guard: even with an adversary that would hold
+// everything forever, the runner abandons it at the cap and drains the
+// simulation deterministically to completion.
+TEST(ChaosEdgeCases, MaxDecisionsGuardForcesTermination) {
+  SimRuntime sim;
+  HistoryRecorder rec(2);
+  auto sys = build_protocol("algo-b", sim, rec, Topology{2, 1, 2});
+  WorkloadSpec spec;
+  spec.ops_per_reader = 10;
+  spec.ops_per_writer = 8;
+  spec.seed = 5;
+  ClosedLoopDriver driver(sim, *sys, spec);
+  driver.start();
+  ChaosOptions chaos;
+  chaos.seed = 2;
+  chaos.hold_probability = 1.0;
+  chaos.release_probability = 0.0;
+  chaos.max_decisions = 7;  // absurdly small: the guard must take over
+  run_chaos(sim, chaos);
+  ASSERT_TRUE(driver.done()) << "guard-mode drain must preserve liveness";
+  EXPECT_EQ(sim.held_count(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(ChaosSweep, ChaosIsDeterministicPerSeed) {
   auto run = [](std::uint64_t seed) {
     SimRuntime sim;

@@ -1,0 +1,97 @@
+// Determinism regression: the replay contract the fuzzer depends on.
+//
+// Same (protocol, workload, schedule seed) => byte-identical sim/trace
+// output across two independent SimRuntime runs, for EVERY registered
+// protocol; and a recorded ScheduleLog replayed over the same case
+// reproduces the run byte-identically.  If any protocol picks up a source
+// of nondeterminism (iteration over an unordered container, a stray
+// wall-clock read), this test names it.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "fuzz/fuzz_case.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit::fuzz {
+namespace {
+
+class EveryProtocolDeterminism : public testing::TestWithParam<std::string> {};
+
+TEST_P(EveryProtocolDeterminism, SameSeedSameTraceBytes) {
+  const std::string& name = GetParam();
+  GenParams params;
+  params.max_ops_per_client = 8;
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    const FuzzCase c = generate_case(name, params, seed);
+    const CaseRun first = run_case(c);
+    const CaseRun second = run_case(c);
+    ASSERT_TRUE(first.completed) << name << " seed " << seed;
+    const auto bytes_a = encode_trace(first.trace);
+    const auto bytes_b = encode_trace(second.trace);
+    EXPECT_EQ(bytes_a, bytes_b) << name << " seed " << seed
+                                << ": two runs of the same case diverged";
+    EXPECT_EQ(first.log, second.log) << name << " seed " << seed;
+    EXPECT_EQ(trace_fingerprint(first.trace), trace_fingerprint(second.trace));
+  }
+}
+
+TEST_P(EveryProtocolDeterminism, RecordedLogReplaysByteIdentically) {
+  const std::string& name = GetParam();
+  GenParams params;
+  params.max_ops_per_client = 8;
+  const FuzzCase c = generate_case(name, params, /*seed=*/5);
+  const CaseRun recorded = run_case(c);
+  ASSERT_TRUE(recorded.completed) << name;
+  const CaseRun replayed = replay_case(c, recorded.log);
+  ASSERT_TRUE(replayed.completed) << name;
+  EXPECT_FALSE(replayed.stats.guard_tripped)
+      << name << ": an exact replay must never fall back to the drain guard";
+  EXPECT_EQ(encode_trace(recorded.trace), encode_trace(replayed.trace)) << name;
+  EXPECT_EQ(recorded.log, replayed.log) << name << ": replay must re-record the same log";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EveryProtocolDeterminism,
+                         testing::ValuesIn(registered_protocols()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(FuzzDeterminism, DifferentSeedsGiveDifferentSchedules) {
+  GenParams params;
+  const FuzzCase a = generate_case("algo-b", params, 1);
+  const FuzzCase b = generate_case("algo-b", params, 2);
+  EXPECT_NE(a, b);
+  const CaseRun ra = run_case(a);
+  const CaseRun rb = run_case(b);
+  EXPECT_NE(encode_trace(ra.trace), encode_trace(rb.trace));
+}
+
+TEST(FuzzDeterminism, TraceCodecRoundTrips) {
+  const FuzzCase c = generate_case("algo-c", GenParams{}, 11);
+  const CaseRun run = run_case(c);
+  const auto bytes = encode_trace(run.trace);
+  const Trace decoded = decode_trace(bytes);
+  ASSERT_EQ(decoded.size(), run.trace.size());
+  EXPECT_EQ(encode_trace(decoded), bytes);
+  EXPECT_EQ(decoded.to_text(), run.trace.to_text());
+}
+
+TEST(FuzzDeterminism, ScheduleLogCodecRoundTrips) {
+  const FuzzCase c = generate_case("eiger", GenParams{}, 3);
+  const CaseRun run = run_case(c);
+  ASSERT_FALSE(run.log.decisions.empty());
+  BufWriter w;
+  encode_schedule_log(run.log, w);
+  const auto bytes = w.take();
+  BufReader r(bytes);
+  const ScheduleLog decoded = decode_schedule_log(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded, run.log);
+}
+
+}  // namespace
+}  // namespace snowkit::fuzz

@@ -1,0 +1,116 @@
+// Oracle audits + the negative-oracle guard.
+//
+// The deliberately broken protocol (broken-stale, stale-read injection)
+// must be convicted by the oracle within a handful of seeds — if it ever
+// runs clean the fuzzer has gone vacuous.  Conversely the truthfully
+// strict protocols must produce zero violations over the same sweep, and
+// the differential oracle must attribute divergence to the broken protocol
+// while the reference implementations pass the identical client program.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace snowkit::fuzz {
+namespace {
+
+constexpr std::uint64_t kGuardSeeds = 20;  // conviction budget for broken stubs
+
+std::uint64_t first_violating_seed(const std::string& protocol, std::uint64_t max_seed,
+                                   OracleReport* out = nullptr) {
+  GenParams params;
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
+    const FuzzCase c = generate_case(protocol, params, seed);
+    const OracleReport report = check_run(protocol, run_case(c));
+    if (report.violation) {
+      if (out != nullptr) *out = report;
+      return seed;
+    }
+  }
+  return 0;
+}
+
+TEST(NegativeOracle, BrokenStaleIsConvictedWithinGuardSeeds) {
+  OracleReport report;
+  const std::uint64_t seed = first_violating_seed("broken-stale", kGuardSeeds, &report);
+  ASSERT_NE(seed, 0u) << "stale-read injection survived " << kGuardSeeds
+                      << " seeds: the fuzz oracle is vacuous";
+  EXPECT_TRUE(report.expected) << "broken-stale does not truthfully claim S";
+  EXPECT_FALSE(report.checker.empty());
+  EXPECT_FALSE(report.explanation.empty());
+}
+
+TEST(NegativeOracle, EigerAndNaiveAreConvictedWithinGuardSeeds) {
+  EXPECT_NE(first_violating_seed("eiger", kGuardSeeds), 0u)
+      << "the paper's Fig. 5 class of executions went undetected";
+  EXPECT_NE(first_violating_seed("naive", kGuardSeeds), 0u)
+      << "the SNOW-impossible cell went undetected";
+}
+
+TEST(Oracle, StrictProtocolsRunCleanOverTheSameSweep) {
+  for (const char* protocol : {"algo-a", "algo-b", "algo-c", "occ-reads"}) {
+    OracleReport report;
+    const std::uint64_t seed = first_violating_seed(protocol, kGuardSeeds, &report);
+    EXPECT_EQ(seed, 0u) << protocol << " violated " << report.checker << " at seed " << seed
+                        << ": " << report.explanation;
+  }
+}
+
+TEST(Oracle, AuditedClassIsClaimersPlusAdvertisers) {
+  EXPECT_TRUE(audits_strict_serializability("algo-b"));    // truthful claim
+  EXPECT_TRUE(audits_strict_serializability("eiger"));     // advertised, refuted
+  EXPECT_TRUE(audits_strict_serializability("broken-stale"));
+  EXPECT_FALSE(audits_strict_serializability("simple"));   // claims nothing
+  const auto cls = strict_serializable_class();
+  EXPECT_TRUE(std::find(cls.begin(), cls.end(), "eiger") != cls.end());
+  EXPECT_TRUE(std::find(cls.begin(), cls.end(), "simple") == cls.end());
+  EXPECT_GE(cls.size(), 8u);  // 5 truthful + eiger + naive + broken-stale
+}
+
+TEST(DifferentialOracle, AttributesDivergenceToTheBrokenProtocol) {
+  const std::vector<std::string> group{"algo-b", "blocking-2pl", "broken-stale"};
+  GenParams params;
+  params.single_reader = true;
+  bool diverged = false;
+  for (std::uint64_t seed = 1; seed <= kGuardSeeds && !diverged; ++seed) {
+    const FuzzCase base = generate_case("algo-b", params, seed);
+    const DifferentialReport diff = differential_check(base, group);
+    ASSERT_EQ(diff.outcomes.size(), group.size());
+    for (const DifferentialOutcome& out : diff.outcomes) {
+      if (out.protocol != "broken-stale") {
+        EXPECT_FALSE(out.report.violation)
+            << out.protocol << " failed the shared program at seed " << seed << ": "
+            << out.report.explanation;
+      }
+    }
+    if (diff.divergence) {
+      diverged = true;
+      EXPECT_FALSE(diff.unexpected) << diff.details;
+      const auto broken = std::find_if(
+          diff.outcomes.begin(), diff.outcomes.end(),
+          [](const DifferentialOutcome& out) { return out.report.violation; });
+      ASSERT_NE(broken, diff.outcomes.end());
+      EXPECT_EQ(broken->protocol, "broken-stale") << diff.details;
+    }
+  }
+  EXPECT_TRUE(diverged) << "differential oracle never caught broken-stale in " << kGuardSeeds
+                        << " seeds";
+}
+
+TEST(Oracle, LivenessViolationIsNeverExpected) {
+  // A run whose client program did not complete must convict ANY protocol,
+  // including ones with no S claim.  Forge one by truncating a real run.
+  const FuzzCase c = generate_case("simple", GenParams{}, 1);
+  CaseRun run = run_case(c);
+  ASSERT_TRUE(run.completed);
+  run.completed = false;
+  const OracleReport report = check_run("simple", run);
+  EXPECT_TRUE(report.violation);
+  EXPECT_EQ(report.checker, "liveness");
+  EXPECT_FALSE(report.expected);
+}
+
+}  // namespace
+}  // namespace snowkit::fuzz

@@ -1,0 +1,301 @@
+// fuzz_harness CLI: seeded schedule exploration across protocols, with
+// record/replay and failing-schedule minimization.
+//
+//   fuzz_harness --list
+//   fuzz_harness --protocol eiger --seeds 500 --out-dir fuzz-out
+//   fuzz_harness --all-protocols --seeds 200 --quick --differential
+//   fuzz_harness --replay fuzz-out/FUZZ_eiger_s42.trace
+//
+// Exit codes: 0 ok (violations, if any, were expected divergences); 1 usage
+// or configuration error; 2 UNEXPECTED violation (a protocol whose registry
+// truth claims strict serializability failed a checker) or failed replay;
+// 3 --expect-violation set but the sweep found nothing (vacuous fuzzer).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/trace_io.hpp"
+
+namespace {
+
+using namespace snowkit;
+using namespace snowkit::fuzz;
+
+void usage() {
+  std::printf(
+      "usage: fuzz_harness [--protocol NAME ... | --all-protocols] [options]\n"
+      "       fuzz_harness --replay FILE\n"
+      "\n"
+      "seeded exploration:\n"
+      "  --protocol NAME     fuzz one protocol (repeatable); default: the\n"
+      "                      strict-serializability class (see --list)\n"
+      "  --all-protocols     fuzz every registered protocol\n"
+      "  --seeds N           seeds per protocol (default 100)\n"
+      "  --seed-base N       first seed (default 1)\n"
+      "  --minutes M         wall-clock budget; the sweep stops early once spent\n"
+      "  --quick             CI smoke mode: smaller workloads, tighter budgets\n"
+      "  --differential      per seed, also run the same client program and\n"
+      "                      schedule seed across the whole strict class and\n"
+      "                      compare verdicts\n"
+      "  --max-failures N    stop a protocol's sweep after N minimized repros\n"
+      "                      (default 1)\n"
+      "  --expect-violation  exit 0 only if at least one violation was found\n"
+      "                      (vacuity guard for eiger / broken-stale sweeps)\n"
+      "  --out-dir DIR       where FUZZ_<proto>_s<seed>.trace repros are\n"
+      "                      written (default .)\n"
+      "  --list              list protocols with their audited claims and exit\n"
+      "\n"
+      "replay:\n"
+      "  --replay FILE       re-execute a recorded repro; exits 0 iff the\n"
+      "                      recorded checker failure re-triggers\n");
+}
+
+void list_protocols() {
+  std::printf("registered protocols (S = strict serializability):\n");
+  for (const auto& name : registered_protocols()) {
+    const ProtocolTraits& t = ProtocolRegistry::global().traits(name);
+    const char* audit = t.claims_strict_serializability ? "claims S (violations fail the build)"
+                        : t.advertises_strict_serializability
+                            ? "advertises S, truth denies it (violations expected)"
+                            : "no S claim (liveness/N audits only)";
+    std::printf("  %-14s %s\n                 %s\n", name.c_str(), t.summary.c_str(), audit);
+  }
+}
+
+struct SweepStats {
+  std::size_t runs{0};
+  std::size_t violations{0};
+  std::size_t unexpected{0};
+  std::size_t traces_written{0};
+};
+
+std::string sanitize(std::string name) {
+  for (char& ch : name) {
+    if (ch == '/' || ch == ' ') ch = '_';
+  }
+  return name;
+}
+
+int replay(const std::string& path) {
+  FuzzTraceFile file;
+  try {
+    file = read_trace_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("[replay] %s: protocol=%s ops=%zu checker=%s\n", path.c_str(),
+              file.c.protocol.c_str(), file.c.ops.size(), file.checker.c_str());
+  const CaseRun run = replay_case(file.c, file.log);
+  const OracleReport report = check_run(file.c.protocol, run);
+  const bool reproduced = report.violation && report.checker == file.checker;
+  const std::uint64_t fingerprint = trace_fingerprint(run.trace);
+  const bool byte_identical = fingerprint == file.trace_hash;
+  std::printf("[replay] schedule: %zu decisions%s, trace %s (fingerprint %016llx)\n",
+              run.stats.decisions, run.stats.guard_tripped ? " (guard tripped)" : "",
+              byte_identical ? "byte-identical to the recorded run" : "DIVERGED from the record",
+              static_cast<unsigned long long>(fingerprint));
+  if (reproduced) {
+    std::printf("[replay] REPRODUCED %s: %s\n", report.checker.c_str(),
+                report.explanation.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "[replay] FAILED to re-trigger %s (got %s)\n", file.checker.c_str(),
+               report.violation ? report.checker.c_str() : "no violation");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> protocols;
+  bool all_protocols = false;
+  std::size_t seeds = 100;
+  std::uint64_t seed_base = 1;
+  double minutes = 0;  // 0 = unlimited
+  bool quick = false;
+  bool differential = false;
+  std::size_t max_failures = 1;
+  bool expect_violation = false;
+  std::string out_dir = ".";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      protocols.emplace_back(next());
+    } else if (arg == "--all-protocols") {
+      all_protocols = true;
+    } else if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed-base") {
+      seed_base = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--minutes") {
+      minutes = std::strtod(next(), nullptr);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--differential") {
+      differential = true;
+    } else if (arg == "--max-failures") {
+      max_failures = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--expect-violation") {
+      expect_violation = true;
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--list") {
+      list_protocols();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path);
+
+  if (all_protocols) {
+    protocols = registered_protocols();
+  } else if (protocols.empty()) {
+    protocols = strict_serializable_class();
+  }
+  for (const auto& name : protocols) {
+    if (!ProtocolRegistry::global().contains(name)) {
+      std::fprintf(stderr, "error: unknown protocol \"%s\"; registered:", name.c_str());
+      for (const auto& known : registered_protocols()) std::fprintf(stderr, " %s", known.c_str());
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  }
+
+  GenParams params;
+  params.max_ops_per_client = quick ? 6 : 10;
+  ShrinkOptions shrink_opts;
+  shrink_opts.max_runs = quick ? 250 : 500;
+  const OracleOptions oracle_opts;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (minutes <= 0) return false;
+    const std::chrono::duration<double> spent = std::chrono::steady_clock::now() - start;
+    return spent.count() >= minutes * 60.0;
+  };
+
+  SweepStats total;
+  bool budget_hit = false;
+  try {
+    for (const auto& name : protocols) {
+      const ProtocolTraits& traits = ProtocolRegistry::global().traits(name);
+      GenParams proto_params = params;
+      proto_params.single_reader = !traits.mwmr;
+      SweepStats stats;
+      const auto proto_start = std::chrono::steady_clock::now();
+      for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+        if (out_of_time()) {
+          budget_hit = true;
+          break;
+        }
+        const FuzzCase c = generate_case(name, proto_params, seed);
+        const CaseRun run = run_case(c);
+        ++stats.runs;
+        const OracleReport report = check_run(name, run, oracle_opts);
+        if (!report.violation) continue;
+        ++stats.violations;
+        if (!report.expected) ++stats.unexpected;
+        std::printf("\n[fuzz] %s seed %llu: %s VIOLATION (%s)\n  %s\n", name.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    report.expected ? "expected" : "UNEXPECTED", report.checker.c_str(),
+                    report.explanation.c_str());
+        const ShrinkResult shrunk = shrink_case(c, report.checker, oracle_opts, shrink_opts);
+        std::printf("  minimized: %zu -> %zu txns, %u objects, %zu clients (%zu shrink runs)\n",
+                    c.ops.size(), shrunk.minimized.ops.size(), shrunk.minimized.num_objects,
+                    shrunk.minimized.num_clients(), shrunk.runs);
+        FuzzTraceFile file;
+        file.c = shrunk.minimized;
+        file.log = shrunk.log;
+        file.checker = shrunk.report.checker;
+        file.explanation = shrunk.report.explanation;
+        file.trace_hash = shrunk.trace_hash;
+        const std::string path = out_dir + "/FUZZ_" + sanitize(name) + "_s" +
+                                 std::to_string(seed) + ".trace";
+        write_trace_file(path, file);
+        ++stats.traces_written;
+        std::printf("  repro written: %s (replay with --replay)\n", path.c_str());
+        if (stats.violations >= max_failures) break;
+      }
+      const std::chrono::duration<double> proto_spent =
+          std::chrono::steady_clock::now() - proto_start;
+      std::printf("[fuzz] %-14s %4zu seeds  %zu violation(s), %zu unexpected  (%.1fs)\n",
+                  name.c_str(), stats.runs, stats.violations, stats.unexpected,
+                  proto_spent.count());
+      total.runs += stats.runs;
+      total.violations += stats.violations;
+      total.unexpected += stats.unexpected;
+      total.traces_written += stats.traces_written;
+      if (budget_hit) break;
+    }
+
+    if (differential) {
+      const auto cls = strict_serializable_class();
+      std::printf("\n[differential] class:");
+      for (const auto& name : cls) std::printf(" %s", name.c_str());
+      std::printf("\n");
+      GenParams diff_params = params;
+      diff_params.single_reader = true;  // the class contains MWSR algo-a
+      std::size_t divergences = 0;
+      for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+        if (out_of_time()) {
+          budget_hit = true;
+          break;
+        }
+        const FuzzCase base = generate_case(cls.front(), diff_params, seed);
+        const DifferentialReport diff = differential_check(base, cls, oracle_opts);
+        total.runs += cls.size();
+        // An unexpected violation must fail the build even when EVERY
+        // protocol failed (no passing peer, so divergence stays false).
+        if (diff.unexpected) ++total.unexpected;
+        if (!diff.divergence && !diff.unexpected) continue;
+        ++total.violations;
+        if (diff.divergence) ++divergences;
+        std::printf("[differential] seed %llu %s:\n%s",
+                    static_cast<unsigned long long>(seed),
+                    diff.divergence ? "diverged" : "failed across the whole class",
+                    diff.details.c_str());
+        if (divergences >= max_failures) break;
+      }
+      std::printf("[differential] %zu divergent seed(s)\n", divergences);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const std::chrono::duration<double> spent = std::chrono::steady_clock::now() - start;
+  std::printf("\n[fuzz] total: %zu runs, %zu violation(s) (%zu unexpected), %zu repro(s) "
+              "written, %.1fs%s\n",
+              total.runs, total.violations, total.unexpected, total.traces_written,
+              spent.count(), budget_hit ? " [time budget hit]" : "");
+
+  if (total.unexpected > 0) return 2;
+  if (expect_violation && total.violations == 0) return 3;
+  return 0;
+}
