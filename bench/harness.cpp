@@ -117,9 +117,11 @@ std::string bench_json(const std::string& scenario, const ScenarioOptions& opts,
     out += "\"threads\": " + std::to_string(r.threads) + ", ";
     out += "\"ops\": " + std::to_string(r.ops) + ", ";
     out += "\"ops_per_sec\": " + num(r.ops_per_sec) + ", ";
-    out += "\"sojourn_p50_us\": " + num(r.sojourn_p50_us) + ", ";
-    out += "\"sojourn_p95_us\": " + num(r.sojourn_p95_us) + ", ";
-    out += "\"sojourn_p99_us\": " + num(r.sojourn_p99_us) + ", ";
+    // Scenarios that measure no latency emit null, not a bogus 0.000.
+    const auto sojourn = [&](double v) { return r.has_sojourn ? num(v) : std::string("null"); };
+    out += "\"sojourn_p50_us\": " + sojourn(r.sojourn_p50_us) + ", ";
+    out += "\"sojourn_p95_us\": " + sojourn(r.sojourn_p95_us) + ", ";
+    out += "\"sojourn_p99_us\": " + sojourn(r.sojourn_p99_us) + ", ";
     out += "\"wire_messages\": " + std::to_string(r.wire_messages) + ", ";
     out += "\"wire_bytes\": " + std::to_string(r.wire_bytes) + ", ";
     out += "\"extra\": ";

@@ -29,14 +29,18 @@
 namespace snowkit::bench {
 
 /// One measured configuration inside a scenario run.  Every field is always
-/// emitted to JSON (zeros mean "not applicable to this scenario"); anything
-/// scenario-specific goes into `extra` as string key/values.
+/// emitted to JSON (zeros mean "not applicable to this scenario", except the
+/// sojourn percentiles, which serialize as `null` unless the scenario
+/// actually measured latency — a raw message flood has no sojourn and a
+/// fake 0.000 would read as "instant"); anything scenario-specific goes into
+/// `extra` as string key/values.
 struct BenchRecord {
   std::string protocol;        ///< registry name, or a pseudo-name like "mailbox-flood".
   std::size_t shards{0};       ///< server-fleet size (0 = n/a).
   std::size_t threads{0};      ///< OS threads (ThreadRuntime nodes; 0 = simulated).
   std::uint64_t ops{0};        ///< completed transactions / delivered messages.
   double ops_per_sec{0};       ///< wall-clock throughput (0 for virtual-time runs).
+  bool has_sojourn{false};     ///< set by latency(); false -> nulls in JSON.
   double sojourn_p50_us{0};    ///< client-perceived arrival->completion latency.
   double sojourn_p95_us{0};
   double sojourn_p99_us{0};
@@ -51,6 +55,7 @@ struct BenchRecord {
 
   /// Fills the sojourn percentile fields from a latency summary.
   BenchRecord& latency(const LatencySummary& s) {
+    has_sojourn = true;
     sojourn_p50_us = static_cast<double>(s.p50_ns) / 1000.0;
     sojourn_p95_us = static_cast<double>(s.p95_ns) / 1000.0;
     sojourn_p99_us = static_cast<double>(s.p99_ns) / 1000.0;

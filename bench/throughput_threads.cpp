@@ -16,6 +16,7 @@
 #include <mutex>
 
 #include "bench_util.hpp"
+#include "metrics/gc_stats.hpp"
 #include "msg/codec.hpp"
 #include "runtime/thread_runtime.hpp"
 
@@ -134,10 +135,12 @@ struct ThreadsRun {
   LatencySummary read_latency;  ///< closed loop: invoke->respond == sojourn.
   std::uint64_t wire_messages{0};
   std::uint64_t wire_bytes{0};
+  GcSnapshot gc;  ///< version-store GC delta for this run.
 };
 
 ThreadsRun run_threads_once(const std::string& kind, std::size_t readers, std::size_t writers,
                             std::size_t ops_per_reader, std::size_t ops_per_writer) {
+  const GcSnapshot gc_before = GcCounters::global().snapshot();
   ThreadRuntime rt;
   WireStats wire;
   rt.set_observer(&wire);
@@ -165,6 +168,7 @@ ThreadsRun run_threads_once(const std::string& kind, std::size_t readers, std::s
   out.read_latency = summarize_latency(rec.snapshot(), /*reads=*/true);
   out.wire_messages = wire.messages();
   out.wire_bytes = wire.bytes();
+  out.gc = GcCounters::global().snapshot().delta(gc_before);
   return out;
 }
 
@@ -252,6 +256,10 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
     rec.latency(r.read_latency);
     rec.wire_messages = r.wire_messages;
     rec.wire_bytes = r.wire_bytes;
+    if (r.gc.inserted > 0) {
+      rec.set("gc_versions_inserted", std::to_string(r.gc.inserted));
+      rec.set("gc_versions_pruned", std::to_string(r.gc.pruned));
+    }
     result.records.push_back(std::move(rec));
   }
   std::printf("\nshape check: fewer rounds -> fewer mailbox hops -> higher closed-loop\n"

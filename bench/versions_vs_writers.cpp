@@ -26,6 +26,7 @@ void run_table(const ScenarioOptions& opts, ScenarioResult& result) {
 
     const Topology topo{2, 2, writers};
     BuildOptions nogc;
+    nogc.set("gc_versions", false);  // GC is the default now; baseline opts out
     auto base = bench::run_sim_workload("algo-c", topo, spec, writers, nogc);
     BuildOptions gc;
     gc.set("gc_versions", true);

@@ -9,14 +9,14 @@
 
 int main() {
   using namespace snowkit;
-  std::printf("| protocol | S | N | O | W | MWMR | tags | summary |\n");
-  std::printf("|---|---|---|---|---|---|---|---|\n");
+  std::printf("| protocol | S | N | O | W | MWMR | tags | versions/resp | summary |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|\n");
   for (const std::string& name : registered_protocols()) {
     const ProtocolTraits& t = ProtocolRegistry::global().traits(name);
     const auto mark = [](bool b) { return b ? "✓" : "✗"; };
-    std::printf("| `%s` | %s | %s | %s | %s | %s | %s | %s |\n", name.c_str(), mark(t.snow_s),
-                mark(t.snow_n), mark(t.snow_o), mark(t.snow_w), mark(t.mwmr),
-                mark(t.provides_tags), t.summary.c_str());
+    std::printf("| `%s` | %s | %s | %s | %s | %s | %s | %s | %s |\n", name.c_str(),
+                mark(t.snow_s), mark(t.snow_n), mark(t.snow_o), mark(t.snow_w), mark(t.mwmr),
+                mark(t.provides_tags), t.version_bound.c_str(), t.summary.c_str());
   }
   return 0;
 }

@@ -34,6 +34,21 @@ class BufWriter {
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
   void i64(std::int64_t v) { raw(&v, sizeof v); }
 
+  /// LEB128 varint: 1 byte for values < 128, the common case for object ids,
+  /// tags, masks lengths and delta-coded positions on the wire.
+  void uv(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_->push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_->push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// ZigZag-mapped varint for signed values near zero.
+  void zz(std::int64_t v) {
+    uv((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+  }
+
   void str(const std::string& s) {
     u32(static_cast<std::uint32_t>(s.size()));
     raw(s.data(), s.size());
@@ -43,6 +58,30 @@ class BufWriter {
   void vec(const std::vector<T>& v, Fn&& write_elem) {
     u32(static_cast<std::uint32_t>(v.size()));
     for (const auto& e : v) write_elem(*this, e);
+  }
+
+  /// Varint-length-prefixed vector (the compact sibling of vec()).
+  template <typename T, typename Fn>
+  void cvec(const std::vector<T>& v, Fn&& write_elem) {
+    uv(v.size());
+    for (const auto& e : v) write_elem(*this, e);
+  }
+
+  /// A 0/1 mask bit-packed to ceil(n/8) bytes after a varint length.  Bytes
+  /// other than 0/1 would decode as 1 — fail fast at the violating caller
+  /// instead of corrupting silently.
+  void mask(const std::vector<std::uint8_t>& m) {
+    uv(m.size());
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      SNOW_CHECK_MSG(m[i] <= 1, "mask byte " << int(m[i]) << " is not 0/1");
+      if (m[i] != 0) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        buf_->push_back(acc);
+        acc = 0;
+      }
+    }
+    if (m.size() % 8 != 0) buf_->push_back(acc);
   }
 
   std::vector<std::uint8_t> take() { return std::move(*buf_); }
@@ -65,12 +104,36 @@ class SizeWriter {
   void u32(std::uint32_t) { n_ += 4; }
   void u64(std::uint64_t) { n_ += 8; }
   void i64(std::int64_t) { n_ += 8; }
+
+  void uv(std::uint64_t v) {
+    ++n_;
+    while (v >= 0x80) {
+      ++n_;
+      v >>= 7;
+    }
+  }
+
+  void zz(std::int64_t v) {
+    uv((static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63));
+  }
+
   void str(const std::string& s) { n_ += 4 + s.size(); }
 
   template <typename T, typename Fn>
   void vec(const std::vector<T>& v, Fn&& write_elem) {
     n_ += 4;
     for (const auto& e : v) write_elem(*this, e);
+  }
+
+  template <typename T, typename Fn>
+  void cvec(const std::vector<T>& v, Fn&& write_elem) {
+    uv(v.size());
+    for (const auto& e : v) write_elem(*this, e);
+  }
+
+  void mask(const std::vector<std::uint8_t>& m) {
+    uv(m.size());
+    n_ += (m.size() + 7) / 8;
   }
 
   std::size_t size() const { return n_; }
@@ -91,6 +154,22 @@ class BufReader {
   std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
   std::int64_t i64() { std::int64_t v; raw(&v, sizeof v); return v; }
 
+  std::uint64_t uv() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    SNOW_CHECK_MSG(false, "varint longer than 10 bytes");
+    return v;
+  }
+
+  std::int64_t zz() {
+    const std::uint64_t u = uv();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
   std::string str() {
     std::uint32_t n = u32();
     SNOW_CHECK(pos_ + n <= buf_.size());
@@ -106,6 +185,28 @@ class BufReader {
     v.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
     return v;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> cvec(Fn&& read_elem) {
+    const std::uint64_t n = uv();
+    SNOW_CHECK_MSG(n <= buf_.size(), "cvec length " << n << " exceeds buffer");
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  std::vector<std::uint8_t> mask() {
+    const std::uint64_t n = uv();
+    SNOW_CHECK_MSG(n <= 8 * buf_.size(), "mask length " << n << " exceeds buffer");
+    std::vector<std::uint8_t> m(n, 0);
+    std::uint8_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) acc = u8();
+      m[i] = (acc >> (i % 8)) & 1;
+    }
+    return m;
   }
 
   bool done() const { return pos_ == buf_.size(); }

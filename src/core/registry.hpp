@@ -51,6 +51,11 @@ struct ProtocolTraits {
 
   /// True when READs are multi-writer multi-reader; Algorithm A is MWSR.
   bool mwmr{true};
+
+  /// Guaranteed bound on versions per read response (Fig. 1(b)'s versions
+  /// row), e.g. "1" or "<=|W|+1"; "unbounded" when responses can grow with
+  /// history length.
+  std::string version_bound{"1"};
 };
 
 /// Generic, protocol-agnostic build options: a string key/value bag that

@@ -1,0 +1,72 @@
+// Process-wide version-store GC counters.
+//
+// Every VersionStore reports into this singleton with relaxed atomics, so
+// benches and tests can observe pruning effectiveness and store occupancy
+// without plumbing a handle into every server node (servers live behind the
+// Runtime).  Readings are taken as before/after snapshots around a run; the
+// deltas are what the bench harness surfaces in BENCH_*.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace snowkit {
+
+/// A point-in-time reading of the global GC counters.
+struct GcSnapshot {
+  std::uint64_t inserted{0};   ///< versions ever inserted into any store.
+  std::uint64_t pruned{0};     ///< versions retired by watermark GC.
+  std::uint64_t live{0};       ///< versions currently resident (inserted - pruned - erased).
+  Tag max_watermark{0};        ///< highest watermark any store reached.
+
+  /// inserted/pruned become window deltas; live and max_watermark stay the
+  /// CURRENT absolutes (a gauge and a high-water mark have no meaningful
+  /// subtraction — a window's net live change can be negative).
+  GcSnapshot delta(const GcSnapshot& before) const {
+    return GcSnapshot{inserted - before.inserted, pruned - before.pruned, live, max_watermark};
+  }
+};
+
+class GcCounters {
+ public:
+  static GcCounters& global() {
+    static GcCounters* g = new GcCounters();
+    return *g;
+  }
+
+  void on_insert() {
+    inserted_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_prune(std::uint64_t n) {
+    pruned_.fetch_add(n, std::memory_order_relaxed);
+    live_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Versions leaving a store without being GC'd (erase, store teardown).
+  void on_release(std::uint64_t n) { live_.fetch_sub(n, std::memory_order_relaxed); }
+
+  void on_watermark(Tag w) {
+    Tag cur = max_watermark_.load(std::memory_order_relaxed);
+    while (w > cur && !max_watermark_.compare_exchange_weak(cur, w, std::memory_order_relaxed)) {
+    }
+  }
+
+  GcSnapshot snapshot() const {
+    return GcSnapshot{inserted_.load(std::memory_order_relaxed),
+                      pruned_.load(std::memory_order_relaxed),
+                      live_.load(std::memory_order_relaxed),
+                      max_watermark_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<std::uint64_t> inserted_{0};
+  std::atomic<std::uint64_t> pruned_{0};
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<Tag> max_watermark_{0};
+};
+
+}  // namespace snowkit

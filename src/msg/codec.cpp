@@ -9,98 +9,145 @@ namespace {
 
 // The put_* helpers and Encoder are templated over the writer so the same
 // encoding logic runs against BufWriter (serialize) and SizeWriter (count).
+//
+// Encoding conventions (the compact wire format):
+//  * integers ride as LEB128 varints (`uv`), values as zigzag varints (`zz`),
+//    so the common small-number case costs one byte instead of 4-8;
+//  * 0/1 interest masks are bit-packed to ceil(k/8) bytes;
+//  * version lists are delta-coded: Vals is key-ordered, so consecutive
+//    WriteKey seqs are non-decreasing and each entry stores only the delta;
+//  * List histories are position-ascending, so positions delta-code the
+//    same way.
+// A writer id of kInvalidNode (the initial version's placeholder w0) maps to
+// varint 0 rather than a 5-byte max-u32 varint.
+
+template <typename W>
+void put_writer(W& w, NodeId writer) {
+  w.uv(writer == kInvalidNode ? 0 : static_cast<std::uint64_t>(writer) + 1);
+}
+
+NodeId get_writer(BufReader& r) {
+  const std::uint64_t v = r.uv();
+  return v == 0 ? kInvalidNode : static_cast<NodeId>(v - 1);
+}
 
 template <typename W>
 void put_key(W& w, const WriteKey& k) {
-  w.u64(k.seq);
-  w.u32(k.writer);
+  w.uv(k.seq);
+  put_writer(w, k.writer);
 }
 
 WriteKey get_key(BufReader& r) {
   WriteKey k;
-  k.seq = r.u64();
-  k.writer = r.u32();
+  k.seq = r.uv();
+  k.writer = get_writer(r);
   return k;
 }
 
+/// Version list, seq delta-coded (ReadValsResp).  Vals ships key-ordered, so
+/// the zigzag deltas are small non-negatives; arbitrary orders stay valid.
 template <typename W>
-void put_mask(W& w, const std::vector<std::uint8_t>& mask) {
-  w.vec(mask, [](auto& w2, std::uint8_t b) { w2.u8(b); });
+void put_versions(W& w, const std::vector<Version>& vs) {
+  w.uv(vs.size());
+  std::uint64_t prev_seq = 0;
+  for (const Version& v : vs) {
+    w.zz(static_cast<std::int64_t>(v.key.seq - prev_seq));
+    put_writer(w, v.key.writer);
+    w.zz(v.value);
+    prev_seq = v.key.seq;
+  }
 }
 
-std::vector<std::uint8_t> get_mask(BufReader& r) {
-  return r.vec<std::uint8_t>([](BufReader& r2) { return r2.u8(); });
+std::vector<Version> get_versions(BufReader& r) {
+  const std::uint64_t n = r.uv();
+  std::vector<Version> vs;
+  vs.reserve(n);
+  std::uint64_t prev_seq = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Version v;
+    prev_seq += static_cast<std::uint64_t>(r.zz());
+    v.key.seq = prev_seq;
+    v.key.writer = get_writer(r);
+    v.value = r.zz();
+    vs.push_back(v);
+  }
+  return vs;
 }
 
+/// List history, position delta-coded (GetTagArrResp); coordinators ship it
+/// position-ascending, so deltas are small non-negatives.
 template <typename W>
-void put_version(W& w, const Version& v) {
-  put_key(w, v.key);
-  w.i64(v.value);
+void put_history(W& w, const std::vector<ListedKey>& h) {
+  w.uv(h.size());
+  Tag prev = 0;
+  for (const ListedKey& lk : h) {
+    w.zz(static_cast<std::int64_t>(lk.position - prev));
+    put_key(w, lk.key);
+    prev = lk.position;
+  }
 }
 
-Version get_version(BufReader& r) {
-  Version v;
-  v.key = get_key(r);
-  v.value = r.i64();
-  return v;
-}
-
-template <typename W>
-void put_listed(W& w, const ListedKey& lk) {
-  w.u64(lk.position);
-  put_key(w, lk.key);
-}
-
-ListedKey get_listed(BufReader& r) {
-  ListedKey lk;
-  lk.position = r.u64();
-  lk.key = get_key(r);
-  return lk;
+std::vector<ListedKey> get_history(BufReader& r) {
+  const std::uint64_t n = r.uv();
+  std::vector<ListedKey> h;
+  h.reserve(n);
+  Tag prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ListedKey lk;
+    prev += static_cast<std::uint64_t>(r.zz());
+    lk.position = prev;
+    lk.key = get_key(r);
+    h.push_back(lk);
+  }
+  return h;
 }
 
 template <typename W>
 struct Encoder {
   W& w;
 
-  void operator()(const WriteValReq& p) { put_key(w, p.key); w.u32(p.obj); w.i64(p.value); }
-  void operator()(const WriteValAck& p) { put_key(w, p.key); w.u32(p.obj); }
-  void operator()(const InfoReaderReq& p) { put_key(w, p.key); put_mask(w, p.mask); }
-  void operator()(const InfoReaderAck& p) { w.u64(p.tag); }
-  void operator()(const UpdateCoorReq& p) { put_key(w, p.key); put_mask(w, p.mask); }
-  void operator()(const UpdateCoorAck& p) { w.u64(p.tag); }
-  void operator()(const GetTagArrReq& p) { put_mask(w, p.want); }
+  void operator()(const WriteValReq& p) { put_key(w, p.key); w.uv(p.obj); w.zz(p.value); }
+  void operator()(const WriteValAck& p) { put_key(w, p.key); w.uv(p.obj); }
+  void operator()(const InfoReaderReq& p) { put_key(w, p.key); w.mask(p.mask); }
+  void operator()(const InfoReaderAck& p) { w.uv(p.tag); }
+  void operator()(const UpdateCoorReq& p) { put_key(w, p.key); w.mask(p.mask); }
+  void operator()(const UpdateCoorAck& p) { w.uv(p.tag); w.uv(p.watermark); }
+  void operator()(const GetTagArrReq& p) { w.mask(p.want); }
   void operator()(const GetTagArrResp& p) {
-    w.u64(p.tag);
-    w.vec(p.latest, [](auto& w2, const WriteKey& k) { put_key(w2, k); });
-    w.vec(p.history, [](auto& w2, const std::vector<ListedKey>& h) {
-      w2.vec(h, [](auto& w3, const ListedKey& lk) { put_listed(w3, lk); });
-    });
+    w.uv(p.tag);
+    w.uv(p.watermark);
+    w.cvec(p.latest, [](auto& w2, const WriteKey& k) { put_key(w2, k); });
+    w.cvec(p.history,
+           [](auto& w2, const std::vector<ListedKey>& h) { put_history(w2, h); });
   }
-  void operator()(const ReadValReq& p) { w.u32(p.obj); put_key(w, p.key); }
-  void operator()(const ReadValResp& p) { w.u32(p.obj); put_key(w, p.key); w.i64(p.value); }
-  void operator()(const ReadValsReq& p) { w.u32(p.obj); }
-  void operator()(const ReadValsResp& p) {
-    w.u32(p.obj);
-    w.vec(p.versions, [](auto& w2, const Version& v) { put_version(w2, v); });
+  void operator()(const ReadValReq& p) { w.uv(p.obj); put_key(w, p.key); w.uv(p.watermark); }
+  void operator()(const ReadValResp& p) {
+    w.uv(p.obj); put_key(w, p.key); w.zz(p.value); w.u8(p.found ? 1 : 0);
   }
-  void operator()(const FinalizeReq& p) { put_key(w, p.key); w.u32(p.obj); w.u64(p.position); }
-  void operator()(const EigerWriteReq& p) { w.u32(p.obj); w.i64(p.value); w.u64(p.lamport); }
-  void operator()(const EigerWriteAck& p) { w.u32(p.obj); w.u64(p.commit_ts); w.u64(p.lamport); }
-  void operator()(const EigerReadReq& p) { w.u32(p.obj); w.u64(p.lamport); }
+  void operator()(const ReadValsReq& p) { w.uv(p.obj); }
+  void operator()(const ReadValsResp& p) { w.uv(p.obj); put_versions(w, p.versions); }
+  void operator()(const FinalizeReq& p) {
+    put_key(w, p.key); w.uv(p.obj); w.uv(p.position); w.uv(p.watermark);
+  }
+  void operator()(const FinalizeCoorReq& p) { w.uv(p.position); }
+  void operator()(const ReadDoneReq& p) { w.uv(p.txn); }
+  void operator()(const EigerWriteReq& p) { w.uv(p.obj); w.zz(p.value); w.uv(p.lamport); }
+  void operator()(const EigerWriteAck& p) { w.uv(p.obj); w.uv(p.commit_ts); w.uv(p.lamport); }
+  void operator()(const EigerReadReq& p) { w.uv(p.obj); w.uv(p.lamport); }
   void operator()(const EigerReadResp& p) {
-    w.u32(p.obj); w.i64(p.value); w.u64(p.valid_from); w.u64(p.valid_until); w.u64(p.lamport);
+    w.uv(p.obj); w.zz(p.value); w.uv(p.valid_from); w.uv(p.valid_until); w.uv(p.lamport);
   }
-  void operator()(const EigerReadAtReq& p) { w.u32(p.obj); w.u64(p.at); w.u64(p.lamport); }
-  void operator()(const EigerReadAtResp& p) { w.u32(p.obj); w.i64(p.value); w.u64(p.lamport); }
-  void operator()(const LockReq& p) { w.u32(p.obj); w.u8(p.exclusive ? 1 : 0); }
-  void operator()(const LockGrant& p) { w.u32(p.obj); w.i64(p.value); }
-  void operator()(const WriteUnlockReq& p) { w.u32(p.obj); w.i64(p.value); }
-  void operator()(const UnlockReq& p) { w.u32(p.obj); }
-  void operator()(const UnlockAck& p) { w.u32(p.obj); }
-  void operator()(const SimpleReadReq& p) { w.u32(p.obj); }
-  void operator()(const SimpleReadResp& p) { w.u32(p.obj); w.i64(p.value); }
-  void operator()(const SimpleWriteReq& p) { w.u32(p.obj); w.i64(p.value); }
-  void operator()(const SimpleWriteAck& p) { w.u32(p.obj); }
+  void operator()(const EigerReadAtReq& p) { w.uv(p.obj); w.uv(p.at); w.uv(p.lamport); }
+  void operator()(const EigerReadAtResp& p) { w.uv(p.obj); w.zz(p.value); w.uv(p.lamport); }
+  void operator()(const LockReq& p) { w.uv(p.obj); w.u8(p.exclusive ? 1 : 0); }
+  void operator()(const LockGrant& p) { w.uv(p.obj); w.zz(p.value); }
+  void operator()(const WriteUnlockReq& p) { w.uv(p.obj); w.zz(p.value); }
+  void operator()(const UnlockReq& p) { w.uv(p.obj); }
+  void operator()(const UnlockAck& p) { w.uv(p.obj); }
+  void operator()(const SimpleReadReq& p) { w.uv(p.obj); }
+  void operator()(const SimpleReadResp& p) { w.uv(p.obj); w.zz(p.value); }
+  void operator()(const SimpleWriteReq& p) { w.uv(p.obj); w.zz(p.value); }
+  void operator()(const SimpleWriteAck& p) { w.uv(p.obj); }
 };
 
 template <std::size_t I = 0>
@@ -115,127 +162,147 @@ struct Decoder {
 
 template <>
 WriteValReq Decoder::get<WriteValReq>() {
-  WriteValReq p; p.key = get_key(r); p.obj = r.u32(); p.value = r.i64(); return p;
+  WriteValReq p; p.key = get_key(r); p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz();
+  return p;
 }
 template <>
 WriteValAck Decoder::get<WriteValAck>() {
-  WriteValAck p; p.key = get_key(r); p.obj = r.u32(); return p;
+  WriteValAck p; p.key = get_key(r); p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 template <>
 InfoReaderReq Decoder::get<InfoReaderReq>() {
-  InfoReaderReq p; p.key = get_key(r); p.mask = get_mask(r); return p;
+  InfoReaderReq p; p.key = get_key(r); p.mask = r.mask(); return p;
 }
 template <>
 InfoReaderAck Decoder::get<InfoReaderAck>() {
-  InfoReaderAck p; p.tag = r.u64(); return p;
+  InfoReaderAck p; p.tag = r.uv(); return p;
 }
 template <>
 UpdateCoorReq Decoder::get<UpdateCoorReq>() {
-  UpdateCoorReq p; p.key = get_key(r); p.mask = get_mask(r); return p;
+  UpdateCoorReq p; p.key = get_key(r); p.mask = r.mask(); return p;
 }
 template <>
 UpdateCoorAck Decoder::get<UpdateCoorAck>() {
-  UpdateCoorAck p; p.tag = r.u64(); return p;
+  UpdateCoorAck p; p.tag = r.uv(); p.watermark = r.uv(); return p;
 }
 template <>
 GetTagArrReq Decoder::get<GetTagArrReq>() {
-  GetTagArrReq p; p.want = get_mask(r); return p;
+  GetTagArrReq p; p.want = r.mask(); return p;
 }
 template <>
 GetTagArrResp Decoder::get<GetTagArrResp>() {
   GetTagArrResp p;
-  p.tag = r.u64();
-  p.latest = r.vec<WriteKey>([](BufReader& r2) { return get_key(r2); });
-  p.history = r.vec<std::vector<ListedKey>>([](BufReader& r2) {
-    return r2.vec<ListedKey>([](BufReader& r3) { return get_listed(r3); });
-  });
+  p.tag = r.uv();
+  p.watermark = r.uv();
+  p.latest = r.cvec<WriteKey>([](BufReader& r2) { return get_key(r2); });
+  p.history = r.cvec<std::vector<ListedKey>>([](BufReader& r2) { return get_history(r2); });
   return p;
 }
 template <>
 ReadValReq Decoder::get<ReadValReq>() {
-  ReadValReq p; p.obj = r.u32(); p.key = get_key(r); return p;
+  ReadValReq p; p.obj = static_cast<ObjectId>(r.uv()); p.key = get_key(r); p.watermark = r.uv();
+  return p;
 }
 template <>
 ReadValResp Decoder::get<ReadValResp>() {
-  ReadValResp p; p.obj = r.u32(); p.key = get_key(r); p.value = r.i64(); return p;
+  ReadValResp p;
+  p.obj = static_cast<ObjectId>(r.uv()); p.key = get_key(r); p.value = r.zz();
+  p.found = r.u8() != 0;
+  return p;
 }
 template <>
 ReadValsReq Decoder::get<ReadValsReq>() {
-  ReadValsReq p; p.obj = r.u32(); return p;
+  ReadValsReq p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 template <>
 ReadValsResp Decoder::get<ReadValsResp>() {
   ReadValsResp p;
-  p.obj = r.u32();
-  p.versions = r.vec<Version>([](BufReader& r2) { return get_version(r2); });
+  p.obj = static_cast<ObjectId>(r.uv());
+  p.versions = get_versions(r);
   return p;
 }
 template <>
 FinalizeReq Decoder::get<FinalizeReq>() {
-  FinalizeReq p; p.key = get_key(r); p.obj = r.u32(); p.position = r.u64(); return p;
+  FinalizeReq p;
+  p.key = get_key(r); p.obj = static_cast<ObjectId>(r.uv()); p.position = r.uv();
+  p.watermark = r.uv();
+  return p;
+}
+template <>
+FinalizeCoorReq Decoder::get<FinalizeCoorReq>() {
+  FinalizeCoorReq p; p.position = r.uv(); return p;
+}
+template <>
+ReadDoneReq Decoder::get<ReadDoneReq>() {
+  ReadDoneReq p; p.txn = r.uv(); return p;
 }
 template <>
 EigerWriteReq Decoder::get<EigerWriteReq>() {
-  EigerWriteReq p; p.obj = r.u32(); p.value = r.i64(); p.lamport = r.u64(); return p;
+  EigerWriteReq p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); p.lamport = r.uv();
+  return p;
 }
 template <>
 EigerWriteAck Decoder::get<EigerWriteAck>() {
-  EigerWriteAck p; p.obj = r.u32(); p.commit_ts = r.u64(); p.lamport = r.u64(); return p;
+  EigerWriteAck p; p.obj = static_cast<ObjectId>(r.uv()); p.commit_ts = r.uv();
+  p.lamport = r.uv();
+  return p;
 }
 template <>
 EigerReadReq Decoder::get<EigerReadReq>() {
-  EigerReadReq p; p.obj = r.u32(); p.lamport = r.u64(); return p;
+  EigerReadReq p; p.obj = static_cast<ObjectId>(r.uv()); p.lamport = r.uv(); return p;
 }
 template <>
 EigerReadResp Decoder::get<EigerReadResp>() {
   EigerReadResp p;
-  p.obj = r.u32(); p.value = r.i64(); p.valid_from = r.u64(); p.valid_until = r.u64();
-  p.lamport = r.u64();
+  p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); p.valid_from = r.uv();
+  p.valid_until = r.uv(); p.lamport = r.uv();
   return p;
 }
 template <>
 EigerReadAtReq Decoder::get<EigerReadAtReq>() {
-  EigerReadAtReq p; p.obj = r.u32(); p.at = r.u64(); p.lamport = r.u64(); return p;
+  EigerReadAtReq p; p.obj = static_cast<ObjectId>(r.uv()); p.at = r.uv(); p.lamport = r.uv();
+  return p;
 }
 template <>
 EigerReadAtResp Decoder::get<EigerReadAtResp>() {
-  EigerReadAtResp p; p.obj = r.u32(); p.value = r.i64(); p.lamport = r.u64(); return p;
+  EigerReadAtResp p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); p.lamport = r.uv();
+  return p;
 }
 template <>
 LockReq Decoder::get<LockReq>() {
-  LockReq p; p.obj = r.u32(); p.exclusive = r.u8() != 0; return p;
+  LockReq p; p.obj = static_cast<ObjectId>(r.uv()); p.exclusive = r.u8() != 0; return p;
 }
 template <>
 LockGrant Decoder::get<LockGrant>() {
-  LockGrant p; p.obj = r.u32(); p.value = r.i64(); return p;
+  LockGrant p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); return p;
 }
 template <>
 WriteUnlockReq Decoder::get<WriteUnlockReq>() {
-  WriteUnlockReq p; p.obj = r.u32(); p.value = r.i64(); return p;
+  WriteUnlockReq p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); return p;
 }
 template <>
 UnlockReq Decoder::get<UnlockReq>() {
-  UnlockReq p; p.obj = r.u32(); return p;
+  UnlockReq p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 template <>
 UnlockAck Decoder::get<UnlockAck>() {
-  UnlockAck p; p.obj = r.u32(); return p;
+  UnlockAck p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 template <>
 SimpleReadReq Decoder::get<SimpleReadReq>() {
-  SimpleReadReq p; p.obj = r.u32(); return p;
+  SimpleReadReq p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 template <>
 SimpleReadResp Decoder::get<SimpleReadResp>() {
-  SimpleReadResp p; p.obj = r.u32(); p.value = r.i64(); return p;
+  SimpleReadResp p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); return p;
 }
 template <>
 SimpleWriteReq Decoder::get<SimpleWriteReq>() {
-  SimpleWriteReq p; p.obj = r.u32(); p.value = r.i64(); return p;
+  SimpleWriteReq p; p.obj = static_cast<ObjectId>(r.uv()); p.value = r.zz(); return p;
 }
 template <>
 SimpleWriteAck Decoder::get<SimpleWriteAck>() {
-  SimpleWriteAck p; p.obj = r.u32(); return p;
+  SimpleWriteAck p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
 
 template <std::size_t I>
@@ -251,28 +318,30 @@ Payload decode_alternative(std::size_t index, BufReader& r) {
   }
 }
 
+static_assert(std::variant_size_v<Payload> <= 256, "payload index must fit one byte");
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_message(const Message& m) {
   BufWriter w;
-  w.u64(m.txn);
-  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  w.uv(m.txn);
+  w.u8(static_cast<std::uint8_t>(m.payload.index()));
   std::visit(Encoder<BufWriter>{w}, m.payload);
   return w.take();
 }
 
 void encode_message_into(const Message& m, std::vector<std::uint8_t>& out) {
   BufWriter w(out);
-  w.u64(m.txn);
-  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  w.uv(m.txn);
+  w.u8(static_cast<std::uint8_t>(m.payload.index()));
   std::visit(Encoder<BufWriter>{w}, m.payload);
 }
 
 Message decode_message(const std::vector<std::uint8_t>& bytes) {
   BufReader r(bytes);
   Message m;
-  m.txn = r.u64();
-  std::size_t index = r.u32();
+  m.txn = r.uv();
+  std::size_t index = r.u8();
   SNOW_CHECK_MSG(index < std::variant_size_v<Payload>, "payload index " << index);
   m.payload = decode_alternative<0>(index, r);
   SNOW_CHECK_MSG(r.done(), "trailing bytes after payload " << payload_name(m.payload));
@@ -281,8 +350,8 @@ Message decode_message(const std::vector<std::uint8_t>& bytes) {
 
 std::size_t encoded_size(const Message& m) {
   SizeWriter w;
-  w.u64(m.txn);
-  w.u32(static_cast<std::uint32_t>(m.payload.index()));
+  w.uv(m.txn);
+  w.u8(static_cast<std::uint8_t>(m.payload.index()));
   std::visit(Encoder<SizeWriter>{w}, m.payload);
   return w.size();
 }

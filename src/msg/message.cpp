@@ -46,6 +46,8 @@ const char* payload_name(const Payload& p) {
           [](const SimpleReadResp&) { return "simple-read-resp"; },
           [](const SimpleWriteReq&) { return "simple-write"; },
           [](const SimpleWriteAck&) { return "simple-write-ack"; },
+          [](const FinalizeCoorReq&) { return "finalize-coor"; },
+          [](const ReadDoneReq&) { return "read-done"; },
       },
       p);
 }

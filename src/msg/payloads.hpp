@@ -73,9 +73,13 @@ struct UpdateCoorReq {
   friend bool operator==(const UpdateCoorReq&, const UpdateCoorReq&) = default;
 };
 
-/// (ack, t_w): coordinator -> writer.
+/// (ack, t_w): coordinator -> writer.  `watermark` is the coordinator's
+/// current read watermark (see proto/version_store.hpp): the writer forwards
+/// it to servers on its finalize fan-out, which is how watermark advancement
+/// reaches the version stores without any extra message round.
 struct UpdateCoorAck {
   Tag tag{0};
+  Tag watermark{0};
 
   friend bool operator==(const UpdateCoorAck&, const UpdateCoorAck&) = default;
 };
@@ -92,24 +96,33 @@ struct GetTagArrReq {
 /// (see DESIGN.md §5 and proto/algo_c).
 struct GetTagArrResp {
   Tag tag{0};
+  Tag watermark{0};  ///< coordinator read watermark; readers piggyback it on read-val.
   std::vector<WriteKey> latest;              ///< kappa_i per object (index-aligned).
   std::vector<std::vector<ListedKey>> history;  ///< optional; per requested object.
   friend bool operator==(const GetTagArrResp&, const GetTagArrResp&) = default;
 };
 
 /// read-val: reader -> server s_i, naming the exact version kappa_i wanted.
+/// `watermark` piggybacks the coordinator watermark the reader saw in its tag
+/// array, so stores on the read path advance (and prune) with zero extra
+/// messages.
 struct ReadValReq {
   ObjectId obj{0};
   WriteKey key;
+  Tag watermark{0};
 
   friend bool operator==(const ReadValReq&, const ReadValReq&) = default;
 };
 
-/// one-version response: server -> reader.
+/// one-version response: server -> reader.  `found` is false when the named
+/// key is not (or no longer) in Vals — reachable only by speculative readers
+/// (occ) whose guessed key was superseded and garbage-collected; protocols
+/// that request watermark-protected keys always get found == true.
 struct ReadValResp {
   ObjectId obj{0};
   WriteKey key;
   Value value{kInitialValue};
+  bool found{true};
 
   friend bool operator==(const ReadValResp&, const ReadValResp&) = default;
 };
@@ -137,8 +150,36 @@ struct FinalizeReq {
   WriteKey key;
   ObjectId obj{0};
   Tag position{0};
+  /// Coordinator read watermark as of this write's update-coor ack; the
+  /// receiving store advances its watermark to it and prunes superseded
+  /// finalized versions (proto/version_store.hpp states the safety rule).
+  Tag watermark{0};
 
   friend bool operator==(const FinalizeReq&, const FinalizeReq&) = default;
+};
+
+/// finalize-coor: writer -> coordinator s*, fire-and-forget notice that the
+/// WRITE at List `position` has completed.  The coordinator's max finalized
+/// position is the base of the read watermark: a position only counts into
+/// the watermark once its write finished, so every in-flight or future READ
+/// can still be served at or above it.
+struct FinalizeCoorReq {
+  Tag position{0};
+
+  friend bool operator==(const FinalizeCoorReq&, const FinalizeCoorReq&) = default;
+};
+
+/// read-done: reader -> coordinator (algorithms B/C and occ) or the read
+/// servers (eiger), fire-and-forget notice that the sender's READ `txn`
+/// completed.  Deregisters the read from watermark accounting.  The txn
+/// rides in the payload (the envelope carries kInvalidTxn so monitors don't
+/// count the notice as a READ round), and deregistration is keyed by
+/// (sender, txn): txn ids are monotone per client, so a reordered stale
+/// notice can never unpin a newer READ.
+struct ReadDoneReq {
+  TxnId txn{kInvalidTxn};
+
+  friend bool operator==(const ReadDoneReq&, const ReadDoneReq&) = default;
 };
 
 // --- mini-Eiger (§6, Fig. 5) ----------------------------------------------
@@ -267,6 +308,7 @@ using Payload = std::variant<
     ReadValsReq, ReadValsResp, FinalizeReq, EigerWriteReq, EigerWriteAck,
     EigerReadReq, EigerReadResp, EigerReadAtReq, EigerReadAtResp, LockReq,
     LockGrant, WriteUnlockReq, UnlockReq, UnlockAck, SimpleReadReq,
-    SimpleReadResp, SimpleWriteReq, SimpleWriteAck>;
+    SimpleReadResp, SimpleWriteReq, SimpleWriteAck, FinalizeCoorReq,
+    ReadDoneReq>;
 
 }  // namespace snowkit

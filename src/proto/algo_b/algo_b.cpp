@@ -13,12 +13,19 @@ namespace snowkit {
 namespace {
 
 /// Server for Algorithm B.  Every server stores per-object Vals; the
-/// coordinator s* additionally maintains List and answers get-tag-arr /
-/// update-coor.
+/// coordinator s* additionally maintains List (as a CoorList with
+/// incremental per-object indexes) and answers get-tag-arr / update-coor.
+///
+/// With GC on (the default), writers fan out finalize notices carrying the
+/// coordinator's read watermark and readers piggyback it on read-val, so
+/// Vals retains only the per-object anchor plus versions above the watermark
+/// — reads still carry exactly one version, and a requested key can never be
+/// pruned while its READ is registered (see proto/version_store.hpp).
 class ServerB final : public Node {
  public:
-  ServerB(std::size_t k, bool is_coordinator) : k_(k), is_coordinator_(is_coordinator) {
-    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+  ServerB(std::size_t k, bool is_coordinator, bool gc)
+      : k_(k), is_coordinator_(is_coordinator), gc_(gc) {
+    if (is_coordinator_) list_.emplace(k_);
   }
 
   void on_message(NodeId from, const Message& m) override {
@@ -28,27 +35,30 @@ class ServerB final : public Node {
       return;
     }
     if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
-      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, stores_[rv->obj].get(rv->key)}});
+      VersionStore& vals = stores_[rv->obj];
+      if (gc_) vals.advance_watermark(rv->watermark);
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, vals.get(rv->key)}});
       return;
     }
+    if (handle_gc_notice(from, m, gc_, is_coordinator_, stores_, list_)) return;
     if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
-      SNOW_CHECK(uc->mask.size() == k_);
-      list_.push_back({uc->key, uc->mask});
-      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      const Tag pos = list_->push(uc->key, uc->mask);
+      send(from, Message{m.txn, UpdateCoorAck{pos, list_->watermark()}});
       return;
     }
-    if (const auto* gt = std::get_if<GetTagArrReq>(&m.payload)) {
+    if (std::holds_alternative<GetTagArrReq>(m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      list_->register_reader(from, m.txn);
       GetTagArrResp resp;
       // t_r is the newest List position overall so that reads never order
       // before a write that already completed (Lemma 20 P2); per-object
       // version choice still uses the per-object newest entry.
-      resp.tag = static_cast<Tag>(list_.size() - 1);
-      (void)gt;
+      resp.tag = list_->tag();
+      resp.watermark = list_->watermark();
       resp.latest.resize(k_);
       for (std::size_t i = 0; i < k_; ++i) {
-        resp.latest[i] = list_[latest_entry_for(static_cast<ObjectId>(i))].first;
+        resp.latest[i] = list_->latest(static_cast<ObjectId>(i));
       }
       send(from, Message{m.txn, resp});
       return;
@@ -57,17 +67,11 @@ class ServerB final : public Node {
   }
 
  private:
-  std::size_t latest_entry_for(ObjectId obj) const {
-    for (std::size_t j = list_.size(); j-- > 0;) {
-      if (list_[j].second[obj] != 0) return j;
-    }
-    SNOW_UNREACHABLE("List[0] covers every object");
-  }
-
   std::size_t k_;
   bool is_coordinator_;
+  bool gc_;
   std::map<ObjectId, VersionStore> stores_;
-  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+  std::optional<CoorList> list_;  ///< coordinator only.
 };
 
 class ReaderB final : public Node, public ReadClientApi {
@@ -96,12 +100,14 @@ class ReaderB final : public Node, public ReadClientApi {
       SNOW_CHECK(pending_ && pending_->txn == m.txn);
       pending_->tag = ta->tag;
       for (ObjectId obj : pending_->objs) {
-        send(place_.server_node(obj), Message{m.txn, ReadValReq{obj, ta->latest[obj]}});
+        send(place_.server_node(obj),
+             Message{m.txn, ReadValReq{obj, ta->latest[obj], ta->watermark}});
       }
       return;
     }
     if (const auto* rr = std::get_if<ReadValResp>(&m.payload)) {
       SNOW_CHECK(pending_ && pending_->txn == m.txn);
+      SNOW_CHECK_MSG(rr->found, "algo-b requested a watermark-protected key; it must exist");
       pending_->got[rr->obj] = rr->value;
       if (pending_->got.size() == pending_->objs.size()) complete();
       return;
@@ -119,6 +125,8 @@ class ReaderB final : public Node, public ReadClientApi {
   };
 
   void complete() {
+    // Deregister from watermark accounting (fire-and-forget, sender-keyed).
+    send(coordinator_, Message{kInvalidTxn, ReadDoneReq{pending_->txn}});
     ReadResult result;
     result.txn = pending_->txn;
     for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->got.at(obj));
@@ -164,10 +172,12 @@ const ProtocolRegistration kRegisterAlgoB{
         .snow_o = false,  // two rounds
         .snow_w = true,
         .mwmr = true,
+        .version_bound = "1",
     },
     [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
       AlgoBOptions o;
       o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
+      o.gc_versions = opts.get_bool("gc_versions", true);
       return build_algo_b(rt, rec, cfg, o);
     }};
 
@@ -184,8 +194,8 @@ std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
   }
   rec.attach_runtime(&rt);
   for (std::size_t i = 0; i < place.num_servers(); ++i) {
-    const NodeId id =
-        rt.add_node(std::make_unique<ServerB>(cfg.num_objects, i == opts.coordinator));
+    const NodeId id = rt.add_node(
+        std::make_unique<ServerB>(cfg.num_objects, i == opts.coordinator, opts.gc_versions));
     SNOW_CHECK(id == i);  // servers occupy node ids [0, s)
   }
   const NodeId coor = static_cast<NodeId>(opts.coordinator);
@@ -197,7 +207,8 @@ std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,
   }
   std::vector<CoorWriter*> writers;
   for (std::size_t i = 0; i < cfg.num_writers; ++i) {
-    auto node = std::make_unique<CoorWriter>(rec, place, coor, /*send_finalize=*/false);
+    auto node = std::make_unique<CoorWriter>(rec, place, coor,
+                                             /*send_finalize=*/opts.gc_versions);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }

@@ -25,6 +25,12 @@ namespace snowkit {
 struct AlgoBOptions {
   /// Which server shard acts as coordinator s* (index < server_count()).
   std::size_t coordinator{0};
+  /// Watermark version GC (DEFAULT ON): writers fan out finalize notices and
+  /// readers piggyback the coordinator watermark on read-val, so Vals keeps
+  /// only the per-object anchor plus versions above the watermark.  READs
+  /// still see exactly one version either way; off restores keep-everything
+  /// Vals (the paper's literal state).
+  bool gc_versions{true};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,

@@ -17,33 +17,32 @@ class ServerC final : public Node {
  public:
   ServerC(std::size_t k, bool is_coordinator, bool gc)
       : k_(k), is_coordinator_(is_coordinator), gc_(gc) {
-    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+    if (is_coordinator_) list_.emplace(k_);
   }
 
   void on_message(NodeId from, const Message& m) override {
     if (const auto* wv = std::get_if<WriteValReq>(&m.payload)) {
-      store(wv->obj).vals.insert(wv->key, wv->value);
+      store(wv->obj).insert(wv->key, wv->value);
       send(from, Message{m.txn, WriteValAck{wv->key, wv->obj}});
       return;
     }
     if (std::holds_alternative<ReadValsReq>(m.payload)) {
       const auto& req = std::get<ReadValsReq>(m.payload);
-      send(from, Message{m.txn, ReadValsResp{req.obj, store(req.obj).vals.all()}});
+      // Bounded response: the live chain — with the watermark flowing this
+      // is the paper's <=|W|+1 candidate versions, not the full history.
+      send(from, Message{m.txn, ReadValsResp{req.obj, store(req.obj).all()}});
       return;
     }
-    if (const auto* fin = std::get_if<FinalizeReq>(&m.payload)) {
-      on_finalize(*fin);
-      return;
-    }
+    if (handle_gc_notice(from, m, gc_, is_coordinator_, stores_, list_)) return;
     if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
-      SNOW_CHECK(uc->mask.size() == k_);
-      list_.push_back({uc->key, uc->mask});
-      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      const Tag pos = list_->push(uc->key, uc->mask);
+      send(from, Message{m.txn, UpdateCoorAck{pos, list_->watermark()}});
       return;
     }
     if (const auto* gt = std::get_if<GetTagArrReq>(&m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      list_->register_reader(from, m.txn);
       send(from, Message{m.txn, build_tag_arr(*gt)});
       return;
     }
@@ -51,63 +50,35 @@ class ServerC final : public Node {
   }
 
  private:
-  /// Vals plus GC bookkeeping for one hosted object.  Finalization and
-  /// version retirement are per object: a version of o_i superseded by a
-  /// newer finalized write of o_i may go, regardless of the other objects
-  /// this server happens to host.
-  struct ObjectStore {
-    VersionStore vals;
-    std::map<WriteKey, Tag> finalized{{kInitialKey, 0}};
-    Tag max_final_pos{0};
-  };
-
-  ObjectStore& store(ObjectId obj) { return stores_[obj]; }
+  VersionStore& store(ObjectId obj) { return stores_[obj]; }
 
   GetTagArrResp build_tag_arr(const GetTagArrReq& req) const {
     GetTagArrResp resp;
     // t_r is the newest List position overall (Lemma 20 P2; see algo_b).
     // The feasibility descent may settle lower, but only past positions of
     // writes still concurrent with the READ, so no real-time inversion.
-    resp.tag = static_cast<Tag>(list_.size() - 1);
+    resp.tag = list_->tag();
+    resp.watermark = list_->watermark();
     resp.latest.resize(k_);
     resp.history.resize(k_);
     for (std::size_t i = 0; i < k_; ++i) {
-      std::size_t newest = 0;
-      for (std::size_t j = 0; j < list_.size(); ++j) {
-        if (list_[j].second[i] != 0) {
-          newest = j;
-          if (i < req.want.size() && req.want[i] != 0) {
-            resp.history[i].push_back(ListedKey{static_cast<Tag>(j), list_[j].first});
-          }
-        }
+      const ObjectId obj = static_cast<ObjectId>(i);
+      resp.latest[i] = list_->latest(obj);
+      if (i < req.want.size() && req.want[i] != 0) {
+        // The live history: the object's anchor entry plus everything above
+        // the watermark — all a READ registered at or after this instant can
+        // legally resolve against.
+        resp.history[i] = list_->history_vec(obj);
       }
-      resp.latest[i] = list_[newest].first;
     }
     return resp;
-  }
-
-  void on_finalize(const FinalizeReq& fin) {
-    ObjectStore& os = store(fin.obj);
-    os.finalized[fin.key] = fin.position;
-    if (!gc_) return;
-    os.max_final_pos = std::max(os.max_final_pos, fin.position);
-    // Drop every *finalized* version older than the newest finalized one.
-    // Unfinalized (possibly concurrent) versions are always kept.
-    for (auto it = os.finalized.begin(); it != os.finalized.end();) {
-      if (it->second < os.max_final_pos) {
-        os.vals.erase(it->first);
-        it = os.finalized.erase(it);
-      } else {
-        ++it;
-      }
-    }
   }
 
   std::size_t k_;
   bool is_coordinator_;
   bool gc_;
-  std::map<ObjectId, ObjectStore> stores_;
-  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+  std::map<ObjectId, VersionStore> stores_;  ///< per hosted object.
+  std::optional<CoorList> list_;             ///< coordinator only.
 };
 
 class ReaderC final : public Node, public ReadClientApi {
@@ -203,14 +174,18 @@ class ReaderC final : public Node, public ReadClientApi {
   bool try_cut(Tag t, std::vector<std::pair<ObjectId, Value>>& out) const {
     const GetTagArrResp& ta = *pending_->tag_arr;
     for (ObjectId obj : pending_->objs) {
-      // Newest position <= t writing this object; kappa_0 if none.
-      WriteKey key = kInitialKey;
+      // Newest position <= t writing this object.  The shipped history is
+      // GC'd below its anchor, so a cut older than every shipped entry is
+      // unresolvable — infeasible, NOT "the initial version": treating it as
+      // kappa_0 could resurrect a pruned prefix as a stale read.
+      const WriteKey* key = nullptr;
       for (const ListedKey& lk : ta.history[obj]) {
-        if (lk.position <= t) key = lk.key;  // history is position-ascending
+        if (lk.position <= t) key = &lk.key;  // history is position-ascending
       }
+      if (key == nullptr) return false;
       const auto& versions = pending_->vals.at(obj);
       const auto it = std::find_if(versions.begin(), versions.end(),
-                                   [&](const Version& v) { return v.key == key; });
+                                   [&](const Version& v) { return v.key == *key; });
       if (it == versions.end()) return false;
       out.emplace_back(obj, it->value);
     }
@@ -223,6 +198,9 @@ class ReaderC final : public Node, public ReadClientApi {
       (void)obj;
       max_versions = std::max(max_versions, static_cast<int>(versions.size()));
     }
+    // Deregister from watermark accounting (fire-and-forget; keyed by sender
+    // node, so it carries no txn).
+    send(coordinator_, Message{kInvalidTxn, ReadDoneReq{pending_->txn}});
     ReadResult result;
     result.txn = pending_->txn;
     result.values = values;
@@ -269,11 +247,12 @@ const ProtocolRegistration kRegisterAlgoC{
         .snow_o = false,  // one round but multi-version responses
         .snow_w = true,
         .mwmr = true,
+        .version_bound = "<=|W|+1",
     },
     [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
       AlgoCOptions o;
       o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
-      o.gc_versions = opts.get_bool("gc_versions", false);
+      o.gc_versions = opts.get_bool("gc_versions", true);
       return build_algo_c(rt, rec, cfg, o);
     }};
 

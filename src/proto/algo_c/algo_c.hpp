@@ -18,13 +18,17 @@
 // DESIGN.md §5).
 //
 // Options:
-//  * gc_versions / finalize: the bounded-version extension.  Writers
-//    piggyback their assigned List position to servers (no extra round) and
-//    servers drop versions superseded by a *finalized* newer version.  This
-//    bounds read-vals responses by |W|+1 versions but — per the race above —
-//    can make a descent fail; the reader then retries the whole READ (giving
-//    up one-round, counted in `rounds`).  The ablation bench measures both
-//    effects.
+//  * gc_versions / finalize (DEFAULT ON): the bounded-version extension.
+//    Writers piggyback their assigned List position — and the coordinator's
+//    read watermark — to servers on a finalize fan-out (no extra round), and
+//    report completion back to the coordinator, whose watermark rule
+//    (proto/version_store.hpp) retires versions no in-flight or future READ
+//    can legally be served.  This bounds read-vals responses by |W|+1
+//    versions and the tag-array history by the live window, but — per the
+//    race above — can make a descent fail; the reader then retries the whole
+//    READ (giving up one-round, counted in `rounds`).  The ablation bench
+//    measures both effects; gc_versions=false restores the paper's
+//    keep-everything Vals for comparison.
 #pragma once
 
 #include <memory>
@@ -36,8 +40,9 @@ namespace snowkit {
 struct AlgoCOptions {
   /// Which server shard acts as coordinator s* (index < server_count()).
   std::size_t coordinator{0};
-  /// Enable finalize piggyback + server-side version GC (bounded responses).
-  bool gc_versions{false};
+  /// Finalize fan-out + watermark version GC (bounded responses).  Off means
+  /// the paper's literal keep-everything Vals, which grows without bound.
+  bool gc_versions{true};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,

@@ -1,11 +1,21 @@
 // The server of Pseudocode 6, shared by Algorithm B and the optimistic
 // one-version (OCC) reader: per-object Vals version stores plus, on the
-// coordinator s*, the List of WRITE-transaction masks with get-tag-arr /
-// update-coor.  One server instance may host many objects under a sharded
-// Placement; every request names its object, so the stores stay disjoint.
+// coordinator s*, the List of WRITE-transaction masks (a CoorList with
+// incremental per-object indexes) with get-tag-arr / update-coor.  One
+// server instance may host many objects under a sharded Placement; every
+// request names its object, so the stores stay disjoint.
+//
+// With `gc` on, the watermark flow of proto/version_store.hpp is active:
+// finalize notices and read-val piggybacks advance per-object watermarks and
+// prune superseded versions.  Because occ readers request *speculative* keys
+// (their previous read's cut, or kappa_0 on a cold start) rather than
+// watermark-protected ones, a requested key may legitimately be gone — the
+// server then answers found == false and the reader falls back to its
+// validation-failed path instead of aborting.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -16,8 +26,9 @@ namespace snowkit {
 
 class CoorServer final : public Node {
  public:
-  CoorServer(std::size_t k, bool is_coordinator) : k_(k), is_coordinator_(is_coordinator) {
-    if (is_coordinator_) list_.push_back({kInitialKey, std::vector<std::uint8_t>(k_, 1)});
+  CoorServer(std::size_t k, bool is_coordinator, bool gc = false)
+      : k_(k), is_coordinator_(is_coordinator), gc_(gc) {
+    if (is_coordinator_) list_.emplace(k_);
   }
 
   void on_message(NodeId from, const Message& m) override {
@@ -27,26 +38,33 @@ class CoorServer final : public Node {
       return;
     }
     if (const auto* rv = std::get_if<ReadValReq>(&m.payload)) {
-      // Non-blocking, one version: any key a client can name was written
-      // before it entered List / a tag array, hence is present (see
-      // algo_b.hpp for the sequencing argument).
-      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, stores_[rv->obj].get(rv->key)}});
+      VersionStore& vals = stores_[rv->obj];
+      if (gc_) vals.advance_watermark(rv->watermark);
+      // Non-blocking, one version.  A miss is only reachable for speculative
+      // keys (see header); protocols that name watermark-protected keys
+      // always find them.
+      const std::optional<Value> v = vals.try_get(rv->key);
+      send(from, Message{m.txn, ReadValResp{rv->obj, rv->key, v.value_or(kInitialValue),
+                                            v.has_value()}});
       return;
     }
+    if (handle_gc_notice(from, m, gc_, is_coordinator_, stores_, list_)) return;
     if (const auto* uc = std::get_if<UpdateCoorReq>(&m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "update-coor sent to non-coordinator");
       SNOW_CHECK(uc->mask.size() == k_);
-      list_.push_back({uc->key, uc->mask});
-      send(from, Message{m.txn, UpdateCoorAck{static_cast<Tag>(list_.size() - 1)}});
+      const Tag pos = list_->push(uc->key, uc->mask);
+      send(from, Message{m.txn, UpdateCoorAck{pos, list_->watermark()}});
       return;
     }
     if (std::holds_alternative<GetTagArrReq>(m.payload)) {
       SNOW_CHECK_MSG(is_coordinator_, "get-tag-arr sent to non-coordinator");
+      list_->register_reader(from, m.txn);
       GetTagArrResp resp;
-      resp.tag = static_cast<Tag>(list_.size() - 1);  // Lemma-20 P2; see algo_b
+      resp.tag = list_->tag();  // Lemma-20 P2; see algo_b
+      resp.watermark = list_->watermark();
       resp.latest.resize(k_);
       for (std::size_t i = 0; i < k_; ++i) {
-        resp.latest[i] = list_[latest_entry_for(static_cast<ObjectId>(i))].first;
+        resp.latest[i] = list_->latest(static_cast<ObjectId>(i));
       }
       send(from, Message{m.txn, resp});
       return;
@@ -55,17 +73,11 @@ class CoorServer final : public Node {
   }
 
  private:
-  std::size_t latest_entry_for(ObjectId obj) const {
-    for (std::size_t j = list_.size(); j-- > 0;) {
-      if (list_[j].second[obj] != 0) return j;
-    }
-    SNOW_UNREACHABLE("List[0] covers every object");
-  }
-
   std::size_t k_;
   bool is_coordinator_;
+  bool gc_;
   std::map<ObjectId, VersionStore> stores_;  ///< per hosted object.
-  std::vector<std::pair<WriteKey, std::vector<std::uint8_t>>> list_;
+  std::optional<CoorList> list_;             ///< coordinator only.
 };
 
 }  // namespace snowkit

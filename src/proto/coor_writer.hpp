@@ -9,9 +9,12 @@
 // one WriteValAck per object either way.
 //
 // When `send_finalize` is set (snowkit's bounded-version extension for
-// Algorithm C) the writer additionally fire-and-forgets the assigned List
-// position to its servers so they can garbage-collect superseded versions;
-// this adds messages but no round.
+// Algorithms B and C) the writer additionally fire-and-forgets the assigned
+// List position to its servers — carrying the coordinator's read watermark
+// from the update-coor ack, which is how watermark advancement reaches the
+// version stores — and a finalize-coor notice back to the coordinator, which
+// is how the coordinator learns the WRITE completed (the base of the
+// watermark; see proto/version_store.hpp).  This adds messages but no round.
 #pragma once
 
 #include <optional>
@@ -59,9 +62,11 @@ class CoorWriter final : public Node, public WriteClientApi {
     if (const auto* ack = std::get_if<UpdateCoorAck>(&m.payload)) {
       SNOW_CHECK(pending_ && pending_->txn == m.txn);
       if (send_finalize_) {
+        send(coordinator_, Message{m.txn, FinalizeCoorReq{ack->tag}});
         for (const auto& [obj, value] : pending_->writes) {
           (void)value;
-          send(place_.server_node(obj), Message{m.txn, FinalizeReq{pending_->key, obj, ack->tag}});
+          send(place_.server_node(obj),
+               Message{m.txn, FinalizeReq{pending_->key, obj, ack->tag, ack->watermark}});
         }
       }
       rec_.finish_write(pending_->txn, ack->tag, /*rounds=*/2);

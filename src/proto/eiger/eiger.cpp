@@ -3,37 +3,69 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "common/assert.hpp"
 #include "core/registry.hpp"
+#include "metrics/gc_stats.hpp"
 
 namespace snowkit {
 namespace {
 
+/// Eiger's per-object version chains are pruned with the same read-floor
+/// idea as proto/version_store.hpp, server-locally: every first-round read
+/// records the commit timestamp it handed out as the sender's floor (its
+/// eventual read-at time is >= that floor, because the effective time is the
+/// max of the first round's valid_from values and this server contributed
+/// one of them), and a read-done notice clears it.  A version may go once a
+/// newer version exists at or below every active floor — so the chain stays
+/// at (active readers + 1) entries instead of growing with every write.
 class ServerE final : public Node {
  public:
   void on_message(NodeId from, const Message& m) override {
     if (const auto* w = std::get_if<EigerWriteReq>(&m.payload)) {
       bump(w->lamport);
       versions(w->obj).emplace_back(clock_, w->value);
+      GcCounters::global().on_insert();
+      prune(w->obj);
       send(from, Message{m.txn, EigerWriteAck{w->obj, clock_, clock_}});
       return;
     }
     if (const auto* r = std::get_if<EigerReadReq>(&m.payload)) {
       bump(r->lamport);
       const auto& [ts, value] = versions(r->obj).back();
+      ReaderFloors& rf = floors_[from];
+      if (rf.txn != m.txn) {
+        // A new READ from this sender implies its previous one completed
+        // even if the read-done notice was lost in reordering.
+        rf.txn = m.txn;
+        rf.by_obj.clear();
+      }
+      rf.by_obj[r->obj] = ts;
       send(from, Message{m.txn, EigerReadResp{r->obj, value, ts, clock_, clock_}});
       return;
     }
     if (const auto* r = std::get_if<EigerReadAtReq>(&m.payload)) {
       bump(r->lamport);
-      // Newest version with commit_ts <= at (the list is ts-ascending).
+      // Newest version with commit_ts <= at (the list is ts-ascending).  The
+      // sender's first-round floor pins that version: at >= floor, and
+      // everything at or above the floor is retained.
       const auto& vers = versions(r->obj);
       Value value = vers.front().second;
       for (const auto& [ts, v] : vers) {
         if (ts <= r->at) value = v;
       }
       send(from, Message{m.txn, EigerReadAtResp{r->obj, value, clock_}});
+      return;
+    }
+    if (const auto* rd = std::get_if<ReadDoneReq>(&m.payload)) {
+      auto it = floors_.find(from);
+      if (it == floors_.end() || it->second.txn > rd->txn) return;  // stale notice
+      floors_.erase(it);
+      for (const auto& [obj, vers] : versions_) {
+        (void)vers;
+        prune(obj);
+      }
       return;
     }
     SNOW_UNREACHABLE("eiger server got unexpected payload");
@@ -47,12 +79,39 @@ class ServerE final : public Node {
   /// it, which only tightens Eiger's validity intervals.
   std::vector<std::pair<std::uint64_t, Value>>& versions(ObjectId obj) {
     auto [it, inserted] = versions_.try_emplace(obj);
-    if (inserted) it->second.emplace_back(0, kInitialValue);
+    if (inserted) {
+      it->second.emplace_back(0, kInitialValue);
+      GcCounters::global().on_insert();
+    }
     return it->second;
   }
 
+  /// Drops every version older than the newest one at or below the minimum
+  /// active read floor for `obj` (all of them when no read is in flight).
+  void prune(ObjectId obj) {
+    auto& vers = versions(obj);
+    std::uint64_t floor = ~0ull;
+    for (const auto& [reader, rf] : floors_) {
+      auto it = rf.by_obj.find(obj);
+      if (it != rf.by_obj.end()) floor = std::min(floor, it->second);
+    }
+    std::size_t keep_from = 0;
+    for (std::size_t i = 0; i < vers.size(); ++i) {
+      if (vers[i].first <= floor) keep_from = i;
+    }
+    if (keep_from == 0) return;
+    vers.erase(vers.begin(), vers.begin() + static_cast<std::ptrdiff_t>(keep_from));
+    GcCounters::global().on_prune(keep_from);
+  }
+
+  struct ReaderFloors {
+    TxnId txn{kInvalidTxn};
+    std::map<ObjectId, std::uint64_t> by_obj;  ///< first-round ts handed out.
+  };
+
   std::uint64_t clock_ = 0;
   std::map<ObjectId, std::vector<std::pair<std::uint64_t, Value>>> versions_;
+  std::map<NodeId, ReaderFloors> floors_;
 };
 
 class ReaderE final : public Node, public ReadClientApi {
@@ -126,6 +185,10 @@ class ReaderE final : public Node, public ReadClientApi {
   }
 
   void complete(int rounds) {
+    // Unpin this read's floors (fire-and-forget, one notice per server read).
+    std::set<NodeId> servers;
+    for (ObjectId obj : pending_->objs) servers.insert(place_.server_node(obj));
+    for (NodeId s : servers) send(s, Message{kInvalidTxn, ReadDoneReq{pending_->txn}});
     ReadResult result;
     result.txn = pending_->txn;
     for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->second.at(obj));

@@ -45,7 +45,10 @@ class ReaderO final : public Node, public ReadClientApi {
       // superseded round carry a stale key and are dropped.
       auto it = pending_->guesses.find(rv->obj);
       if (it == pending_->guesses.end() || !(it->second == rv->key)) return;
-      pending_->got[rv->obj] = rv->value;
+      // found == false means the speculative key was garbage-collected under
+      // us — record the miss; it fails validation below and retries with the
+      // tag array's (watermark-protected) keys.
+      pending_->got[rv->obj] = rv->found ? std::optional<Value>(rv->value) : std::nullopt;
       maybe_finish_round();
       return;
     }
@@ -58,8 +61,9 @@ class ReaderO final : public Node, public ReadClientApi {
     std::vector<ObjectId> objs;
     ReadCallback cb;
     std::map<ObjectId, WriteKey> guesses;
-    std::map<ObjectId, Value> got;
+    std::map<ObjectId, std::optional<Value>> got;
     std::optional<GetTagArrResp> tag_arr;
+    Tag watermark{0};  ///< newest coordinator watermark seen (read-val piggyback).
     int rounds{0};
     bool pessimistic{false};
     Tag pessimistic_tag{0};
@@ -74,28 +78,37 @@ class ReaderO final : public Node, public ReadClientApi {
     for (ObjectId obj : pending_->objs) req.want[obj] = 1;
     send(coordinator_, Message{pending_->txn, req});
     for (const auto& [obj, key] : pending_->guesses) {
-      send(place_.server_node(obj), Message{pending_->txn, ReadValReq{obj, key}});
+      send(place_.server_node(obj),
+           Message{pending_->txn, ReadValReq{obj, key, pending_->watermark}});
     }
   }
 
   void maybe_finish_round() {
     if (pending_->got.size() != pending_->objs.size()) return;
 
+    bool missed = false;
+    for (const auto& [obj, v] : pending_->got) {
+      (void)obj;
+      if (!v.has_value()) missed = true;
+    }
+
     if (pending_->pessimistic) {
       // Algorithm-B style second phase: the fetched keys were taken from a
-      // tag array, so they form the cut at that array's tag unconditionally.
+      // tag array while this READ was registered, so they are
+      // watermark-protected and form the cut at that array's tag
+      // unconditionally.
+      SNOW_CHECK_MSG(!missed, "occ pessimistic round requested a GC'd key");
       complete(pending_->pessimistic_tag);
       return;
     }
 
     if (!pending_->tag_arr) return;
     const GetTagArrResp& ta = *pending_->tag_arr;
-    bool validated = true;
+    pending_->watermark = std::max(pending_->watermark, ta.watermark);
+    bool validated = !missed;
     for (ObjectId obj : pending_->objs) {
-      if (!(ta.latest[obj] == pending_->guesses.at(obj))) {
-        validated = false;
-        break;
-      }
+      if (!validated) break;
+      if (!(ta.latest[obj] == pending_->guesses.at(obj))) validated = false;
     }
     if (validated) {
       // The values just fetched are still the newest per object as of the
@@ -114,7 +127,8 @@ class ReaderO final : public Node, public ReadClientApi {
       ++pending_->rounds;
       pending_->got.clear();
       for (const auto& [obj, key] : pending_->guesses) {
-        send(place_.server_node(obj), Message{pending_->txn, ReadValReq{obj, key}});
+        send(place_.server_node(obj),
+             Message{pending_->txn, ReadValReq{obj, key, pending_->watermark}});
       }
       return;
     }
@@ -122,9 +136,13 @@ class ReaderO final : public Node, public ReadClientApi {
   }
 
   void complete(Tag tag) {
+    // Deregister from watermark accounting (fire-and-forget, sender-keyed).
+    send(coordinator_, Message{kInvalidTxn, ReadDoneReq{pending_->txn}});
     ReadResult result;
     result.txn = pending_->txn;
-    for (ObjectId obj : pending_->objs) result.values.emplace_back(obj, pending_->got.at(obj));
+    for (ObjectId obj : pending_->objs) {
+      result.values.emplace_back(obj, *pending_->got.at(obj));
+    }
     rec_.finish_read(pending_->txn, result.values, tag, pending_->rounds, /*max_versions=*/1);
     auto cb = std::move(pending_->cb);
     pending_.reset();
@@ -167,11 +185,13 @@ const ProtocolRegistration kRegisterOcc{
         .snow_o = false,  // one version but unbounded rounds
         .snow_w = true,
         .mwmr = true,
+        .version_bound = "1",
     },
     [](Runtime& rt, HistoryRecorder& rec, const SystemConfig& cfg, const BuildOptions& opts) {
       OccOptions o;
       o.coordinator = static_cast<std::size_t>(opts.get_int("coordinator", 0));
       o.max_optimistic_rounds = static_cast<int>(opts.get_int("max_optimistic_rounds", 0));
+      o.gc_versions = opts.get_bool("gc_versions", false);
       return build_occ(rt, rec, cfg, o);
     }};
 
@@ -188,8 +208,8 @@ std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec,
   }
   rec.attach_runtime(&rt);
   for (std::size_t i = 0; i < place.num_servers(); ++i) {
-    const NodeId id =
-        rt.add_node(std::make_unique<CoorServer>(cfg.num_objects, i == opts.coordinator));
+    const NodeId id = rt.add_node(std::make_unique<CoorServer>(
+        cfg.num_objects, i == opts.coordinator, opts.gc_versions));
     SNOW_CHECK(id == i);
   }
   const NodeId coor = static_cast<NodeId>(opts.coordinator);
@@ -201,7 +221,8 @@ std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec,
   }
   std::vector<CoorWriter*> writers;
   for (std::size_t i = 0; i < cfg.num_writers; ++i) {
-    auto node = std::make_unique<CoorWriter>(rec, place, coor, /*send_finalize=*/false);
+    auto node = std::make_unique<CoorWriter>(rec, place, coor,
+                                             /*send_finalize=*/opts.gc_versions);
     writers.push_back(node.get());
     rt.add_node(std::move(node));
   }

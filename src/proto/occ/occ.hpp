@@ -35,6 +35,11 @@ struct OccOptions {
   /// 0 = retry forever (the literal (∞,1) cell).  n > 0 = after n failed
   /// optimistic rounds, run one pessimistic Algorithm-B round (bounded).
   int max_optimistic_rounds{0};
+  /// Watermark version GC (opt-in here, unlike algorithms B/C): bounds Vals,
+  /// at the price that a speculative key may have been pruned — the server
+  /// answers found == false and the reader takes its validation-failed
+  /// retry, so cold-start reads can cost an extra round.
+  bool gc_versions{false};
 };
 
 std::unique_ptr<ProtocolSystem> build_occ(Runtime& rt, HistoryRecorder& rec,

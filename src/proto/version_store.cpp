@@ -1,0 +1,166 @@
+#include "proto/version_store.hpp"
+
+#include <algorithm>
+
+#include "metrics/gc_stats.hpp"
+
+namespace snowkit {
+
+// --- VersionStore ------------------------------------------------------------
+
+VersionStore::VersionStore(Value initial) {
+  vals_.emplace(kInitialKey, Slot{initial, 0});
+  by_pos_.emplace(0, kInitialKey);
+  GcCounters::global().on_insert();
+}
+
+VersionStore::~VersionStore() {
+  GcCounters::global().on_release(vals_.size());
+}
+
+void VersionStore::insert(const WriteKey& key, Value value) {
+  auto [it, inserted] = vals_.try_emplace(key, Slot{value, kInvalidTag});
+  if (!inserted) {
+    it->second.value = value;
+    return;
+  }
+  GcCounters::global().on_insert();
+}
+
+void VersionStore::finalize(const WriteKey& key, Tag position) {
+  auto it = vals_.find(key);
+  SNOW_CHECK_MSG(it != vals_.end(), "finalize for absent version " << to_string(key));
+  if (it->second.position != kInvalidTag) return;  // duplicate notice
+  it->second.position = position;
+  const auto [pit, fresh] = by_pos_.emplace(position, key);
+  SNOW_CHECK_MSG(fresh || pit->second == key,
+                 "List position " << position << " finalized twice with different keys");
+  prune_();
+}
+
+void VersionStore::advance_watermark(Tag w) {
+  if (w <= watermark_) return;  // monotone
+  watermark_ = w;
+  GcCounters::global().on_watermark(w);
+  prune_();
+}
+
+void VersionStore::prune_() {
+  // The anchor is the newest finalized version at or below the watermark;
+  // position 0 (the initial version) is always finalized, so it exists.
+  auto anchor = by_pos_.upper_bound(watermark_);
+  SNOW_CHECK_MSG(anchor != by_pos_.begin(), "no finalized version at or below watermark");
+  --anchor;
+  std::uint64_t dropped = 0;
+  for (auto it = by_pos_.begin(); it != anchor;) {
+    vals_.erase(it->second);
+    it = by_pos_.erase(it);
+    ++dropped;
+  }
+  if (dropped != 0) {
+    pruned_ += dropped;
+    GcCounters::global().on_prune(dropped);
+  }
+}
+
+std::vector<Version> VersionStore::all() const {
+  std::vector<Version> out;
+  out.reserve(vals_.size());
+  for (const auto& [k, slot] : vals_) out.push_back(Version{k, slot.value});
+  return out;
+}
+
+bool VersionStore::erase(const WriteKey& key) {
+  auto it = vals_.find(key);
+  if (it == vals_.end()) return false;
+  if (it->second.position != kInvalidTag) by_pos_.erase(it->second.position);
+  vals_.erase(it);
+  GcCounters::global().on_release(1);
+  return true;
+}
+
+// --- CoorList ----------------------------------------------------------------
+
+CoorList::CoorList(std::size_t num_objects) : k_(num_objects) {
+  history_.resize(k_);
+  latest_.assign(k_, kInitialKey);
+  for (auto& h : history_) h.push_back(ListedKey{0, kInitialKey});
+}
+
+Tag CoorList::push(const WriteKey& key, const std::vector<std::uint8_t>& mask) {
+  SNOW_CHECK(mask.size() == k_);
+  const Tag pos = count_++;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (mask[i] == 0) continue;
+    history_[i].push_back(ListedKey{pos, key});
+    latest_[i] = key;
+  }
+  return pos;
+}
+
+void CoorList::finalize(Tag position) {
+  if (position <= max_finalized_) return;
+  max_finalized_ = position;
+  advance_();
+}
+
+Tag CoorList::register_reader(NodeId reader, TxnId txn) {
+  const Tag floor = max_finalized_;
+  floors_[reader] = ReaderSlot{txn, floor};
+  return floor;
+}
+
+void CoorList::reader_done(NodeId reader, TxnId txn) {
+  auto it = floors_.find(reader);
+  if (it == floors_.end() || it->second.txn > txn) return;  // stale notice
+  floors_.erase(it);
+  advance_();
+}
+
+void CoorList::advance_() {
+  Tag w = max_finalized_;
+  for (const auto& [reader, slot] : floors_) w = std::min(w, slot.floor);
+  if (w <= watermark_) return;
+  watermark_ = w;
+  GcCounters::global().on_watermark(w);
+  for (auto& h : history_) {
+    // Keep the newest entry at or below w (the anchor) plus everything above.
+    while (h.size() >= 2 && h[1].position <= w) h.pop_front();
+  }
+}
+
+std::vector<ListedKey> CoorList::history_vec(ObjectId obj) const {
+  const auto& h = history_.at(obj);
+  return std::vector<ListedKey>(h.begin(), h.end());
+}
+
+std::size_t CoorList::entries() const {
+  std::size_t n = 0;
+  for (const auto& h : history_) n += h.size();
+  return n;
+}
+
+bool handle_gc_notice(NodeId from, const Message& m, bool gc, bool is_coordinator,
+                      std::map<ObjectId, VersionStore>& stores, std::optional<CoorList>& list) {
+  if (const auto* fin = std::get_if<FinalizeReq>(&m.payload)) {
+    if (gc) {
+      VersionStore& vals = stores[fin->obj];
+      vals.finalize(fin->key, fin->position);
+      vals.advance_watermark(fin->watermark);
+    }
+    return true;
+  }
+  if (const auto* fc = std::get_if<FinalizeCoorReq>(&m.payload)) {
+    SNOW_CHECK_MSG(is_coordinator, "finalize-coor sent to non-coordinator");
+    if (gc) list->finalize(fc->position);
+    return true;
+  }
+  if (const auto* rd = std::get_if<ReadDoneReq>(&m.payload)) {
+    SNOW_CHECK_MSG(is_coordinator, "read-done sent to non-coordinator");
+    list->reader_done(from, rd->txn);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace snowkit

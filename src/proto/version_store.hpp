@@ -1,52 +1,192 @@
-// Per-server multi-version storage: the `Vals ⊆ K × V_i` set of the paper's
-// pseudocode.  Every server keeps all versions it has accepted, keyed by the
-// WRITE-transaction key kappa; the initial version (kappa_0, v0) is present
-// from the start (§5.2 state variables).
+// Shared multi-version storage with read-watermark garbage collection.
+//
+// Two pieces, shared by algorithms B/C, the occ reader's CoorServer and (in
+// spirit) eiger's version chains:
+//
+//  * VersionStore — one per-object version chain: the `Vals ⊆ K × V_i` set of
+//    the paper's pseudocode (§5.2), extended with finalization metadata and a
+//    watermark.  The initial version (kappa_0, v0) is present from the start
+//    and finalized at List position 0.
+//
+//  * CoorList — the coordinator's List of (kappa, b_1..b_k) WRITE masks
+//    (Pseudocode 6), kept as incrementally-maintained per-object key
+//    histories plus the read-watermark bookkeeping: the max finalized
+//    position and the floors of in-flight READs.
+//
+// The watermark rule.  Let G be the newest List position whose WRITE has
+// completed (the coordinator learns completion from finalize-coor notices).
+// Every READ is registered at the coordinator when its get-tag-arr is served,
+// with floor = G at that instant; it deregisters with a read-done notice.
+// The read watermark is
+//
+//     W = min(G, min over in-flight READs of their floor).
+//
+// A store that has advanced its watermark to W retains, per object, the
+// newest finalized version at position <= W (the anchor), every finalized
+// version above W, and every unfinalized version; everything else is pruned.
+// This is safe because no in-flight or future READ can legally be served a
+// version below the anchor:
+//
+//  * a READ registered with floor f never needs a version older than the
+//    newest listed position <= f per object (its feasibility descent bottoms
+//    out at cuts >= the anchor; positions <= f had their write-vals processed
+//    before listing), and
+//  * every watermark ever disseminated satisfies W <= f for every READ that
+//    is in flight at prune time or starts later, because G is monotone and a
+//    new READ's floor is the G of a later instant.
+//
+// Watermarks travel on existing messages only: update-coor acks carry W to
+// writers, writers forward it on their finalize fan-out, tag arrays carry it
+// to readers, and readers piggyback it on read-val — advancement costs no
+// extra round anywhere.  tests/version_store_gc_property_test.cpp checks the
+// retention invariant, watermark monotonicity and the bounded-chain-length
+// consequence against a keep-everything reference model.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "msg/message.hpp"
 #include "msg/payloads.hpp"
 
 namespace snowkit {
 
+/// One object's version chain with watermark GC.  Deterministic: iteration
+/// is in WriteKey order everywhere, so identical op sequences produce
+/// byte-identical wire responses.
 class VersionStore {
  public:
-  explicit VersionStore(Value initial = kInitialValue) { vals_[kInitialKey] = initial; }
+  explicit VersionStore(Value initial = kInitialValue);
+  ~VersionStore();
 
-  void insert(const WriteKey& key, Value value) { vals_[key] = value; }
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Adds an (unfinalized) version.  Overwriting the same key is allowed and
+  /// keeps its finalization state.
+  void insert(const WriteKey& key, Value value);
+
+  /// Marks `key` as the WRITE listed at `position` and prunes any finalized
+  /// versions it supersedes at or below the current watermark.  The version
+  /// must be present (write-val precedes update-coor, which precedes any
+  /// finalize — a miss is a protocol bug).
+  void finalize(const WriteKey& key, Tag position);
+
+  /// Raises the watermark (lower values are ignored — watermarks are
+  /// monotone) and prunes finalized versions strictly below the new anchor.
+  void advance_watermark(Tag w);
 
   bool has(const WriteKey& key) const { return vals_.count(key) != 0; }
 
   Value get(const WriteKey& key) const {
     auto it = vals_.find(key);
     SNOW_CHECK_MSG(it != vals_.end(), "version " << to_string(key) << " not in Vals");
-    return it->second;
+    return it->second.value;
   }
 
   std::optional<Value> try_get(const WriteKey& key) const {
     auto it = vals_.find(key);
     if (it == vals_.end()) return std::nullopt;
-    return it->second;
+    return it->second.value;
   }
 
-  std::vector<Version> all() const {
-    std::vector<Version> out;
-    out.reserve(vals_.size());
-    for (const auto& [k, v] : vals_) out.push_back(Version{k, v});
-    return out;
-  }
+  /// The live chain in key order: exactly what a bounded read-vals response
+  /// carries.  With the watermark flowing this is at most (unfinalized
+  /// versions, i.e. concurrent WRITEs) + (finalized above the watermark) + 1.
+  std::vector<Version> all() const;
 
-  bool erase(const WriteKey& key) { return vals_.erase(key) != 0; }
+  bool erase(const WriteKey& key);
 
   std::size_t size() const { return vals_.size(); }
+  Tag watermark() const { return watermark_; }
+  /// Versions this chain has retired (local counter, for tests/metrics).
+  std::uint64_t pruned() const { return pruned_; }
 
  private:
-  std::map<WriteKey, Value> vals_;
+  struct Slot {
+    Value value{kInitialValue};
+    Tag position{kInvalidTag};  ///< List position once finalized.
+  };
+
+  void prune_();
+
+  std::map<WriteKey, Slot> vals_;
+  std::map<Tag, WriteKey> by_pos_;  ///< finalized versions by List position.
+  Tag watermark_{0};
+  std::uint64_t pruned_{0};
 };
+
+/// The coordinator's List with incremental per-object indexes and the read
+/// watermark.  Replaces the O(list) scans of the original servers: latest()
+/// and history() are O(1)/O(live entries), and entries below the watermark
+/// are dropped (each object keeps its anchor), which bounds both coordinator
+/// memory and the tag-array history payload.
+class CoorList {
+ public:
+  explicit CoorList(std::size_t num_objects);
+
+  /// Appends a List entry; returns its position.  `mask` is the b_1..b_k
+  /// write mask.
+  Tag push(const WriteKey& key, const std::vector<std::uint8_t>& mask);
+
+  /// Newest position handed out (Lemma-20 P2's t_r).
+  Tag tag() const { return count_ - 1; }
+
+  /// Marks the WRITE at `position` complete; may advance the watermark.
+  void finalize(Tag position);
+
+  /// Registers/deregisters the in-flight READ of `reader` for watermark
+  /// accounting.  Keyed by sender and guarded by the READ's txn id (monotone
+  /// per client): re-registration overwrites (retries), and a reordered
+  /// stale done-notice — one whose txn is older than the registered READ —
+  /// is ignored, so it can never unpin a newer READ.
+  Tag register_reader(NodeId reader, TxnId txn);
+  void reader_done(NodeId reader, TxnId txn);
+
+  Tag watermark() const { return watermark_; }
+
+  /// Newest key listed for `obj`.
+  const WriteKey& latest(ObjectId obj) const { return latest_.at(obj); }
+
+  /// The live (position-ascending) key history for `obj`: its anchor — the
+  /// newest entry at or below the watermark — plus every entry above it.
+  const std::deque<ListedKey>& history(ObjectId obj) const { return history_.at(obj); }
+
+  /// history() materialized for a wire payload.
+  std::vector<ListedKey> history_vec(ObjectId obj) const;
+
+  /// Live history entries across all objects (occupancy metric).
+  std::size_t entries() const;
+
+ private:
+  void advance_();
+
+  std::size_t k_;
+  Tag count_{1};         ///< List length including the initial entry.
+  Tag max_finalized_{0};
+  Tag watermark_{0};
+  std::vector<std::deque<ListedKey>> history_;
+  std::vector<WriteKey> latest_;
+
+  struct ReaderSlot {
+    TxnId txn{kInvalidTxn};
+    Tag floor{0};
+  };
+  std::map<NodeId, ReaderSlot> floors_;  ///< in-flight READ floors by reader node.
+};
+
+/// Consumes the watermark-GC notices every CoorList-based server handles
+/// identically — finalize (store finalize + watermark advance), finalize-coor
+/// (coordinator G bump) and read-done (floor deregistration).  Returns true
+/// when `m` was one of them, false for the caller to dispatch further.  With
+/// `gc` off the finalize notices are ignored (keep-everything mode) but
+/// read-done is still consumed, so GC on/off stays message-compatible.
+bool handle_gc_notice(NodeId from, const Message& m, bool gc, bool is_coordinator,
+                      std::map<ObjectId, VersionStore>& stores, std::optional<CoorList>& list);
 
 }  // namespace snowkit

@@ -21,9 +21,10 @@ bool rbool(Xoshiro256& rng) { return (rng.next() & 1) != 0; }
 
 WriteKey rkey(Xoshiro256& rng) { return WriteKey{ru64(rng), ru32(rng)}; }
 
+// Interest masks are 0/1 by contract (the codec bit-packs them).
 std::vector<std::uint8_t> rmask(Xoshiro256& rng) {
   std::vector<std::uint8_t> mask(rng.below(20));
-  for (auto& b : mask) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& b : mask) b = static_cast<std::uint8_t>(rng.below(2));
   return mask;
 }
 
@@ -68,23 +69,31 @@ InfoReaderAck make_random(Xoshiro256& rng) { return {ru64(rng)}; }
 template <>
 UpdateCoorReq make_random(Xoshiro256& rng) { return {rkey(rng), rmask(rng)}; }
 template <>
-UpdateCoorAck make_random(Xoshiro256& rng) { return {ru64(rng)}; }
+UpdateCoorAck make_random(Xoshiro256& rng) { return {ru64(rng), ru64(rng)}; }
 template <>
 GetTagArrReq make_random(Xoshiro256& rng) { return {rmask(rng)}; }
 template <>
 GetTagArrResp make_random(Xoshiro256& rng) {
-  return {ru64(rng), rkeys(rng), rhistory(rng)};
+  return {ru64(rng), ru64(rng), rkeys(rng), rhistory(rng)};
 }
 template <>
-ReadValReq make_random(Xoshiro256& rng) { return {ru32(rng), rkey(rng)}; }
+ReadValReq make_random(Xoshiro256& rng) { return {ru32(rng), rkey(rng), ru64(rng)}; }
 template <>
-ReadValResp make_random(Xoshiro256& rng) { return {ru32(rng), rkey(rng), ri64(rng)}; }
+ReadValResp make_random(Xoshiro256& rng) {
+  return {ru32(rng), rkey(rng), ri64(rng), rbool(rng)};
+}
 template <>
 ReadValsReq make_random(Xoshiro256& rng) { return {ru32(rng)}; }
 template <>
 ReadValsResp make_random(Xoshiro256& rng) { return {ru32(rng), rversions(rng)}; }
 template <>
-FinalizeReq make_random(Xoshiro256& rng) { return {rkey(rng), ru32(rng), ru64(rng)}; }
+FinalizeReq make_random(Xoshiro256& rng) {
+  return {rkey(rng), ru32(rng), ru64(rng), ru64(rng)};
+}
+template <>
+FinalizeCoorReq make_random(Xoshiro256& rng) { return {ru64(rng)}; }
+template <>
+ReadDoneReq make_random(Xoshiro256& rng) { return {ru64(rng)}; }
 template <>
 EigerWriteReq make_random(Xoshiro256& rng) { return {ru32(rng), ri64(rng), ru64(rng)}; }
 template <>
@@ -160,7 +169,7 @@ TEST(CodecRoundtripProperty, ReusedBufferShrinksAndGrowsCorrectly) {
   // A big message followed by a small one into the same buffer must not leave
   // stale trailing bytes (BufWriter clears, keeps capacity).
   Xoshiro256 rng(7);
-  GetTagArrResp big{1, rkeys(rng), rhistory(rng)};
+  GetTagArrResp big{1, 0, rkeys(rng), rhistory(rng)};
   while (big.latest.size() < 4) big.latest.push_back(rkey(rng));
   Message big_msg{9, big};
   Message small_msg{10, SimpleReadReq{3}};

@@ -8,6 +8,8 @@
 // wall-clock read), this test names it.
 #include <gtest/gtest.h>
 
+#include "checker/tag_order.hpp"
+#include "core/run_workload.hpp"
 #include "core/system.hpp"
 #include "fuzz/fuzz_case.hpp"
 #include "sim/trace.hpp"
@@ -78,6 +80,72 @@ TEST(FuzzDeterminism, TraceCodecRoundTrips) {
   ASSERT_EQ(decoded.size(), run.trace.size());
   EXPECT_EQ(encode_trace(decoded), bytes);
   EXPECT_EQ(decoded.to_text(), run.trace.to_text());
+}
+
+// --- GC on vs off (the watermark version store must not perturb replay) -----
+
+/// Where no pruning-visible difference exists — a read-only program sends no
+/// finalize traffic in either mode — the GC'd store must be BYTE-IDENTICAL
+/// to keep-everything: same messages, same trace, same fingerprint.
+TEST(FuzzDeterminism, GcOnOffByteIdenticalWhenNoPruningIsVisible) {
+  for (const std::string kind : {"algo-b", "algo-c"}) {
+    std::vector<std::uint8_t> traces[2];
+    for (const bool gc : {false, true}) {
+      SimRuntime sim(make_uniform_delay(10, 9'000, /*seed=*/5));
+      HistoryRecorder rec(3);
+      BuildOptions opts;
+      opts.set("gc_versions", gc);
+      auto sys = build_protocol(kind, sim, rec, Topology{3, 2, 1}, opts);
+      WorkloadSpec spec;
+      spec.ops_per_reader = 12;
+      spec.ops_per_writer = 0;  // read-only: no finalize traffic either way
+      spec.read_span = 2;
+      spec.seed = 5;
+      ClosedLoopDriver driver(sim, *sys, spec);
+      driver.start();
+      sim.run_until_idle();
+      traces[gc ? 1 : 0] = encode_trace(sim.trace());
+    }
+    EXPECT_EQ(traces[0], traces[1])
+        << kind << ": GC mode diverged on a pruning-invisible (read-only) program";
+  }
+}
+
+/// With writes in play the finalize fan-out makes the traces differ, but the
+/// client-visible outcome must not: both modes stay strictly serializable
+/// and agree on the quiescent state (single writer => a unique final value
+/// per object).
+TEST(FuzzDeterminism, GcOnOffAgreeOnQuiescentStateAndSafety) {
+  for (const std::string kind : {"algo-b", "algo-c"}) {
+    for (std::uint64_t seed : {3ull, 11ull}) {
+      std::vector<std::pair<ObjectId, Value>> finals[2];
+      for (const bool gc : {false, true}) {
+        SimRuntime sim(make_uniform_delay(10, 9'000, seed));
+        HistoryRecorder rec(3);
+        BuildOptions opts;
+        opts.set("gc_versions", gc);
+        auto sys = build_protocol(kind, sim, rec, Topology{3, 2, 1}, opts);
+        WorkloadSpec spec;
+        spec.ops_per_reader = 15;
+        spec.ops_per_writer = 15;
+        spec.read_span = 2;
+        spec.write_span = 2;
+        spec.seed = seed;
+        ClosedLoopDriver driver(sim, *sys, spec);
+        driver.start();
+        sim.run_until_idle();
+        ReadResult result;
+        invoke_read(sim, sys->reader(0), {0, 1, 2}, [&](const ReadResult& r) { result = r; });
+        sim.run_until_idle();
+        finals[gc ? 1 : 0] = result.values;
+        auto verdict = check_tag_order(rec.snapshot());
+        EXPECT_TRUE(verdict.ok) << kind << " seed " << seed << " gc=" << gc << ": "
+                                << verdict.explanation;
+      }
+      EXPECT_EQ(finals[0], finals[1]) << kind << " seed " << seed
+                                      << ": GC changed the quiescent state";
+    }
+  }
 }
 
 TEST(FuzzDeterminism, ScheduleLogCodecRoundTrips) {
