@@ -72,6 +72,12 @@ WorkloadDriver::WorkloadDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec sp
   }
   arrivals_left_ = opts_.mode == ArrivalMode::kOpenLoop ? total_ops_ : 0;
   remaining_ops_.store(total_ops_, std::memory_order_relaxed);
+  // Open-loop arrivals chain on one owned node's executor (see
+  // schedule_arrival).  Node 0 on single-process runtimes; the first
+  // locally-owned node (a client) when driving a remote NetRuntime fleet.
+  while (timer_node_ < rt_.node_count() && !rt_.owns_node(timer_node_)) ++timer_node_;
+  SNOW_CHECK_MSG(timer_node_ < rt_.node_count(),
+                 "WorkloadDriver: the runtime owns no local node to anchor timers on");
 }
 
 void WorkloadDriver::start() {
@@ -161,9 +167,12 @@ void WorkloadDriver::issue_mixed_chain(std::size_t client, std::size_t remaining
 }
 
 void WorkloadDriver::schedule_arrival() {
-  // The timer chain runs on node 0's executor (a server always exists), so
-  // arrival state needs no locking: one arrival fires at a time.
-  rt_.post_after(0, opts_.arrival_interval_ns, [this] {
+  // The timer chain runs on one locally-owned node's executor, so arrival
+  // state needs no locking: one arrival fires at a time.  On single-process
+  // runtimes that anchor is node 0 (a server always exists); on NetRuntime
+  // the client process owns no servers, so the anchor is its first client
+  // node — which is how the open-loop driver paces a REMOTE fleet unchanged.
+  rt_.post_after(timer_node_, opts_.arrival_interval_ns, [this] {
     SNOW_CHECK(arrivals_left_ > 0);
     --arrivals_left_;
     const std::size_t client = next_client_;

@@ -98,6 +98,7 @@ class WorkloadDriver {
   Xoshiro256 coin_;
   std::vector<Xoshiro256> client_coins_;
   std::size_t total_ops_{0};
+  NodeId timer_node_{0};          ///< open-loop anchor: first locally-owned node.
   std::size_t arrivals_left_{0};  ///< open loop; touched only on the timer chain.
   std::size_t next_client_{0};    ///< open loop round-robin; timer chain only.
   std::atomic<std::size_t> remaining_ops_{0};

@@ -320,6 +320,31 @@ Payload decode_alternative(std::size_t index, BufReader& r) {
 
 static_assert(std::variant_size_v<Payload> <= 256, "payload index must fit one byte");
 
+// snowkit-wire-v1 FREEZE (docs/WIRE.md): the payload tag is the variant
+// index, and both the TCP transport and the checked-in fuzz trace files
+// depend on these numbers.  APPEND new payloads to the variant; reordering
+// or inserting breaks every stored trace and any mixed-version fleet, so it
+// requires a wire-version bump.  These asserts pin the frozen assignment.
+template <typename T>
+constexpr std::size_t payload_tag = Payload{T{}}.index();
+static_assert(payload_tag<WriteValReq> == 0 && payload_tag<WriteValAck> == 1 &&
+              payload_tag<InfoReaderReq> == 2 && payload_tag<InfoReaderAck> == 3 &&
+              payload_tag<UpdateCoorReq> == 4 && payload_tag<UpdateCoorAck> == 5 &&
+              payload_tag<GetTagArrReq> == 6 && payload_tag<GetTagArrResp> == 7 &&
+              payload_tag<ReadValReq> == 8 && payload_tag<ReadValResp> == 9 &&
+              payload_tag<ReadValsReq> == 10 && payload_tag<ReadValsResp> == 11 &&
+              payload_tag<FinalizeReq> == 12 && payload_tag<EigerWriteReq> == 13 &&
+              payload_tag<EigerWriteAck> == 14 && payload_tag<EigerReadReq> == 15 &&
+              payload_tag<EigerReadResp> == 16 && payload_tag<EigerReadAtReq> == 17 &&
+              payload_tag<EigerReadAtResp> == 18 && payload_tag<LockReq> == 19 &&
+              payload_tag<LockGrant> == 20 && payload_tag<WriteUnlockReq> == 21 &&
+              payload_tag<UnlockReq> == 22 && payload_tag<UnlockAck> == 23 &&
+              payload_tag<SimpleReadReq> == 24 && payload_tag<SimpleReadResp> == 25 &&
+              payload_tag<SimpleWriteReq> == 26 && payload_tag<SimpleWriteAck> == 27 &&
+              payload_tag<FinalizeCoorReq> == 28 && payload_tag<ReadDoneReq> == 29,
+              "snowkit-wire-v1 payload tags are frozen (docs/WIRE.md): append new payloads, "
+              "never reorder; a reorder requires a wire-version bump");
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_message(const Message& m) {

@@ -1,0 +1,193 @@
+#include "runtime/fleet.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snowkit {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t lineno, const std::string& why) {
+  throw std::invalid_argument("fleet config line " + std::to_string(lineno) + ": " + why);
+}
+
+}  // namespace
+
+std::size_t FleetConfig::owner_of(NodeId node) const {
+  const std::size_t shards = system.server_count();
+  const std::size_t sprocs = server_processes();
+  if (node < shards) {
+    // Contiguous split, same arithmetic as PlacementKind::kRange: shard s of
+    // S goes to server process s*P/S.
+    return static_cast<std::size_t>(node) * sprocs / shards;
+  }
+  return client_index();
+}
+
+NetOptions FleetConfig::net_options(std::size_t index) const {
+  validate();
+  if (index >= processes.size()) {
+    throw std::invalid_argument("fleet process index " + std::to_string(index) +
+                                " out of range (fleet has " + std::to_string(processes.size()) +
+                                " processes)");
+  }
+  NetOptions opts;
+  opts.index = index;
+  opts.peers = processes;
+  // Capture a copy: the owner map must outlive this FleetConfig, and it must
+  // be THE owner_of rule (one implementation), since every fleet process
+  // derives its routing from it.
+  opts.owner = [cfg = *this](NodeId node) { return cfg.owner_of(node); };
+  return opts;
+}
+
+void FleetConfig::validate() const {
+  if (protocol.empty()) {
+    throw std::invalid_argument("fleet config: a protocol name is required");
+  }
+  if (!ProtocolRegistry::global().contains(protocol)) {
+    std::string msg = "fleet config: unknown protocol '" + protocol + "'; registered:";
+    for (const auto& n : ProtocolRegistry::global().names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  if (processes.size() < 2) {
+    throw std::invalid_argument("fleet config: at least one server process and the client "
+                                "process are required");
+  }
+  system.validate();
+  if (server_processes() > system.server_count()) {
+    throw std::invalid_argument(
+        "fleet config: " + std::to_string(server_processes()) + " server processes but only " +
+        std::to_string(system.server_count()) +
+        " shards — every server process must host at least one shard");
+  }
+}
+
+FleetConfig parse_fleet_text(const std::string& text) {
+  FleetConfig fleet;
+  std::vector<NetPeerAddr> servers;
+  std::vector<NetPeerAddr> clients;
+  bool saw_client = false;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+
+    auto need_value = [&](const char* what) -> std::string {
+      std::string v;
+      if (!(ls >> v)) bad_line(lineno, std::string("'") + key + "' needs " + what);
+      return v;
+    };
+    auto need_size = [&]() -> std::size_t {
+      const std::string v = need_value("a non-negative integer");
+      // std::stoull accepts "-1" by wrapping; reject any non-digit up front.
+      const bool digits = !v.empty() && v.find_first_not_of("0123456789") == std::string::npos;
+      if (!digits) bad_line(lineno, "'" + key + "' value '" + v + "' is not a non-negative integer");
+      try {
+        return static_cast<std::size_t>(std::stoull(v));
+      } catch (const std::exception&) {
+        bad_line(lineno, "'" + key + "' value '" + v + "' is out of range");
+      }
+    };
+    auto need_addr = [&]() -> NetPeerAddr {
+      NetPeerAddr addr;
+      addr.host = need_value("HOST PORT");
+      const std::string port = need_value("a port number");
+      try {
+        const unsigned long p = std::stoul(port);
+        if (p == 0 || p > 65535) throw std::out_of_range("port");
+        addr.port = static_cast<std::uint16_t>(p);
+      } catch (const std::exception&) {
+        bad_line(lineno, "port '" + port + "' is not in [1, 65535]");
+      }
+      return addr;
+    };
+
+    if (key == "protocol") {
+      fleet.protocol = need_value("a protocol name");
+    } else if (key == "objects") {
+      fleet.system.num_objects = need_size();
+    } else if (key == "readers") {
+      fleet.system.num_readers = need_size();
+    } else if (key == "writers") {
+      fleet.system.num_writers = need_size();
+    } else if (key == "shards") {
+      fleet.system.num_servers = need_size();
+    } else if (key == "placement") {
+      const std::string v = need_value("hash|range");
+      if (v == "hash") {
+        fleet.system.placement = PlacementKind::kHash;
+      } else if (v == "range") {
+        fleet.system.placement = PlacementKind::kRange;
+      } else {
+        bad_line(lineno, "placement '" + v + "' is not hash|range");
+      }
+    } else if (key == "options") {
+      fleet.options = BuildOptions::parse(need_value("key=value[,key=value]"));
+    } else if (key == "server") {
+      if (saw_client) bad_line(lineno, "server lines must precede the client line");
+      servers.push_back(need_addr());
+    } else if (key == "client") {
+      if (saw_client) bad_line(lineno, "exactly one client line is allowed");
+      saw_client = true;
+      clients.push_back(need_addr());
+    } else {
+      bad_line(lineno, "unknown key '" + key + "'");
+    }
+    std::string extra;
+    if (ls >> extra) bad_line(lineno, "trailing token '" + extra + "'");
+  }
+
+  if (!saw_client) {
+    throw std::invalid_argument("fleet config: a client line is required (and must be last)");
+  }
+  fleet.processes = std::move(servers);
+  fleet.processes.push_back(clients.front());
+  fleet.validate();
+  return fleet;
+}
+
+FleetConfig parse_fleet_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::invalid_argument("cannot read fleet config '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_fleet_text(buf.str());
+}
+
+std::string fleet_text(const FleetConfig& fleet) {
+  std::ostringstream out;
+  out << "protocol " << fleet.protocol << "\n";
+  out << "objects " << fleet.system.num_objects << "\n";
+  out << "readers " << fleet.system.num_readers << "\n";
+  out << "writers " << fleet.system.num_writers << "\n";
+  out << "shards " << fleet.system.num_servers << "\n";
+  out << "placement " << (fleet.system.placement == PlacementKind::kHash ? "hash" : "range")
+      << "\n";
+  if (!fleet.options.entries().empty()) {
+    out << "options ";
+    bool first = true;
+    for (const auto& [k, v] : fleet.options.entries()) {
+      if (!first) out << ",";
+      first = false;
+      out << k << "=" << v;
+    }
+    out << "\n";
+  }
+  for (std::size_t i = 0; i < fleet.processes.size(); ++i) {
+    const bool is_client = i + 1 == fleet.processes.size();
+    out << (is_client ? "client " : "server ") << fleet.processes[i].host << " "
+        << fleet.processes[i].port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace snowkit

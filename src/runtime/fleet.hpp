@@ -1,0 +1,68 @@
+// Fleet configuration: ONE file describes a multi-process snowkit deployment,
+// and every process (the snowkit_server daemons and the driving client)
+// parses the SAME file, so they all derive identical protocol builds, node
+// numbering and owner partitions — the invariant NetRuntime routing depends
+// on (see net_runtime.hpp).
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//
+//   protocol  algo-c
+//   objects   4
+//   readers   2
+//   writers   2
+//   shards    3                  # num_servers (0 = one server per object)
+//   placement hash               # hash | range (optional, default hash)
+//   options   gc_versions=true   # BuildOptions csv (optional)
+//   server    127.0.0.1 7101     # fleet process 0
+//   server    127.0.0.1 7102     # fleet process 1
+//   server    127.0.0.1 7103     # fleet process 2
+//   client    127.0.0.1 7100     # the LAST process hosts every client node
+//
+// Server shards are split contiguously over the server processes; all client
+// nodes (readers, writers, and anything a protocol registers after the
+// servers) live on the single client process.  The client is last by
+// convention so it INITIATES every one of its links (NetRuntime dials
+// lower-index peers), which is what makes "start the client whenever" work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "runtime/net_runtime.hpp"
+
+namespace snowkit {
+
+struct FleetConfig {
+  std::string protocol;
+  SystemConfig system;
+  BuildOptions options;
+  /// All fleet processes in index order: the server processes, then the one
+  /// client process (always last).
+  std::vector<NetPeerAddr> processes;
+
+  std::size_t server_processes() const { return processes.empty() ? 0 : processes.size() - 1; }
+  std::size_t client_index() const { return processes.size() - 1; }
+
+  /// Which fleet process hosts `node`.  Servers are nodes [0, shard count),
+  /// split contiguously over the server processes; everything else is a
+  /// client-side node.
+  std::size_t owner_of(NodeId node) const;
+
+  /// NetRuntime options for fleet process `index` (shares this owner map).
+  NetOptions net_options(std::size_t index) const;
+
+  /// Throws std::invalid_argument on inconsistent fleets (no processes,
+  /// more server processes than shards, unknown protocol name).
+  void validate() const;
+};
+
+/// Parses the fleet file format above; throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+FleetConfig parse_fleet_text(const std::string& text);
+FleetConfig parse_fleet_file(const std::string& path);
+
+/// Serializes a FleetConfig back into the file format (parse round-trips).
+std::string fleet_text(const FleetConfig& fleet);
+
+}  // namespace snowkit

@@ -1,0 +1,49 @@
+// One node's serialized inbox — THE mailbox struct shared by ThreadRuntime
+// and NetRuntime, so the batch-drain + recycled-encode-buffer fast path has
+// exactly one definition (constants included) and the two substrates cannot
+// drift.  The worker loops stay with their runtimes (idle tracking and
+// network flow control differ); the data structure and pooling rules live
+// here.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snowkit {
+
+struct NodeMailbox {
+  struct Item {
+    NodeId from{kInvalidNode};
+    std::vector<std::uint8_t> bytes;  ///< encoded message (empty for tasks)
+    std::function<void()> task;       ///< non-null for posted tasks
+    /// Inbound-flow-control accounting (NetRuntime): bytes charged against
+    /// the runtime's inbound budget when the I/O thread enqueued this item,
+    /// refunded by the worker after delivery.  0 for local/task items.
+    std::size_t charge{0};
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  /// Recycled encode buffers (capacity retained): senders swap their
+  /// thread-local scratch against one of these on enqueue, workers return
+  /// drained buffers after delivery.
+  std::vector<std::vector<std::uint8_t>> pool;
+  bool busy = false;  ///< a handler (or a whole batch) is currently running
+  bool stop = false;
+};
+
+/// Pooling bounds: at most this many buffers per mailbox...
+inline constexpr std::size_t kMaxPooledBuffers = 256;
+/// ...and buffers above this capacity are not recycled: one burst of
+/// outsized messages must not pin peak-sized allocations for the runtime's
+/// lifetime.
+inline constexpr std::size_t kMaxPooledCapacity = 4096;
+
+}  // namespace snowkit

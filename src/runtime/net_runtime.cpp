@@ -1,0 +1,877 @@
+#include "runtime/net_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "msg/codec.hpp"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+#endif
+
+namespace snowkit {
+
+namespace {
+
+// epoll_event.data.u64 tags.  Peer-link tags CARRY THE FD so a stale event
+// for an already-closed-and-replaced connection (same peer index, old fd,
+// queued in the same epoll_wait batch) is detectably stale and ignored
+// instead of tearing down the healthy replacement link.
+constexpr std::uint64_t kTagListen = 0;
+constexpr std::uint64_t kTagWake = 1;
+constexpr std::uint64_t kTagTimer = 2;
+constexpr std::uint64_t kTagPeerBit = 1ull << 63;
+constexpr std::uint64_t kTagPendingBit = 1ull << 62;
+constexpr std::uint64_t kTagPeerMask = (1ull << 24) - 1;  // fleets are tiny
+
+std::uint64_t peer_tag(std::size_t peer, int fd) {
+  return kTagPeerBit | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) << 24) |
+         (peer & kTagPeerMask);
+}
+
+}  // namespace
+
+NetRuntime::NetRuntime(NetOptions opts) : opts_(std::move(opts)) {
+  if (!net::transport_supported()) {
+    throw std::runtime_error("NetRuntime requires Linux (epoll/timerfd); "
+                             "use SimRuntime or ThreadRuntime on this platform");
+  }
+  if (opts_.peers.empty() || opts_.index >= opts_.peers.size()) {
+    throw std::runtime_error("NetRuntime: process index " + std::to_string(opts_.index) +
+                             " out of range (fleet size " + std::to_string(opts_.peers.size()) +
+                             ")");
+  }
+  if (!opts_.owner) {
+    throw std::runtime_error("NetRuntime: an owner partition function is required");
+  }
+  links_.reserve(opts_.peers.size());
+  for (std::size_t i = 0; i < opts_.peers.size(); ++i) {
+    auto link = std::make_unique<PeerLink>();
+    if (i == opts_.index) {
+      link->state = PeerLink::State::kSelf;
+    } else if (i < opts_.index) {
+      link->initiator = true;  // higher index dials lower
+      ++initiated_total_;
+    }
+    links_.push_back(std::move(link));
+  }
+}
+
+NetRuntime::~NetRuntime() {
+  if (started_) stop();
+}
+
+void NetRuntime::on_node_added(NodeId id) {
+  SNOW_CHECK_MSG(!started_, "cannot add nodes after start()");
+  mailboxes_.push_back(owns(id) ? std::make_unique<Mailbox>() : nullptr);
+}
+
+TimeNs NetRuntime::now_ns() const {
+  return static_cast<TimeNs>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count());
+}
+
+#ifdef __linux__
+
+void NetRuntime::start() {
+  SNOW_CHECK(!started_);
+  started_ = true;
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SNOW_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SNOW_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  SNOW_CHECK_MSG(timer_fd_ >= 0, "timerfd_create failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTagWake;
+  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  ev.data.u64 = kTagTimer;
+  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) == 0);
+
+  // Listen only when some higher-index process will dial us.
+  if (opts_.index + 1 < opts_.peers.size()) {
+    const NetPeerAddr& self = opts_.peers[opts_.index];
+    std::string err;
+    listen_fd_ = net::tcp_listen(self.host, self.port, err);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("NetRuntime: " + err);
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagListen;
+    SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  }
+
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (owns(id)) start_node(id);
+  }
+  workers_.reserve(node_count());
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (owns(id)) workers_.emplace_back([this, id] { worker(id); });
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void NetRuntime::stop() {
+  if (!started_) return;
+  // Best-effort outbound drain (bounded): give the I/O thread up to a second
+  // to flush queued frames (e.g. the SHUTDOWN broadcast) before teardown.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool dirty = false;
+    for (auto& link : links_) {
+      // Count DOWN links too: a link in reconnect backoff may still hold
+      // the SHUTDOWN broadcast, and the kick_connects_ redial is racing to
+      // flush it within this window.
+      if (link->state == PeerLink::State::kSelf) continue;
+      // Read BOTH under out_mu: io_flush publishes staged (under this lock)
+      // before it empties the outbox view, so a locked reader always sees a
+      // queued-or-staged SHUTDOWN as dirty — staged-but-unsent bytes
+      // (EAGAIN) count too, since the frame may sit there, not in the
+      // outbox.
+      std::lock_guard<std::mutex> lock(link->out_mu);
+      if (!link->outbox.empty() || link->staged.load(std::memory_order_acquire) > 0) {
+        dirty = true;
+      }
+    }
+    if (!dirty) break;
+    io_wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  stopping_.store(true, std::memory_order_release);
+  io_wake();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+  }
+  conn_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // Release any sender blocked on backpressure.
+  for (auto& link : links_) {
+    std::lock_guard<std::mutex> lock(link->out_mu);
+    link->out_cv.notify_all();
+  }
+
+  for (auto& mb : mailboxes_) {
+    if (!mb) continue;
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->stop = true;
+    mb->cv.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = timer_fd_ = epoll_fd_ = -1;
+  started_ = false;
+}
+
+void NetRuntime::send(NodeId from, NodeId to, Message m) {
+  SNOW_CHECK_MSG(to < node_count(), "send to unknown node " << to);
+  if (observer() != nullptr) observer()->on_send(from, to, m, encoded_size(m));
+  const std::size_t peer = owner_of(to);  // one owner lookup per send
+  if (peer == opts_.index) {
+    // Local delivery still crosses the codec, exactly like ThreadRuntime,
+    // including its recycled-buffer fast path: encode into a thread-local
+    // scratch, swap it against a pooled buffer under the enqueue lock.
+    thread_local std::vector<std::uint8_t> scratch;
+    encode_message_into(m, scratch);
+    Mailbox* mb = mailboxes_[to].get();
+    SNOW_CHECK_MSG(mb != nullptr, "delivery to non-owned node " << to);
+    {
+      std::lock_guard<std::mutex> lock(mb->mu);
+      Mailbox::Item item;
+      item.from = from;
+      if (!mb->pool.empty()) {
+        item.bytes = std::move(mb->pool.back());
+        mb->pool.pop_back();
+      }
+      item.bytes.swap(scratch);  // item takes the bytes, scratch the capacity
+      mb->queue.push_back(std::move(item));
+    }
+    mb->cv.notify_one();
+    return;
+  }
+  SNOW_CHECK_MSG(peer < links_.size(), "owner(" << to << ") = " << peer << " out of range");
+  PeerLink& link = *links_[peer];
+  // Frame into a thread-local scratch BEFORE taking the outbox lock, so
+  // encoding cost (potentially a multi-KB history payload) never serializes
+  // concurrent senders or stalls the I/O thread's outbox swap.
+  thread_local std::vector<std::uint8_t> framebuf;
+  framebuf.clear();
+  net::append_msg(framebuf, from, to, m);
+  {
+    std::unique_lock<std::mutex> lock(link.out_mu);
+    if (link.outbox.size() >= opts_.max_outbox_bytes) {
+      // Backpressure: block this sender until the socket drains (or the
+      // runtime stops).  The I/O thread never blocks here, so inbound
+      // traffic keeps flowing — unless BOTH directions saturate both their
+      // outbox and inbound budgets at once (see the flow-control caveat in
+      // net_runtime.hpp); the defaults keep that configuration-dependent
+      // stall out of reach for well-formed workloads.
+      stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+      link.out_cv.wait(lock, [&] {
+        return link.outbox.size() < opts_.max_outbox_bytes ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+    }
+    link.outbox.insert(link.outbox.end(), framebuf.begin(), framebuf.end());
+  }
+  stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  io_wake();
+}
+
+void NetRuntime::post(NodeId node, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post to unknown node " << node);
+  SNOW_CHECK_MSG(owns(node), "post to remote node " << node << " (owned by process "
+                                                    << owner_of(node) << ")");
+  enqueue_local(node, Mailbox::Item{kInvalidNode, {}, std::move(fn)});
+}
+
+void NetRuntime::post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) {
+  SNOW_CHECK_MSG(node < node_count(), "post_after to unknown node " << node);
+  SNOW_CHECK_MSG(owns(node), "post_after to remote node " << node);
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.push_back(UserTimer{now_ns() + delay_ns, timer_seq_++, node, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  }
+  io_wake();
+}
+
+void NetRuntime::enqueue_local(NodeId to, Mailbox::Item item) {
+  Mailbox* mb = mailboxes_[to].get();
+  SNOW_CHECK_MSG(mb != nullptr, "delivery to non-owned node " << to);
+  {
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->queue.push_back(std::move(item));
+  }
+  mb->cv.notify_one();
+}
+
+void NetRuntime::worker(NodeId id) {
+  Mailbox& mb = *mailboxes_[id];
+  std::deque<Mailbox::Item> batch;
+  std::vector<std::vector<std::uint8_t>> drained;  // buffers to recycle
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mb.mu);
+      mb.cv.wait(lock, [&] { return mb.stop || !mb.queue.empty(); });
+      if (mb.queue.empty()) return;  // stop requested and drained
+      batch.swap(mb.queue);
+      while (!drained.empty() && mb.pool.size() < kMaxPooledBuffers) {
+        if (drained.back().capacity() <= kMaxPooledCapacity) {
+          mb.pool.push_back(std::move(drained.back()));
+        }
+        drained.pop_back();
+      }
+    }
+    drained.clear();
+    std::size_t refund = 0;
+    for (Mailbox::Item& item : batch) {
+      refund += item.charge;
+      if (item.task) {
+        item.task();
+      } else {
+        Message m = decode_message(item.bytes);
+        if (observer() != nullptr) observer()->on_deliver(item.from, id, m);
+        deliver_to(item.from, id, m);
+        if (!item.bytes.empty()) drained.push_back(std::move(item.bytes));
+      }
+    }
+    batch.clear();
+    if (refund > 0) {
+      // Refund the inbound budget; if reading is paused and we crossed the
+      // resume threshold (the SAME threshold io_apply_inbound_flow_control
+      // resumes at, floored so a 1-byte budget still resumes), wake the
+      // I/O thread to re-subscribe EPOLLIN.
+      const std::size_t before = inbound_bytes_.fetch_sub(refund, std::memory_order_acq_rel);
+      const std::size_t resume_below = std::max<std::size_t>(1, opts_.max_inbound_bytes / 2);
+      if (inbound_paused_.load(std::memory_order_acquire) && before - refund < resume_below) {
+        io_wake();
+      }
+    }
+  }
+}
+
+// --- connection management (I/O thread only unless noted) --------------------
+
+void NetRuntime::io_wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void NetRuntime::io_start_connect(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  SNOW_CHECK(link.initiator);
+  // A backoff timer and a broadcast_shutdown kick can both request a dial;
+  // whoever runs second must no-op instead of leaking the in-flight fd.
+  if (link.state != PeerLink::State::kIdle || link.fd >= 0) return;
+  std::string err;
+  const NetPeerAddr& addr = opts_.peers[peer];
+  const int fd = net::tcp_connect_start(addr.host, addr.port, err);
+  if (fd < 0) {
+    io_schedule_reconnect(peer);
+    return;
+  }
+  link.fd = fd;
+  link.state = PeerLink::State::kConnecting;
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.u64 = peer_tag(peer, fd);
+  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+}
+
+void NetRuntime::io_schedule_reconnect(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  link.backoff_ns = link.backoff_ns == 0
+                        ? opts_.reconnect_initial_ns
+                        : std::min<TimeNs>(link.backoff_ns * 2, opts_.reconnect_max_ns);
+  const TimeNs delay = link.backoff_ns;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.push_back(UserTimer{now_ns() + delay, timer_seq_++, kInvalidNode,
+                                [this, peer] { io_start_connect(peer); }});
+    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  }
+}
+
+void NetRuntime::close_link(PeerLink& link) {
+  if (link.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    ::close(link.fd);
+    link.fd = -1;
+  }
+  // Frame-aligned recovery: the peer's decoder dies with the connection, so
+  // a frame already cut by a partial write is unrecoverable — but staged
+  // frames the socket never touched are not.  Walk the staging buffer's
+  // length prefixes to the first frame boundary at or past the write
+  // offset and push everything from there back to the FRONT of the outbox
+  // (they are older than anything queued since), so a reconnect loses at
+  // most the one partially-written frame plus bytes TCP itself dropped.
+  if (link.wbuf_off < link.wbuf.size()) {
+    std::size_t pos = 0;
+    while (pos < link.wbuf_off && pos + 4 <= link.wbuf.size()) {
+      const std::uint32_t len = static_cast<std::uint32_t>(link.wbuf[pos]) |
+                                (static_cast<std::uint32_t>(link.wbuf[pos + 1]) << 8) |
+                                (static_cast<std::uint32_t>(link.wbuf[pos + 2]) << 16) |
+                                (static_cast<std::uint32_t>(link.wbuf[pos + 3]) << 24);
+      pos += 4u + len;
+    }
+    if (pos < link.wbuf.size()) {
+      std::lock_guard<std::mutex> lock(link.out_mu);
+      link.outbox.insert(link.outbox.begin(),
+                         link.wbuf.begin() + static_cast<std::ptrdiff_t>(pos),
+                         link.wbuf.end());
+    }
+  }
+  link.wbuf.clear();
+  link.wbuf_off = 0;
+  link.staged.store(0, std::memory_order_release);
+  link.decoder = net::FrameDecoder{};
+  const bool was_up = link.state == PeerLink::State::kUp;
+  link.state = PeerLink::State::kIdle;
+  if (was_up && link.initiator) {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --initiated_up_;
+  }
+}
+
+void NetRuntime::io_link_failed(std::size_t peer, const std::string& why) {
+  PeerLink& link = *links_[peer];
+  // Quiet once the fleet is ending: peers closing their sockets after a
+  // SHUTDOWN broadcast is the expected teardown, not a fault.
+  if (!stopping_.load(std::memory_order_acquire) &&
+      !shutdown_.load(std::memory_order_acquire) && link.ever_connected) {
+    std::fprintf(stderr, "[snowkit-net %zu] link to %zu dropped: %s\n", opts_.index, peer,
+                 why.c_str());
+  }
+  close_link(link);
+  if (link.initiator && !stopping_.load(std::memory_order_acquire)) {
+    io_schedule_reconnect(peer);
+  }
+}
+
+void NetRuntime::note_connected(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  if (link.ever_connected) {
+    stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  link.ever_connected = true;
+  link.backoff_ns = 0;
+  if (link.initiator) {
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++initiated_up_;
+    }
+    conn_cv_.notify_all();
+  }
+}
+
+void NetRuntime::io_on_connect_ready(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  int soerr = 0;
+  socklen_t len = sizeof soerr;
+  if (::getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+    io_link_failed(peer, "connect failed");
+    return;
+  }
+  link.state = PeerLink::State::kUp;
+  // HELLO leads every connection (and every reconnection) so the acceptor
+  // can route this stream before any message frame arrives.
+  net::append_hello(link.wbuf, opts_.index);
+  link.staged.store(link.wbuf.size() - link.wbuf_off, std::memory_order_release);
+  io_update_events(peer);
+  note_connected(peer);
+}
+
+void NetRuntime::io_flush(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  if (link.state != PeerLink::State::kUp || link.fd < 0) return;
+  while (true) {
+    if (link.wbuf_off == link.wbuf.size()) {
+      link.wbuf.clear();
+      link.wbuf_off = 0;
+      std::lock_guard<std::mutex> lock(link.out_mu);
+      if (link.outbox.empty()) break;
+      link.wbuf.swap(link.outbox);
+      // Publish BEFORE writing: stop()'s drain loop must never observe the
+      // window where these frames have left the outbox but staged still
+      // reads 0, or it would tear down under a queued SHUTDOWN.
+      link.staged.store(link.wbuf.size(), std::memory_order_release);
+      link.out_cv.notify_all();  // backpressured senders may proceed
+    }
+    const auto n = ::write(link.fd, link.wbuf.data() + link.wbuf_off,
+                           link.wbuf.size() - link.wbuf_off);
+    if (n > 0) {
+      link.wbuf_off += static_cast<std::size_t>(n);
+      stats_.bytes_sent.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    io_link_failed(peer, "write error");
+    return;
+  }
+  link.staged.store(link.wbuf.size() - link.wbuf_off, std::memory_order_release);
+  io_update_events(peer);
+}
+
+/// Recomputes a live link's epoll interest: EPOLLIN unless inbound flow
+/// control paused reading, EPOLLOUT only while staged bytes are pending
+/// (the per-iteration sweep handles freshly queued outboxes).  ERR/HUP are
+/// always reported by the kernel regardless of the mask, so drops are still
+/// detected while fully unsubscribed.
+void NetRuntime::io_update_events(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  if (link.fd < 0 || link.state != PeerLink::State::kUp) return;
+  epoll_event ev{};
+  ev.events = (inbound_paused_.load(std::memory_order_relaxed) ? 0u : EPOLLIN) |
+              (link.wbuf_off < link.wbuf.size() ? EPOLLOUT : 0u);
+  ev.data.u64 = peer_tag(peer, link.fd);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link.fd, &ev);
+}
+
+/// Pauses/resumes reading every socket around the inbound byte budget: when
+/// workers lag, queued-but-undelivered frames are capped, TCP's own flow
+/// control pushes back to the senders, and their outbox caps block send() —
+/// bounded memory end to end, with no blocking on this thread.
+void NetRuntime::io_apply_inbound_flow_control() {
+  const std::size_t queued = inbound_bytes_.load(std::memory_order_acquire);
+  const bool paused = inbound_paused_.load(std::memory_order_relaxed);
+  const std::size_t resume_below = std::max<std::size_t>(1, opts_.max_inbound_bytes / 2);
+  if (!paused && queued >= opts_.max_inbound_bytes) {
+    inbound_paused_.store(true, std::memory_order_release);
+    stats_.inbound_pauses.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < links_.size(); ++i) io_update_events(i);
+  } else if (paused && queued < resume_below) {
+    inbound_paused_.store(false, std::memory_order_release);
+    for (std::size_t i = 0; i < links_.size(); ++i) io_update_events(i);
+  }
+}
+
+bool NetRuntime::io_handle_frame(std::size_t peer, net::Frame& f) {
+  switch (f.type) {
+    case net::FrameType::kHello:
+      return true;  // duplicate hello on an established link: ignore.
+    case net::FrameType::kMsg: {
+      net::MsgHeader hdr;
+      std::string err;
+      if (!net::parse_msg_header(f.body, hdr, err)) {
+        io_link_failed(peer, "bad msg frame: " + err);
+        return false;
+      }
+      // A routable fleet shares ONE config: every process derives the same
+      // node numbering and owner map, so a frame addressed to a node we do
+      // not own means the fleet was launched from divergent configs — a
+      // deployment invariant violation, not recoverable traffic.
+      SNOW_CHECK_MSG(hdr.to < node_count() && owns(hdr.to),
+                     "frame for node " << hdr.to << " arrived at process " << opts_.index
+                                       << " which does not own it — fleet configs diverge");
+      Mailbox::Item item;
+      item.from = hdr.from;
+      // Strip the routing header in place and MOVE the body: one memmove,
+      // zero allocations on the I/O thread's per-frame path.
+      f.body.erase(f.body.begin(),
+                   f.body.begin() + static_cast<std::ptrdiff_t>(hdr.payload_offset));
+      item.bytes = std::move(f.body);
+      // Charge the inbound budget (refunded by the worker after delivery);
+      // +64 floors the cost of tiny frames so a flood of 2-byte payloads
+      // still trips the pause.
+      item.charge = item.bytes.size() + 64;
+      inbound_bytes_.fetch_add(item.charge, std::memory_order_relaxed);
+      enqueue_local(hdr.to, std::move(item));
+      stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case net::FrameType::kShutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+      }
+      conn_cv_.notify_all();
+      return true;
+    }
+  }
+  io_link_failed(peer, "unhandled frame type");
+  return false;
+}
+
+void NetRuntime::io_read(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  std::uint8_t buf[65536];
+  while (link.fd >= 0) {
+    const auto n = ::read(link.fd, buf, sizeof buf);
+    if (n > 0) {
+      stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      link.decoder.feed(buf, static_cast<std::size_t>(n));
+      net::Frame f;
+      while (true) {
+        const auto st = link.decoder.next(f);
+        if (st == net::FrameDecoder::Status::kNeedMore) break;
+        if (st == net::FrameDecoder::Status::kError) {
+          io_link_failed(peer, "stream corrupt: " + link.decoder.error());
+          return;
+        }
+        if (!io_handle_frame(peer, f)) return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) return;  // drained
+      continue;
+    }
+    if (n == 0) {
+      io_link_failed(peer, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    io_link_failed(peer, "read error");
+    return;
+  }
+}
+
+void NetRuntime::io_accept_all() {
+  while (true) {
+    std::string err;
+    const int fd = net::tcp_accept(listen_fd_, err);
+    if (fd < 0) return;
+    std::size_t slot = pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].fd < 0) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == pending_.size()) pending_.emplace_back();
+    pending_[slot].fd = fd;
+    pending_[slot].decoder = net::FrameDecoder{};
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagPendingBit | slot;
+    SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  }
+}
+
+void NetRuntime::io_read_pending(std::size_t slot) {
+  if (slot >= pending_.size() || pending_[slot].fd < 0) return;
+  PendingConn& pc = pending_[slot];
+  std::uint8_t buf[4096];
+  const auto n = ::read(pc.fd, buf, sizeof buf);
+  auto drop = [&] {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, pc.fd, nullptr);
+    ::close(pc.fd);
+    pc.fd = -1;
+  };
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+    drop();
+    return;
+  }
+  if (n < 0) return;
+  pc.decoder.feed(buf, static_cast<std::size_t>(n));
+  net::Frame f;
+  const auto st = pc.decoder.next(f);
+  if (st == net::FrameDecoder::Status::kNeedMore) return;
+  net::HelloBody hello;
+  std::string err;
+  if (st == net::FrameDecoder::Status::kError || f.type != net::FrameType::kHello ||
+      !net::parse_hello(f.body, hello, err)) {
+    std::fprintf(stderr, "[snowkit-net %zu] rejecting connection: bad hello (%s)\n",
+                 opts_.index,
+                 st == net::FrameDecoder::Status::kError ? pc.decoder.error().c_str()
+                                                         : err.c_str());
+    drop();
+    return;
+  }
+  const std::size_t peer = hello.process_index;
+  if (peer <= opts_.index || peer >= links_.size()) {
+    std::fprintf(stderr, "[snowkit-net %zu] rejecting hello from invalid peer index %zu\n",
+                 opts_.index, peer);
+    drop();
+    return;
+  }
+  PeerLink& link = *links_[peer];
+  if (link.fd >= 0) close_link(link);  // peer reconnected before we saw the drop
+  link.fd = pc.fd;
+  link.state = PeerLink::State::kUp;
+  link.decoder = std::move(pc.decoder);  // bytes buffered past the HELLO carry over
+  pc.fd = -1;
+  io_update_events(peer);
+  note_connected(peer);
+  // Frames that arrived in the same chunk as the HELLO are already buffered.
+  net::Frame more;
+  while (true) {
+    const auto st2 = link.decoder.next(more);
+    if (st2 == net::FrameDecoder::Status::kNeedMore) break;
+    if (st2 == net::FrameDecoder::Status::kError) {
+      io_link_failed(peer, "stream corrupt: " + link.decoder.error());
+      return;
+    }
+    if (!io_handle_frame(peer, more)) return;
+  }
+}
+
+void NetRuntime::io_fire_timers() {
+  while (true) {
+    UserTimer t;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (timers_.empty() || timers_.front().due_ns > now_ns()) break;
+      std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
+      t = std::move(timers_.back());
+      timers_.pop_back();
+    }
+    if (t.node == kInvalidNode) {
+      t.fn();  // internal (reconnect) callback: runs on the I/O thread
+    } else {
+      enqueue_local(t.node, Mailbox::Item{kInvalidNode, {}, std::move(t.fn)});
+    }
+  }
+}
+
+void NetRuntime::io_rearm_timerfd() {
+  TimeNs due = 0;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (!timers_.empty()) due = timers_.front().due_ns;
+  }
+  itimerspec its{};
+  if (due != 0) {
+    const TimeNs now = now_ns();
+    const TimeNs delta = due > now ? due - now : 1;
+    its.it_value.tv_sec = static_cast<time_t>(delta / 1'000'000'000ull);
+    its.it_value.tv_nsec = static_cast<long>(delta % 1'000'000'000ull);
+    if (its.it_value.tv_sec == 0 && its.it_value.tv_nsec == 0) its.it_value.tv_nsec = 1;
+  }
+  ::timerfd_settime(timer_fd_, 0, &its, nullptr);
+}
+
+void NetRuntime::io_loop() {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i]->initiator) io_start_connect(i);
+  }
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    io_rearm_timerfd();
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t evs = events[i].events;
+      if (tag == kTagWake) {
+        std::uint64_t tmp;
+        while (::read(wake_fd_, &tmp, sizeof tmp) > 0) {
+        }
+      } else if (tag == kTagListen) {
+        io_accept_all();
+      } else if (tag == kTagTimer) {
+        std::uint64_t tmp;
+        while (::read(timer_fd_, &tmp, sizeof tmp) > 0) {
+        }
+      } else if (tag & kTagPeerBit) {
+        const std::size_t peer = static_cast<std::size_t>(tag & kTagPeerMask);
+        const int fd = static_cast<int>(static_cast<std::uint32_t>(tag >> 24));
+        if (peer >= links_.size()) continue;
+        PeerLink& link = *links_[peer];
+        // Stale event: the fd this event was registered for has since been
+        // closed (and possibly replaced by a reconnection in this very
+        // batch) — acting on it would tear down the healthy new link.
+        if (link.fd != fd) continue;
+        if (link.state == PeerLink::State::kConnecting) {
+          io_on_connect_ready(peer);
+          if (link.state == PeerLink::State::kUp) io_flush(peer);
+          continue;
+        }
+        if (evs & (EPOLLERR | EPOLLHUP)) {
+          io_link_failed(peer, "socket error/hup");
+          continue;
+        }
+        if (evs & EPOLLIN) io_read(peer);
+        if (link.fd == fd && (evs & EPOLLOUT)) io_flush(peer);
+      } else if (tag & kTagPendingBit) {
+        io_read_pending(static_cast<std::size_t>(tag & ~kTagPendingBit));
+      }
+    }
+    io_fire_timers();
+    if (kick_connects_.exchange(false, std::memory_order_acq_rel)) {
+      // broadcast_shutdown queued SHUTDOWN frames; redial links sitting in
+      // reconnect backoff NOW so those frames can still flush before stop().
+      for (std::size_t i = 0; i < links_.size(); ++i) {
+        if (links_[i]->initiator && links_[i]->state == PeerLink::State::kIdle) {
+          io_start_connect(i);
+        }
+      }
+    }
+    io_apply_inbound_flow_control();
+    // Flush any peer with queued outbound frames (sends wake us via eventfd
+    // but do not name the peer; fleets are small, so a sweep is cheap).
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      PeerLink& link = *links_[i];
+      if (link.state != PeerLink::State::kUp) continue;
+      bool pending_out = link.wbuf_off < link.wbuf.size();
+      if (!pending_out) {
+        std::lock_guard<std::mutex> lock(link.out_mu);
+        pending_out = !link.outbox.empty();
+      }
+      if (pending_out) io_flush(i);
+    }
+  }
+  // Final flush attempt, then close all sockets.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i]->state == PeerLink::State::kUp) io_flush(i);
+    close_link(*links_[i]);
+  }
+  for (auto& pc : pending_) {
+    if (pc.fd >= 0) {
+      ::close(pc.fd);
+      pc.fd = -1;
+    }
+  }
+}
+
+void NetRuntime::wait_connected() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [&] {
+    return initiated_up_ == initiated_total_ || stopping_.load(std::memory_order_acquire);
+  });
+}
+
+bool NetRuntime::wait_connected_for(TimeNs timeout_ns) {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  return conn_cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), [&] {
+    return initiated_up_ == initiated_total_ || stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void NetRuntime::broadcast_shutdown() {
+  // The broadcaster knows the fleet is ending: mark locally too, so
+  // peers' sockets closing afterwards is treated as teardown, not faults.
+  shutdown_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (i == opts_.index) continue;
+    PeerLink& link = *links_[i];
+    std::lock_guard<std::mutex> lock(link.out_mu);
+    net::append_shutdown(link.outbox);
+  }
+  // Links down in reconnect backoff would silently eat their SHUTDOWN;
+  // have the I/O thread redial them immediately.
+  kick_connects_.store(true, std::memory_order_release);
+  io_wake();
+}
+
+void NetRuntime::run_until_shutdown() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [&] {
+    return shutdown_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+NetRuntime::NetStats NetRuntime::net_stats() const {
+  NetStats s;
+  s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  s.frames_received = stats_.frames_received.load(std::memory_order_relaxed);
+  s.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
+  s.backpressure_waits = stats_.backpressure_waits.load(std::memory_order_relaxed);
+  s.inbound_pauses = stats_.inbound_pauses.load(std::memory_order_relaxed);
+  return s;
+}
+
+#else  // !__linux__ — constructor already threw; keep the linker satisfied.
+
+void NetRuntime::start() { SNOW_UNREACHABLE("NetRuntime on non-Linux"); }
+void NetRuntime::stop() {}
+void NetRuntime::send(NodeId, NodeId, Message) { SNOW_UNREACHABLE("NetRuntime on non-Linux"); }
+void NetRuntime::post(NodeId, std::function<void()>) {
+  SNOW_UNREACHABLE("NetRuntime on non-Linux");
+}
+void NetRuntime::post_after(NodeId, TimeNs, std::function<void()>) {
+  SNOW_UNREACHABLE("NetRuntime on non-Linux");
+}
+void NetRuntime::enqueue_local(NodeId, Mailbox::Item) {}
+void NetRuntime::worker(NodeId) {}
+void NetRuntime::io_loop() {}
+void NetRuntime::io_wake() {}
+void NetRuntime::io_update_events(std::size_t) {}
+void NetRuntime::io_apply_inbound_flow_control() {}
+void NetRuntime::io_start_connect(std::size_t) {}
+void NetRuntime::io_schedule_reconnect(std::size_t) {}
+void NetRuntime::io_link_failed(std::size_t, const std::string&) {}
+void NetRuntime::io_on_connect_ready(std::size_t) {}
+void NetRuntime::io_flush(std::size_t) {}
+void NetRuntime::io_read(std::size_t) {}
+bool NetRuntime::io_handle_frame(std::size_t, net::Frame&) { return false; }
+void NetRuntime::io_accept_all() {}
+void NetRuntime::io_read_pending(std::size_t) {}
+void NetRuntime::io_fire_timers() {}
+void NetRuntime::io_rearm_timerfd() {}
+void NetRuntime::close_link(PeerLink&) {}
+void NetRuntime::note_connected(std::size_t) {}
+void NetRuntime::wait_connected() {}
+bool NetRuntime::wait_connected_for(TimeNs) { return false; }
+void NetRuntime::broadcast_shutdown() {}
+void NetRuntime::run_until_shutdown() {}
+NetRuntime::NetStats NetRuntime::net_stats() const { return {}; }
+
+#endif
+
+}  // namespace snowkit

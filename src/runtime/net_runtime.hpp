@@ -1,0 +1,272 @@
+// NetRuntime: the multi-process TCP substrate — snowkit's third Runtime.
+//
+// A fleet is F processes (N server processes + 1 client process).  EVERY
+// process builds the same ProtocolSystem from the same SystemConfig, so node
+// numbering is identical everywhere; each process then OWNS a partition of
+// the node ids (NetOptions::owner) and only owned nodes get executors and
+// receive on_start.  A send between two locally-owned nodes goes through the
+// local mailbox exactly like ThreadRuntime; a send to a remote node is
+// framed (runtime/socket.hpp, snowkit-wire-v1: the codec bytes of
+// encode_message_into behind a length prefix and a routing header) and
+// shipped over a per-peer TCP connection.  Protocols run unmodified: the
+// paper's model — clients and servers as separate processes over
+// asynchronous reliable channels (§2) — finally matches the deployment.
+//
+// Transport properties:
+//  * nonblocking sockets driven by one epoll I/O thread per process;
+//  * per-peer write queues with byte-bounded BACKPRESSURE: a sender whose
+//    peer outbox is full blocks in send() until the socket drains — flow
+//    control reaches protocol code as scheduling delay, never unbounded
+//    memory;
+//  * connections are initiated by the HIGHER process index (so the client
+//    process, last by convention, dials every server) and retried with
+//    exponential backoff — starting the client before the servers just
+//    works, and a dropped link re-establishes itself;
+//  * FIFO per (sender, receiver) pair is preserved: one ordered TCP stream
+//    per process pair, arrival-order delivery into the receiver's mailbox;
+//  * post_after timers ride a timerfd in the epoll loop, so the open-loop
+//    WorkloadDriver paces wall-clock arrivals unchanged.
+//
+// Delivery is reliable WHILE connected; frames buffered in a peer outbox
+// survive reconnects, and staged frames the socket never accepted are
+// re-queued on a drop — a reconnect loses at most the one frame cut by a
+// partial write plus bytes already handed to the dead socket (TCP's
+// contract).  The SNOW protocols tolerate that only at fleet shutdown,
+// where the SHUTDOWN frame (broadcast_shutdown) already ends the run;
+// mid-run process crashes are out of scope for snowkit-wire-v1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/socket.hpp"
+
+namespace snowkit {
+
+/// One fleet process's address.
+struct NetPeerAddr {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+struct NetOptions {
+  /// This process's index into `peers`.
+  std::size_t index{0};
+  /// Every fleet process, index-aligned; the entry at `index` is the local
+  /// listen address (processes that no higher-index peer dials never listen).
+  std::vector<NetPeerAddr> peers;
+  /// Node partition: owner(node) is the fleet index hosting that node.  Must
+  /// be a pure function, identical in every process (runtime/fleet.hpp
+  /// derives it from the shared FleetConfig).
+  std::function<std::size_t(NodeId)> owner;
+
+  /// Backpressure cap per peer outbox: send() blocks above this.
+  std::size_t max_outbox_bytes{8u << 20};
+  /// Inbound flow-control budget: when frames queued into local mailboxes
+  /// (and not yet delivered) exceed this, the I/O thread stops READING all
+  /// peer sockets until workers drain below half of it — TCP then
+  /// backpressures the senders, whose own outbox caps block their send()
+  /// calls.  Bounded memory end to end.
+  ///
+  /// Caveat (configuration-dependent, not structural): if request/reply
+  /// traffic flows both ways and BOTH processes exhaust their outbox AND
+  /// inbound budgets simultaneously, every worker is blocked in send() and
+  /// no one refunds inbound charges — a distributed stall.  Keep the
+  /// budgets large relative to peak in-flight work (the defaults are; the
+  /// paper's one-outstanding-txn well-formedness also bounds in-flight
+  /// traffic structurally).  Shrink them only on one side at a time, as
+  /// the flow-control tests do.
+  std::size_t max_inbound_bytes{8u << 20};
+  /// Reconnect backoff: initial delay, doubling to the max.
+  TimeNs reconnect_initial_ns{20'000'000};   // 20ms
+  TimeNs reconnect_max_ns{2'000'000'000};    // 2s
+};
+
+class NetRuntime final : public Runtime {
+ public:
+  /// Validates the options; throws std::runtime_error on non-Linux builds
+  /// (the framing layer is portable, the epoll transport is not).
+  explicit NetRuntime(NetOptions opts);
+  ~NetRuntime() override;
+
+  /// Binds the listen socket (if any inbound peer exists), spawns the I/O
+  /// thread and one executor per OWNED node, calls on_start on owned nodes,
+  /// and starts dialing lower-index peers.  Throws std::runtime_error if the
+  /// listen address is unavailable.
+  void start();
+
+  /// Tears the fleet links down and joins all threads.  Outboxes are
+  /// flushed best-effort (bounded by `drain` below) before sockets close.
+  void stop();
+
+  bool owns(NodeId id) const { return opts_.owner(id) == opts_.index; }
+  bool owns_node(NodeId id) const override { return owns(id); }
+  std::size_t owner_of(NodeId id) const { return opts_.owner(id); }
+  std::size_t process_index() const { return opts_.index; }
+
+  void send(NodeId from, NodeId to, Message m) override;
+  void post(NodeId node, std::function<void()> fn) override;
+  void post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) override;
+  TimeNs now_ns() const override;
+
+  /// Blocks until every link this process INITIATES (to lower-index peers)
+  /// has completed its TCP connect + HELLO.  The client process initiates
+  /// all its links, so this is "the fleet is reachable" for drivers.
+  void wait_connected();
+
+  /// wait_connected with a deadline; false if the fleet did not come up in
+  /// time (benches use this to fail loudly instead of hanging on a dead
+  /// server process).
+  bool wait_connected_for(TimeNs timeout_ns);
+
+  /// Fleet-wide stop: appends a SHUTDOWN frame behind all queued traffic on
+  /// every peer link (FIFO, so it arrives after the run's messages) and
+  /// flushes.  The local process is NOT stopped — call stop() after.
+  void broadcast_shutdown();
+
+  /// Daemon mode: blocks until a SHUTDOWN frame arrives from any peer (or
+  /// stop() is called locally).
+  void run_until_shutdown();
+  bool shutdown_requested() const { return shutdown_.load(std::memory_order_acquire); }
+
+  struct NetStats {
+    std::uint64_t frames_sent{0};
+    std::uint64_t frames_received{0};
+    std::uint64_t bytes_sent{0};      ///< TCP payload bytes actually written.
+    std::uint64_t bytes_received{0};
+    std::uint64_t reconnects{0};      ///< successful re-establishments after a drop.
+    std::uint64_t backpressure_waits{0};  ///< send() calls that had to block.
+    std::uint64_t inbound_pauses{0};  ///< times the I/O thread paused reading.
+  };
+  /// Relaxed-atomic snapshot; counters are bumped lock-free on the hot path.
+  NetStats net_stats() const;
+
+  const NetOptions& options() const { return opts_; }
+
+ private:
+  /// Owned-node executors reuse THE mailbox struct (and pooling bounds)
+  /// shared with ThreadRuntime — runtime/mailbox.hpp.
+  using Mailbox = NodeMailbox;
+
+  // --- peer links (I/O-thread state except the locked outbox) --------------
+  struct PeerLink {
+    enum class State : std::uint8_t {
+      kIdle,        ///< inbound peer not yet connected to us.
+      kConnecting,  ///< our nonblocking connect is in flight.
+      kUp,          ///< link established (HELLO exchanged / sent).
+      kSelf,        ///< the local process; never used.
+    };
+    /// Written by the I/O thread; read by stop()/broadcast_shutdown() from
+    /// other threads, hence atomic.
+    std::atomic<State> state{State::kIdle};
+    int fd = -1;
+    bool initiator = false;         ///< we dial (peer index < ours).
+    net::FrameDecoder decoder;
+    std::vector<std::uint8_t> wbuf;  ///< I/O-thread write staging (unsent tail).
+    std::size_t wbuf_off = 0;
+    TimeNs backoff_ns = 0;          ///< current reconnect delay.
+    bool ever_connected = false;
+
+    std::mutex out_mu;               ///< guards outbox + drain cv.
+    std::condition_variable out_cv;  ///< signaled when outbox drains.
+    std::vector<std::uint8_t> outbox;  ///< frames queued by sender threads.
+    /// Unsent staging bytes (wbuf.size() - wbuf_off), mirrored atomically by
+    /// the I/O thread so stop()'s drain loop can see frames stuck behind
+    /// EAGAIN without touching I/O-thread state.
+    std::atomic<std::size_t> staged{0};
+  };
+
+  struct PendingConn {  ///< accepted, HELLO not yet seen.
+    int fd = -1;
+    net::FrameDecoder decoder;
+  };
+
+  struct UserTimer {
+    TimeNs due_ns{0};
+    std::uint64_t seq{0};  ///< FIFO tiebreak for equal deadlines.
+    NodeId node{kInvalidNode};  ///< kInvalidNode = internal I/O-thread callback.
+    std::function<void()> fn;
+    bool operator>(const UserTimer& o) const {
+      return due_ns != o.due_ns ? due_ns > o.due_ns : seq > o.seq;
+    }
+  };
+
+  void worker(NodeId id);
+  void enqueue_local(NodeId to, Mailbox::Item item);
+  void io_loop();
+  void io_wake();
+  void io_update_events(std::size_t peer);
+  void io_apply_inbound_flow_control();
+  void io_start_connect(std::size_t peer);
+  void io_schedule_reconnect(std::size_t peer);
+  void io_link_failed(std::size_t peer, const std::string& why);
+  void io_on_connect_ready(std::size_t peer);
+  void io_flush(std::size_t peer);
+  void io_read(std::size_t peer);
+  bool io_handle_frame(std::size_t peer, net::Frame& f);
+  void io_accept_all();
+  void io_read_pending(std::size_t slot);
+  void io_fire_timers();
+  void io_rearm_timerfd();
+  void close_link(PeerLink& link);
+  void note_connected(std::size_t peer);
+
+  NetOptions opts_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< index-aligned; null for remote nodes.
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<PeerLink>> links_;  ///< index-aligned with peers.
+  std::vector<PendingConn> pending_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int timer_fd_ = -1;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_{false};
+  bool started_ = false;
+
+  /// Inbound flow control: bytes enqueued from the network and not yet
+  /// delivered.  Above max_inbound_bytes the I/O thread unsubscribes every
+  /// socket from EPOLLIN; workers refund charges and wake it to resume
+  /// below half the budget.
+  std::atomic<std::size_t> inbound_bytes_{0};
+  std::atomic<bool> inbound_paused_{false};
+  /// broadcast_shutdown sets this: links sitting in reconnect backoff are
+  /// redialed immediately so the queued SHUTDOWN frames can still flush.
+  std::atomic<bool> kick_connects_{false};
+
+  std::mutex timer_mu_;
+  std::vector<UserTimer> timers_;  ///< min-heap by (due, seq).
+  std::uint64_t timer_seq_ = 0;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;  ///< wait_connected / run_until_shutdown.
+  std::size_t initiated_up_ = 0;     ///< initiator links currently kUp.
+  std::size_t initiated_total_ = 0;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> backpressure_waits{0};
+    std::atomic<std::uint64_t> inbound_pauses{0};
+  };
+  AtomicStats stats_;
+
+ protected:
+  void on_node_added(NodeId id) override;
+};
+
+}  // namespace snowkit

@@ -78,6 +78,15 @@ class Runtime {
   /// Current time in nanoseconds (virtual for sim, steady_clock for threads).
   virtual TimeNs now_ns() const = 0;
 
+  /// True when `id`'s executor lives in THIS process.  Single-process
+  /// substrates own every node; NetRuntime owns only its fleet partition.
+  /// Drivers use this to anchor work (e.g. open-loop timer chains) on a
+  /// node they can actually post to.
+  virtual bool owns_node(NodeId id) const {
+    (void)id;
+    return true;
+  }
+
   /// Transaction lifecycle notes.  SimRuntime records these as INV/RESP
   /// actions in its trace; ThreadRuntime ignores them.
   virtual void note_invoke(NodeId client, TxnId txn) { (void)client; (void)txn; }

@@ -1,0 +1,344 @@
+#include "runtime/socket.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "msg/codec.hpp"
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace snowkit::net {
+
+namespace {
+
+/// Bounded varint appender (LEB128, same encoding as BufWriter::uv).
+void put_uv(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t uv_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Bounds-checked varint read over untrusted bytes; false on truncation or
+/// over-length (a varint never legitimately exceeds 10 bytes).
+bool get_uv(const std::vector<std::uint8_t>& buf, std::size_t& pos, std::uint64_t& out) {
+  out = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= buf.size()) return false;
+    const std::uint8_t b = buf[pos++];
+    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- FrameDecoder ------------------------------------------------------------
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed()) return;  // terminal: drop everything after an error
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed()) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+  const std::uint32_t len = static_cast<std::uint32_t>(buf_[pos_]) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 1]) << 8) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 2]) << 16) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 3]) << 24);
+  if (len == 0) {
+    error_ = "zero-length frame";
+    return Status::kError;
+  }
+  if (len > kMaxFrameBytes) {
+    error_ = "frame length " + std::to_string(len) + " exceeds kMaxFrameBytes";
+    return Status::kError;
+  }
+  if (avail < 4u + len) return Status::kNeedMore;
+  const std::uint8_t type = buf_[pos_ + 4];
+  if (type != static_cast<std::uint8_t>(FrameType::kHello) &&
+      type != static_cast<std::uint8_t>(FrameType::kMsg) &&
+      type != static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    error_ = "unknown frame type " + std::to_string(type);
+    return Status::kError;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4u + len;
+  // Compact once the consumed prefix dominates, so the buffer cannot grow
+  // without bound across a long-lived connection.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+// --- frame builders ----------------------------------------------------------
+
+void append_hello(std::vector<std::uint8_t>& out, std::uint64_t process_index) {
+  const std::size_t body = 1 + 4 + uv_size(kWireVersion) + uv_size(process_index);
+  put_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::uint8_t>(FrameType::kHello));
+  put_u32le(out, kWireMagic);
+  put_uv(out, kWireVersion);
+  put_uv(out, process_index);
+}
+
+void append_msg(std::vector<std::uint8_t>& out, NodeId from, NodeId to, const Message& m) {
+  // The message bytes are the codec's, verbatim; a thread-local scratch keeps
+  // steady-state framing allocation-free, mirroring the ThreadRuntime send
+  // fast path.
+  thread_local std::vector<std::uint8_t> scratch;
+  encode_message_into(m, scratch);
+  const std::size_t body = 1 + uv_size(from) + uv_size(to) + scratch.size();
+  // Fail at the SENDER with the payload named: an oversize frame would pass
+  // through the socket fine and then kill the link at the receiver's
+  // decoder, losing the frame on reconnect and hanging the transaction with
+  // no diagnostic.
+  SNOW_CHECK_MSG(body <= kMaxFrameBytes,
+                 "message " << payload_name(m.payload) << " encodes to " << scratch.size()
+                            << " bytes, above the snowkit-wire-v1 frame cap ("
+                            << kMaxFrameBytes << "); GC the version store or raise the cap");
+  put_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::uint8_t>(FrameType::kMsg));
+  put_uv(out, from);
+  put_uv(out, to);
+  out.insert(out.end(), scratch.begin(), scratch.end());
+}
+
+void append_shutdown(std::vector<std::uint8_t>& out) {
+  put_u32le(out, 1);
+  out.push_back(static_cast<std::uint8_t>(FrameType::kShutdown));
+}
+
+// --- frame body parsers ------------------------------------------------------
+
+bool parse_hello(const std::vector<std::uint8_t>& body, HelloBody& out, std::string& err) {
+  if (body.size() < 4) {
+    err = "hello too short";
+    return false;
+  }
+  const std::uint32_t magic = static_cast<std::uint32_t>(body[0]) |
+                              (static_cast<std::uint32_t>(body[1]) << 8) |
+                              (static_cast<std::uint32_t>(body[2]) << 16) |
+                              (static_cast<std::uint32_t>(body[3]) << 24);
+  if (magic != kWireMagic) {
+    err = "bad hello magic";
+    return false;
+  }
+  std::size_t pos = 4;
+  std::uint64_t version = 0;
+  if (!get_uv(body, pos, version)) {
+    err = "truncated hello version";
+    return false;
+  }
+  if (version != kWireVersion) {
+    err = "wire version " + std::to_string(version) + " (expected " +
+          std::to_string(kWireVersion) + ")";
+    return false;
+  }
+  if (!get_uv(body, pos, out.process_index)) {
+    err = "truncated hello process index";
+    return false;
+  }
+  if (pos != body.size()) {
+    err = "trailing bytes after hello";
+    return false;
+  }
+  return true;
+}
+
+bool parse_msg_header(const std::vector<std::uint8_t>& body, MsgHeader& out, std::string& err) {
+  std::size_t pos = 0;
+  std::uint64_t from = 0, to = 0;
+  if (!get_uv(body, pos, from) || !get_uv(body, pos, to)) {
+    err = "truncated msg routing header";
+    return false;
+  }
+  if (from >= kInvalidNode || to >= kInvalidNode) {
+    err = "msg routing header node id out of range";
+    return false;
+  }
+  if (pos >= body.size()) {
+    err = "msg frame carries no payload";
+    return false;
+  }
+  out.from = static_cast<NodeId>(from);
+  out.to = static_cast<NodeId>(to);
+  out.payload_offset = pos;
+  return true;
+}
+
+Message decode_msg_payload(const std::vector<std::uint8_t>& body, std::size_t payload_offset) {
+  const std::vector<std::uint8_t> payload(body.begin() +
+                                              static_cast<std::ptrdiff_t>(payload_offset),
+                                          body.end());
+  return decode_message(payload);
+}
+
+// --- socket helpers ----------------------------------------------------------
+
+#ifdef __linux__
+
+bool transport_supported() { return true; }
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool make_addr(const std::string& host, std::uint16_t port, sockaddr_in& addr,
+               std::string& err) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    err = "bad IPv4 address '" + host + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port, std::string& err) {
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr, err)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    err = "bind " + host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int tcp_connect_start(const std::string& host, std::uint16_t port, std::string& err) {
+  sockaddr_in addr;
+  if (!make_addr(host, port, addr, err)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  set_nodelay(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    err = "connect " + host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int tcp_accept(int listen_fd, std::string& err) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      err = std::string("accept: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+std::uint16_t pick_free_port() {
+  const auto ports = pick_free_ports(1);
+  return ports.empty() ? 0 : ports.front();
+}
+
+std::vector<std::uint16_t> pick_free_ports(std::size_t n) {
+  std::vector<std::uint16_t> ports;
+  std::vector<int> fds;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) break;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    socklen_t len = sizeof addr;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      ports.push_back(ntohs(addr.sin_port));
+      fds.push_back(fd);  // keep it bound until all n are distinct
+    } else {
+      ::close(fd);
+      break;
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+  if (ports.size() != n) ports.clear();
+  return ports;
+}
+
+#else  // !__linux__
+
+bool transport_supported() { return false; }
+
+int tcp_listen(const std::string&, std::uint16_t, std::string& err) {
+  err = "snowkit TCP transport requires Linux (epoll)";
+  return -1;
+}
+int tcp_connect_start(const std::string&, std::uint16_t, std::string& err) {
+  err = "snowkit TCP transport requires Linux (epoll)";
+  return -1;
+}
+int tcp_accept(int, std::string& err) {
+  err = "snowkit TCP transport requires Linux (epoll)";
+  return -1;
+}
+std::uint16_t pick_free_port() { return 0; }
+std::vector<std::uint16_t> pick_free_ports(std::size_t) { return {}; }
+
+#endif
+
+}  // namespace snowkit::net

@@ -1,0 +1,140 @@
+// snowkit-wire-v1 framing + TCP socket helpers for NetRuntime.
+//
+// The stream format (frozen in docs/WIRE.md) wraps the existing message
+// codec (msg/codec.cpp, reused verbatim via encode_message_into) in
+// length-prefixed frames so it can cross process boundaries:
+//
+//   frame   := len:u32le  body
+//   body    := type:u8  type-specific bytes          (len = |body|)
+//   HELLO   := 0x01  magic:u32le("SNWK")  version:uv  process_index:uv
+//   MSG     := 0x02  from:uv  to:uv  encoded-Message  (codec bytes verbatim)
+//   SHUTDOWN:= 0x03                                    (empty)
+//
+// FrameDecoder is the incremental reassembly unit: bytes arrive in arbitrary
+// TCP chunks, frames pop out whole.  It is deliberately separable from the
+// runtime so tests can split encoded streams at every byte offset
+// (tests/frame_roundtrip_test.cpp).  Malformed input — absurd lengths,
+// unknown frame types, bad HELLO magic — is reported as a decoder ERROR
+// (the connection is dropped), never an abort: a TCP peer is untrusted input
+// until its HELLO checks out.  The Message payload INSIDE a well-framed MSG
+// from a greeted peer is trusted (all fleet processes run the same binary),
+// so payload corruption there is a process invariant violation like any
+// other codec misuse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace snowkit::net {
+
+/// "SNWK" little-endian: the first 4 body bytes of every HELLO.
+inline constexpr std::uint32_t kWireMagic = 0x4B574E53u;
+/// snowkit-wire-v1.  Bump on any incompatible codec or framing change
+/// (docs/WIRE.md is the contract; fuzz trace files share the codec layer).
+inline constexpr std::uint64_t kWireVersion = 1;
+/// Frames above this are a protocol error, not a large message: the biggest
+/// legitimate payload (a GetTagArrResp carrying full histories) is orders of
+/// magnitude smaller, so an absurd length prefix means a desynced or hostile
+/// stream and must not drive a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0x01,     ///< handshake: identifies the sending fleet process.
+  kMsg = 0x02,       ///< one routed Message.
+  kShutdown = 0x03,  ///< fleet-wide stop notice (client -> servers).
+};
+
+struct Frame {
+  FrameType type{FrameType::kMsg};
+  std::vector<std::uint8_t> body;  ///< bytes after the type byte.
+};
+
+/// Incremental frame reassembly over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet.
+    kFrame,     ///< one frame popped into `out`.
+    kError,     ///< stream is corrupt; error() says why.  Terminal.
+  };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(const std::vector<std::uint8_t>& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete frame.  After kError the decoder stays in the
+  /// error state (callers close the connection).
+  Status next(Frame& out);
+
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+  /// True when buffered bytes form only a prefix of a frame — i.e. the
+  /// stream ended mid-frame (a truncation, if the peer is gone).
+  bool mid_frame() const { return error_.empty() && !buf_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;  ///< unconsumed bytes (compacted on pop).
+  std::size_t pos_ = 0;            ///< consumed prefix of buf_.
+  std::string error_;
+};
+
+// --- frame builders (append to an outbox buffer) ----------------------------
+
+void append_hello(std::vector<std::uint8_t>& out, std::uint64_t process_index);
+/// Frames one routed message; the Message bytes are produced by
+/// encode_message_into — the exact bytes ThreadRuntime mailboxes carry.
+void append_msg(std::vector<std::uint8_t>& out, NodeId from, NodeId to, const Message& m);
+void append_shutdown(std::vector<std::uint8_t>& out);
+
+// --- frame body parsers (untrusted until noted) -----------------------------
+
+struct HelloBody {
+  std::uint64_t process_index{0};
+};
+
+/// Validates magic + version; false (with `err`) on any malformation.
+bool parse_hello(const std::vector<std::uint8_t>& body, HelloBody& out, std::string& err);
+
+struct MsgHeader {
+  NodeId from{kInvalidNode};
+  NodeId to{kInvalidNode};
+  std::size_t payload_offset{0};  ///< where the encoded Message starts in body.
+};
+
+/// Parses the routing header only (bounds-checked, error-returning).
+bool parse_msg_header(const std::vector<std::uint8_t>& body, MsgHeader& out, std::string& err);
+
+/// Decodes the Message of a parsed MSG frame.  TRUSTED input: only call for
+/// frames from a peer whose HELLO was accepted (same binary, same codec);
+/// corruption past this point aborts like any in-process codec violation.
+Message decode_msg_payload(const std::vector<std::uint8_t>& body, std::size_t payload_offset);
+
+// --- socket helpers (Linux; -1/err on failure, no exceptions) ---------------
+
+/// True when this build carries the TCP transport (Linux epoll).  Non-Linux
+/// builds keep the framing layer (it is pure) but NetRuntime refuses to
+/// construct; tests skip via this flag.
+bool transport_supported();
+
+/// Listening socket on host:port (SO_REUSEADDR, nonblocking, CLOEXEC).
+int tcp_listen(const std::string& host, std::uint16_t port, std::string& err);
+
+/// Starts a nonblocking connect; the fd completes (or fails) via epoll
+/// EPOLLOUT + SO_ERROR.  TCP_NODELAY is set: the transport's frames are
+/// small and latency-bound, Nagle would serialize round trips.
+int tcp_connect_start(const std::string& host, std::uint16_t port, std::string& err);
+
+/// Accepts one pending connection (nonblocking, CLOEXEC, TCP_NODELAY).
+int tcp_accept(int listen_fd, std::string& err);
+
+/// Binds port 0 on 127.0.0.1 and returns the kernel-chosen free port
+/// (the socket is closed again; benches/tests use this to pick fleet ports).
+std::uint16_t pick_free_port();
+
+/// n distinct free ports: all probe sockets are held open until every port
+/// is chosen, so one fleet can never be handed the same port twice.
+std::vector<std::uint16_t> pick_free_ports(std::size_t n);
+
+}  // namespace snowkit::net

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <thread>
 
+#include "runtime/mailbox.hpp"
 #include "runtime/runtime.hpp"
 
 namespace snowkit {
@@ -73,27 +74,9 @@ class ThreadRuntime final : public Runtime {
   DeliveryStats delivery_stats() const;
 
  private:
-  struct Mailbox {
-    struct Item {
-      NodeId from{kInvalidNode};
-      std::vector<std::uint8_t> bytes;   // encoded message (empty for tasks)
-      std::function<void()> task;        // non-null for posted tasks
-    };
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Item> queue;
-    /// Recycled encode buffers (capacity retained): senders swap their
-    /// thread-local scratch against one of these on enqueue, workers return
-    /// drained buffers after delivery.  Bounded by kMaxPooledBuffers.
-    std::vector<std::vector<std::uint8_t>> pool;
-    bool busy = false;   // a handler (or a whole batch) is currently running
-    bool stop = false;
-  };
-
-  static constexpr std::size_t kMaxPooledBuffers = 256;
-  /// Buffers above this capacity are not recycled: one burst of outsized
-  /// messages must not pin peak-sized allocations for the runtime's lifetime.
-  static constexpr std::size_t kMaxPooledCapacity = 4096;
+  /// The mailbox struct (and its pooling bounds) is shared with NetRuntime —
+  /// see runtime/mailbox.hpp.
+  using Mailbox = NodeMailbox;
 
   void worker(NodeId id);
   void worker_batched(NodeId id);

@@ -1,0 +1,123 @@
+// Fleet config parsing + the owner partition every NetRuntime process must
+// agree on (runtime/fleet.hpp).
+#include "runtime/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snowkit {
+namespace {
+
+const char* kSample = R"(
+# three server processes, one client
+protocol algo-c
+objects 4
+readers 2
+writers 2
+shards 3
+placement hash
+options gc_versions=true
+server 127.0.0.1 7101
+server 127.0.0.1 7102   # trailing comment
+server 127.0.0.1 7103
+client 127.0.0.1 7100
+)";
+
+TEST(FleetConfig, ParsesTheDocumentedFormat) {
+  const FleetConfig fleet = parse_fleet_text(kSample);
+  EXPECT_EQ(fleet.protocol, "algo-c");
+  EXPECT_EQ(fleet.system.num_objects, 4u);
+  EXPECT_EQ(fleet.system.num_readers, 2u);
+  EXPECT_EQ(fleet.system.num_writers, 2u);
+  EXPECT_EQ(fleet.system.num_servers, 3u);
+  EXPECT_EQ(fleet.system.placement, PlacementKind::kHash);
+  EXPECT_TRUE(fleet.options.get_bool("gc_versions"));
+  ASSERT_EQ(fleet.processes.size(), 4u);
+  EXPECT_EQ(fleet.server_processes(), 3u);
+  EXPECT_EQ(fleet.client_index(), 3u);
+  EXPECT_EQ(fleet.processes[0].port, 7101);
+  EXPECT_EQ(fleet.processes[3].port, 7100);
+}
+
+TEST(FleetConfig, TextRoundTrips) {
+  const FleetConfig fleet = parse_fleet_text(kSample);
+  const FleetConfig again = parse_fleet_text(fleet_text(fleet));
+  EXPECT_EQ(again.protocol, fleet.protocol);
+  EXPECT_EQ(again.system.num_objects, fleet.system.num_objects);
+  EXPECT_EQ(again.system.num_servers, fleet.system.num_servers);
+  EXPECT_EQ(again.options.entries(), fleet.options.entries());
+  ASSERT_EQ(again.processes.size(), fleet.processes.size());
+  for (std::size_t i = 0; i < fleet.processes.size(); ++i) {
+    EXPECT_EQ(again.processes[i].host, fleet.processes[i].host);
+    EXPECT_EQ(again.processes[i].port, fleet.processes[i].port);
+  }
+}
+
+TEST(FleetConfig, OwnerPartitionIsContiguousAndCovers) {
+  const FleetConfig fleet = parse_fleet_text(kSample);
+  // 3 shards over 3 server processes: identity; all higher nodes -> client.
+  EXPECT_EQ(fleet.owner_of(0), 0u);
+  EXPECT_EQ(fleet.owner_of(1), 1u);
+  EXPECT_EQ(fleet.owner_of(2), 2u);
+  for (NodeId n = 3; n < 10; ++n) EXPECT_EQ(fleet.owner_of(n), fleet.client_index());
+
+  // 5 shards over 2 server processes: contiguous, non-decreasing, both used.
+  FleetConfig wide = fleet;
+  wide.system.num_servers = 5;
+  wide.processes = {{"127.0.0.1", 1}, {"127.0.0.1", 2}, {"127.0.0.1", 3}};
+  std::size_t prev = 0;
+  bool used[2] = {false, false};
+  for (NodeId s = 0; s < 5; ++s) {
+    const std::size_t o = wide.owner_of(s);
+    ASSERT_LT(o, 2u);
+    EXPECT_GE(o, prev) << "shard->process map must be non-decreasing";
+    prev = o;
+    used[o] = true;
+  }
+  EXPECT_TRUE(used[0]);
+  EXPECT_TRUE(used[1]);
+}
+
+TEST(FleetConfig, NetOptionsShareTheOwnerMapAndOutliveTheConfig) {
+  NetOptions opts;
+  {
+    const FleetConfig fleet = parse_fleet_text(kSample);
+    opts = fleet.net_options(3);
+  }  // fleet destroyed: the owner closure must be self-contained
+  EXPECT_EQ(opts.index, 3u);
+  ASSERT_EQ(opts.peers.size(), 4u);
+  EXPECT_EQ(opts.owner(0), 0u);
+  EXPECT_EQ(opts.owner(2), 2u);
+  EXPECT_EQ(opts.owner(7), 3u);
+}
+
+TEST(FleetConfig, RejectsMalformedInput) {
+  // no client line
+  EXPECT_THROW(parse_fleet_text("protocol simple\nobjects 2\nserver 127.0.0.1 1\n"),
+               std::invalid_argument);
+  // client must be last
+  EXPECT_THROW(
+      parse_fleet_text("protocol simple\nclient 127.0.0.1 1\nserver 127.0.0.1 2\n"),
+      std::invalid_argument);
+  // unknown protocol fails fast with the registered list
+  try {
+    parse_fleet_text("protocol nope\nserver 127.0.0.1 1\nclient 127.0.0.1 2\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("algo-b"), std::string::npos);
+  }
+  // negative integers must be rejected, not wrapped by stoull
+  EXPECT_THROW(parse_fleet_text("shards -1\n"), std::invalid_argument);
+  // bad placement / port / key / trailing token
+  EXPECT_THROW(parse_fleet_text("placement diagonal\n"), std::invalid_argument);
+  EXPECT_THROW(parse_fleet_text("server 127.0.0.1 99999\n"), std::invalid_argument);
+  EXPECT_THROW(parse_fleet_text("frobnicate 3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_fleet_text("objects 2 extra\n"), std::invalid_argument);
+  // more server processes than shards: someone would host nothing
+  EXPECT_THROW(parse_fleet_text("protocol simple\nobjects 2\nshards 2\n"
+                                "server 127.0.0.1 1\nserver 127.0.0.1 2\n"
+                                "server 127.0.0.1 3\nclient 127.0.0.1 4\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snowkit

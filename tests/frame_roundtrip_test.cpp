@@ -1,0 +1,238 @@
+// snowkit-wire-v1 framing at the byte boundary: encoded frames must survive
+// arbitrary TCP segmentation (split at EVERY byte offset and reassembled
+// through the NetRuntime framing decoder), and malformed streams — garbage
+// prefixes, truncations, absurd lengths — must surface as decoder ERRORS,
+// never aborts: a TCP peer is untrusted input until its HELLO checks out.
+#include "runtime/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "msg/codec.hpp"
+
+namespace snowkit {
+namespace {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+
+/// A payload corpus spanning the codec's interesting shapes: fixed fields,
+/// bit-packed masks, delta-coded version lists and nested histories.
+std::vector<Message> corpus() {
+  std::vector<Message> msgs;
+  msgs.push_back(Message{7, WriteValReq{WriteKey{3, 1}, 2, -40}});
+  msgs.push_back(Message{8, InfoReaderReq{WriteKey{1, 0}, {1, 0, 1, 1, 0, 0, 1, 0, 1}}});
+  msgs.push_back(Message{9, UpdateCoorAck{12, 5}});
+  GetTagArrResp tagarr;
+  tagarr.tag = 900;
+  tagarr.watermark = 890;
+  tagarr.latest = {WriteKey{5, 0}, WriteKey{9, 2}, kInitialKey};
+  tagarr.history = {{ListedKey{1, WriteKey{1, 0}}, ListedKey{4, WriteKey{2, 1}}}, {}, {}};
+  msgs.push_back(Message{10, tagarr});
+  ReadValsResp vals;
+  vals.obj = 1;
+  vals.versions = {Version{kInitialKey, 0}, Version{WriteKey{2, 0}, 77},
+                   Version{WriteKey{6, 3}, -1}};
+  msgs.push_back(Message{11, vals});
+  msgs.push_back(Message{kInvalidTxn, ReadDoneReq{42}});
+  msgs.push_back(Message{13, EigerReadResp{0, 123, 4, 9, 17}});
+  return msgs;
+}
+
+/// The reference stream: HELLO, the whole corpus as MSG frames, SHUTDOWN.
+std::vector<std::uint8_t> reference_stream(const std::vector<Message>& msgs) {
+  std::vector<std::uint8_t> bytes;
+  net::append_hello(bytes, 3);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    net::append_msg(bytes, static_cast<NodeId>(10 + i), static_cast<NodeId>(i), msgs[i]);
+  }
+  net::append_shutdown(bytes);
+  return bytes;
+}
+
+struct Decoded {
+  std::vector<Message> msgs;
+  std::vector<std::pair<NodeId, NodeId>> routes;
+  int hellos = 0;
+  int shutdowns = 0;
+};
+
+/// Drains every complete frame; fails the test on a decoder error.
+void drain(FrameDecoder& dec, Decoded& out) {
+  Frame f;
+  while (true) {
+    const auto st = dec.next(f);
+    if (st == FrameDecoder::Status::kNeedMore) return;
+    ASSERT_EQ(st, FrameDecoder::Status::kFrame) << dec.error();
+    if (f.type == FrameType::kHello) {
+      net::HelloBody hello;
+      std::string err;
+      ASSERT_TRUE(net::parse_hello(f.body, hello, err)) << err;
+      EXPECT_EQ(hello.process_index, 3u);
+      ++out.hellos;
+    } else if (f.type == FrameType::kMsg) {
+      net::MsgHeader hdr;
+      std::string err;
+      ASSERT_TRUE(net::parse_msg_header(f.body, hdr, err)) << err;
+      out.routes.emplace_back(hdr.from, hdr.to);
+      out.msgs.push_back(net::decode_msg_payload(f.body, hdr.payload_offset));
+    } else {
+      ++out.shutdowns;
+    }
+  }
+}
+
+TEST(FrameRoundtrip, SplitAtEveryByteOffset) {
+  const auto msgs = corpus();
+  const auto bytes = reference_stream(msgs);
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder dec;
+    Decoded out;
+    dec.feed(bytes.data(), split);
+    drain(dec, out);
+    if (HasFatalFailure()) return;
+    dec.feed(bytes.data() + split, bytes.size() - split);
+    drain(dec, out);
+    if (HasFatalFailure()) return;
+    ASSERT_EQ(out.hellos, 1) << "split at " << split;
+    ASSERT_EQ(out.shutdowns, 1) << "split at " << split;
+    ASSERT_EQ(out.msgs.size(), msgs.size()) << "split at " << split;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(out.msgs[i], msgs[i]) << "split at " << split << ", msg " << i;
+      EXPECT_EQ(out.routes[i].first, static_cast<NodeId>(10 + i));
+      EXPECT_EQ(out.routes[i].second, static_cast<NodeId>(i));
+    }
+    EXPECT_FALSE(dec.mid_frame());
+  }
+}
+
+TEST(FrameRoundtrip, ByteAtATime) {
+  const auto msgs = corpus();
+  const auto bytes = reference_stream(msgs);
+  FrameDecoder dec;
+  Decoded out;
+  for (const std::uint8_t b : bytes) {
+    dec.feed(&b, 1);
+    drain(dec, out);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(out.msgs.size(), msgs.size());
+  EXPECT_EQ(out.hellos, 1);
+  EXPECT_EQ(out.shutdowns, 1);
+}
+
+TEST(FrameRoundtrip, TruncatedPrefixNeverErrorsAndNeverCompletes) {
+  const auto msgs = corpus();
+  const auto bytes = reference_stream(msgs);
+  // Every strict prefix of a valid stream is "need more", possibly with a
+  // partial frame pending — never an error, never a phantom extra frame.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    FrameDecoder dec;
+    dec.feed(bytes.data(), len);
+    Frame f;
+    std::size_t frames = 0;
+    while (dec.next(f) == FrameDecoder::Status::kFrame) ++frames;
+    ASSERT_FALSE(dec.failed()) << "prefix of length " << len << ": " << dec.error();
+    ASSERT_LE(frames, msgs.size() + 2);
+    if (len < bytes.size()) ASSERT_LT(frames, msgs.size() + 2);
+  }
+}
+
+TEST(FrameRoundtrip, GarbagePrefixErrorsNotCrashes) {
+  // A desynced stream usually presents as an absurd length prefix.
+  {
+    FrameDecoder dec;
+    const std::vector<std::uint8_t> garbage{0xFF, 0xFF, 0xFF, 0xFF, 0x00};
+    dec.feed(garbage);
+    Frame f;
+    EXPECT_EQ(dec.next(f), FrameDecoder::Status::kError);
+    EXPECT_TRUE(dec.failed());
+    // Terminal: feeding valid bytes afterwards cannot resurrect the stream.
+    std::vector<std::uint8_t> valid;
+    net::append_shutdown(valid);
+    dec.feed(valid);
+    EXPECT_EQ(dec.next(f), FrameDecoder::Status::kError);
+  }
+  {
+    FrameDecoder dec;  // zero-length frame
+    const std::vector<std::uint8_t> zero{0x00, 0x00, 0x00, 0x00};
+    dec.feed(zero);
+    Frame f;
+    EXPECT_EQ(dec.next(f), FrameDecoder::Status::kError);
+  }
+  {
+    FrameDecoder dec;  // unknown frame type
+    const std::vector<std::uint8_t> unknown{0x01, 0x00, 0x00, 0x00, 0x7F};
+    dec.feed(unknown);
+    Frame f;
+    EXPECT_EQ(dec.next(f), FrameDecoder::Status::kError);
+  }
+  // Seeded random garbage: the decoder must error or want more — never pop a
+  // frame that then parses as a valid HELLO (magic + version gate), and
+  // never crash.
+  Xoshiro256 rng(0xC0FFEE);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder dec;
+    std::vector<std::uint8_t> junk(1 + rng.next() % 64);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    dec.feed(junk);
+    Frame f;
+    while (dec.next(f) == FrameDecoder::Status::kFrame) {
+      if (f.type == FrameType::kHello) {
+        net::HelloBody hello;
+        std::string err;
+        EXPECT_FALSE(net::parse_hello(f.body, hello, err) && hello.process_index > 1000)
+            << "random junk parsed as a plausible hello";
+      }
+    }
+  }
+}
+
+TEST(FrameRoundtrip, ValidFrameThenGarbageDeliversThenErrors) {
+  std::vector<std::uint8_t> bytes;
+  const Message m{5, SimpleReadReq{1}};
+  net::append_msg(bytes, 9, 0, m);
+  bytes.insert(bytes.end(), {0xFF, 0xFF, 0xFF, 0x7F, 0x00});  // absurd length
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame f;
+  ASSERT_EQ(dec.next(f), FrameDecoder::Status::kFrame);
+  net::MsgHeader hdr;
+  std::string err;
+  ASSERT_TRUE(net::parse_msg_header(f.body, hdr, err));
+  EXPECT_EQ(net::decode_msg_payload(f.body, hdr.payload_offset), m);
+  EXPECT_EQ(dec.next(f), FrameDecoder::Status::kError);
+}
+
+TEST(FrameRoundtrip, MsgHeaderParsersRejectMalformedBodies) {
+  net::MsgHeader hdr;
+  std::string err;
+  EXPECT_FALSE(net::parse_msg_header({}, hdr, err));
+  EXPECT_FALSE(net::parse_msg_header({0x80}, hdr, err));        // truncated varint
+  EXPECT_FALSE(net::parse_msg_header({0x01, 0x02}, hdr, err));  // header, no payload
+  net::HelloBody hello;
+  EXPECT_FALSE(net::parse_hello({}, hello, err));
+  EXPECT_FALSE(net::parse_hello({0x53, 0x4E, 0x57, 0x4B}, hello, err));  // magic only
+  // Wrong wire version must be rejected, not silently accepted.
+  std::vector<std::uint8_t> v2{0x53, 0x4E, 0x57, 0x4B, 0x02, 0x00};
+  EXPECT_FALSE(net::parse_hello(v2, hello, err));
+  EXPECT_NE(err.find("wire version"), std::string::npos);
+}
+
+TEST(FrameRoundtrip, FramedCodecBytesMatchEncodeMessage) {
+  // The MSG payload is the codec's output verbatim — the transport adds
+  // framing, never re-encodes (docs/WIRE.md freezes this).
+  const auto msgs = corpus();
+  for (const Message& m : msgs) {
+    std::vector<std::uint8_t> framed;
+    net::append_msg(framed, 1, 2, m);
+    const auto codec_bytes = encode_message(m);
+    ASSERT_GE(framed.size(), codec_bytes.size());
+    EXPECT_TRUE(std::equal(codec_bytes.begin(), codec_bytes.end(),
+                           framed.end() - static_cast<std::ptrdiff_t>(codec_bytes.size())));
+  }
+}
+
+}  // namespace
+}  // namespace snowkit

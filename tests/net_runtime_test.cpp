@@ -1,0 +1,277 @@
+// NetRuntime end-to-end: protocols running unmodified across runtime
+// instances connected by real loopback TCP.  Each "process" of the fleet is
+// a NetRuntime in this test binary (identical node numbering, disjoint
+// ownership) — the same topology `snowkit_server` + `bench_harness
+// --scenario net_loopback` deploys as actual OS processes.
+#include "runtime/net_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "checker/tag_order.hpp"
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "runtime/fleet.hpp"
+
+namespace snowkit {
+namespace {
+
+#define SKIP_WITHOUT_TRANSPORT()                                      \
+  do {                                                                \
+    if (!net::transport_supported())                                  \
+      GTEST_SKIP() << "TCP transport requires Linux";                 \
+  } while (0)
+
+/// An in-test fleet "process": one NetRuntime + the protocol built on it.
+struct FleetProc {
+  std::unique_ptr<NetRuntime> rt;
+  std::unique_ptr<HistoryRecorder> rec;
+  std::unique_ptr<ProtocolSystem> sys;
+
+  void build(const FleetConfig& fleet, std::size_t index) {
+    rt = std::make_unique<NetRuntime>(fleet.net_options(index));
+    rec = std::make_unique<HistoryRecorder>(fleet.system.num_objects);
+    sys = build_protocol(fleet.protocol, *rt, *rec, fleet.system, fleet.options);
+  }
+};
+
+FleetConfig make_fleet(const std::string& protocol, std::size_t objects, std::size_t readers,
+                       std::size_t writers, std::size_t shards, std::size_t server_procs) {
+  FleetConfig fleet;
+  fleet.protocol = protocol;
+  fleet.system.num_objects = objects;
+  fleet.system.num_readers = readers;
+  fleet.system.num_writers = writers;
+  fleet.system.num_servers = shards;
+  for (const std::uint16_t port : net::pick_free_ports(server_procs + 1)) {
+    fleet.processes.push_back({"127.0.0.1", port});
+  }
+  return fleet;
+}
+
+/// Runs a split closed loop from the client process and returns its history.
+History run_fleet_once(const FleetConfig& fleet, std::size_t ops_per_reader,
+                       std::size_t ops_per_writer) {
+  std::vector<FleetProc> procs(fleet.processes.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) procs[i].build(fleet, i);
+  // Server processes first, client last — though start order must not matter
+  // (reconnect-with-backoff covers the races; a dedicated test flips it).
+  for (std::size_t i = 0; i < procs.size(); ++i) procs[i].rt->start();
+  FleetProc& client = procs.back();
+  client.rt->wait_connected();
+
+  WorkloadSpec spec;
+  spec.ops_per_reader = ops_per_reader;
+  spec.ops_per_writer = ops_per_writer;
+  spec.read_span = std::min<std::size_t>(2, fleet.system.num_objects);
+  spec.write_span = std::min<std::size_t>(2, fleet.system.num_objects);
+  spec.seed = 11;
+  WorkloadDriver driver(*client.rt, *client.sys, spec);
+  driver.start();
+  driver.wait();
+
+  client.rt->broadcast_shutdown();
+  client.rt->stop();  // drains the SHUTDOWN frames before the sockets close
+  for (std::size_t i = 0; i + 1 < procs.size(); ++i) procs[i].rt->stop();
+  return client.rec->snapshot();
+}
+
+/// run_fleet_once with one retry on fresh ports: another process (parallel
+/// ctest) can grab a probed port between pick_free_ports and listen.
+History run_fleet_workload(FleetConfig fleet, std::size_t ops_per_reader,
+                           std::size_t ops_per_writer) {
+  try {
+    return run_fleet_once(fleet, ops_per_reader, ops_per_writer);
+  } catch (const std::runtime_error&) {
+    const auto ports = net::pick_free_ports(fleet.processes.size());
+    if (ports.size() != fleet.processes.size()) throw;  // probing itself failed
+    for (std::size_t i = 0; i < fleet.processes.size(); ++i) fleet.processes[i].port = ports[i];
+    return run_fleet_once(fleet, ops_per_reader, ops_per_writer);
+  }
+}
+
+TEST(NetRuntime, AlgoBAcrossTwoProcesses) {
+  SKIP_WITHOUT_TRANSPORT();
+  const FleetConfig fleet = make_fleet("algo-b", 2, 2, 2, 2, 1);
+  const History h = run_fleet_workload(fleet, 20, 10);
+  EXPECT_EQ(h.completed_reads(), 2u * 20u);
+  EXPECT_EQ(h.completed_writes(), 2u * 10u);
+  const auto verdict = check_tag_order(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(NetRuntime, AlgoCAcrossThreeServerProcesses) {
+  SKIP_WITHOUT_TRANSPORT();
+  const FleetConfig fleet = make_fleet("algo-c", 4, 2, 2, 3, 3);
+  const History h = run_fleet_workload(fleet, 15, 8);
+  EXPECT_EQ(h.completed_reads(), 2u * 15u);
+  EXPECT_EQ(h.completed_writes(), 2u * 8u);
+  const auto verdict = check_tag_order(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(NetRuntime, EveryProtocolRunsUnmodifiedOverTcp) {
+  SKIP_WITHOUT_TRANSPORT();
+  // The registry's whole deployable surface: one quick fleet each.  (The
+  // broken-stale fault stub is included on purpose — faulty protocols must
+  // transport as faithfully as correct ones.)
+  for (const std::string& name : registered_protocols()) {
+    const std::size_t readers = name == "algo-a" ? 1 : 2;  // Algorithm A is MWSR
+    const FleetConfig fleet = make_fleet(name, 2, readers, 2, 2, 2);
+    const History h = run_fleet_workload(fleet, 6, 4);
+    EXPECT_EQ(h.completed_reads(), readers * 6u) << name;
+    EXPECT_EQ(h.completed_writes(), 2u * 4u) << name;
+  }
+}
+
+TEST(NetRuntime, ClientBeforeServersReconnectsWithBackoff) {
+  SKIP_WITHOUT_TRANSPORT();
+  const FleetConfig fleet = make_fleet("algo-b", 2, 1, 1, 2, 1);
+  FleetProc client;
+  client.build(fleet, fleet.client_index());
+  client.rt->start();  // server is NOT up: connects fail, backoff kicks in
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(client.rt->net_stats().frames_received, 0u);
+
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+  client.rt->wait_connected();  // resolves only via a successful retry
+
+  WorkloadSpec spec;
+  spec.ops_per_reader = 5;
+  spec.ops_per_writer = 5;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*client.rt, *client.sys, spec);
+  driver.start();
+  driver.wait();
+  EXPECT_EQ(client.rec->snapshot().completed_reads(), 5u);
+
+  client.rt->broadcast_shutdown();
+  server.rt->run_until_shutdown();  // the broadcast must reach the daemon path
+  EXPECT_TRUE(server.rt->shutdown_requested());
+  client.rt->stop();
+  server.rt->stop();
+}
+
+TEST(NetRuntime, PostAfterPacesOpenLoopOverTcp) {
+  SKIP_WITHOUT_TRANSPORT();
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  std::vector<FleetProc> procs(2);
+  procs[0].build(fleet, 0);
+  procs[1].build(fleet, 1);
+  procs[0].rt->start();
+  procs[1].rt->start();
+  procs[1].rt->wait_connected();
+
+  WorkloadSpec spec;
+  spec.read_span = 1;
+  spec.write_span = 1;
+  DriverOptions dopts;
+  dopts.mode = ArrivalMode::kOpenLoop;
+  dopts.total_ops = 40;
+  dopts.arrival_interval_ns = 500'000;  // 0.5ms timerfd ticks
+  dopts.read_fraction = 0.5;
+  WorkloadDriver driver(*procs[1].rt, *procs[1].sys, spec, dopts);
+  const auto t0 = std::chrono::steady_clock::now();
+  driver.start();
+  driver.wait();
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(driver.completed_reads() + driver.completed_writes(), 40u);
+  // 40 arrivals at 0.5ms spacing cannot complete faster than ~20ms of wall
+  // clock: open-loop pacing really came from timers, not a burst.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(wall).count(), 15);
+  const auto sojourn = driver.sojourn_latency();
+  EXPECT_GT(sojourn.p50_ns, 0u);
+
+  procs[1].rt->broadcast_shutdown();
+  procs[0].rt->stop();
+  procs[1].rt->stop();
+}
+
+TEST(NetRuntime, StatsCountFramesAndBytes) {
+  SKIP_WITHOUT_TRANSPORT();
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  std::vector<FleetProc> procs(2);
+  procs[0].build(fleet, 0);
+  procs[1].build(fleet, 1);
+  procs[0].rt->start();
+  procs[1].rt->start();
+  procs[1].rt->wait_connected();
+  WorkloadSpec spec;
+  spec.ops_per_reader = 10;
+  spec.ops_per_writer = 10;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*procs[1].rt, *procs[1].sys, spec);
+  driver.start();
+  driver.wait();
+  const auto client = procs[1].rt->net_stats();
+  const auto server = procs[0].rt->net_stats();
+  // simple: every op fans out one request per object and gets one response.
+  EXPECT_GT(server.frames_received, 0u);
+  EXPECT_GT(client.frames_received, 0u);
+  EXPECT_GE(client.frames_sent, server.frames_received);
+  EXPECT_GT(client.bytes_sent, 0u);
+  EXPECT_GT(client.bytes_received, 0u);
+  EXPECT_EQ(client.reconnects, 0u);
+  procs[1].rt->broadcast_shutdown();
+  procs[0].rt->stop();
+  procs[1].rt->stop();
+}
+
+TEST(NetRuntime, InboundFlowControlPausesAndResumes) {
+  SKIP_WITHOUT_TRANSPORT();
+  // A 1-byte inbound budget makes EVERY received frame trip the pause and
+  // every drain resume it: the workload completing at all proves the
+  // pause/resume cycle cannot livelock, and the counter proves it engaged.
+  const FleetConfig fleet = make_fleet("algo-b", 2, 2, 2, 2, 1);
+  std::vector<FleetProc> procs(2);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    NetOptions opts = fleet.net_options(i);
+    opts.max_inbound_bytes = 1;
+    procs[i].rt = std::make_unique<NetRuntime>(opts);
+    procs[i].rec = std::make_unique<HistoryRecorder>(fleet.system.num_objects);
+    procs[i].sys = build_protocol(fleet.protocol, *procs[i].rt, *procs[i].rec, fleet.system,
+                                  fleet.options);
+  }
+  procs[0].rt->start();
+  procs[1].rt->start();
+  procs[1].rt->wait_connected();
+  WorkloadSpec spec;
+  spec.ops_per_reader = 15;
+  spec.ops_per_writer = 10;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*procs[1].rt, *procs[1].sys, spec);
+  driver.start();
+  driver.wait();
+  EXPECT_EQ(driver.completed_reads(), 2u * 15u);
+  EXPECT_GT(procs[0].rt->net_stats().inbound_pauses, 0u);  // servers saw bursts
+  procs[1].rt->broadcast_shutdown();
+  procs[1].rt->stop();
+  procs[0].rt->stop();
+}
+
+TEST(NetRuntime, RefusesRemotePostAndForeignConfigs) {
+  SKIP_WITHOUT_TRANSPORT();
+  FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  NetOptions opts = fleet.net_options(0);
+  NetRuntime rt(opts);
+  EXPECT_TRUE(rt.owns(0));
+  EXPECT_FALSE(rt.owns(3));
+  EXPECT_EQ(rt.owner_of(3), fleet.client_index());
+  // Construction-time validation.
+  NetOptions bad = fleet.net_options(0);
+  bad.owner = nullptr;
+  EXPECT_THROW(NetRuntime{bad}, std::runtime_error);
+  NetOptions oob = fleet.net_options(0);
+  oob.index = 99;
+  EXPECT_THROW(NetRuntime{oob}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snowkit

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the snowkit docs set.
+
+Validates every inline link/image in the given markdown files:
+
+  * relative links must resolve to an existing file or directory
+    (relative to the linking file), and a `#fragment` must match a
+    heading's GitHub-style anchor in the target markdown file;
+  * bare `#fragment` links must match a heading in the SAME file;
+  * absolute http(s) links are collected but NOT fetched by default
+    (CI must not flake on third-party outages); `--external` HEAD-checks
+    them for local runs.
+
+Links inside fenced code blocks and inline code spans are ignored.
+Exit status: 0 iff no broken links.  Used by the CI `docs` job:
+
+    python3 tools/check_md_links.py README.md docs/*.md
+"""
+
+import argparse
+import functools
+import pathlib
+import re
+import sys
+
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+# Inline links/images: [text](target "title") — target ends at space or ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (close enough for this repo)."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def strip_code(lines):
+    """Yields one output line per input line (so enumerate() keeps real line
+    numbers): fenced-block lines come out blank, code spans blanked."""
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            yield ""
+            continue
+        if in_fence:
+            yield ""
+            continue
+        yield CODE_SPAN_RE.sub("", line)
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(path: pathlib.Path) -> frozenset:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(2)))
+    return frozenset(anchors)
+
+
+def check_file(md: pathlib.Path, externals: list) -> list:
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    for lineno, line in enumerate(strip_code(text.splitlines()), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://")):
+                externals.append((md, lineno, target))
+                continue
+            if target.startswith("mailto:"):
+                continue
+            if target.startswith("#"):
+                if github_anchor(target[1:]) not in anchors_of(md):
+                    problems.append((md, lineno, target, "no such heading in this file"))
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append((md, lineno, target, "file not found"))
+                continue
+            if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+                if github_anchor(fragment) not in anchors_of(resolved):
+                    problems.append(
+                        (md, lineno, target, f"no heading for #{fragment} in {resolved.name}")
+                    )
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", type=pathlib.Path)
+    ap.add_argument("--external", action="store_true",
+                    help="also HEAD-check http(s) links (off in CI on purpose)")
+    args = ap.parse_args()
+
+    problems, externals = [], []
+    checked = 0
+    for md in args.files:
+        if not md.exists():
+            problems.append((md, 0, str(md), "input file missing"))
+            continue
+        problems.extend(check_file(md, externals))
+        checked += 1
+
+    if args.external:
+        import urllib.request
+
+        for md, lineno, url in externals:
+            try:
+                req = urllib.request.Request(url, method="HEAD",
+                                             headers={"User-Agent": "snowkit-linkcheck"})
+                urllib.request.urlopen(req, timeout=10)
+            except Exception as e:  # noqa: BLE001 — any failure is a broken link
+                problems.append((md, lineno, url, f"external: {e}"))
+
+    for md, lineno, target, why in problems:
+        print(f"{md}:{lineno}: broken link '{target}' — {why}", file=sys.stderr)
+    print(f"checked {checked} files: {len(problems)} broken, "
+          f"{len(externals)} external links {'checked' if args.external else 'skipped'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+// snowkit_server: hosts one fleet process's share of a protocol deployment.
+//
+//   snowkit_server --config fleet.cfg --index 0
+//
+// Reads the SAME fleet file every other process reads (runtime/fleet.hpp),
+// builds the named registry protocol on a NetRuntime owning this process's
+// node partition (server shards split contiguously; the last process hosts
+// the clients), serves traffic until a SHUTDOWN frame arrives from the
+// driving client, then exits 0.  Any registry protocol works unmodified —
+// the daemon contains zero per-protocol code.
+//
+// The client side of a fleet is usually `bench_harness --scenario
+// net_loopback` (which spawns three of these on 127.0.0.1), but any program
+// may build the same FleetConfig at client_index() and drive TxnClient /
+// WorkloadDriver against the remote fleet.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "runtime/fleet.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: snowkit_server --config FILE --index N [--quiet]\n"
+      "\n"
+      "  --config FILE   fleet file (see src/runtime/fleet.hpp for the format)\n"
+      "  --index N       which fleet process this daemon is (0-based; must be\n"
+      "                  one of the 'server' lines, not the client)\n"
+      "  --quiet         suppress the startup/shutdown banner\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  long index = -1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = next();
+    } else if (arg == "--index") {
+      // Strict parse: "--index two" must be an argument error, not a silent
+      // index 0 impersonating fleet process 0.
+      const char* value = next();
+      char* end = nullptr;
+      index = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || index < 0) {
+        std::fprintf(stderr, "error: --index value '%s' is not a non-negative integer\n", value);
+        return 1;
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (config_path.empty() || index < 0) {
+    usage();
+    return 1;
+  }
+
+  try {
+    const snowkit::FleetConfig fleet = snowkit::parse_fleet_file(config_path);
+    if (static_cast<std::size_t>(index) >= fleet.client_index()) {
+      std::fprintf(stderr,
+                   "error: index %ld is not a server process (fleet has %zu server "
+                   "processes; the client process drives itself)\n",
+                   index, fleet.server_processes());
+      return 1;
+    }
+
+    snowkit::NetRuntime rt(fleet.net_options(static_cast<std::size_t>(index)));
+    snowkit::HistoryRecorder rec(fleet.system.num_objects);
+    auto sys = snowkit::build_protocol(fleet.protocol, rt, rec, fleet.system, fleet.options);
+    rt.start();
+
+    if (!quiet) {
+      std::size_t owned = 0;
+      for (snowkit::NodeId id = 0; id < rt.node_count(); ++id) {
+        if (rt.owns(id)) ++owned;
+      }
+      std::printf("[snowkit_server %ld] %s on %s:%u — hosting %zu of %zu nodes\n", index,
+                  fleet.protocol.c_str(), fleet.processes[index].host.c_str(),
+                  fleet.processes[index].port, owned, rt.node_count());
+      std::fflush(stdout);
+    }
+
+    rt.run_until_shutdown();
+    rt.stop();
+    if (!quiet) {
+      const auto stats = rt.net_stats();
+      std::printf("[snowkit_server %ld] shutdown (frames in %llu, bytes in %llu / out %llu)\n",
+                  index, static_cast<unsigned long long>(stats.frames_received),
+                  static_cast<unsigned long long>(stats.bytes_received),
+                  static_cast<unsigned long long>(stats.bytes_sent));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snowkit_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
