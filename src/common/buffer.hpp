@@ -7,12 +7,24 @@
 
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace snowkit {
+
+/// Thrown by BufReader on malformed bytes (truncation, overlong varints,
+/// absurd lengths).  Trusted-input entry points (decode_message,
+/// decode_trace) catch it and abort — in-process bytes are produced by our
+/// own encoder, so corruption there is an invariant violation.  Untrusted
+/// entry points (try_decode_message, fed by the TCP transport) catch it and
+/// error-return so a hostile peer cannot crash the process.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class BufWriter {
  public:
@@ -142,12 +154,14 @@ class SizeWriter {
   std::size_t n_ = 0;
 };
 
+/// Bounds-checked reader; every malformation throws CodecError (see above
+/// for who catches it and how).
 class BufReader {
  public:
   explicit BufReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
 
   std::uint8_t u8() {
-    SNOW_CHECK(pos_ + 1 <= buf_.size());
+    need(1);
     return buf_[pos_++];
   }
   std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
@@ -161,8 +175,7 @@ class BufReader {
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
       if ((b & 0x80) == 0) return v;
     }
-    SNOW_CHECK_MSG(false, "varint longer than 10 bytes");
-    return v;
+    throw CodecError("varint longer than 10 bytes");
   }
 
   std::int64_t zz() {
@@ -172,7 +185,7 @@ class BufReader {
 
   std::string str() {
     std::uint32_t n = u32();
-    SNOW_CHECK(pos_ + n <= buf_.size());
+    need(n);
     std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -181,6 +194,7 @@ class BufReader {
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& read_elem) {
     std::uint32_t n = u32();
+    if (n > buf_.size()) throw CodecError("vec length exceeds buffer");
     std::vector<T> v;
     v.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
@@ -190,7 +204,7 @@ class BufReader {
   template <typename T, typename Fn>
   std::vector<T> cvec(Fn&& read_elem) {
     const std::uint64_t n = uv();
-    SNOW_CHECK_MSG(n <= buf_.size(), "cvec length " << n << " exceeds buffer");
+    if (n > buf_.size()) throw CodecError("cvec length exceeds buffer");
     std::vector<T> v;
     v.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
@@ -199,7 +213,7 @@ class BufReader {
 
   std::vector<std::uint8_t> mask() {
     const std::uint64_t n = uv();
-    SNOW_CHECK_MSG(n <= 8 * buf_.size(), "mask length " << n << " exceeds buffer");
+    if (n > 8 * buf_.size()) throw CodecError("mask length exceeds buffer");
     std::vector<std::uint8_t> m(n, 0);
     std::uint8_t acc = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -212,8 +226,11 @@ class BufReader {
   bool done() const { return pos_ == buf_.size(); }
 
  private:
+  void need(std::size_t n) const {
+    if (pos_ + n > buf_.size()) throw CodecError("truncated buffer");
+  }
   void raw(void* p, std::size_t n) {
-    SNOW_CHECK(pos_ + n <= buf_.size());
+    need(n);
     std::memcpy(p, buf_.data() + pos_, n);
     pos_ += n;
   }

@@ -10,9 +10,10 @@ namespace snowkit::fuzz {
 
 namespace {
 
-/// Bounds-checked reader over untrusted on-disk bytes: where BufReader
-/// treats truncation as a fatal in-process invariant violation (SNOW_CHECK
-/// aborts), a malformed trace FILE is expected input and must throw.
+/// Bounds-checked reader over untrusted on-disk bytes: where BufReader's
+/// CodecError marks an in-process invariant violation (trusted entry points
+/// catch it and abort), a malformed trace FILE is expected input and must
+/// throw something the replay CLI reports as a file error.
 class ThrowingReader {
  public:
   explicit ThrowingReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}

@@ -362,15 +362,53 @@ void encode_message_into(const Message& m, std::vector<std::uint8_t>& out) {
   std::visit(Encoder<BufWriter>{w}, m.payload);
 }
 
-Message decode_message(const std::vector<std::uint8_t>& bytes) {
+namespace {
+
+/// Shared decode body; malformation surfaces as CodecError, and the two
+/// public entry points choose the failure mode (abort vs error-return).
+Message decode_message_impl(const std::vector<std::uint8_t>& bytes) {
   BufReader r(bytes);
   Message m;
   m.txn = r.uv();
   std::size_t index = r.u8();
-  SNOW_CHECK_MSG(index < std::variant_size_v<Payload>, "payload index " << index);
+  if (index >= std::variant_size_v<Payload>) {
+    throw CodecError("payload index " + std::to_string(index) + " out of range");
+  }
   m.payload = decode_alternative<0>(index, r);
-  SNOW_CHECK_MSG(r.done(), "trailing bytes after payload " << payload_name(m.payload));
+  if (!r.done()) {
+    throw CodecError(std::string("trailing bytes after payload ") + payload_name(m.payload));
+  }
   return m;
+}
+
+}  // namespace
+
+Message decode_message(const std::vector<std::uint8_t>& bytes) {
+  // Trusted in-process bytes (ThreadRuntime mailboxes, sim roundtrips): a
+  // decode failure means OUR encoder or memory is corrupt — abort, exactly
+  // as before BufReader learned to throw.
+  try {
+    return decode_message_impl(bytes);
+  } catch (const CodecError& e) {
+    SNOW_UNREACHABLE("decode_message on trusted bytes failed: " + std::string(e.what()));
+  }
+}
+
+bool try_decode_message(const std::vector<std::uint8_t>& bytes, Message& out,
+                        std::string& err) noexcept {
+  // Untrusted network bytes (NetRuntime frames from a greeted-but-
+  // unauthenticated TCP peer): malformation is expected input, never a
+  // reason to die.
+  try {
+    out = decode_message_impl(bytes);
+    return true;
+  } catch (const CodecError& e) {
+    err = e.what();
+    return false;
+  } catch (const std::bad_alloc&) {
+    err = "allocation failure during decode";
+    return false;
+  }
 }
 
 std::size_t encoded_size(const Message& m) {

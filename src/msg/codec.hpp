@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "msg/message.hpp"
@@ -13,7 +14,17 @@
 namespace snowkit {
 
 std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Decodes TRUSTED in-process bytes (ThreadRuntime mailboxes, sim
+/// roundtrips): malformation aborts, it means our own encoder or memory is
+/// corrupt.
 Message decode_message(const std::vector<std::uint8_t>& bytes);
+
+/// Decodes UNTRUSTED bytes (NetRuntime frames — a TCP peer's only credential
+/// is an unauthenticated HELLO): false + `err` on any malformation, never an
+/// abort, so a hostile payload cannot kill the process.
+bool try_decode_message(const std::vector<std::uint8_t>& bytes, Message& out,
+                        std::string& err) noexcept;
 
 /// Encodes `m` into `out`.  `out` is cleared first but its CAPACITY is kept,
 /// so encoding into a recycled buffer is allocation-free once warm — this is

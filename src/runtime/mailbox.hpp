@@ -26,6 +26,10 @@ struct NodeMailbox {
     /// the runtime's inbound budget when the I/O thread enqueued this item,
     /// refunded by the worker after delivery.  0 for local/task items.
     std::size_t charge{0};
+    /// NetRuntime only: the connection generation of the link this frame
+    /// arrived on, so a worker-side drop request (undecodable payload)
+    /// cannot tear down a replacement connection established since.
+    std::uint32_t link_gen{0};
   };
 
   std::mutex mu;

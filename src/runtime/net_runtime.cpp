@@ -20,10 +20,12 @@ namespace snowkit {
 
 namespace {
 
-// epoll_event.data.u64 tags.  Peer-link tags CARRY THE FD so a stale event
-// for an already-closed-and-replaced connection (same peer index, old fd,
-// queued in the same epoll_wait batch) is detectably stale and ignored
-// instead of tearing down the healthy replacement link.
+// epoll_event.data.u64 tags.  Peer-link tags CARRY THE LINK'S CONNECTION
+// GENERATION so a stale event for an already-closed-and-replaced connection
+// (same peer index, queued in the same epoll_wait batch) is detectably stale
+// and ignored instead of tearing down — or prematurely promoting — the
+// replacement link.  The fd number alone is not enough: the kernel reuses fd
+// numbers, so a reconnect can land on the exact fd the stale event names.
 constexpr std::uint64_t kTagListen = 0;
 constexpr std::uint64_t kTagWake = 1;
 constexpr std::uint64_t kTagTimer = 2;
@@ -31,10 +33,20 @@ constexpr std::uint64_t kTagPeerBit = 1ull << 63;
 constexpr std::uint64_t kTagPendingBit = 1ull << 62;
 constexpr std::uint64_t kTagPeerMask = (1ull << 24) - 1;  // fleets are tiny
 
-std::uint64_t peer_tag(std::size_t peer, int fd) {
-  return kTagPeerBit | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) << 24) |
-         (peer & kTagPeerMask);
+std::uint64_t peer_tag(std::size_t peer, std::uint32_t gen) {
+  return kTagPeerBit | (static_cast<std::uint64_t>(gen) << 24) | (peer & kTagPeerMask);
 }
+
+// Pre-HELLO connections are fully untrusted, so their resource footprint is
+// hard-bounded: at most kMaxPendingConns live at once, at most
+// kMaxPendingHandshakeBytes buffered each (a HELLO is tens of bytes — a
+// partial frame bigger than this is never going to become one), and at most
+// kPendingHandshakeTimeoutNs to complete the handshake before being reaped.
+// Without these, anyone who can reach the listen socket could pin fds and
+// up to kMaxFrameBytes of decoder buffer per connection, forever.
+constexpr std::size_t kMaxPendingConns = 64;
+constexpr std::size_t kMaxPendingHandshakeBytes = 512;
+constexpr TimeNs kPendingHandshakeTimeoutNs = 5'000'000'000;  // 5s
 
 }  // namespace
 
@@ -126,14 +138,32 @@ void NetRuntime::stop() {
   if (!started_) return;
   // Best-effort outbound drain (bounded): give the I/O thread up to a second
   // to flush queued frames (e.g. the SHUTDOWN broadcast) before teardown.
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::seconds(1);
+  // Never-connected links get a SHORTER sub-window: a daemon that was not
+  // reachable by now is almost certainly dead, and waiting the full second
+  // on frames that can never flush defeats the point of the bound.  150ms
+  // still covers the kick_connects_ redial plus a few backoff retries, so a
+  // daemon that comes up moments after broadcast_shutdown() gets its
+  // SHUTDOWN; one that comes up later than that loses it (it was equally
+  // lost before this window existed — SHUTDOWN delivery is best-effort).
+  const auto never_connected_deadline = start + std::chrono::milliseconds(150);
   while (std::chrono::steady_clock::now() < deadline) {
     bool dirty = false;
+    // Read BEFORE scanning links: the I/O thread clears this flag only
+    // AFTER dialing the kicked links, so a false here (acquire, paired with
+    // its release store) guarantees kicked links already show kConnecting.
+    const bool kick_pending = kick_connects_.load(std::memory_order_acquire);
     for (auto& link : links_) {
       // Count DOWN links too: a link in reconnect backoff may still hold
       // the SHUTDOWN broadcast, and the kick_connects_ redial is racing to
       // flush it within this window.
       if (link->state == PeerLink::State::kSelf) continue;
+      if (!kick_pending && !link->ever_connected.load(std::memory_order_acquire) &&
+          link->state == PeerLink::State::kIdle &&
+          std::chrono::steady_clock::now() >= never_connected_deadline) {
+        continue;
+      }
       // Read BOTH under out_mu: io_flush publishes staged (under this lock)
       // before it empties the outbox view, so a locked reader always sees a
       // queued-or-staged SHUTDOWN as dirty — staged-but-unsent bytes
@@ -287,7 +317,25 @@ void NetRuntime::worker(NodeId id) {
       refund += item.charge;
       if (item.task) {
         item.task();
+      } else if (item.charge > 0) {
+        // Network-origin frame (charge is only ever set by io_handle_frame):
+        // the payload comes from a peer whose sole credential is an
+        // unauthenticated HELLO, so a decode failure is hostile/corrupt
+        // traffic — drop the frame and the connection it rode in on, never
+        // the process.
+        Message m;
+        std::string err;
+        if (try_decode_message(item.bytes, m, err)) {
+          if (observer() != nullptr) observer()->on_deliver(item.from, id, m);
+          deliver_to(item.from, id, m);
+        } else {
+          std::fprintf(stderr, "[snowkit-net %zu] dropping undecodable frame for node %u: %s\n",
+                       opts_.index, id, err.c_str());
+          request_link_drop(owner_of(item.from), item.link_gen);
+        }
+        if (!item.bytes.empty()) drained.push_back(std::move(item.bytes));
       } else {
+        // Locally delivered bytes crossed only our own encoder: trusted.
         Message m = decode_message(item.bytes);
         if (observer() != nullptr) observer()->on_deliver(item.from, id, m);
         deliver_to(item.from, id, m);
@@ -311,6 +359,28 @@ void NetRuntime::worker(NodeId id) {
 
 // --- connection management (I/O thread only unless noted) --------------------
 
+/// Worker-thread request to tear down a peer link (e.g. an undecodable
+/// payload surfaced after the I/O thread already enqueued the frame).  Rides
+/// the internal-timer path so the actual close runs on the I/O thread.  The
+/// generation pins the request to the connection the offending frame
+/// arrived on: if that connection already died and a healthy replacement
+/// took its place, the request must no-op, not kill the replacement.
+void NetRuntime::request_link_drop(std::size_t peer, std::uint32_t gen) {
+  if (peer >= links_.size() || peer == opts_.index) return;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.push_back(
+        UserTimer{now_ns(), timer_seq_++, kInvalidNode, [this, peer, gen] {
+                    PeerLink& link = *links_[peer];
+                    if (link.fd >= 0 && link.gen == gen) {
+                      io_link_failed(peer, "undecodable payload");
+                    }
+                  }});
+    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  }
+  io_wake();
+}
+
 void NetRuntime::io_wake() {
   if (wake_fd_ < 0) return;
   const std::uint64_t one = 1;
@@ -331,10 +401,11 @@ void NetRuntime::io_start_connect(std::size_t peer) {
     return;
   }
   link.fd = fd;
+  ++link.gen;
   link.state = PeerLink::State::kConnecting;
   epoll_event ev{};
   ev.events = EPOLLOUT;
-  ev.data.u64 = peer_tag(peer, fd);
+  ev.data.u64 = peer_tag(peer, link.gen);
   SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
 }
 
@@ -357,6 +428,7 @@ void NetRuntime::close_link(PeerLink& link) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
     ::close(link.fd);
     link.fd = -1;
+    ++link.gen;  // events registered for the closed connection are now stale
   }
   // Frame-aligned recovery: the peer's decoder dies with the connection, so
   // a frame already cut by a partial write is unrecoverable — but staged
@@ -457,8 +529,12 @@ void NetRuntime::io_flush(std::size_t peer) {
       link.staged.store(link.wbuf.size(), std::memory_order_release);
       link.out_cv.notify_all();  // backpressured senders may proceed
     }
-    const auto n = ::write(link.fd, link.wbuf.data() + link.wbuf_off,
-                           link.wbuf.size() - link.wbuf_off);
+    // MSG_NOSIGNAL: a peer that closed/RST between epoll_wait and this write
+    // must yield EPIPE (handled below as a link failure), never a
+    // process-killing SIGPIPE.  This is the transport's only socket write,
+    // so no process-global signal disposition is needed (or touched).
+    const auto n = ::send(link.fd, link.wbuf.data() + link.wbuf_off,
+                          link.wbuf.size() - link.wbuf_off, MSG_NOSIGNAL);
     if (n > 0) {
       link.wbuf_off += static_cast<std::size_t>(n);
       stats_.bytes_sent.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
@@ -484,7 +560,7 @@ void NetRuntime::io_update_events(std::size_t peer) {
   epoll_event ev{};
   ev.events = (inbound_paused_.load(std::memory_order_relaxed) ? 0u : EPOLLIN) |
               (link.wbuf_off < link.wbuf.size() ? EPOLLOUT : 0u);
-  ev.data.u64 = peer_tag(peer, link.fd);
+  ev.data.u64 = peer_tag(peer, link.gen);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link.fd, &ev);
 }
 
@@ -517,15 +593,29 @@ bool NetRuntime::io_handle_frame(std::size_t peer, net::Frame& f) {
         io_link_failed(peer, "bad msg frame: " + err);
         return false;
       }
-      // A routable fleet shares ONE config: every process derives the same
-      // node numbering and owner map, so a frame addressed to a node we do
-      // not own means the fleet was launched from divergent configs — a
-      // deployment invariant violation, not recoverable traffic.
-      SNOW_CHECK_MSG(hdr.to < node_count() && owns(hdr.to),
-                     "frame for node " << hdr.to << " arrived at process " << opts_.index
-                                       << " which does not own it — fleet configs diverge");
+      // A routable fleet shares ONE config, so a frame addressed to a node
+      // we do not own means either divergent fleet configs or a hostile /
+      // confused peer.  The HELLO handshake is unauthenticated, so this is
+      // untrusted input: treat it like any other malformed traffic — log and
+      // drop the connection — never abort the process.
+      if (hdr.to >= node_count() || !owns(hdr.to)) {
+        io_link_failed(peer, "misrouted frame for node " + std::to_string(hdr.to) +
+                                 " not owned by process " + std::to_string(opts_.index) +
+                                 " (divergent fleet configs?)");
+        return false;
+      }
+      // The sender node is equally untrusted: a foreign `from` would flow
+      // into the protocol handler's reply send(), whose to<node_count()
+      // invariant check would abort THIS process.  Legitimate traffic only
+      // ever carries a from-node owned by the peer the stream came from.
+      if (hdr.from >= node_count() || owner_of(hdr.from) != peer) {
+        io_link_failed(peer, "frame with foreign sender node " + std::to_string(hdr.from) +
+                                 " not owned by peer " + std::to_string(peer));
+        return false;
+      }
       Mailbox::Item item;
       item.from = hdr.from;
+      item.link_gen = links_[peer]->gen;
       // Strip the routing header in place and MOVE the body: one memmove,
       // zero allocations on the I/O thread's per-frame path.
       f.body.erase(f.body.begin(),
@@ -591,19 +681,46 @@ void NetRuntime::io_accept_all() {
     const int fd = net::tcp_accept(listen_fd_, err);
     if (fd < 0) return;
     std::size_t slot = pending_.size();
+    std::size_t live = 0;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (pending_[i].fd < 0) {
-        slot = i;
-        break;
+        if (slot == pending_.size()) slot = i;
+      } else {
+        ++live;
       }
+    }
+    if (live >= kMaxPendingConns) {
+      // Handshake flood: refuse outright rather than pin another fd.  A
+      // legitimate fleet peer retries with backoff and gets a slot once the
+      // deadline reap (io_reap_stale_pending) clears the squatters.
+      std::fprintf(stderr, "[snowkit-net %zu] rejecting connection: pending handshake cap\n",
+                   opts_.index);
+      ::close(fd);
+      continue;
     }
     if (slot == pending_.size()) pending_.emplace_back();
     pending_[slot].fd = fd;
     pending_[slot].decoder = net::FrameDecoder{};
+    pending_[slot].accepted_ns = now_ns();
+    pending_[slot].fed_bytes = 0;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kTagPendingBit | slot;
     SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  }
+}
+
+/// Drops accepted connections that have not completed their HELLO within the
+/// deadline: pre-HELLO peers are untrusted and must not hold fds forever.
+void NetRuntime::io_reap_stale_pending() {
+  const TimeNs now = now_ns();
+  for (PendingConn& pc : pending_) {
+    if (pc.fd < 0 || now - pc.accepted_ns < kPendingHandshakeTimeoutNs) continue;
+    std::fprintf(stderr, "[snowkit-net %zu] rejecting connection: handshake timeout\n",
+                 opts_.index);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, pc.fd, nullptr);
+    ::close(pc.fd);
+    pc.fd = -1;
   }
 }
 
@@ -622,10 +739,21 @@ void NetRuntime::io_read_pending(std::size_t slot) {
     return;
   }
   if (n < 0) return;
+  pc.fed_bytes += static_cast<std::size_t>(n);
   pc.decoder.feed(buf, static_cast<std::size_t>(n));
   net::Frame f;
   const auto st = pc.decoder.next(f);
-  if (st == net::FrameDecoder::Status::kNeedMore) return;
+  if (st == net::FrameDecoder::Status::kNeedMore) {
+    if (pc.fed_bytes > kMaxPendingHandshakeBytes) {
+      // A "HELLO" still incomplete after this many bytes is never going to
+      // be one (e.g. a huge length prefix trickling a body in) — don't let
+      // an unauthenticated peer buffer up to kMaxFrameBytes.
+      std::fprintf(stderr, "[snowkit-net %zu] rejecting connection: oversized handshake\n",
+                   opts_.index);
+      drop();
+    }
+    return;
+  }
   net::HelloBody hello;
   std::string err;
   if (st == net::FrameDecoder::Status::kError || f.type != net::FrameType::kHello ||
@@ -647,6 +775,7 @@ void NetRuntime::io_read_pending(std::size_t slot) {
   PeerLink& link = *links_[peer];
   if (link.fd >= 0) close_link(link);  // peer reconnected before we saw the drop
   link.fd = pc.fd;
+  ++link.gen;
   link.state = PeerLink::State::kUp;
   link.decoder = std::move(pc.decoder);  // bytes buffered past the HELLO carry over
   pc.fd = -1;
@@ -727,13 +856,15 @@ void NetRuntime::io_loop() {
         }
       } else if (tag & kTagPeerBit) {
         const std::size_t peer = static_cast<std::size_t>(tag & kTagPeerMask);
-        const int fd = static_cast<int>(static_cast<std::uint32_t>(tag >> 24));
+        const std::uint32_t gen = static_cast<std::uint32_t>(tag >> 24);
         if (peer >= links_.size()) continue;
         PeerLink& link = *links_[peer];
-        // Stale event: the fd this event was registered for has since been
-        // closed (and possibly replaced by a reconnection in this very
-        // batch) — acting on it would tear down the healthy new link.
-        if (link.fd != fd) continue;
+        // Stale event: the connection this event was registered for has
+        // since been closed (and possibly replaced — even on the SAME fd
+        // number, which the kernel reuses — by a reconnection in this very
+        // batch).  Acting on it would tear down the healthy new link, or
+        // promote a still-in-flight connect to kUp.
+        if (link.fd < 0 || link.gen != gen) continue;
         if (link.state == PeerLink::State::kConnecting) {
           io_on_connect_ready(peer);
           if (link.state == PeerLink::State::kUp) io_flush(peer);
@@ -744,13 +875,14 @@ void NetRuntime::io_loop() {
           continue;
         }
         if (evs & EPOLLIN) io_read(peer);
-        if (link.fd == fd && (evs & EPOLLOUT)) io_flush(peer);
+        if (link.gen == gen && link.fd >= 0 && (evs & EPOLLOUT)) io_flush(peer);
       } else if (tag & kTagPendingBit) {
         io_read_pending(static_cast<std::size_t>(tag & ~kTagPendingBit));
       }
     }
     io_fire_timers();
-    if (kick_connects_.exchange(false, std::memory_order_acq_rel)) {
+    io_reap_stale_pending();
+    if (kick_connects_.load(std::memory_order_acquire)) {
       // broadcast_shutdown queued SHUTDOWN frames; redial links sitting in
       // reconnect backoff NOW so those frames can still flush before stop().
       for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -758,6 +890,9 @@ void NetRuntime::io_loop() {
           io_start_connect(i);
         }
       }
+      // Cleared only AFTER the dials: stop()'s drain skip reads this flag
+      // and must never observe it false while a kicked link is still kIdle.
+      kick_connects_.store(false, std::memory_order_release);
     }
     io_apply_inbound_flow_control();
     // Flush any peer with queued outbound frames (sends wake us via eventfd
@@ -848,6 +983,7 @@ void NetRuntime::post_after(NodeId, TimeNs, std::function<void()>) {
   SNOW_UNREACHABLE("NetRuntime on non-Linux");
 }
 void NetRuntime::enqueue_local(NodeId, Mailbox::Item) {}
+void NetRuntime::request_link_drop(std::size_t, std::uint32_t) {}
 void NetRuntime::worker(NodeId) {}
 void NetRuntime::io_loop() {}
 void NetRuntime::io_wake() {}
@@ -861,6 +997,7 @@ void NetRuntime::io_flush(std::size_t) {}
 void NetRuntime::io_read(std::size_t) {}
 bool NetRuntime::io_handle_frame(std::size_t, net::Frame&) { return false; }
 void NetRuntime::io_accept_all() {}
+void NetRuntime::io_reap_stale_pending() {}
 void NetRuntime::io_read_pending(std::size_t) {}
 void NetRuntime::io_fire_timers() {}
 void NetRuntime::io_rearm_timerfd() {}

@@ -34,6 +34,17 @@
 // contract).  The SNOW protocols tolerate that only at fleet shutdown,
 // where the SHUTDOWN frame (broadcast_shutdown) already ends the run;
 // mid-run process crashes are out of scope for snowkit-wire-v1.
+//
+// Trust model: a peer's only credential is its unauthenticated HELLO, so
+// every byte off the wire is handled as untrusted input — malformed frames,
+// misrouted headers, foreign sender nodes and undecodable payloads drop the
+// connection, pre-HELLO connections are capped/bounded/deadlined, and
+// nothing a network peer sends can abort the process.  What wire-v1 does
+// NOT defend against is control-plane spoofing: any process that can reach
+// a fleet port and speak the public HELLO can deliver a SHUTDOWN (stopping
+// the daemon) or displace a genuine peer's connection.  Fleet ports belong
+// inside the operator's network boundary (loopback or a private segment);
+// an authenticated handshake would need a wire-version bump.
 #pragma once
 
 #include <atomic>
@@ -169,12 +180,19 @@ class NetRuntime final : public Runtime {
     /// other threads, hence atomic.
     std::atomic<State> state{State::kIdle};
     int fd = -1;
+    /// Monotonic connection generation, bumped whenever fd is assigned or
+    /// closed.  Epoll tags carry it so a stale event queued for an earlier
+    /// connection is detectably stale even if the kernel reuses the same fd
+    /// number for the replacement socket.
+    std::uint32_t gen = 0;
     bool initiator = false;         ///< we dial (peer index < ours).
     net::FrameDecoder decoder;
     std::vector<std::uint8_t> wbuf;  ///< I/O-thread write staging (unsent tail).
     std::size_t wbuf_off = 0;
     TimeNs backoff_ns = 0;          ///< current reconnect delay.
-    bool ever_connected = false;
+    /// Written by the I/O thread; also read by stop()'s drain loop (which
+    /// skips links that never connected), hence atomic.
+    std::atomic<bool> ever_connected{false};
 
     std::mutex out_mu;               ///< guards outbox + drain cv.
     std::condition_variable out_cv;  ///< signaled when outbox drains.
@@ -188,6 +206,8 @@ class NetRuntime final : public Runtime {
   struct PendingConn {  ///< accepted, HELLO not yet seen.
     int fd = -1;
     net::FrameDecoder decoder;
+    TimeNs accepted_ns = 0;     ///< for the handshake deadline reap.
+    std::size_t fed_bytes = 0;  ///< pre-HELLO bytes buffered (bounded).
   };
 
   struct UserTimer {
@@ -202,6 +222,7 @@ class NetRuntime final : public Runtime {
 
   void worker(NodeId id);
   void enqueue_local(NodeId to, Mailbox::Item item);
+  void request_link_drop(std::size_t peer, std::uint32_t gen);
   void io_loop();
   void io_wake();
   void io_update_events(std::size_t peer);
@@ -214,6 +235,7 @@ class NetRuntime final : public Runtime {
   void io_read(std::size_t peer);
   bool io_handle_frame(std::size_t peer, net::Frame& f);
   void io_accept_all();
+  void io_reap_stale_pending();
   void io_read_pending(std::size_t slot);
   void io_fire_timers();
   void io_rearm_timerfd();

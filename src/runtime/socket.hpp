@@ -13,13 +13,15 @@
 // FrameDecoder is the incremental reassembly unit: bytes arrive in arbitrary
 // TCP chunks, frames pop out whole.  It is deliberately separable from the
 // runtime so tests can split encoded streams at every byte offset
-// (tests/frame_roundtrip_test.cpp).  Malformed input — absurd lengths,
-// unknown frame types, bad HELLO magic — is reported as a decoder ERROR
-// (the connection is dropped), never an abort: a TCP peer is untrusted input
-// until its HELLO checks out.  The Message payload INSIDE a well-framed MSG
-// from a greeted peer is trusted (all fleet processes run the same binary),
-// so payload corruption there is a process invariant violation like any
-// other codec misuse.
+// (tests/frame_roundtrip_test.cpp).  A TCP peer's only credential is its
+// HELLO, and the HELLO fields are public, so EVERYTHING on the stream stays
+// untrusted: malformed framing, bad routing headers, and undecodable
+// Message payloads are all reported as errors and drop the CONNECTION,
+// never the process (NetRuntime uses try_decode_message for frame
+// payloads).  What remains trusted is only control-plane INTENT: a
+// well-formed SHUTDOWN from any greeted peer stops the daemon, so fleet
+// ports must sit behind the operator's network boundary — snowkit-wire-v1
+// has no peer authentication (see the trust model note in net_runtime.hpp).
 #pragma once
 
 #include <cstdint>
@@ -106,9 +108,10 @@ struct MsgHeader {
 /// Parses the routing header only (bounds-checked, error-returning).
 bool parse_msg_header(const std::vector<std::uint8_t>& body, MsgHeader& out, std::string& err);
 
-/// Decodes the Message of a parsed MSG frame.  TRUSTED input: only call for
-/// frames from a peer whose HELLO was accepted (same binary, same codec);
-/// corruption past this point aborts like any in-process codec violation.
+/// Decodes the Message of a parsed MSG frame, aborting on malformation —
+/// for tests and tools operating on bytes they encoded themselves.  The
+/// transport does NOT use this on live traffic: NetRuntime workers decode
+/// network frames with try_decode_message and drop the connection instead.
 Message decode_msg_payload(const std::vector<std::uint8_t>& body, std::size_t payload_offset);
 
 // --- socket helpers (Linux; -1/err on failure, no exceptions) ---------------

@@ -52,8 +52,9 @@ struct ScheduleLog {
 void encode_schedule_log(const ScheduleLog& log, BufWriter& w);
 
 /// Generic over the reader so callers choose the failure mode: BufReader
-/// (aborting SNOW_CHECKs, for trusted in-process bytes) or the fuzz trace
-/// file's throwing reader (for untrusted on-disk artifacts).
+/// (throws CodecError, which trusted in-process entry points turn into an
+/// abort) or the fuzz trace file's throwing reader (std::invalid_argument,
+/// for untrusted on-disk artifacts).
 template <typename Reader>
 ScheduleLog decode_schedule_log(Reader& r) {
   ScheduleLog log;

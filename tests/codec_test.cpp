@@ -101,5 +101,38 @@ TEST(Codec, VersionCountClassifier) {
   EXPECT_EQ(version_count(Payload{WriteValReq{}}), 0);
 }
 
+// try_decode_message is the UNTRUSTED entry point (network frames): every
+// malformation must error-return, never abort.
+TEST(Codec, TryDecodeAcceptsValidBytes) {
+  const Message m{5, Payload{WriteValReq{WriteKey{3, 9}, 1, 42}}};
+  Message out;
+  std::string err;
+  ASSERT_TRUE(try_decode_message(encode_message(m), out, err)) << err;
+  EXPECT_EQ(out, m);
+}
+
+TEST(Codec, TryDecodeRejectsMalformedBytes) {
+  Message out;
+  std::string err;
+  // Out-of-range payload index.
+  EXPECT_FALSE(try_decode_message({0x00, 0xFF}, out, err));
+  // Empty buffer.
+  EXPECT_FALSE(try_decode_message({}, out, err));
+  // Truncated: valid prefix of a real message, cut at every byte offset.
+  const auto full = encode_message(Message{7, Payload{GetTagArrResp{
+      4, 2, {WriteKey{1, 0}, WriteKey{2, 1}}, {{ListedKey{1, WriteKey{1, 0}}}}}}});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(full.begin(),
+                                     full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(try_decode_message(prefix, out, err)) << "cut at " << cut;
+  }
+  // Trailing garbage after a complete payload.
+  auto padded = full;
+  padded.push_back(0x00);
+  EXPECT_FALSE(try_decode_message(padded, out, err));
+  // And the full buffer still decodes.
+  EXPECT_TRUE(try_decode_message(full, out, err)) << err;
+}
+
 }  // namespace
 }  // namespace snowkit

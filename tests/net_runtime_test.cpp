@@ -7,6 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 
@@ -254,6 +260,222 @@ TEST(NetRuntime, InboundFlowControlPausesAndResumes) {
   procs[1].rt->broadcast_shutdown();
   procs[1].rt->stop();
   procs[0].rt->stop();
+}
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool wait_closed(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+  std::uint8_t buf[16];
+  return ::read(fd, buf, sizeof buf) <= 0;
+}
+
+TEST(NetRuntime, MisroutedFrameDropsConnectionNotProcess) {
+  SKIP_WITHOUT_TRANSPORT();
+  // HELLO is unauthenticated (magic/version/index are public), so anything a
+  // greeted socket sends is still untrusted input: a MSG frame addressed to
+  // a node this process does not own must drop the CONNECTION, never abort
+  // the process — otherwise one well-formed frame is a remote crash vector.
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+
+  // A node owned by the client process, as seen by the shared owner map.
+  NodeId foreign = kInvalidNode;
+  for (NodeId id = 0; id < 8; ++id) {
+    if (!server.rt->owns(id)) {
+      foreign = id;
+      break;
+    }
+  }
+  ASSERT_NE(foreign, kInvalidNode);
+
+  // One connection per hostile variant; each must cost the attacker the
+  // connection (FIN/RST) and nothing else.
+  const auto attack = [&](const std::vector<std::uint8_t>& frames, const char* what) {
+    const int fd = raw_connect(fleet.processes[0].port);
+    ASSERT_GE(fd, 0);
+    std::vector<std::uint8_t> bytes;
+    net::append_hello(bytes, 1);  // claims to be the client process — accepted
+    bytes.insert(bytes.end(), frames.begin(), frames.end());
+    ASSERT_EQ(::write(fd, bytes.data(), bytes.size()), static_cast<ssize_t>(bytes.size()));
+    EXPECT_TRUE(wait_closed(fd, 5000)) << what;
+    ::close(fd);
+  };
+
+  // `to` not owned by this process.
+  std::vector<std::uint8_t> misrouted;
+  net::append_msg(misrouted, foreign, foreign,
+                  Message{1, Payload{WriteValReq{WriteKey{0, 1}, 0, 7}}});
+  attack(misrouted, "server accepted a misrouted destination node");
+
+  // `to` fine, but `from` names a node the claimed peer does not own:
+  // replying to it would abort in send().  Node 0 is owned by the server
+  // itself, never by the client the HELLO claims.
+  std::vector<std::uint8_t> foreign_from;
+  net::append_msg(foreign_from, 0, 0, Message{2, Payload{WriteValReq{WriteKey{0, 1}, 0, 7}}});
+  attack(foreign_from, "server accepted a foreign sender node");
+
+  // Routing header fine, payload bytes garbage: the worker's
+  // try_decode_message must reject it and request the link drop, not abort
+  // in decode.  Hand-build the MSG frame: len u32le, type 0x02, from uv,
+  // to uv (both valid single-byte varints), then junk payload.
+  NodeId from_node = kInvalidNode;
+  for (NodeId id = 0; id < 8; ++id) {
+    if (server.rt->owner_of(id) == 1) {
+      from_node = id;
+      break;
+    }
+  }
+  ASSERT_NE(from_node, kInvalidNode);
+  ASSERT_LT(from_node, 128u);  // single-byte varint below
+  NodeId to_node = 0;
+  ASSERT_TRUE(server.rt->owns(to_node));
+  std::vector<std::uint8_t> junk = {0, 0, 0, 0, 0x02, static_cast<std::uint8_t>(from_node),
+                                    static_cast<std::uint8_t>(to_node), 0x00, 0xFF};
+  // payload = txn varint 0x00, payload index 0xFF (out of range)
+  junk[0] = static_cast<std::uint8_t>(junk.size() - 4);
+  attack(junk, "server survived but should also have dropped the junk-payload link");
+
+  // And keep serving: a legitimate client fleet process still completes a
+  // workload against the same server instance.
+  FleetProc client;
+  client.build(fleet, fleet.client_index());
+  client.rt->start();
+  client.rt->wait_connected();
+  WorkloadSpec spec;
+  spec.ops_per_reader = 5;
+  spec.ops_per_writer = 5;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*client.rt, *client.sys, spec);
+  driver.start();
+  driver.wait();
+  EXPECT_EQ(client.rec->snapshot().completed_reads(), 5u);
+
+  client.rt->broadcast_shutdown();
+  client.rt->stop();
+  server.rt->stop();
+}
+
+TEST(NetRuntime, OversizedHandshakeIsDropped) {
+  SKIP_WITHOUT_TRANSPORT();
+  // A pre-HELLO peer is untrusted: a valid-looking length prefix trickling
+  // a large body must be cut off after a few hundred bytes, not allowed to
+  // buffer up to the 16 MiB frame cap per squatting connection.
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+
+  const int fd = raw_connect(fleet.processes[0].port);
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> bytes = {0xE8, 0x03, 0x00, 0x00};  // len = 1000
+  bytes.resize(bytes.size() + 600, 0x5A);                      // incomplete body
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()), static_cast<ssize_t>(bytes.size()));
+  EXPECT_TRUE(wait_closed(fd, 5000)) << "server kept buffering an oversized handshake";
+  ::close(fd);
+  server.rt->stop();
+}
+
+TEST(NetRuntime, PendingHandshakeCapRefusesFloods) {
+  SKIP_WITHOUT_TRANSPORT();
+  // 72 silent connections: the first 64 squat in pre-HELLO slots (reaped by
+  // the handshake deadline, too slow for this test), the last 8 must be
+  // refused immediately instead of pinning more fds.
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+
+  std::vector<int> fds;
+  for (int i = 0; i < 72; ++i) {
+    const int fd = raw_connect(fleet.processes[0].port);
+    ASSERT_GE(fd, 0) << "connect " << i;
+    fds.push_back(fd);
+  }
+  // Refused connections close quickly; squatters stay open until the (5s)
+  // handshake deadline, far past this poll.  Zero-timeout checks keep the
+  // squatters free.
+  int closed = 0;
+  for (int spins = 0; spins < 100 && closed < 8; ++spins) {
+    closed = 0;
+    for (const int fd : fds) {
+      if (wait_closed(fd, 0)) ++closed;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // >= rather than ==: on a very slow/sanitized host the loop's wall time
+  // can cross the 5s handshake-deadline reap, which closes the 64 squatters
+  // too.  At least the 8 over-cap connections must have been refused.
+  EXPECT_GE(closed, 8);
+  for (const int fd : fds) ::close(fd);
+  server.rt->stop();
+}
+
+TEST(NetRuntime, ShutdownReachesSlowStartingServer) {
+  SKIP_WITHOUT_TRANSPORT();
+  // broadcast_shutdown() + stop() against a server that only comes up a few
+  // tens of ms later: the drain's never-connected sub-window (plus the
+  // kick_connects_ redial and fast backoff) must still deliver the SHUTDOWN
+  // instead of skipping the link as dead.
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  FleetProc client;
+  NetOptions copts = fleet.net_options(fleet.client_index());
+  copts.reconnect_initial_ns = 5'000'000;  // retry every 5-10ms
+  copts.reconnect_max_ns = 10'000'000;
+  client.rt = std::make_unique<NetRuntime>(copts);
+  client.rec = std::make_unique<HistoryRecorder>(fleet.system.num_objects);
+  client.sys = build_protocol(fleet.protocol, *client.rt, *client.rec, fleet.system,
+                              fleet.options);
+  client.rt->start();  // server not up: the link never connects
+  client.rt->broadcast_shutdown();
+  std::thread stopper([&] { client.rt->stop(); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+  bool got = false;
+  for (int i = 0; i < 200 && !got; ++i) {
+    got = server.rt->shutdown_requested();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stopper.join();
+  EXPECT_TRUE(got) << "slow-starting server never received the SHUTDOWN broadcast";
+  server.rt->stop();
+}
+
+TEST(NetRuntime, StopDoesNotWaitOnNeverConnectedLinks) {
+  SKIP_WITHOUT_TRANSPORT();
+  // broadcast_shutdown queues SHUTDOWN frames on every link, including ones
+  // whose peer daemon never came up; stop()'s bounded drain must not burn
+  // its full window waiting on frames that can never flush.
+  const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  FleetProc client;
+  client.build(fleet, fleet.client_index());
+  client.rt->start();  // server process intentionally never started
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  client.rt->broadcast_shutdown();
+  const auto t0 = std::chrono::steady_clock::now();
+  client.rt->stop();
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(wall.count(), 500) << "stop() drained against a never-connected link";
 }
 
 TEST(NetRuntime, RefusesRemotePostAndForeignConfigs) {

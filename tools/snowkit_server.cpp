@@ -13,6 +13,7 @@
 // net_loopback` (which spawns three of these on 127.0.0.1), but any program
 // may build the same FleetConfig at client_index() and drive TxnClient /
 // WorkloadDriver against the remote fleet.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -37,6 +38,11 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The transport's own socket writes use MSG_NOSIGNAL, but this daemon
+  // should never die of SIGPIPE from any fd (e.g. stderr piped to a dead
+  // reader under a supervisor); EPIPE error returns are always preferable.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string config_path;
   long index = -1;
   bool quiet = false;
