@@ -78,6 +78,11 @@ struct ScenarioOptions {
   bool quick{false};       ///< CI smoke mode: shrink op counts, skip sweeps.
   std::string protocol;    ///< restrict protocol sweeps to one registry name.
   std::uint64_t seed{1};   ///< base seed; scenarios derive fixed per-run seeds.
+  /// Offered load in ops/s for scenarios that pace arrivals (net_loopback).
+  /// -1 keeps the scenario's default pacing; 0 means "unpaced": a closed-loop
+  /// flood that reports the transport's saturation ceiling instead of the
+  /// paced sojourn distribution.  Scenarios without pacing ignore it.
+  double rate{-1};
 
   /// True if `kind` passes the --protocol filter.
   bool wants(const std::string& kind) const { return protocol.empty() || protocol == kind; }

@@ -5,6 +5,7 @@
 //   bench_harness --scenario latency --protocol algo-b --quick
 //   bench_harness --all --quick --out-dir bench-out
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -25,6 +26,8 @@ void usage() {
       "  --protocol NAME   restrict protocol sweeps to one registry name\n"
       "                    (scenarios without protocol sweeps ignore it)\n"
       "  --quick           CI smoke mode: shrunk op counts, skipped sweeps\n"
+      "  --rate R          offered load in ops/s for paced scenarios; 0 = unpaced\n"
+      "                    closed-loop saturation (net_loopback honors this)\n"
       "  --seed N          base seed (default 1; runs are deterministic per seed)\n"
       "  --out-dir DIR     where BENCH_<scenario>.json is written (default .)\n"
       "  --list            list scenarios and exit\n");
@@ -66,6 +69,14 @@ int main(int argc, char** argv) {
       opts.protocol = next();
     } else if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg == "--rate") {
+      const char* value = next();
+      char* end = nullptr;
+      opts.rate = std::strtod(value, &end);
+      if (end == value || *end != '\0' || opts.rate < 0) {
+        std::fprintf(stderr, "error: --rate value '%s' is not a non-negative number\n", value);
+        return 1;
+      }
     } else if (arg == "--seed") {
       opts.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out-dir") {

@@ -25,9 +25,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
+#include "audit/capture.hpp"
 #include "runtime/fleet.hpp"
 
 namespace snowkit {
@@ -116,7 +118,8 @@ struct ServerProcs {
 };
 
 /// Writes the fleet file and spawns one snowkit_server per server process.
-void spawn_servers(const FleetConfig& fleet, ServerProcs& procs) {
+/// A non-empty audit_dir turns on each daemon's flight recorder.
+void spawn_servers(const FleetConfig& fleet, ServerProcs& procs, const std::string& audit_dir) {
   const std::string bin = server_binary();
   const auto dir = std::filesystem::temp_directory_path();
   procs.config_path =
@@ -132,8 +135,14 @@ void spawn_servers(const FleetConfig& fleet, ServerProcs& procs) {
     if (pid < 0) throw std::runtime_error("net_loopback: fork failed");
     if (pid == 0) {
       const std::string index = std::to_string(i);
-      ::execl(bin.c_str(), bin.c_str(), "--config", procs.config_path.c_str(), "--index",
-              index.c_str(), "--quiet", static_cast<char*>(nullptr));
+      if (audit_dir.empty()) {
+        ::execl(bin.c_str(), bin.c_str(), "--config", procs.config_path.c_str(), "--index",
+                index.c_str(), "--quiet", static_cast<char*>(nullptr));
+      } else {
+        ::execl(bin.c_str(), bin.c_str(), "--config", procs.config_path.c_str(), "--index",
+                index.c_str(), "--audit-dir", audit_dir.c_str(), "--quiet",
+                static_cast<char*>(nullptr));
+      }
       std::perror("execl snowkit_server");
       ::_exit(127);
     }
@@ -150,7 +159,25 @@ struct NetRun {
   NetRuntime::NetStats net;
   std::size_t client_nodes{0};
   bool servers_clean{false};
+  bool audit_on{false};
+  audit::CaptureStats audit;
 };
+
+/// $SNOWKIT_AUDIT_DIR turns on flight-recorder capture for the whole fleet:
+/// each daemon AND the client process write snowkit-audit-chunk-v1 files
+/// into `<env>/<protocol>` for the offline snowkit_audit pipeline.  The
+/// per-protocol subdir is wiped first so a retried run can't interleave its
+/// chunks with a failed attempt's.
+std::string audit_dir_for(const std::string& protocol) {
+  const char* env = std::getenv("SNOWKIT_AUDIT_DIR");
+  if (env == nullptr || *env == '\0') return {};
+  const auto dir = std::filesystem::path(env) / protocol;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw std::runtime_error("net_loopback: cannot create " + dir.string());
+  return dir.string();
+}
 
 NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::size_t writers,
                         std::size_t total_ops, const ScenarioOptions& opts) {
@@ -165,12 +192,26 @@ NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::s
   }
   fleet.validate();
 
+  const std::string audit_dir = audit_dir_for(protocol);
+
   ServerProcs procs;
-  spawn_servers(fleet, procs);
+  spawn_servers(fleet, procs, audit_dir);
 
   NetRuntime rt(fleet.net_options(fleet.client_index()));
   WireStats wire;
-  rt.set_observer(&wire);
+  std::unique_ptr<audit::AuditCapture> capture;
+  if (!audit_dir.empty()) {
+    audit::CaptureOptions copts;
+    copts.dir = audit_dir;
+    copts.process_index = static_cast<std::uint32_t>(fleet.client_index());
+    copts.protocol = fleet.protocol;
+    copts.num_servers = static_cast<std::uint32_t>(fleet.system.server_count());
+    copts.fleet_text = fleet_text(fleet);
+    capture = std::make_unique<audit::AuditCapture>(copts, &wire);
+    rt.set_observer(capture.get());
+  } else {
+    rt.set_observer(&wire);
+  }
   HistoryRecorder rec(fleet.system.num_objects);
   auto sys = build_protocol(fleet.protocol, rt, rec, fleet.system, fleet.options);
   rt.start();
@@ -185,10 +226,25 @@ NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::s
   spec.write_span = 2;
   spec.seed = opts.seed;
   DriverOptions dopts;
-  dopts.mode = ArrivalMode::kOpenLoop;
-  dopts.total_ops = total_ops;
-  dopts.arrival_interval_ns = 200'000;  // 5k arrivals/s: sustained, not a burst
-  dopts.read_fraction = 0.9;            // the paper's read-dominant regime
+  const bool saturate = opts.rate == 0;
+  if (saturate) {
+    // Unpaced saturation: every unified client chains its next op off the
+    // previous completion, so the fleet runs at the transport's closed-loop
+    // ceiling instead of a fixed offered load.  Closed loops have no arrival
+    // backlog, hence no sojourn; read latency comes from the history below.
+    dopts.mode = ArrivalMode::kClosedLoop;
+    dopts.mixed = true;
+    const std::size_t clients = readers + writers;
+    dopts.ops_per_client = std::max<std::size_t>(1, total_ops / clients);
+    total_ops = dopts.ops_per_client * clients;
+  } else {
+    dopts.mode = ArrivalMode::kOpenLoop;
+    dopts.total_ops = total_ops;
+    // Default 5k arrivals/s: sustained, not a burst; --rate R repaces it.
+    dopts.arrival_interval_ns =
+        opts.rate > 0 ? static_cast<TimeNs>(1e9 / opts.rate) : TimeNs{200'000};
+  }
+  dopts.read_fraction = 0.9;  // the paper's read-dominant regime
   WorkloadDriver driver(rt, *sys, spec, dopts);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -197,7 +253,8 @@ NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::s
   // lost frame) must fail THIS bench loudly, not hang it until the CI job
   // timeout.  Budget: arrival pacing plus a generous completion margin.
   const auto run_deadline =
-      t0 + std::chrono::nanoseconds(dopts.arrival_interval_ns * total_ops) +
+      t0 +
+      std::chrono::nanoseconds(saturate ? TimeNs{0} : dopts.arrival_interval_ns * total_ops) +
       std::chrono::seconds(60);
   while (!driver.done()) {
     if (procs.any_exited()) {
@@ -222,7 +279,13 @@ NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::s
   NetRun out;
   out.ops = driver.completed_reads() + driver.completed_writes();
   out.ops_per_sec = static_cast<double>(out.ops) / std::chrono::duration<double>(t1 - t0).count();
-  out.sojourn = driver.sojourn_latency();
+  if (saturate) {
+    // Closed loops skip sojourn bookkeeping; report protocol-level READ
+    // latency from the history instead so the record still has percentiles.
+    out.sojourn = summarize_latency(rec.snapshot(), /*reads=*/true);
+  } else {
+    out.sojourn = driver.sojourn_latency();
+  }
   out.wire_messages = wire.messages();
   out.wire_bytes = wire.bytes();
   out.net = rt.net_stats();
@@ -230,6 +293,14 @@ NetRun run_net_protocol(const std::string& protocol, std::size_t readers, std::s
     if (rt.owns(id)) ++out.client_nodes;
   }
   out.servers_clean = procs.reap(/*grace_ms=*/5000);
+  if (capture) {
+    // Sealed last, after the daemons flushed theirs: the client chunk carries
+    // the fleet's only History, which the merge step pairs with their rings.
+    capture->set_history(rec.snapshot());
+    capture->close();
+    out.audit_on = true;
+    out.audit = capture->stats();
+  }
   return out;
 }
 
@@ -246,9 +317,20 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
     lines.push_back({"simple", 2, 2});
     lines.push_back({"algo-b", 2, 2});
   }
+  // --protocol can also name a registry protocol outside the default sweep
+  // (e.g. broken-stale, to capture a faulty fleet for the audit pipeline).
+  if (!opts.protocol.empty()) {
+    bool listed = false;
+    for (const Line& line : lines) listed = listed || line.kind == opts.protocol;
+    if (!listed) lines.push_back({opts.protocol, opts.protocol == "algo-a" ? 1u : 2u, 2});
+  }
 
-  bench::heading("net_loopback: 3 snowkit_server processes + client over TCP (open loop, "
-                 "90% reads)");
+  const bool saturate = opts.rate == 0;
+  bench::heading(saturate
+                     ? "net_loopback: 3 snowkit_server processes + client over TCP (UNPACED "
+                       "closed-loop saturation, 90% reads; latency = history READ latency)"
+                     : "net_loopback: 3 snowkit_server processes + client over TCP (open loop, "
+                       "90% reads)");
   const std::vector<int> widths{14, 8, 12, 12, 12, 12, 12};
   bench::row({"protocol", "ops", "ops/s", "p50(us)", "p95(us)", "p99(us)", "tcp-KiB"}, widths);
 
@@ -294,13 +376,27 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
     rec.set("tcp_frames_received", std::to_string(r.net.frames_received));
     rec.set("reconnects", std::to_string(r.net.reconnects));
     rec.set("servers_exited_clean", r.servers_clean ? "true" : "false");
+    rec.set("mode", saturate ? "closed-loop-saturation" : "open-loop");
+    if (r.audit_on) {
+      rec.set("audit_events", std::to_string(r.audit.events));
+      rec.set("audit_drops", std::to_string(r.audit.drops));
+      rec.set("audit_bytes", std::to_string(r.audit.bytes_written));
+      rec.set("audit_chunks", std::to_string(r.audit.chunks));
+    }
     result.records.push_back(std::move(rec));
   }
   result.note("transport", "tcp-loopback");
   result.note("fleet", "3 server processes + 1 client process on 127.0.0.1");
-  std::printf("\nshape check: sojourn percentiles sit above the ThreadRuntime numbers by the\n"
-              "loopback syscall + framing cost; protocol ORDER is unchanged (fewer rounds ->\n"
-              "lower sojourn), because rounds now cost real network hops.\n");
+  result.note("mode", saturate ? "closed-loop-saturation" : "open-loop");
+  if (saturate) {
+    std::printf("\nshape check: UNPACED mode reports the closed-loop ceiling — ops/s is the\n"
+                "transport saturation point, and the percentiles are protocol READ latency\n"
+                "from the history (closed loops have no arrival backlog to sojourn in).\n");
+  } else {
+    std::printf("\nshape check: sojourn percentiles sit above the ThreadRuntime numbers by the\n"
+                "loopback syscall + framing cost; protocol ORDER is unchanged (fewer rounds ->\n"
+                "lower sojourn), because rounds now cost real network hops.\n");
+  }
   return result;
 }
 

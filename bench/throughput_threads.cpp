@@ -13,10 +13,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 
+#include "audit/capture.hpp"
 #include "bench_util.hpp"
 #include "metrics/gc_stats.hpp"
+#include "metrics/wire_stats.hpp"
 #include "msg/codec.hpp"
 #include "runtime/thread_runtime.hpp"
 
@@ -68,9 +71,12 @@ struct FloodResult {
 
 /// `senders` nodes each fire `per_sender` messages at `sinks` receivers
 /// (round-robin); measures wall-clock from first send to last delivery.
+/// An optional observer rides along (used for the audited-flood overhead
+/// measurement below).
 FloodResult run_flood(bool batched, std::size_t senders, std::size_t sinks,
-                      std::size_t per_sender) {
+                      std::size_t per_sender, MessageObserver* obs = nullptr) {
   ThreadRuntime rt(ThreadRuntime::Options{batched});
+  if (obs != nullptr) rt.set_observer(obs);
   std::mutex mu;
   std::condition_variable cv;
   std::atomic<std::size_t> delivered{0};
@@ -123,6 +129,82 @@ FloodResult best_flood(bool batched, std::size_t senders, std::size_t sinks,
     FloodResult r = run_flood(batched, senders, sinks, per_sender);
     if (r.msgs_per_sec > best.msgs_per_sec) best = r;
   }
+  return best;
+}
+
+/// The flood with the flight recorder attached — the always-on-capture
+/// overhead datapoint CI gates on (audit_drops / audit_bytes extras, and the
+/// "audit_overhead_pct" note against the plain batched flood).
+struct AuditedFlood {
+  FloodResult flood;
+  audit::CaptureStats cap;
+};
+
+/// The flood pushes >5M observer events/s — far past any real protocol
+/// workload — so the recorder runs at the sampling rate a deployment would
+/// use on a path this hot.  A sampled-out event costs two plain stores
+/// (no lock, no clock read); protocol-rate captures (net_loopback, the
+/// daemons) record every message.
+constexpr std::uint64_t kFloodAuditSample = 32;
+
+/// Measures capture overhead with interleaved pairs and a median-of-ratios
+/// estimate: each rep runs the two modes back to back so a machine-state
+/// drift (or a scheduler regime flip on small boxes) hits both sides of one
+/// ratio instead of biasing a whole mode's block.
+///
+/// Both sides run a WireStats observer — every protocol deployment already
+/// does (and the capture chains it via `next`), so the virtual-dispatch
+/// seam is sunk cost and the ratio isolates what TURNING THE RECORDER ON
+/// adds: the sampling gate plus the sampled share of ring writes.
+AuditedFlood measure_audit_overhead(std::size_t senders, std::size_t sinks,
+                                    std::size_t per_sender, int repeats, double* pct_out) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("snowkit_audit_flood_" +
+                    std::to_string(static_cast<unsigned long long>(
+                        std::chrono::steady_clock::now().time_since_epoch().count())));
+  AuditedFlood best;
+  std::vector<double> ratios;
+  for (int i = 0; i < repeats; ++i) {
+    // Alternate which mode runs first: back-to-back runs are not exchangeable
+    // (page cache, frequency, scheduler state), and a fixed order would bake
+    // that drift into every ratio as phantom overhead.
+    FloodResult plain, audited_r;
+    audit::CaptureStats cap_stats;
+    auto run_plain = [&] {
+      WireStats wire;
+      plain = run_flood(/*batched=*/true, senders, sinks, per_sender, &wire);
+    };
+    auto run_audited = [&] {
+      audit::CaptureOptions copts;
+      copts.dir = dir.string();
+      copts.protocol = "mailbox-flood";
+      copts.num_servers = 0;
+      copts.sample_every = kFloodAuditSample;
+      // Sized to the sampled volume: the default 16K-slot rings would cost
+      // ~12MB of first-touch zeroing + cache footprint across 16 threads,
+      // which on a small machine reads as phantom "capture overhead".
+      copts.ring_capacity = 2048;
+      WireStats wire;
+      audit::AuditCapture cap(copts, &wire);
+      audited_r = run_flood(/*batched=*/true, senders, sinks, per_sender, &cap);
+      cap.close();
+      cap_stats = cap.stats();
+    };
+    if (i % 2 == 0) {
+      run_plain();
+      run_audited();
+    } else {
+      run_audited();
+      run_plain();
+    }
+    if (plain.msgs_per_sec > 0) ratios.push_back(audited_r.msgs_per_sec / plain.msgs_per_sec);
+    if (audited_r.msgs_per_sec > best.flood.msgs_per_sec) best = {audited_r, cap_stats};
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  *pct_out = (1.0 - median) * 100.0;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // overhead datapoint only; chunks discarded
   return best;
 }
 
@@ -188,9 +270,20 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   // which is precisely what batch-drain + the buffer pool amortize away.
   const std::size_t senders = 8, sinks = 8;
   const std::size_t per_sender = opts.scaled(100'000, 4);
-  const int repeats = opts.quick ? 2 : 3;
+  // Each flood rep is ~0.1s; best-of-N per mode because the overhead
+  // comparison (audit vs plain) needs both ceilings, not two noisy samples —
+  // on a busy/small machine run-to-run scheduling noise exceeds the delta.
+  const int repeats = opts.quick ? 9 : 11;
   const FloodResult fast = best_flood(/*batched=*/true, senders, sinks, per_sender, repeats);
   const FloodResult legacy = best_flood(/*batched=*/false, senders, sinks, per_sender, repeats);
+  // Overhead pairs use 2 sinks: 4x-deeper per-sink queues keep the drain
+  // loop in its steady batched regime in BOTH modes.  With 8 idle-prone
+  // sinks, the audited senders' extra ns/msg can tip consumers into a
+  // wake-per-message regime and the "overhead" reading becomes a futex
+  // artifact (observed swinging -15%..+27% run to run), not capture cost.
+  double audit_pct = 0;
+  const AuditedFlood audited =
+      measure_audit_overhead(senders, /*sinks=*/2, per_sender, repeats, &audit_pct);
   const double speedup = legacy.msgs_per_sec > 0 ? fast.msgs_per_sec / legacy.msgs_per_sec : 0;
 
   bench::heading("mailbox flood: fast path (batch-drain + buffer reuse) vs per-message lock");
@@ -205,8 +298,15 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   };
   flood_row("batched (fast path)", fast);
   flood_row("per-message lock", legacy);
-  std::printf("\nspeedup: %.2fx (%zu senders x %zu msgs -> %zu sinks)\n", speedup, senders,
-              per_sender, sinks);
+  flood_row("batched + audit", audited.flood);
+  std::printf("\nspeedup: %.2fx (%zu senders x %zu msgs -> %zu sinks); audit capture (1/%llu "
+              "sampling) costs %.1f%% over the wire-stats baseline every deployment runs "
+              "(%llu events, %llu dropped, %llu chunk bytes)\n",
+              speedup, senders, per_sender, sinks,
+              static_cast<unsigned long long>(kFloodAuditSample), audit_pct,
+              static_cast<unsigned long long>(audited.cap.events),
+              static_cast<unsigned long long>(audited.cap.drops),
+              static_cast<unsigned long long>(audited.cap.bytes_written));
 
   for (const auto* pair : {&fast, &legacy}) {
     BenchRecord rec;
@@ -222,9 +322,29 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
     rec.set("batch_mean", batch);
     result.records.push_back(std::move(rec));
   }
+  {
+    BenchRecord rec;
+    rec.protocol = "mailbox-flood";
+    rec.threads = senders + sinks;
+    rec.ops = audited.flood.messages;
+    rec.ops_per_sec = audited.flood.msgs_per_sec;
+    rec.wire_messages = audited.flood.messages;
+    rec.wire_bytes = audited.flood.wire_bytes;
+    rec.set("mode", "batched-audit");
+    rec.set("audit_sample", std::to_string(kFloodAuditSample));
+    rec.set("audit_events", std::to_string(audited.cap.events));
+    rec.set("audit_sampled_out", std::to_string(audited.cap.sampled_out));
+    rec.set("audit_drops", std::to_string(audited.cap.drops));
+    rec.set("audit_bytes", std::to_string(audited.cap.bytes_written));
+    rec.set("audit_chunks", std::to_string(audited.cap.chunks));
+    result.records.push_back(std::move(rec));
+  }
   char sp[32];
   std::snprintf(sp, sizeof sp, "%.2f", speedup);
   result.note("flood_speedup_x", sp);
+  char ap[32];
+  std::snprintf(ap, sizeof ap, "%.2f", audit_pct);
+  result.note("audit_overhead_pct", ap);
 
   // 2. Protocol closed loops on the fast path.
   bench::heading("threaded runtime throughput (4 shards, ops/s wall clock)");

@@ -1,0 +1,63 @@
+// The flight recorder's event model.
+//
+// The runtime capture layer (audit/capture.hpp) records one AuditEvent per
+// observed message action — a Send at the sender's executor, a Recv at the
+// receiver's — through the MessageObserver seam both production substrates
+// (ThreadRuntime, NetRuntime) already expose.  Events are deliberately a
+// strict subset of the simulator's Action (sim/trace.hpp): the offline
+// merger (audit/merge.hpp) lifts them back into a Trace so the existing SNOW
+// monitors run unchanged over production captures, while transaction-level
+// data (read/write sets, invoke/respond orders) travels separately as the
+// client process's History snapshot embedded in its final chunk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace snowkit::audit {
+
+enum class EventKind : std::uint8_t {
+  kSend = 0,  ///< observed at the sending node.
+  kRecv = 1,  ///< observed at the receiving node, before the handler runs.
+};
+
+/// One captured message action, as decoded from a chunk file.
+///
+/// (ring, seq) identify the per-thread capture stream the event came from:
+/// within one ring, seq is dense-per-push and time is monotone (steady
+/// clock read on the recording thread), so per-node program order — every
+/// node's actions happen on exactly one executor thread — survives into the
+/// merged trace.
+struct AuditEvent {
+  EventKind kind{EventKind::kSend};
+  TimeNs time{0};          ///< steady-clock ns of the recording process.
+  NodeId node{kInvalidNode};  ///< where the action occurred.
+  NodeId peer{kInvalidNode};  ///< the other endpoint.
+  TxnId txn{kInvalidTxn};
+  std::string payload;     ///< stable payload-type name (msg/message.hpp).
+  std::uint32_t bytes{0};  ///< encoded wire size (Send only; 0 for Recv).
+  std::uint32_t versions{0};  ///< object versions carried (read responses).
+  std::uint64_t ring{0};   ///< capture-stream id, unique within a process.
+  std::uint64_t seq{0};    ///< dense per-ring push counter.
+
+  friend bool operator==(const AuditEvent&, const AuditEvent&) = default;
+};
+
+/// The in-memory ring-slot form of an event: what the capture hot path
+/// records.  `payload` is the static-lifetime name returned by
+/// payload_name(), so recording never copies a string; the flusher resolves
+/// names into the chunk's string table off the hot path.
+struct RawEvent {
+  EventKind kind{EventKind::kSend};
+  TimeNs time{0};
+  NodeId node{kInvalidNode};
+  NodeId peer{kInvalidNode};
+  TxnId txn{kInvalidTxn};
+  const char* payload{""};
+  std::uint32_t bytes{0};
+  std::uint32_t versions{0};
+};
+
+}  // namespace snowkit::audit

@@ -1,0 +1,267 @@
+#include "audit/capture.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+namespace snowkit::audit {
+
+namespace {
+
+TimeNs now_ns() {
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Capture-instance and ring uids come off process-global counters so a
+// thread-local cache entry from a destroyed capture can never match a live
+// one, and merged chunks can key rings by (process, uid) without collision.
+std::atomic<std::uint64_t> g_next_capture_uid{1};
+std::atomic<std::uint64_t> g_next_ring_uid{1};
+
+CaptureOptions sanitize(CaptureOptions o) {
+  o.ring_capacity = std::max<std::size_t>(o.ring_capacity, 2);
+  o.sample_every = std::max<std::uint64_t>(o.sample_every, 1);
+  std::uint64_t pow2 = 1;
+  while (pow2 < o.sample_every) pow2 <<= 1;
+  o.sample_every = pow2;
+  o.rotate_bytes = std::max<std::size_t>(o.rotate_bytes, 1u << 12);
+  return o;
+}
+
+}  // namespace
+
+/// One recording thread's buffer.  The owning thread is the only pusher;
+/// the flusher contends on `mu` only while draining, so in steady state the
+/// lock is taken and released uncontended (a handful of ns) per event.
+struct AuditCapture::Ring {
+  std::mutex mu;
+  std::vector<RawEvent> slots;
+  std::size_t head{0};  ///< index of the oldest retained event.
+  std::size_t size{0};
+  std::uint64_t pushed{0};  ///< total recorded; the next event's seq.
+  std::uint64_t drops{0};   ///< overwritten-before-drain total.
+  std::uint64_t drops_drained{0};  ///< portion of `drops` already charged to a chunk.
+  // The sampling gate sits OUTSIDE the mutex and is ONE counter: a
+  // sampled-out event costs a load, a store and a mask test — no lock, no
+  // clock read, no divide.  sampled_out is derived (calls - pushed) rather
+  // than counted.  The owning thread is the only writer; load+store (not
+  // RMW) keeps the increment an un-prefixed plain add while staying
+  // data-race-free for stats().
+  std::atomic<std::uint64_t> calls{0};  ///< record() attempts while sampling.
+  std::uint64_t uid{0};
+};
+
+namespace {
+
+struct CacheEntry {
+  std::uint64_t capture_uid;
+  AuditCapture::Ring* ring;
+};
+// Per-thread ring lookup: a tiny linear scan over every capture instance
+// this thread has recorded through (tests aside, exactly one).
+thread_local std::vector<CacheEntry> t_rings;
+// One-entry front cache: trivially-destructible TLS, so the hot path skips
+// the vector's thread-exit guard machinery and the scan entirely.
+thread_local std::uint64_t t_hot_uid = 0;
+thread_local AuditCapture::Ring* t_hot_ring = nullptr;
+
+}  // namespace
+
+AuditCapture::AuditCapture(CaptureOptions opts, MessageObserver* next)
+    : opts_(sanitize(std::move(opts))),
+      next_(next),
+      sample_mask_(opts_.sample_every - 1),
+      uid_(g_next_capture_uid.fetch_add(1, std::memory_order_relaxed)) {
+  if (!opts_.dir.empty()) std::filesystem::create_directories(opts_.dir);
+  if (opts_.flush_interval_ns > 0) {
+    flusher_ = std::thread([this] {
+      std::unique_lock lk(flusher_mu_);
+      while (!flusher_stop_) {
+        flusher_cv_.wait_for(lk, std::chrono::nanoseconds(opts_.flush_interval_ns),
+                             [&] { return flusher_stop_; });
+        if (flusher_stop_) break;
+        lk.unlock();
+        flush();
+        lk.lock();
+      }
+    });
+  }
+}
+
+AuditCapture::~AuditCapture() { close(); }
+
+AuditCapture::Ring& AuditCapture::ring_for_this_thread() {
+  if (t_hot_uid == uid_) return *t_hot_ring;
+  for (const CacheEntry& e : t_rings) {
+    if (e.capture_uid == uid_) {
+      t_hot_uid = uid_;
+      t_hot_ring = e.ring;
+      return *e.ring;
+    }
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->slots.resize(opts_.ring_capacity);
+  ring->uid = g_next_ring_uid.fetch_add(1, std::memory_order_relaxed);
+  Ring* raw = ring.get();
+  {
+    std::lock_guard lk(rings_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  t_rings.push_back({uid_, raw});
+  t_hot_uid = uid_;
+  t_hot_ring = raw;
+  return *raw;
+}
+
+void AuditCapture::record(EventKind kind, NodeId node, NodeId peer, const Message& m,
+                          std::size_t bytes) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  Ring& r = ring_for_this_thread();
+  if (sample_mask_ != 0) {
+    const std::uint64_t c = r.calls.load(std::memory_order_relaxed);
+    r.calls.store(c + 1, std::memory_order_relaxed);
+    if ((c & sample_mask_) != 0) return;
+  }
+  std::lock_guard lk(r.mu);
+  std::size_t slot;
+  if (r.size == r.slots.size()) {
+    // Full: a flight recorder keeps the most recent window — overwrite the
+    // oldest and count the loss.
+    slot = r.head;
+    r.head = (r.head + 1) % r.slots.size();
+    ++r.drops;
+  } else {
+    slot = (r.head + r.size) % r.slots.size();
+    ++r.size;
+  }
+  r.slots[slot] = RawEvent{kind,
+                           now_ns(),
+                           node,
+                           peer,
+                           m.txn,
+                           payload_name(m.payload),
+                           static_cast<std::uint32_t>(bytes),
+                           static_cast<std::uint32_t>(version_count(m.payload))};
+  ++r.pushed;
+}
+
+void AuditCapture::on_send(NodeId from, NodeId to, const Message& m, std::size_t bytes) {
+  record(EventKind::kSend, from, to, m, bytes);
+  if (next_ != nullptr) next_->on_send(from, to, m, bytes);
+}
+
+void AuditCapture::on_deliver(NodeId from, NodeId to, const Message& m) {
+  // A deliver is observed at the RECEIVING node, just before its handler.
+  record(EventKind::kRecv, to, from, m, 0);
+  if (next_ != nullptr) next_->on_deliver(from, to, m);
+}
+
+void AuditCapture::set_history(History h) {
+  std::lock_guard lk(io_mu_);
+  history_ = std::move(h);
+}
+
+void AuditCapture::flush() {
+  std::lock_guard lk(io_mu_);
+  if (closed_) return;
+  flush_locked();
+}
+
+void AuditCapture::flush_locked() {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard lk(rings_mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<RawEvent> drained;
+  for (Ring* r : rings) {
+    std::uint64_t base_seq = 0;
+    drained.clear();
+    {
+      std::lock_guard lk(r->mu);
+      base_seq = r->pushed - r->size;
+      drained.reserve(r->size);
+      for (std::size_t i = 0; i < r->size; ++i) {
+        drained.push_back(r->slots[(r->head + i) % r->slots.size()]);
+      }
+      r->head = 0;
+      r->size = 0;
+      pending_drops_ += r->drops - r->drops_drained;
+      r->drops_drained = r->drops;
+    }
+    if (drained.empty()) continue;
+    if (!writer_) writer_ = std::make_unique<ChunkWriter>(ChunkMeta{
+        opts_.process_index, next_chunk_seq_, opts_.protocol, opts_.num_servers,
+        opts_.fleet_text});
+    writer_->add_group(r->uid, base_seq, drained.data(), drained.size());
+  }
+  if (writer_ && writer_->size() >= opts_.rotate_bytes) rotate_locked();
+}
+
+void AuditCapture::rotate_locked() {
+  const std::string path = chunk_path(next_chunk_seq_);
+  const auto bytes = writer_->finish(pending_drops_);
+  pending_drops_ = 0;
+  writer_.reset();
+  write_file_atomic(path, bytes);
+  bytes_written_ += bytes.size();
+  ++chunks_written_;
+  ++next_chunk_seq_;
+}
+
+void AuditCapture::close() {
+  stopped_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+
+  std::lock_guard lk(io_mu_);
+  if (closed_) return;
+  closed_ = true;
+  flush_locked();
+  // A final chunk is always written, even if empty: it carries the history
+  // snapshot and the trailing drop totals, and its presence is how offline
+  // tooling distinguishes a clean shutdown from a killed process.
+  if (!writer_) writer_ = std::make_unique<ChunkWriter>(ChunkMeta{
+      opts_.process_index, next_chunk_seq_, opts_.protocol, opts_.num_servers,
+      opts_.fleet_text});
+  if (history_) writer_->set_history(*history_);
+  rotate_locked();
+}
+
+CaptureStats AuditCapture::stats() const {
+  CaptureStats s;
+  {
+    std::lock_guard lk(rings_mu_);
+    for (const auto& r : rings_) {
+      const std::uint64_t calls = r->calls.load(std::memory_order_relaxed);
+      std::lock_guard rlk(r->mu);
+      s.events += r->pushed;
+      s.drops += r->drops;
+      // Derived, clamped: a concurrent recorder may have bumped `pushed`
+      // between the two reads.
+      if (calls > r->pushed) s.sampled_out += calls - r->pushed;
+    }
+  }
+  {
+    std::lock_guard lk(io_mu_);
+    s.bytes_written = bytes_written_;
+    s.chunks = chunks_written_;
+  }
+  return s;
+}
+
+std::string AuditCapture::chunk_path(std::uint32_t seq) const {
+  const std::string prefix =
+      opts_.dir.empty() ? opts_.prefix : opts_.dir + "/" + opts_.prefix;
+  return chunk_filename(prefix, opts_.process_index, seq);
+}
+
+}  // namespace snowkit::audit

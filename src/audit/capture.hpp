@@ -1,0 +1,128 @@
+// Runtime side of the flight recorder: lock-light ring-buffer capture.
+//
+// AuditCapture is a MessageObserver, so it plugs into the seam both
+// production substrates already expose (ThreadRuntime's deliver path and
+// send fast path, NetRuntime's sender and I/O workers) without touching
+// either runtime.  The design keeps the hot path cheap:
+//
+//   * One ring per recording thread, created lazily on first use and found
+//     again through a thread-local cache — so the only lock a recording
+//     thread ever takes is its own ring's mutex, which is uncontended
+//     except for the brief moments the flusher drains it.
+//   * Fixed-capacity rings drop OLDEST under pressure (a flight recorder
+//     keeps the most recent window), counting every overwrite; the offline
+//     checkers are told the drop count so they can demote verdicts that a
+//     missing event could fake.
+//   * Recording copies POD + a static payload-name pointer; no allocation,
+//     no string copy, no I/O.
+//
+// A background flusher drains all rings every flush_interval_ns into the
+// current chunk (audit/chunk.hpp), rotating to a new file once the chunk
+// outgrows rotate_bytes.  close() — called from stop() paths and the
+// daemon's SIGTERM handler — performs the final drain, embeds the History
+// snapshot if one was attached, and seals the last chunk.  Chunks are
+// written atomically, so a cleanly shut down process never leaves a torn
+// file behind.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/audit_event.hpp"
+#include "audit/chunk.hpp"
+#include "history/history.hpp"
+#include "runtime/observer.hpp"
+
+namespace snowkit::audit {
+
+struct CaptureOptions {
+  std::string dir;             ///< output directory (created if missing).
+  std::string prefix{"audit"};  ///< chunk files: <dir>/<prefix>.p<proc>.<seq>.auditchunk
+  std::uint32_t process_index{0};
+  std::string protocol;
+  std::uint32_t num_servers{0};
+  std::string fleet_text;      ///< embedded in every chunk ("" for in-process runs).
+  std::size_t ring_capacity{1 << 14};  ///< events per recording thread.
+  /// Record 1 of every N messages (1 = all).  Rounded UP to a power of two
+  /// so the per-event sampling gate is a mask test, not a divide.
+  std::uint64_t sample_every{1};
+  std::size_t rotate_bytes{4u << 20};  ///< start a new chunk past this size.
+  TimeNs flush_interval_ns{200'000'000};  ///< 0 = no flusher thread (manual flush()).
+};
+
+struct CaptureStats {
+  std::uint64_t events{0};       ///< recorded into rings (pre-drop).
+  std::uint64_t drops{0};        ///< overwritten before a flush drained them.
+  std::uint64_t sampled_out{0};  ///< skipped by the sampling rate.
+  std::uint64_t bytes_written{0};  ///< chunk bytes on disk.
+  std::uint64_t chunks{0};       ///< chunk files written.
+};
+
+class AuditCapture final : public MessageObserver {
+ public:
+  /// `next` chains another observer (e.g. WireStats) behind the recorder;
+  /// it sees every message, sampled or not.
+  explicit AuditCapture(CaptureOptions opts, MessageObserver* next = nullptr);
+  ~AuditCapture() override;  // close()
+
+  AuditCapture(const AuditCapture&) = delete;
+  AuditCapture& operator=(const AuditCapture&) = delete;
+
+  void on_send(NodeId from, NodeId to, const Message& m, std::size_t bytes) override;
+  void on_deliver(NodeId from, NodeId to, const Message& m) override;
+
+  /// Attaches the run's History snapshot; embedded in the FINAL chunk at
+  /// close().  Call from the process that drove the clients.
+  void set_history(History h);
+
+  /// Drains every ring into the current chunk, rotating if oversized.
+  /// Thread-safe; the background flusher calls this on its interval.
+  void flush();
+
+  /// Final flush + sealed final chunk (with history, if attached).  Joins
+  /// the flusher.  Idempotent; recording after close() is a silent no-op.
+  void close();
+
+  CaptureStats stats() const;
+
+  struct Ring;  ///< opaque; public only so the thread-local cache can hold a pointer.
+
+ private:
+  void record(EventKind kind, NodeId node, NodeId peer, const Message& m, std::size_t bytes);
+  Ring& ring_for_this_thread();
+  void flush_locked();   // requires io_mu_
+  void rotate_locked();  // requires io_mu_
+  std::string chunk_path(std::uint32_t seq) const;
+
+  const CaptureOptions opts_;
+  MessageObserver* const next_;
+  const std::uint64_t sample_mask_;  ///< sample_every - 1 (0 = record everything).
+  const std::uint64_t uid_;  ///< distinguishes capture instances in thread-local caches.
+  std::atomic<bool> stopped_{false};  ///< hot-path gate flipped by close().
+
+  mutable std::mutex rings_mu_;  ///< guards rings_ (registration + flush snapshot).
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  mutable std::mutex io_mu_;  ///< serializes flush/rotate/close and the chunk writer.
+  std::unique_ptr<ChunkWriter> writer_;
+  std::uint32_t next_chunk_seq_{0};
+  std::uint64_t pending_drops_{0};  ///< drops drained but not yet sealed into a chunk.
+  std::optional<History> history_;
+  std::uint64_t bytes_written_{0};
+  std::uint64_t chunks_written_{0};
+  bool closed_{false};
+
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_{false};
+  std::thread flusher_;
+};
+
+}  // namespace snowkit::audit

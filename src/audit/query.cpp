@@ -1,0 +1,144 @@
+#include "audit/query.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace snowkit::audit {
+
+namespace {
+
+struct TxnLeg {
+  TxnId txn;
+  LegSample s;
+};
+
+const char* transit_leg(bool from_server, bool to_server) {
+  if (!from_server && to_server) return "request-transit";
+  if (from_server && !to_server) return "reply-transit";
+  if (from_server && to_server) return "server-to-server";
+  return "client-to-client";
+}
+
+std::vector<LegStats> summarize(const std::map<std::string, Histogram>& by_key) {
+  std::vector<LegStats> out;
+  for (const auto& [name, hist] : by_key) {
+    out.push_back(LegStats{name, summarize_histogram(hist)});
+  }
+  // Most expensive first: that's the provenance question being asked.
+  std::sort(out.begin(), out.end(),
+            [](const LegStats& a, const LegStats& b) { return a.lat.p99_ns > b.lat.p99_ns; });
+  return out;
+}
+
+}  // namespace
+
+QueryReport query_merged(const MergedAudit& m, std::size_t slowest_n) {
+  QueryReport rep;
+  const auto& acts = m.trace.actions();
+  const auto is_server = [&](NodeId n) { return n < m.num_servers; };
+
+  // msg_seq -> (send index, recv index); msg_seq is dense from 1.
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> pairs;
+  constexpr std::size_t kNone = SIZE_MAX;
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const Action& a = acts[i];
+    if (a.kind == ActionKind::Send) {
+      auto [it, ins] = pairs.emplace(a.msg_seq, std::pair{i, kNone});
+      if (!ins) it->second.first = i;
+    } else if (a.kind == ActionKind::Recv) {
+      auto [it, ins] = pairs.emplace(a.msg_seq, std::pair{kNone, i});
+      if (!ins) it->second.second = i;
+    }
+  }
+
+  std::vector<TxnLeg> legs;
+
+  // Transit legs: every paired Send/Recv.
+  for (const auto& [seq, pr] : pairs) {
+    (void)seq;
+    if (pr.first == kNone || pr.second == kNone) continue;
+    const Action& s = acts[pr.first];
+    const Action& r = acts[pr.second];
+    ++rep.paired_messages;
+    const TimeNs d = r.time >= s.time ? r.time - s.time : 0;
+    LegSample leg;
+    leg.leg = transit_leg(is_server(s.node), is_server(r.node));
+    leg.payload = s.msg;
+    leg.server = is_server(r.node) ? r.node : (is_server(s.node) ? s.node : kInvalidNode);
+    leg.duration = d;
+    legs.push_back(TxnLeg{s.txn, std::move(leg)});
+  }
+
+  // Server-handle legs: the same recv -> responding-send pattern the
+  // non-blocking monitor scans for, measured instead of judged.
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const Action& a = acts[i];
+    if (a.kind != ActionKind::Recv || !is_server(a.node) || a.txn == kInvalidTxn) continue;
+    for (std::size_t j = i + 1; j < acts.size(); ++j) {
+      const Action& b = acts[j];
+      if (b.node != a.node) continue;
+      if (b.kind == ActionKind::Send && b.txn == a.txn && b.peer == a.peer) {
+        LegSample leg;
+        leg.leg = "server-handle";
+        leg.payload = a.msg;  // keyed by the REQUEST that was being handled
+        leg.server = a.node;
+        leg.duration = b.time >= a.time ? b.time - a.time : 0;
+        legs.push_back(TxnLeg{a.txn, std::move(leg)});
+        break;
+      }
+    }
+  }
+
+  std::map<std::string, Histogram> by_leg;
+  std::map<std::string, Histogram> by_payload;
+  for (const TxnLeg& l : legs) {
+    by_leg[l.s.leg].record(l.s.duration);
+    if (l.s.leg != "server-handle") by_payload[l.s.payload].record(l.s.duration);
+  }
+  rep.legs = summarize(by_leg);
+  rep.payloads = summarize(by_payload);
+
+  if (m.history) {
+    Histogram reads, writes;
+    for (const TxnRecord& t : m.history->txns) {
+      if (!t.complete) continue;
+      (t.is_read ? reads : writes).record(t.respond_ns - t.invoke_ns);
+    }
+    rep.reads = summarize_histogram(reads);
+    rep.writes = summarize_histogram(writes);
+
+    std::map<TxnId, std::vector<LegSample>> legs_by_txn;
+    for (TxnLeg& l : legs) legs_by_txn[l.txn].push_back(std::move(l.s));
+
+    std::vector<const TxnRecord*> completed_reads;
+    for (const TxnRecord& t : m.history->txns) {
+      if (t.complete && t.is_read) completed_reads.push_back(&t);
+    }
+    std::sort(completed_reads.begin(), completed_reads.end(),
+              [](const TxnRecord* a, const TxnRecord* b) {
+                return a->respond_ns - a->invoke_ns > b->respond_ns - b->invoke_ns;
+              });
+    if (completed_reads.size() > slowest_n) completed_reads.resize(slowest_n);
+    for (const TxnRecord* t : completed_reads) {
+      ReadProvenance p;
+      p.txn = t->id;
+      p.latency = t->respond_ns - t->invoke_ns;
+      p.rounds = t->rounds;
+      if (auto it = legs_by_txn.find(t->id); it != legs_by_txn.end()) p.legs = it->second;
+      // The read waited for its SLOWEST server: the accounted time is the
+      // largest per-server leg-chain, not the sum over all servers.
+      std::map<NodeId, TimeNs> per_server;
+      for (const LegSample& l : p.legs) {
+        if (l.server != kInvalidNode) per_server[l.server] += l.duration;
+      }
+      for (const auto& [srv, total] : per_server) {
+        (void)srv;
+        p.accounted = std::max(p.accounted, total);
+      }
+      rep.slowest.push_back(std::move(p));
+    }
+  }
+  return rep;
+}
+
+}  // namespace snowkit::audit

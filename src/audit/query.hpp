@@ -1,0 +1,62 @@
+// Latency provenance over a merged audit run: which message leg cost what.
+//
+// The merged trace pairs every surviving Send with its Recv (shared
+// msg_seq), which decomposes a transaction's client-observed latency into
+// legs:
+//
+//   request-transit   client Send  -> server Recv      (network + queueing)
+//   server-handle     server Recv  -> that server's Send back to the
+//                                     requester for the same txn
+//   reply-transit     server Send  -> client Recv
+//   server-to-server  server Send  -> server Recv      (replication chatter)
+//
+// query_merged() aggregates per-leg and per-payload histograms
+// (metrics/histogram.hpp) and attributes the N slowest completed READs leg
+// by leg — the "which leg cost this p99 read?" answer.  Event times and the
+// history's invoke/respond stamps come from the same machine-wide monotonic
+// clock, so the two views subtract cleanly on the loopback fleets this
+// targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/merge.hpp"
+#include "metrics/histogram.hpp"
+
+namespace snowkit::audit {
+
+struct LegStats {
+  std::string name;  ///< leg class or payload name.
+  LatencySummary lat;
+};
+
+/// One leg instance attributed to a specific transaction.
+struct LegSample {
+  std::string leg;      ///< leg class.
+  std::string payload;  ///< payload name of the message (request for handle legs).
+  NodeId server{kInvalidNode};  ///< server end of the leg.
+  TimeNs duration{0};
+};
+
+struct ReadProvenance {
+  TxnId txn{kInvalidTxn};
+  TimeNs latency{0};  ///< respond - invoke from the history.
+  int rounds{0};
+  std::vector<LegSample> legs;    ///< every captured leg of this txn.
+  TimeNs accounted{0};            ///< max over servers of its leg-chain sum.
+};
+
+struct QueryReport {
+  LatencySummary reads;   ///< completed-READ latency from the history.
+  LatencySummary writes;  ///< completed-WRITE latency from the history.
+  std::vector<LegStats> legs;      ///< by leg class, descending p99.
+  std::vector<LegStats> payloads;  ///< transit time by payload name, descending p99.
+  std::vector<ReadProvenance> slowest;  ///< slowest completed READs.
+  std::uint64_t paired_messages{0};
+};
+
+QueryReport query_merged(const MergedAudit& m, std::size_t slowest_n = 5);
+
+}  // namespace snowkit::audit

@@ -1,0 +1,102 @@
+// Bounds-checked reader over untrusted on-disk bytes.
+//
+// Where BufReader's CodecError marks an in-process invariant violation
+// (trusted entry points catch it and abort), a malformed FILE is expected
+// input: repro traces come off disks and CI artifacts, audit chunks survive
+// crashes and partial writes.  Every malformation throws
+// std::invalid_argument carrying a caller-supplied context prefix, so CLIs
+// report "<what>: truncated file" instead of dying.  Shared by the fuzz
+// trace codec (fuzz/trace_io.cpp) and the audit chunk loader (audit/chunk).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace snowkit {
+
+class UntrustedReader {
+ public:
+  /// `context` prefixes every error message (e.g. "fuzz trace").
+  UntrustedReader(const std::vector<std::uint8_t>& buf, std::string context)
+      : buf_(buf), context_(std::move(context)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, sizeof v); return v; }
+
+  /// LEB128 varint (mirrors BufReader::uv).
+  std::uint64_t uv() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    fail("varint longer than 10 bytes");
+  }
+
+  /// ZigZag-mapped varint (mirrors BufReader::zz).
+  std::int64_t zz() {
+    const std::uint64_t u = uv();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_elem) {
+    const std::uint32_t n = u32();
+    need(n);  // every element is at least one byte: rejects absurd counts early
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  /// Varint-length-prefixed vector (the compact sibling of vec()).
+  template <typename T, typename Fn>
+  std::vector<T> cvec(Fn&& read_elem) {
+    const std::uint64_t n = uv();
+    need(n);
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
+    return v;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument(context_ + ": " + why);
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > buf_.size()) fail("truncated file");
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace snowkit

@@ -5,59 +5,16 @@
 #include <stdexcept>
 
 #include "common/buffer.hpp"
+#include "common/untrusted_reader.hpp"
 
 namespace snowkit::fuzz {
 
 namespace {
 
-/// Bounds-checked reader over untrusted on-disk bytes: where BufReader's
-/// CodecError marks an in-process invariant violation (trusted entry points
-/// catch it and abort), a malformed trace FILE is expected input and must
-/// throw something the replay CLI reports as a file error.
-class ThrowingReader {
- public:
-  explicit ThrowingReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return buf_[pos_++];
-  }
-  std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof v); return v; }
-  std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof v); return v; }
-  std::int64_t i64() { std::int64_t v; raw(&v, sizeof v); return v; }
-
-  std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-
-  template <typename T, typename Fn>
-  std::vector<T> vec(Fn&& read_elem) {
-    const std::uint32_t n = u32();
-    need(n);  // every element is at least one byte: rejects absurd counts early
-    std::vector<T> v;
-    v.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_elem(*this));
-    return v;
-  }
-
-  bool done() const { return pos_ == buf_.size(); }
-
- private:
-  void need(std::size_t n) const {
-    if (pos_ + n > buf_.size()) throw std::invalid_argument("fuzz trace: truncated file");
-  }
-  void raw(void* p, std::size_t n) {
-    need(n);
-    std::memcpy(p, buf_.data() + pos_, n);
-    pos_ += n;
-  }
-  const std::vector<std::uint8_t>& buf_;
-  std::size_t pos_ = 0;
-};
+// A malformed trace FILE is expected input (repros come off disks and CI
+// artifacts), so decoding runs over the shared bounds-checked reader for
+// untrusted bytes instead of BufReader's abort-on-corruption contract.
+using ThrowingReader = UntrustedReader;
 
 void encode_case(const FuzzCase& c, BufWriter& w) {
   w.str(c.protocol);
@@ -113,7 +70,7 @@ std::vector<std::uint8_t> encode_trace_file(const FuzzTraceFile& f) {
 }
 
 FuzzTraceFile decode_trace_file(const std::vector<std::uint8_t>& bytes) {
-  ThrowingReader r(bytes);
+  ThrowingReader r(bytes, "fuzz trace");
   const std::string schema = r.str();
   if (schema != kFuzzTraceSchema) {
     throw std::invalid_argument("fuzz trace: unknown schema '" + schema + "' (expected " +

@@ -959,6 +959,16 @@ void NetRuntime::run_until_shutdown() {
   });
 }
 
+void NetRuntime::request_shutdown() {
+  {
+    // Take conn_mu_ so a run_until_shutdown() waiter between its predicate
+    // check and its wait cannot miss the notify.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  conn_cv_.notify_all();
+}
+
 NetRuntime::NetStats NetRuntime::net_stats() const {
   NetStats s;
   s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
@@ -1007,6 +1017,7 @@ void NetRuntime::wait_connected() {}
 bool NetRuntime::wait_connected_for(TimeNs) { return false; }
 void NetRuntime::broadcast_shutdown() {}
 void NetRuntime::run_until_shutdown() {}
+void NetRuntime::request_shutdown() {}
 NetRuntime::NetStats NetRuntime::net_stats() const { return {}; }
 
 #endif

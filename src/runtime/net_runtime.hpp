@@ -147,6 +147,11 @@ class NetRuntime final : public Runtime {
   /// Daemon mode: blocks until a SHUTDOWN frame arrives from any peer (or
   /// stop() is called locally).
   void run_until_shutdown();
+
+  /// Local shutdown request: unblocks run_until_shutdown() as if a SHUTDOWN
+  /// frame had arrived.  Safe to call from any thread — snowkit_server's
+  /// signal thread uses it so SIGTERM takes the same clean-exit path.
+  void request_shutdown();
   bool shutdown_requested() const { return shutdown_.load(std::memory_order_acquire); }
 
   struct NetStats {

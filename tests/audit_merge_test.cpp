@@ -1,0 +1,183 @@
+// Offline merge: per-process chunk files -> one coherent, well-formed run.
+// The synthetic fleets here hand-build chunks through the real ChunkWriter
+// so the tests exercise codec + merge exactly as the CLI does.
+#include "audit/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/trace.hpp"
+
+namespace snowkit::audit {
+namespace {
+
+ChunkMeta meta_for(std::uint32_t process_index, const std::string& protocol = "simple") {
+  ChunkMeta meta;
+  meta.process_index = process_index;
+  meta.protocol = protocol;
+  meta.num_servers = 1;
+  return meta;
+}
+
+ChunkFile make_chunk(std::uint32_t process_index, std::uint64_t ring_uid,
+                     const std::vector<RawEvent>& events, std::uint64_t drops = 0,
+                     const History* history = nullptr,
+                     const std::string& protocol = "simple") {
+  ChunkWriter w(meta_for(process_index, protocol));
+  if (!events.empty()) w.add_group(ring_uid, /*base_seq=*/0, events.data(), events.size());
+  if (history != nullptr) w.set_history(*history);
+  return decode_chunk(w.finish(drops), "make_chunk");
+}
+
+// One request/reply exchange: client node 1 <-> server node 0, seen from
+// both processes' rings.  Timestamps share the machine-wide monotonic clock,
+// so send <= recv on both legs.
+std::vector<RawEvent> client_ring() {
+  return {
+      {EventKind::kSend, 100, 1, 0, 7, "SimpleReadReq", 20, 0},
+      {EventKind::kRecv, 400, 1, 0, 7, "SimpleReadResp", 0, 1},
+  };
+}
+
+std::vector<RawEvent> server_ring() {
+  return {
+      {EventKind::kRecv, 200, 0, 1, 7, "SimpleReadReq", 0, 0},
+      {EventKind::kSend, 300, 0, 1, 7, "SimpleReadResp", 24, 1},
+  };
+}
+
+TEST(AuditMerge, TwoProcessExchangeMergesWellFormed) {
+  History h;
+  h.num_objects = 1;
+  const auto merged = merge_chunks({
+      make_chunk(0, /*ring_uid=*/1, server_ring()),
+      make_chunk(1, /*ring_uid=*/1, client_ring(), 0, &h),
+  });
+
+  EXPECT_EQ(merged.protocol, "simple");
+  EXPECT_EQ(merged.processes, 2u);
+  EXPECT_EQ(merged.total_events, 4u);
+  EXPECT_EQ(merged.unmatched_recvs, 0u);
+  EXPECT_EQ(merged.unmatched_sends, 0u);
+  ASSERT_TRUE(merged.history.has_value());
+
+  std::string why;
+  EXPECT_TRUE(well_formed(merged.trace, &why)) << why;
+  ASSERT_EQ(merged.trace.size(), 4u);
+  // Time order with Recvs after their matched Sends.
+  EXPECT_EQ(merged.trace[0].kind, ActionKind::Send);
+  EXPECT_EQ(merged.trace[0].node, 1u);
+  EXPECT_EQ(merged.trace[1].kind, ActionKind::Recv);
+  EXPECT_EQ(merged.trace[1].node, 0u);
+  EXPECT_EQ(merged.trace[2].kind, ActionKind::Send);
+  EXPECT_EQ(merged.trace[3].kind, ActionKind::Recv);
+  // Pairing: request legs share a msg_seq, reply legs share another.
+  EXPECT_EQ(merged.trace[0].msg_seq, merged.trace[1].msg_seq);
+  EXPECT_EQ(merged.trace[2].msg_seq, merged.trace[3].msg_seq);
+  EXPECT_NE(merged.trace[0].msg_seq, merged.trace[2].msg_seq);
+}
+
+TEST(AuditMerge, RecvTimestampedBeforeItsSendStillOrdersAfterIt) {
+  // Scheduling jitter can stamp the Recv before the Send it matches (the
+  // observer runs around the actual socket ops).  The merge must still emit
+  // Send before Recv or the trace breaks well_formed().
+  const std::vector<RawEvent> client = {
+      {EventKind::kSend, 150, 1, 0, 7, "SimpleReadReq", 20, 0},
+  };
+  const std::vector<RawEvent> server = {
+      {EventKind::kRecv, 120, 0, 1, 7, "SimpleReadReq", 0, 0},  // "earlier" than the send
+  };
+  const auto merged = merge_chunks({
+      make_chunk(0, 1, server),
+      make_chunk(1, 1, client),
+  });
+  std::string why;
+  EXPECT_TRUE(well_formed(merged.trace, &why)) << why;
+  ASSERT_EQ(merged.trace.size(), 2u);
+  EXPECT_EQ(merged.trace[0].kind, ActionKind::Send);
+  EXPECT_EQ(merged.trace[1].kind, ActionKind::Recv);
+}
+
+TEST(AuditMerge, OrphanRecvIsExcludedAndCounted) {
+  // The Send that would match this Recv was overwritten in its ring (drops
+  // > 0); the Recv must be dropped from the trace, not crash the merge or
+  // poison well_formed().
+  const std::vector<RawEvent> server = {
+      {EventKind::kRecv, 200, 0, 1, 7, "SimpleReadReq", 0, 0},
+      {EventKind::kSend, 300, 0, 1, 7, "SimpleReadResp", 24, 1},
+  };
+  const std::vector<RawEvent> client = {
+      {EventKind::kRecv, 400, 1, 0, 7, "SimpleReadResp", 0, 1},
+  };
+  const auto merged = merge_chunks({
+      make_chunk(0, 1, server),
+      make_chunk(1, 1, client, /*drops=*/5),
+  });
+  EXPECT_EQ(merged.total_drops, 5u);
+  EXPECT_EQ(merged.unmatched_recvs, 1u);  // server's orphan request Recv
+  std::string why;
+  EXPECT_TRUE(well_formed(merged.trace, &why)) << why;
+  // The reply exchange survived intact.
+  ASSERT_EQ(merged.trace.size(), 2u);
+  EXPECT_EQ(merged.trace[0].kind, ActionKind::Send);
+  EXPECT_EQ(merged.trace[0].msg, "SimpleReadResp");
+  EXPECT_EQ(merged.trace[1].kind, ActionKind::Recv);
+}
+
+TEST(AuditMerge, PerRingOrderSurvivesTimestampTies) {
+  // Two events in one ring with the SAME timestamp: per-node program order
+  // is the ring order, which must survive into the merged trace.
+  const std::vector<RawEvent> ring = {
+      {EventKind::kSend, 100, 1, 0, 7, "SimpleReadReq", 20, 0},
+      {EventKind::kSend, 100, 1, 0, 8, "SimpleReadReq", 20, 0},
+  };
+  const auto merged = merge_chunks({make_chunk(1, 1, ring)});
+  ASSERT_EQ(merged.trace.size(), 2u);
+  EXPECT_EQ(merged.trace[0].txn, 7u);
+  EXPECT_EQ(merged.trace[1].txn, 8u);
+  EXPECT_EQ(merged.unmatched_sends, 2u);  // kept in the trace, but counted
+}
+
+TEST(AuditMerge, MismatchedChunksAreRejected) {
+  EXPECT_THROW(merge_chunks({}), std::invalid_argument);
+  EXPECT_THROW(merge_chunks({
+                   make_chunk(0, 1, server_ring(), 0, nullptr, "simple"),
+                   make_chunk(1, 1, client_ring(), 0, nullptr, "algo-b"),
+               }),
+               std::invalid_argument);
+  // Two histories cannot belong to one run (exactly one client process).
+  History h;
+  h.num_objects = 1;
+  EXPECT_THROW(merge_chunks({
+                   make_chunk(0, 1, server_ring(), 0, &h),
+                   make_chunk(1, 1, client_ring(), 0, &h),
+               }),
+               std::invalid_argument);
+}
+
+TEST(AuditMerge, MergedFileRoundTripsAndRejectsTruncation) {
+  History h;
+  h.num_objects = 1;
+  const auto merged = merge_chunks({
+      make_chunk(0, 1, server_ring()),
+      make_chunk(1, 1, client_ring(), /*drops=*/2, &h),
+  });
+  const auto bytes = encode_merged(merged);
+  const auto back = decode_merged(bytes, "roundtrip");
+
+  EXPECT_EQ(back.protocol, merged.protocol);
+  EXPECT_EQ(back.total_events, merged.total_events);
+  EXPECT_EQ(back.total_drops, 2u);
+  EXPECT_EQ(back.unmatched_recvs, merged.unmatched_recvs);
+  ASSERT_TRUE(back.history.has_value());
+  EXPECT_EQ(encode_trace(back.trace), encode_trace(merged.trace));
+
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_THROW(decode_merged(prefix, "trunc"), std::invalid_argument) << len;
+  }
+}
+
+}  // namespace
+}  // namespace snowkit::audit

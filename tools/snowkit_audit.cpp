@@ -1,0 +1,380 @@
+// snowkit_audit: offline audit/query pipeline over flight-recorder chunks.
+//
+//   snowkit_audit check  run/*.auditchunk             # re-run the checkers
+//   snowkit_audit merge  -o run.audit run/*.auditchunk
+//   snowkit_audit query  --slowest 3 run.audit        # latency provenance
+//   snowkit_audit stats  run/*.auditchunk             # per-chunk accounting
+//
+// check/query accept either raw chunk files (merged on the fly) or a merged
+// file produced by `merge`.  All subcommands take --json for machine
+// consumption (CI gates these with jq).
+//
+// Exit codes: 0 clean, 1 a checker flagged a violation, 2 usage or load
+// error (torn/corrupt chunk, unknown protocol, ...).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "audit/check.hpp"
+#include "audit/chunk.hpp"
+#include "audit/merge.hpp"
+#include "audit/query.hpp"
+
+namespace {
+
+using namespace snowkit;
+using namespace snowkit::audit;
+
+void usage() {
+  std::printf(
+      "usage: snowkit_audit <check|merge|query|stats> [options] FILE...\n"
+      "\n"
+      "subcommands:\n"
+      "  check   merge inputs and re-run the tag-order / SNOW / strict-\n"
+      "          serializability checkers; exit 1 if any violation is flagged\n"
+      "  merge   merge chunk files into one self-contained .audit file (-o OUT)\n"
+      "  query   latency provenance: per-leg / per-payload percentiles and the\n"
+      "          slowest reads broken down leg by leg\n"
+      "  stats   per-chunk capture accounting (events, drops, history)\n"
+      "\n"
+      "options:\n"
+      "  --json            machine-readable output\n"
+      "  --fleet FILE      fleet config overriding the one embedded in chunks\n"
+      "  --slowest N       number of slowest reads to attribute (query; default 5)\n"
+      "  -o OUT            output path (merge)\n"
+      "  --max-search-txns N   exact-search size cutoff (check; default 48)\n"
+      "  --max-states N        exact-search state cap (check; default 400000)\n"
+      "\n"
+      "inputs: .auditchunk files (any number, any process order) or one merged\n"
+      ".audit file for check/query.\n");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string jstrs(const std::vector<std::string>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ", ";
+    out += jstr(v[i]);
+  }
+  return out + "]";
+}
+
+std::string jsummary(const LatencySummary& s) {
+  return "{\"count\": " + std::to_string(s.count) +
+         ", \"mean_ns\": " + std::to_string(static_cast<std::uint64_t>(s.mean_ns)) +
+         ", \"p50_ns\": " + std::to_string(s.p50_ns) + ", \"p95_ns\": " +
+         std::to_string(s.p95_ns) + ", \"p99_ns\": " + std::to_string(s.p99_ns) +
+         ", \"max_ns\": " + std::to_string(s.max_ns) + "}";
+}
+
+struct Args {
+  std::string cmd;
+  std::vector<std::string> files;
+  std::string fleet_path;
+  std::string out_path;
+  bool json{false};
+  std::size_t slowest{5};
+  CheckMergedOptions check_opts;
+};
+
+int parse_args(int argc, char** argv, Args& a) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  a.cmd = argv[1];
+  if (a.cmd == "--help" || a.cmd == "-h") {
+    usage();
+    return -1;  // clean exit
+  }
+  if (a.cmd != "check" && a.cmd != "merge" && a.cmd != "query" && a.cmd != "stats") {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", a.cmd.c_str());
+    usage();
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      a.json = true;
+    } else if (arg == "--fleet") {
+      a.fleet_path = next();
+    } else if (arg == "-o" || arg == "--out") {
+      a.out_path = next();
+    } else if (arg == "--slowest") {
+      a.slowest = static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-search-txns") {
+      a.check_opts.max_search_txns = static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-states") {
+      a.check_opts.max_states = static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return -1;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      a.files.push_back(arg);
+    }
+  }
+  if (a.files.empty()) {
+    std::fprintf(stderr, "error: no input files\n");
+    return 2;
+  }
+  if (a.cmd == "merge" && a.out_path.empty()) {
+    std::fprintf(stderr, "error: merge needs -o OUT\n");
+    return 2;
+  }
+  return 0;
+}
+
+std::string read_fleet_override(const std::string& path) {
+  if (path.empty()) return "";
+  const auto bytes = audit::read_file(path);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+int cmd_check(const Args& a) {
+  const MergedAudit m = load_inputs(a.files, read_fleet_override(a.fleet_path));
+  const AuditVerdict v = check_merged(m, a.check_opts);
+  bool all_expected = !v.findings.empty();
+  for (const auto& f : v.findings) all_expected = all_expected && f.expected;
+
+  if (a.json) {
+    std::string out = "{\n";
+    out += "  \"schema\": \"snowkit-audit-check-v1\",\n";
+    out += "  \"protocol\": " + jstr(v.protocol) + ",\n";
+    out += std::string("  \"violation\": ") + (v.violation ? "true" : "false") + ",\n";
+    out += std::string("  \"inconclusive\": ") + (v.inconclusive ? "true" : "false") + ",\n";
+    out += std::string("  \"expected_only\": ") + (all_expected ? "true" : "false") + ",\n";
+    out += "  \"checks_run\": " + jstrs(v.checks_run) + ",\n";
+    out += "  \"findings\": [";
+    for (std::size_t i = 0; i < v.findings.size(); ++i) {
+      const auto& f = v.findings[i];
+      if (i) out += ", ";
+      out += "{\"checker\": " + jstr(f.checker) + ", \"explanation\": " + jstr(f.explanation) +
+             ", \"expected\": " + (f.expected ? "true" : "false") + "}";
+    }
+    out += "],\n";
+    out += "  \"notes\": " + jstrs(v.notes) + ",\n";
+    out += "  \"events\": " + std::to_string(m.total_events) + ",\n";
+    out += "  \"drops\": " + std::to_string(m.total_drops) + ",\n";
+    out += "  \"processes\": " + std::to_string(m.processes) + ",\n";
+    out += "  \"unmatched_recvs\": " + std::to_string(m.unmatched_recvs) + ",\n";
+    out += "  \"unmatched_sends\": " + std::to_string(m.unmatched_sends) + ",\n";
+    out += "  \"warnings\": " + jstrs(m.warnings) + "\n";
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::printf("protocol %s: %zu events from %u process(es), %llu drops\n", v.protocol.c_str(),
+                static_cast<std::size_t>(m.total_events), m.processes,
+                static_cast<unsigned long long>(m.total_drops));
+    std::printf("checks run: %s\n",
+                v.checks_run.empty() ? "(none)" : [&] {
+                  std::string s;
+                  for (const auto& c : v.checks_run) s += (s.empty() ? "" : ", ") + c;
+                  return s;
+                }().c_str());
+    for (const auto& w : m.warnings) std::printf("warning: %s\n", w.c_str());
+    for (const auto& n : v.notes) std::printf("note: %s\n", n.c_str());
+    for (const auto& f : v.findings) {
+      std::printf("%s (%s): %s\n", f.expected ? "EXPECTED divergence" : "VIOLATION",
+                  f.checker.c_str(), f.explanation.c_str());
+    }
+    if (!v.violation) {
+      std::printf(v.inconclusive ? "no violation found (inconclusive)\n" : "ok\n");
+    }
+  }
+  return v.violation ? 1 : 0;
+}
+
+int cmd_merge(const Args& a) {
+  std::vector<ChunkFile> chunks;
+  for (const auto& p : a.files) chunks.push_back(load_chunk(p));
+  const MergedAudit m = merge_chunks(chunks, read_fleet_override(a.fleet_path));
+  write_file_atomic(a.out_path, encode_merged(m));
+  std::printf(
+      "merged %zu chunks from %u process(es): %zu trace actions, %llu drops, "
+      "%llu unmatched recvs, %llu unmatched sends, history %s -> %s\n",
+      chunks.size(), m.processes, m.trace.size(),
+      static_cast<unsigned long long>(m.total_drops),
+      static_cast<unsigned long long>(m.unmatched_recvs),
+      static_cast<unsigned long long>(m.unmatched_sends), m.history ? "yes" : "NO",
+      a.out_path.c_str());
+  for (const auto& w : m.warnings) std::printf("warning: %s\n", w.c_str());
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  const MergedAudit m = load_inputs(a.files, read_fleet_override(a.fleet_path));
+  const QueryReport q = query_merged(m, a.slowest);
+
+  if (a.json) {
+    std::string out = "{\n";
+    out += "  \"schema\": \"snowkit-audit-query-v1\",\n";
+    out += "  \"protocol\": " + jstr(m.protocol) + ",\n";
+    out += "  \"paired_messages\": " + std::to_string(q.paired_messages) + ",\n";
+    out += "  \"reads\": " + jsummary(q.reads) + ",\n";
+    out += "  \"writes\": " + jsummary(q.writes) + ",\n";
+    auto leg_array = [](const std::vector<LegStats>& legs) {
+      std::string s = "[";
+      for (std::size_t i = 0; i < legs.size(); ++i) {
+        if (i) s += ", ";
+        s += "{\"name\": " + jstr(legs[i].name) + ", \"latency\": " + jsummary(legs[i].lat) + "}";
+      }
+      return s + "]";
+    };
+    out += "  \"legs\": " + leg_array(q.legs) + ",\n";
+    out += "  \"payloads\": " + leg_array(q.payloads) + ",\n";
+    out += "  \"slowest_reads\": [";
+    for (std::size_t i = 0; i < q.slowest.size(); ++i) {
+      const auto& p = q.slowest[i];
+      if (i) out += ", ";
+      out += "{\"txn\": " + std::to_string(p.txn) +
+             ", \"latency_ns\": " + std::to_string(p.latency) +
+             ", \"rounds\": " + std::to_string(p.rounds) +
+             ", \"accounted_ns\": " + std::to_string(p.accounted) + ", \"legs\": [";
+      for (std::size_t j = 0; j < p.legs.size(); ++j) {
+        const auto& l = p.legs[j];
+        if (j) out += ", ";
+        out += "{\"leg\": " + jstr(l.leg) + ", \"payload\": " + jstr(l.payload) +
+               ", \"server\": " +
+               (l.server == kInvalidNode ? std::string("-1") : std::to_string(l.server)) +
+               ", \"duration_ns\": " + std::to_string(l.duration) + "}";
+      }
+      out += "]}";
+    }
+    out += "]\n}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::printf("protocol %s: %llu paired messages\n", m.protocol.c_str(),
+                static_cast<unsigned long long>(q.paired_messages));
+    std::printf("reads:  count %llu p50 %llu p99 %llu max %llu ns\n",
+                static_cast<unsigned long long>(q.reads.count),
+                static_cast<unsigned long long>(q.reads.p50_ns),
+                static_cast<unsigned long long>(q.reads.p99_ns),
+                static_cast<unsigned long long>(q.reads.max_ns));
+    std::printf("writes: count %llu p50 %llu p99 %llu max %llu ns\n",
+                static_cast<unsigned long long>(q.writes.count),
+                static_cast<unsigned long long>(q.writes.p50_ns),
+                static_cast<unsigned long long>(q.writes.p99_ns),
+                static_cast<unsigned long long>(q.writes.max_ns));
+    std::printf("legs (by p99):\n");
+    for (const auto& l : q.legs) {
+      std::printf("  %-18s count %8llu  p50 %8llu  p99 %8llu  max %8llu ns\n", l.name.c_str(),
+                  static_cast<unsigned long long>(l.lat.count),
+                  static_cast<unsigned long long>(l.lat.p50_ns),
+                  static_cast<unsigned long long>(l.lat.p99_ns),
+                  static_cast<unsigned long long>(l.lat.max_ns));
+    }
+    std::printf("payload transit (by p99):\n");
+    for (const auto& l : q.payloads) {
+      std::printf("  %-18s count %8llu  p50 %8llu  p99 %8llu  max %8llu ns\n", l.name.c_str(),
+                  static_cast<unsigned long long>(l.lat.count),
+                  static_cast<unsigned long long>(l.lat.p50_ns),
+                  static_cast<unsigned long long>(l.lat.p99_ns),
+                  static_cast<unsigned long long>(l.lat.max_ns));
+    }
+    for (const auto& p : q.slowest) {
+      std::printf("slow read txn %llu: %llu ns over %d round(s), %llu ns on the critical server\n",
+                  static_cast<unsigned long long>(p.txn),
+                  static_cast<unsigned long long>(p.latency), p.rounds,
+                  static_cast<unsigned long long>(p.accounted));
+      for (const auto& l : p.legs) {
+        std::printf("    %-18s %-16s server %-3d %8llu ns\n", l.leg.c_str(), l.payload.c_str(),
+                    l.server == kInvalidNode ? -1 : static_cast<int>(l.server),
+                    static_cast<unsigned long long>(l.duration));
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  std::vector<ChunkFile> chunks;
+  for (const auto& p : a.files) chunks.push_back(load_chunk(p));
+  std::uint64_t total_events = 0, total_drops = 0;
+  for (const auto& c : chunks) {
+    total_events += c.events.size();
+    total_drops += c.drops;
+  }
+  if (a.json) {
+    std::string out = "{\n  \"schema\": \"snowkit-audit-stats-v1\",\n  \"chunks\": [";
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const auto& c = chunks[i];
+      if (i) out += ", ";
+      out += "{\"path\": " + jstr(c.path) + ", \"process\": " +
+             std::to_string(c.meta.process_index) + ", \"seq\": " +
+             std::to_string(c.meta.chunk_seq) + ", \"protocol\": " + jstr(c.meta.protocol) +
+             ", \"events\": " + std::to_string(c.events.size()) +
+             ", \"drops\": " + std::to_string(c.drops) +
+             ", \"has_history\": " + (c.history ? "true" : "false") + "}";
+    }
+    out += "],\n";
+    out += "  \"total_events\": " + std::to_string(total_events) + ",\n";
+    out += "  \"total_drops\": " + std::to_string(total_drops) + "\n}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    for (const auto& c : chunks) {
+      std::printf("%s: process %u seq %u protocol %s — %zu events, %llu drops%s\n",
+                  c.path.c_str(), c.meta.process_index, c.meta.chunk_seq,
+                  c.meta.protocol.c_str(), c.events.size(),
+                  static_cast<unsigned long long>(c.drops), c.history ? ", history" : "");
+    }
+    std::printf("total: %zu chunks, %llu events, %llu drops\n", chunks.size(),
+                static_cast<unsigned long long>(total_events),
+                static_cast<unsigned long long>(total_drops));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  const int rc = parse_args(argc, argv, a);
+  if (rc == -1) return 0;
+  if (rc != 0) return rc;
+  try {
+    if (a.cmd == "check") return cmd_check(a);
+    if (a.cmd == "merge") return cmd_merge(a);
+    if (a.cmd == "query") return cmd_query(a);
+    return cmd_stats(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snowkit_audit: %s\n", e.what());
+    return 2;
+  }
+}

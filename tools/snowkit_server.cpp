@@ -9,6 +9,12 @@
 // driving client, then exits 0.  Any registry protocol works unmodified —
 // the daemon contains zero per-protocol code.
 //
+// With --audit-dir the daemon records every message it sends or delivers
+// through the flight recorder (src/audit), writing snowkit-audit-chunk-v1
+// files for the offline snowkit_audit pipeline.  SIGTERM and SIGINT take
+// the same clean-exit path as a SHUTDOWN frame — open audit chunks are
+// flushed and sealed, so a terminated daemon never leaves a torn chunk.
+//
 // The client side of a fleet is usually `bench_harness --scenario
 // net_loopback` (which spawns three of these on 127.0.0.1), but any program
 // may build the same FleetConfig at client_index() and drive TxnClient /
@@ -17,8 +23,15 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
+#include <thread>
 
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "audit/capture.hpp"
 #include "core/run_workload.hpp"
 #include "core/system.hpp"
 #include "runtime/fleet.hpp"
@@ -27,12 +40,15 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: snowkit_server --config FILE --index N [--quiet]\n"
+      "usage: snowkit_server --config FILE --index N [--audit-dir DIR] [--quiet]\n"
       "\n"
-      "  --config FILE   fleet file (see src/runtime/fleet.hpp for the format)\n"
-      "  --index N       which fleet process this daemon is (0-based; must be\n"
-      "                  one of the 'server' lines, not the client)\n"
-      "  --quiet         suppress the startup/shutdown banner\n");
+      "  --config FILE    fleet file (see src/runtime/fleet.hpp for the format)\n"
+      "  --index N        which fleet process this daemon is (0-based; must be\n"
+      "                   one of the 'server' lines, not the client)\n"
+      "  --audit-dir DIR  record message traffic as snowkit-audit-chunk-v1\n"
+      "                   files in DIR (see docs/AUDIT.md)\n"
+      "  --audit-sample N capture 1 of every N messages (default 1 = all)\n"
+      "  --quiet          suppress the startup/shutdown banner\n");
 }
 
 }  // namespace
@@ -44,6 +60,8 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   std::string config_path;
+  std::string audit_dir;
+  long audit_sample = 1;
   long index = -1;
   bool quiet = false;
 
@@ -66,6 +84,17 @@ int main(int argc, char** argv) {
       index = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || index < 0) {
         std::fprintf(stderr, "error: --index value '%s' is not a non-negative integer\n", value);
+        return 1;
+      }
+    } else if (arg == "--audit-dir") {
+      audit_dir = next();
+    } else if (arg == "--audit-sample") {
+      const char* value = next();
+      char* end = nullptr;
+      audit_sample = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || audit_sample < 1) {
+        std::fprintf(stderr, "error: --audit-sample value '%s' is not a positive integer\n",
+                     value);
         return 1;
       }
     } else if (arg == "--quiet") {
@@ -94,9 +123,48 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+#ifdef __linux__
+    // SIGTERM/SIGINT must flush audit chunks, so they cannot be handled in
+    // an async-signal context (the flush allocates and locks).  Block them
+    // here — BEFORE anything spawns a thread (AuditCapture's flusher,
+    // NetRuntime's workers all inherit the mask) — then sigwait() on a
+    // dedicated thread that routes the signal into the normal clean-exit
+    // path.  SIGUSR1 is the private "run ended normally, stand down" wakeup.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+#endif
+
     snowkit::NetRuntime rt(fleet.net_options(static_cast<std::size_t>(index)));
+
+    std::unique_ptr<snowkit::audit::AuditCapture> capture;
+    if (!audit_dir.empty()) {
+      snowkit::audit::CaptureOptions copts;
+      copts.dir = audit_dir;
+      copts.process_index = static_cast<std::uint32_t>(index);
+      copts.protocol = fleet.protocol;
+      copts.num_servers = static_cast<std::uint32_t>(fleet.system.server_count());
+      copts.fleet_text = snowkit::fleet_text(fleet);
+      copts.sample_every = static_cast<std::uint64_t>(audit_sample);
+      capture = std::make_unique<snowkit::audit::AuditCapture>(copts);
+      rt.set_observer(capture.get());
+    }
+
     snowkit::HistoryRecorder rec(fleet.system.num_objects);
     auto sys = snowkit::build_protocol(fleet.protocol, rt, rec, fleet.system, fleet.options);
+
+#ifdef __linux__
+    std::thread signal_thread([&rt, &sigs] {
+      int sig = 0;
+      while (sigwait(&sigs, &sig) != 0) {
+      }
+      if (sig != SIGUSR1) rt.request_shutdown();
+    });
+#endif
+
     rt.start();
 
     if (!quiet) {
@@ -104,20 +172,39 @@ int main(int argc, char** argv) {
       for (snowkit::NodeId id = 0; id < rt.node_count(); ++id) {
         if (rt.owns(id)) ++owned;
       }
-      std::printf("[snowkit_server %ld] %s on %s:%u — hosting %zu of %zu nodes\n", index,
+      std::printf("[snowkit_server %ld] %s on %s:%u — hosting %zu of %zu nodes%s\n", index,
                   fleet.protocol.c_str(), fleet.processes[index].host.c_str(),
-                  fleet.processes[index].port, owned, rt.node_count());
+                  fleet.processes[index].port, owned, rt.node_count(),
+                  audit_dir.empty() ? "" : " (audit capture on)");
       std::fflush(stdout);
     }
 
     rt.run_until_shutdown();
+
+#ifdef __linux__
+    // Wake the signal thread if no signal ever arrived: the process-directed
+    // SIGUSR1 stays pending until its sigwait() consumes it.
+    kill(getpid(), SIGUSR1);
+    signal_thread.join();
+#endif
+
     rt.stop();
+    if (capture) capture->close();
     if (!quiet) {
       const auto stats = rt.net_stats();
       std::printf("[snowkit_server %ld] shutdown (frames in %llu, bytes in %llu / out %llu)\n",
                   index, static_cast<unsigned long long>(stats.frames_received),
                   static_cast<unsigned long long>(stats.bytes_received),
                   static_cast<unsigned long long>(stats.bytes_sent));
+      if (capture) {
+        const auto cs = capture->stats();
+        std::printf("[snowkit_server %ld] audit: %llu events, %llu drops, %llu bytes in %llu "
+                    "chunk(s)\n",
+                    index, static_cast<unsigned long long>(cs.events),
+                    static_cast<unsigned long long>(cs.drops),
+                    static_cast<unsigned long long>(cs.bytes_written),
+                    static_cast<unsigned long long>(cs.chunks));
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "snowkit_server: %s\n", e.what());
