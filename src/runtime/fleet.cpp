@@ -39,6 +39,7 @@ NetOptions FleetConfig::net_options(std::size_t index) const {
   // be THE owner_of rule (one implementation), since every fleet process
   // derives its routing from it.
   opts.owner = [cfg = *this](NodeId node) { return cfg.owner_of(node); };
+  opts.transport = transport;
   return opts;
 }
 
@@ -56,6 +57,7 @@ void FleetConfig::validate() const {
                                 "process are required");
   }
   system.validate();
+  transport.validate();
   if (server_processes() > system.server_count()) {
     throw std::invalid_argument(
         "fleet config: " + std::to_string(server_processes()) + " server processes but only " +
@@ -132,6 +134,12 @@ FleetConfig parse_fleet_text(const std::string& text) {
       }
     } else if (key == "options") {
       fleet.options = BuildOptions::parse(need_value("key=value[,key=value]"));
+    } else if (key == "transport") {
+      try {
+        fleet.transport.parse_csv(need_value("key=value[,key=value]"));
+      } catch (const std::invalid_argument& e) {
+        bad_line(lineno, e.what());
+      }
     } else if (key == "server") {
       if (saw_client) bad_line(lineno, "server lines must precede the client line");
       servers.push_back(need_addr());
@@ -176,6 +184,19 @@ std::string fleet_text(const FleetConfig& fleet) {
     out << "options ";
     bool first = true;
     for (const auto& [k, v] : fleet.options.entries()) {
+      if (!first) out << ",";
+      first = false;
+      out << k << "=" << v;
+    }
+    out << "\n";
+  }
+  // Only non-default transport knobs are emitted, so configs show what they
+  // changed and parse(fleet_text(x)) round-trips exactly.
+  const auto transport_entries = fleet.transport.non_default_entries();
+  if (!transport_entries.empty()) {
+    out << "transport ";
+    bool first = true;
+    for (const auto& [k, v] : transport_entries) {
       if (!first) out << ",";
       first = false;
       out << k << "=" << v;

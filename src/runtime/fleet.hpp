@@ -13,6 +13,7 @@
 //   shards    3                  # num_servers (0 = one server per object)
 //   placement hash               # hash | range (optional, default hash)
 //   options   gc_versions=true   # BuildOptions csv (optional)
+//   transport io_threads=2       # TransportOptions csv (optional)
 //   server    127.0.0.1 7101     # fleet process 0
 //   server    127.0.0.1 7102     # fleet process 1
 //   server    127.0.0.1 7103     # fleet process 2
@@ -37,6 +38,10 @@ struct FleetConfig {
   std::string protocol;
   SystemConfig system;
   BuildOptions options;
+  /// Transport tuning for EVERY fleet process (one file, one transport
+  /// config — per-process overrides would let fleets drift).  The
+  /// snowkit_server `--transport` flag layers on top for local experiments.
+  TransportOptions transport;
   /// All fleet processes in index order: the server processes, then the one
   /// client process (always last).
   std::vector<NetPeerAddr> processes;

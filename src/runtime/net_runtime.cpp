@@ -13,6 +13,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/timerfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 #endif
 
@@ -26,6 +27,8 @@ namespace {
 // and ignored instead of tearing down — or prematurely promoting — the
 // replacement link.  The fd number alone is not enough: the kernel reuses fd
 // numbers, so a reconnect can land on the exact fd the stale event names.
+// The same property is what makes the thread-0 -> home-thread handoff of
+// accepted connections safe: each registration is pinned to its generation.
 constexpr std::uint64_t kTagListen = 0;
 constexpr std::uint64_t kTagWake = 1;
 constexpr std::uint64_t kTagTimer = 2;
@@ -36,17 +39,6 @@ constexpr std::uint64_t kTagPeerMask = (1ull << 24) - 1;  // fleets are tiny
 std::uint64_t peer_tag(std::size_t peer, std::uint32_t gen) {
   return kTagPeerBit | (static_cast<std::uint64_t>(gen) << 24) | (peer & kTagPeerMask);
 }
-
-// Pre-HELLO connections are fully untrusted, so their resource footprint is
-// hard-bounded: at most kMaxPendingConns live at once, at most
-// kMaxPendingHandshakeBytes buffered each (a HELLO is tens of bytes — a
-// partial frame bigger than this is never going to become one), and at most
-// kPendingHandshakeTimeoutNs to complete the handshake before being reaped.
-// Without these, anyone who can reach the listen socket could pin fds and
-// up to kMaxFrameBytes of decoder buffer per connection, forever.
-constexpr std::size_t kMaxPendingConns = 64;
-constexpr std::size_t kMaxPendingHandshakeBytes = 512;
-constexpr TimeNs kPendingHandshakeTimeoutNs = 5'000'000'000;  // 5s
 
 }  // namespace
 
@@ -63,6 +55,7 @@ NetRuntime::NetRuntime(NetOptions opts) : opts_(std::move(opts)) {
   if (!opts_.owner) {
     throw std::runtime_error("NetRuntime: an owner partition function is required");
   }
+  opts_.transport.validate();  // fail-fast: misconfiguration never reaches start()
   links_.reserve(opts_.peers.size());
   for (std::size_t i = 0; i < opts_.peers.size(); ++i) {
     auto link = std::make_unique<PeerLink>();
@@ -72,6 +65,7 @@ NetRuntime::NetRuntime(NetOptions opts) : opts_(std::move(opts)) {
       link->initiator = true;  // higher index dials lower
       ++initiated_total_;
     }
+    link->wq.set_limits(opts_.transport.coalesce_max_frames, opts_.transport.coalesce_max_bytes);
     links_.push_back(std::move(link));
   }
 }
@@ -96,22 +90,38 @@ TimeNs NetRuntime::now_ns() const {
 void NetRuntime::start() {
   SNOW_CHECK(!started_);
   started_ = true;
+  stopping_.store(false, std::memory_order_release);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  SNOW_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  SNOW_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
-  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
-  SNOW_CHECK_MSG(timer_fd_ >= 0, "timerfd_create failed");
+  const TransportOptions& t = opts_.transport;
+  io_threads_.clear();
+  pending_.clear();
+  for (std::size_t id = 0; id < t.io_threads; ++id) {
+    auto io = std::make_unique<IoThread>();
+    io->id = id;
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    SNOW_CHECK_MSG(io->epoll_fd >= 0, "epoll_create1 failed");
+    io->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    SNOW_CHECK_MSG(io->wake_fd >= 0, "eventfd failed");
+    io->timer_fd = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    SNOW_CHECK_MSG(io->timer_fd >= 0, "timerfd_create failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagWake;
+    SNOW_CHECK(::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->wake_fd, &ev) == 0);
+    ev.data.u64 = kTagTimer;
+    SNOW_CHECK(::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->timer_fd, &ev) == 0);
+    io->rbuf.resize(t.read_chunk_bytes);
+    io->slices.resize(t.coalesce_max_frames);
+    io->ready.resize(node_count());
+    io_threads_.push_back(std::move(io));
+  }
+  for (std::size_t peer = 0; peer < links_.size(); ++peer) {
+    if (peer == opts_.index) continue;
+    io_threads_[home_index(peer)]->links.push_back(peer);
+  }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kTagWake;
-  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
-  ev.data.u64 = kTagTimer;
-  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) == 0);
-
-  // Listen only when some higher-index process will dial us.
+  // Listen only when some higher-index process will dial us; accepts (and the
+  // untrusted pre-HELLO phase) are thread 0's job.
   if (opts_.index + 1 < opts_.peers.size()) {
     const NetPeerAddr& self = opts_.peers[opts_.index];
     std::string err;
@@ -119,9 +129,10 @@ void NetRuntime::start() {
     if (listen_fd_ < 0) {
       throw std::runtime_error("NetRuntime: " + err);
     }
+    epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kTagListen;
-    SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+    SNOW_CHECK(::epoll_ctl(io_threads_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
   }
 
   for (NodeId id = 0; id < node_count(); ++id) {
@@ -131,32 +142,39 @@ void NetRuntime::start() {
   for (NodeId id = 0; id < node_count(); ++id) {
     if (owns(id)) workers_.emplace_back([this, id] { worker(id); });
   }
-  io_thread_ = std::thread([this] { io_loop(); });
+  for (auto& io : io_threads_) {
+    IoThread* raw = io.get();
+    io->thread = std::thread([this, raw] { io_loop(*raw); });
+  }
 }
 
 void NetRuntime::stop() {
   if (!started_) return;
-  // Best-effort outbound drain (bounded): give the I/O thread up to a second
+  // Best-effort outbound drain (bounded): give the I/O threads up to a second
   // to flush queued frames (e.g. the SHUTDOWN broadcast) before teardown.
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::seconds(1);
   // Never-connected links get a SHORTER sub-window: a daemon that was not
   // reachable by now is almost certainly dead, and waiting the full second
   // on frames that can never flush defeats the point of the bound.  150ms
-  // still covers the kick_connects_ redial plus a few backoff retries, so a
+  // still covers the kick_connects redial plus a few backoff retries, so a
   // daemon that comes up moments after broadcast_shutdown() gets its
   // SHUTDOWN; one that comes up later than that loses it (it was equally
   // lost before this window existed — SHUTDOWN delivery is best-effort).
   const auto never_connected_deadline = start + std::chrono::milliseconds(150);
   while (std::chrono::steady_clock::now() < deadline) {
     bool dirty = false;
-    // Read BEFORE scanning links: the I/O thread clears this flag only
-    // AFTER dialing the kicked links, so a false here (acquire, paired with
-    // its release store) guarantees kicked links already show kConnecting.
-    const bool kick_pending = kick_connects_.load(std::memory_order_acquire);
+    // Read BEFORE scanning links: each I/O thread clears its flag only
+    // AFTER dialing the kicked links, so all-false here (acquire, paired
+    // with the release stores) guarantees kicked links already show
+    // kConnecting.
+    bool kick_pending = false;
+    for (const auto& io : io_threads_) {
+      kick_pending = kick_pending || io->kick_connects.load(std::memory_order_acquire);
+    }
     for (auto& link : links_) {
       // Count DOWN links too: a link in reconnect backoff may still hold
-      // the SHUTDOWN broadcast, and the kick_connects_ redial is racing to
+      // the SHUTDOWN broadcast, and the kick_connects redial is racing to
       // flush it within this window.
       if (link->state == PeerLink::State::kSelf) continue;
       if (!kick_pending && !link->ever_connected.load(std::memory_order_acquire) &&
@@ -175,17 +193,19 @@ void NetRuntime::stop() {
       }
     }
     if (!dirty) break;
-    io_wake();
+    io_wake_all();
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
   stopping_.store(true, std::memory_order_release);
-  io_wake();
+  io_wake_all();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
   }
   conn_cv_.notify_all();
-  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
 
   // Release any sender blocked on backpressure.
   for (auto& link : links_) {
@@ -203,10 +223,13 @@ void NetRuntime::stop() {
   workers_.clear();
 
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (timer_fd_ >= 0) ::close(timer_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  listen_fd_ = wake_fd_ = timer_fd_ = epoll_fd_ = -1;
+  listen_fd_ = -1;
+  for (auto& io : io_threads_) {
+    if (io->wake_fd >= 0) ::close(io->wake_fd);
+    if (io->timer_fd >= 0) ::close(io->timer_fd);
+    if (io->epoll_fd >= 0) ::close(io->epoll_fd);
+    io->wake_fd = io->timer_fd = io->epoll_fd = -1;
+  }
   started_ = false;
 }
 
@@ -240,30 +263,42 @@ void NetRuntime::send(NodeId from, NodeId to, Message m) {
   PeerLink& link = *links_[peer];
   // Frame into a thread-local scratch BEFORE taking the outbox lock, so
   // encoding cost (potentially a multi-KB history payload) never serializes
-  // concurrent senders or stalls the I/O thread's outbox swap.
+  // concurrent senders or stalls the home I/O thread's outbox pull.
   thread_local std::vector<std::uint8_t> framebuf;
   framebuf.clear();
   net::append_msg(framebuf, from, to, m);
   {
     std::unique_lock<std::mutex> lock(link.out_mu);
-    if (link.outbox.size() >= opts_.max_outbox_bytes) {
+    if (link.outbox_bytes >= opts_.transport.backpressure_bytes) {
       // Backpressure: block this sender until the socket drains (or the
-      // runtime stops).  The I/O thread never blocks here, so inbound
-      // traffic keeps flowing — unless BOTH directions saturate both their
-      // outbox and inbound budgets at once (see the flow-control caveat in
-      // net_runtime.hpp); the defaults keep that configuration-dependent
-      // stall out of reach for well-formed workloads.
+      // runtime stops).  I/O threads never block here, so inbound traffic
+      // keeps flowing — unless BOTH directions saturate both their outbox
+      // and inbound budgets at once (see the flow-control caveat in
+      // transport_options.hpp); the defaults keep that configuration-
+      // dependent stall out of reach for well-formed workloads.
       stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
       link.out_cv.wait(lock, [&] {
-        return link.outbox.size() < opts_.max_outbox_bytes ||
+        return link.outbox_bytes < opts_.transport.backpressure_bytes ||
                stopping_.load(std::memory_order_acquire);
       });
       if (stopping_.load(std::memory_order_acquire)) return;
     }
-    link.outbox.insert(link.outbox.end(), framebuf.begin(), framebuf.end());
+    std::vector<std::uint8_t> buf;
+    if (!link.pool.empty()) {
+      buf = std::move(link.pool.back());
+      link.pool.pop_back();
+    }
+    buf.swap(framebuf);  // buf takes the frame, framebuf keeps the capacity
+    link.outbox_bytes += buf.size();
+    link.outbox.push_back(std::move(buf));
   }
   stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
-  io_wake();
+  // Wakeup elision: mark work pending, write the eventfd only if the home
+  // thread is (about to be) asleep in epoll_wait.  The loop re-checks
+  // `pending` after arming, so this can never strand a frame.
+  IoThread& io = home(peer);
+  io.pending.store(true, std::memory_order_seq_cst);
+  if (io.armed.load(std::memory_order_seq_cst)) io_wake(io);
 }
 
 void NetRuntime::post(NodeId node, std::function<void()> fn) {
@@ -276,12 +311,20 @@ void NetRuntime::post(NodeId node, std::function<void()> fn) {
 void NetRuntime::post_after(NodeId node, TimeNs delay_ns, std::function<void()> fn) {
   SNOW_CHECK_MSG(node < node_count(), "post_after to unknown node " << node);
   SNOW_CHECK_MSG(owns(node), "post_after to remote node " << node);
+  // User timers all ride thread 0's heap (any heap works — the callback only
+  // enqueues into a mailbox); internal link timers ride their home thread's.
+  push_timer(*io_threads_[0], UserTimer{now_ns() + delay_ns, 0, node, std::move(fn)});
+}
+
+void NetRuntime::push_timer(IoThread& io, UserTimer t) {
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
-    timers_.push_back(UserTimer{now_ns() + delay_ns, timer_seq_++, node, std::move(fn)});
-    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+    std::lock_guard<std::mutex> lock(io.timer_mu);
+    t.seq = io.timer_seq++;
+    io.timers.push_back(std::move(t));
+    std::push_heap(io.timers.begin(), io.timers.end(), std::greater<>());
   }
-  io_wake();
+  io.pending.store(true, std::memory_order_seq_cst);
+  if (io.armed.load(std::memory_order_seq_cst)) io_wake(io);
 }
 
 void NetRuntime::enqueue_local(NodeId to, Mailbox::Item item) {
@@ -346,45 +389,45 @@ void NetRuntime::worker(NodeId id) {
     if (refund > 0) {
       // Refund the inbound budget; if reading is paused and we crossed the
       // resume threshold (the SAME threshold io_apply_inbound_flow_control
-      // resumes at, floored so a 1-byte budget still resumes), wake the
-      // I/O thread to re-subscribe EPOLLIN.
+      // resumes at, floored so a 1-byte budget still resumes), wake every
+      // I/O thread to re-subscribe EPOLLIN on its links.
       const std::size_t before = inbound_bytes_.fetch_sub(refund, std::memory_order_acq_rel);
-      const std::size_t resume_below = std::max<std::size_t>(1, opts_.max_inbound_bytes / 2);
+      const std::size_t resume_below =
+          std::max<std::size_t>(1, opts_.transport.inbound_budget_bytes / 2);
       if (inbound_paused_.load(std::memory_order_acquire) && before - refund < resume_below) {
-        io_wake();
+        io_wake_all();
       }
     }
   }
 }
 
-// --- connection management (I/O thread only unless noted) --------------------
+// --- connection management (home-I/O-thread only unless noted) ---------------
 
 /// Worker-thread request to tear down a peer link (e.g. an undecodable
 /// payload surfaced after the I/O thread already enqueued the frame).  Rides
-/// the internal-timer path so the actual close runs on the I/O thread.  The
-/// generation pins the request to the connection the offending frame
-/// arrived on: if that connection already died and a healthy replacement
-/// took its place, the request must no-op, not kill the replacement.
+/// the internal-timer path so the actual close runs on the link's home
+/// thread.  The generation pins the request to the connection the offending
+/// frame arrived on: if that connection already died and a healthy
+/// replacement took its place, the request must no-op, not kill the
+/// replacement.
 void NetRuntime::request_link_drop(std::size_t peer, std::uint32_t gen) {
   if (peer >= links_.size() || peer == opts_.index) return;
-  {
-    std::lock_guard<std::mutex> lock(timer_mu_);
-    timers_.push_back(
-        UserTimer{now_ns(), timer_seq_++, kInvalidNode, [this, peer, gen] {
-                    PeerLink& link = *links_[peer];
-                    if (link.fd >= 0 && link.gen == gen) {
-                      io_link_failed(peer, "undecodable payload");
-                    }
-                  }});
-    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
-  }
-  io_wake();
+  push_timer(home(peer), UserTimer{now_ns(), 0, kInvalidNode, [this, peer, gen] {
+                                     PeerLink& link = *links_[peer];
+                                     if (link.fd >= 0 && link.gen == gen) {
+                                       io_link_failed(peer, "undecodable payload");
+                                     }
+                                   }});
 }
 
-void NetRuntime::io_wake() {
-  if (wake_fd_ < 0) return;
+void NetRuntime::io_wake(IoThread& io) {
+  if (io.wake_fd < 0) return;
   const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+  [[maybe_unused]] const auto n = ::write(io.wake_fd, &one, sizeof one);
+}
+
+void NetRuntime::io_wake_all() {
+  for (auto& io : io_threads_) io_wake(*io);
 }
 
 void NetRuntime::io_start_connect(std::size_t peer) {
@@ -405,56 +448,45 @@ void NetRuntime::io_start_connect(std::size_t peer) {
   link.state = PeerLink::State::kConnecting;
   epoll_event ev{};
   ev.events = EPOLLOUT;
+  link.epoll_mask = EPOLLOUT;
   ev.data.u64 = peer_tag(peer, link.gen);
-  SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  SNOW_CHECK(::epoll_ctl(home(peer).epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0);
 }
 
 void NetRuntime::io_schedule_reconnect(std::size_t peer) {
   PeerLink& link = *links_[peer];
   link.backoff_ns = link.backoff_ns == 0
-                        ? opts_.reconnect_initial_ns
-                        : std::min<TimeNs>(link.backoff_ns * 2, opts_.reconnect_max_ns);
-  const TimeNs delay = link.backoff_ns;
-  {
-    std::lock_guard<std::mutex> lock(timer_mu_);
-    timers_.push_back(UserTimer{now_ns() + delay, timer_seq_++, kInvalidNode,
-                                [this, peer] { io_start_connect(peer); }});
-    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
-  }
+                        ? opts_.transport.reconnect_initial_ns
+                        : std::min<TimeNs>(link.backoff_ns * 2, opts_.transport.reconnect_max_ns);
+  push_timer(home(peer), UserTimer{now_ns() + link.backoff_ns, 0, kInvalidNode,
+                                   [this, peer] { io_start_connect(peer); }});
 }
 
-void NetRuntime::close_link(PeerLink& link) {
+void NetRuntime::close_link(std::size_t peer) {
+  PeerLink& link = *links_[peer];
   if (link.fd >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    ::epoll_ctl(home(peer).epoll_fd, EPOLL_CTL_DEL, link.fd, nullptr);
     ::close(link.fd);
     link.fd = -1;
     ++link.gen;  // events registered for the closed connection are now stale
   }
+  link.epoll_mask = 0;
   // Frame-aligned recovery: the peer's decoder dies with the connection, so
-  // a frame already cut by a partial write is unrecoverable — but staged
-  // frames the socket never touched are not.  Walk the staging buffer's
-  // length prefixes to the first frame boundary at or past the write
-  // offset and push everything from there back to the FRONT of the outbox
-  // (they are older than anything queued since), so a reconnect loses at
-  // most the one partially-written frame plus bytes TCP itself dropped.
-  if (link.wbuf_off < link.wbuf.size()) {
-    std::size_t pos = 0;
-    while (pos < link.wbuf_off && pos + 4 <= link.wbuf.size()) {
-      const std::uint32_t len = static_cast<std::uint32_t>(link.wbuf[pos]) |
-                                (static_cast<std::uint32_t>(link.wbuf[pos + 1]) << 8) |
-                                (static_cast<std::uint32_t>(link.wbuf[pos + 2]) << 16) |
-                                (static_cast<std::uint32_t>(link.wbuf[pos + 3]) << 24);
-      pos += 4u + len;
-    }
-    if (pos < link.wbuf.size()) {
-      std::lock_guard<std::mutex> lock(link.out_mu);
-      link.outbox.insert(link.outbox.begin(),
-                         link.wbuf.begin() + static_cast<std::ptrdiff_t>(pos),
-                         link.wbuf.end());
+  // a frame already cut by a partial write is unrecoverable — but whole
+  // frames the socket never touched are not.  take_unsent() drops the
+  // partially-written front frame (if any) and returns the rest, which go
+  // back to the FRONT of the outbox (they are older than anything queued
+  // since), so a reconnect loses at most the one partially-written frame
+  // plus bytes TCP itself dropped.
+  auto unsent = link.wq.take_unsent();
+  if (!unsent.empty()) {
+    std::lock_guard<std::mutex> lock(link.out_mu);
+    while (!unsent.empty()) {
+      link.outbox_bytes += unsent.back().size();
+      link.outbox.push_front(std::move(unsent.back()));
+      unsent.pop_back();
     }
   }
-  link.wbuf.clear();
-  link.wbuf_off = 0;
   link.staged.store(0, std::memory_order_release);
   link.decoder = net::FrameDecoder{};
   const bool was_up = link.state == PeerLink::State::kUp;
@@ -474,7 +506,7 @@ void NetRuntime::io_link_failed(std::size_t peer, const std::string& why) {
     std::fprintf(stderr, "[snowkit-net %zu] link to %zu dropped: %s\n", opts_.index, peer,
                  why.c_str());
   }
-  close_link(link);
+  close_link(peer);
   if (link.initiator && !stopping_.load(std::memory_order_acquire)) {
     io_schedule_reconnect(peer);
   }
@@ -507,8 +539,10 @@ void NetRuntime::io_on_connect_ready(std::size_t peer) {
   link.state = PeerLink::State::kUp;
   // HELLO leads every connection (and every reconnection) so the acceptor
   // can route this stream before any message frame arrives.
-  net::append_hello(link.wbuf, opts_.index);
-  link.staged.store(link.wbuf.size() - link.wbuf_off, std::memory_order_release);
+  std::vector<std::uint8_t> hello;
+  net::append_hello(hello, opts_.index);
+  link.wq.push(std::move(hello));
+  link.staged.store(link.wq.pending_bytes(), std::memory_order_release);
   io_update_events(peer);
   note_connected(peer);
 }
@@ -516,28 +550,67 @@ void NetRuntime::io_on_connect_ready(std::size_t peer) {
 void NetRuntime::io_flush(std::size_t peer) {
   PeerLink& link = *links_[peer];
   if (link.state != PeerLink::State::kUp || link.fd < 0) return;
+  IoThread& io = home(peer);
+  thread_local std::vector<struct iovec> iovbuf;
+  thread_local std::vector<std::vector<std::uint8_t>> spent;
   while (true) {
-    if (link.wbuf_off == link.wbuf.size()) {
-      link.wbuf.clear();
-      link.wbuf_off = 0;
+    if (link.wq.empty()) {
       std::lock_guard<std::mutex> lock(link.out_mu);
       if (link.outbox.empty()) break;
-      link.wbuf.swap(link.outbox);
+      while (!link.outbox.empty()) {
+        link.wq.push(std::move(link.outbox.front()));
+        link.outbox.pop_front();
+      }
+      link.outbox_bytes = 0;
       // Publish BEFORE writing: stop()'s drain loop must never observe the
       // window where these frames have left the outbox but staged still
       // reads 0, or it would tear down under a queued SHUTDOWN.
-      link.staged.store(link.wbuf.size(), std::memory_order_release);
+      link.staged.store(link.wq.pending_bytes(), std::memory_order_release);
       link.out_cv.notify_all();  // backpressured senders may proceed
     }
+    // Coalesce: one sendmsg gathers up to coalesce_max_frames /
+    // coalesce_max_bytes of queued frames; a partial write resumes at the
+    // exact byte offset on the next gather (WriteCoalescer's contract).
+    const std::size_t niov = link.wq.gather(io.slices.data(), io.slices.size());
+    if (niov == 0) break;
+    iovbuf.resize(niov);
+    std::size_t offered = 0;
+    for (std::size_t i = 0; i < niov; ++i) {
+      iovbuf[i].iov_base = const_cast<std::uint8_t*>(io.slices[i].data);
+      iovbuf[i].iov_len = io.slices[i].len;
+      offered += io.slices[i].len;
+    }
+    msghdr mh{};
+    mh.msg_iov = iovbuf.data();
+    mh.msg_iovlen = niov;
     // MSG_NOSIGNAL: a peer that closed/RST between epoll_wait and this write
     // must yield EPIPE (handled below as a link failure), never a
     // process-killing SIGPIPE.  This is the transport's only socket write,
     // so no process-global signal disposition is needed (or touched).
-    const auto n = ::send(link.fd, link.wbuf.data() + link.wbuf_off,
-                          link.wbuf.size() - link.wbuf_off, MSG_NOSIGNAL);
+    const auto n = ::sendmsg(link.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      link.wbuf_off += static_cast<std::size_t>(n);
       stats_.bytes_sent.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      stats_.send_syscalls.fetch_add(1, std::memory_order_relaxed);
+      if (static_cast<std::size_t>(n) < offered) {
+        stats_.short_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      spent.clear();
+      const std::size_t completed = link.wq.consume(static_cast<std::size_t>(n), &spent);
+      stats_.frames_written.fetch_add(completed, std::memory_order_relaxed);
+      if (!spent.empty()) {
+        // Recycle fully-written frame buffers for future send() calls, with
+        // the same bounds the mailboxes use: bounded count, bounded
+        // capacity — one burst of outsized frames must not pin peak-sized
+        // allocations forever.
+        std::lock_guard<std::mutex> lock(link.out_mu);
+        for (auto& b : spent) {
+          if (link.pool.size() >= kMaxPooledBuffers) break;
+          if (b.capacity() > kMaxPooledCapacity) continue;
+          b.clear();
+          link.pool.push_back(std::move(b));
+        }
+        spent.clear();
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -545,44 +618,57 @@ void NetRuntime::io_flush(std::size_t peer) {
     io_link_failed(peer, "write error");
     return;
   }
-  link.staged.store(link.wbuf.size() - link.wbuf_off, std::memory_order_release);
+  link.staged.store(link.wq.pending_bytes(), std::memory_order_release);
   io_update_events(peer);
 }
 
 /// Recomputes a live link's epoll interest: EPOLLIN unless inbound flow
 /// control paused reading, EPOLLOUT only while staged bytes are pending
-/// (the per-iteration sweep handles freshly queued outboxes).  ERR/HUP are
-/// always reported by the kernel regardless of the mask, so drops are still
-/// detected while fully unsubscribed.
+/// (the per-iteration sweep handles freshly queued outboxes).  The mask is
+/// cached so an unchanged interest skips the epoll_ctl syscall entirely.
+/// ERR/HUP are always reported by the kernel regardless of the mask, so
+/// drops are still detected while fully unsubscribed.
 void NetRuntime::io_update_events(std::size_t peer) {
   PeerLink& link = *links_[peer];
   if (link.fd < 0 || link.state != PeerLink::State::kUp) return;
+  IoThread& io = home(peer);
   epoll_event ev{};
-  ev.events = (inbound_paused_.load(std::memory_order_relaxed) ? 0u : EPOLLIN) |
-              (link.wbuf_off < link.wbuf.size() ? EPOLLOUT : 0u);
+  ev.events = (io.inbound_paused_applied ? 0u : EPOLLIN) |
+              (!link.wq.empty() ? EPOLLOUT : 0u);
+  if (ev.events == link.epoll_mask) return;
   ev.data.u64 = peer_tag(peer, link.gen);
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, link.fd, &ev);
-}
-
-/// Pauses/resumes reading every socket around the inbound byte budget: when
-/// workers lag, queued-but-undelivered frames are capped, TCP's own flow
-/// control pushes back to the senders, and their outbox caps block send() —
-/// bounded memory end to end, with no blocking on this thread.
-void NetRuntime::io_apply_inbound_flow_control() {
-  const std::size_t queued = inbound_bytes_.load(std::memory_order_acquire);
-  const bool paused = inbound_paused_.load(std::memory_order_relaxed);
-  const std::size_t resume_below = std::max<std::size_t>(1, opts_.max_inbound_bytes / 2);
-  if (!paused && queued >= opts_.max_inbound_bytes) {
-    inbound_paused_.store(true, std::memory_order_release);
-    stats_.inbound_pauses.fetch_add(1, std::memory_order_relaxed);
-    for (std::size_t i = 0; i < links_.size(); ++i) io_update_events(i);
-  } else if (paused && queued < resume_below) {
-    inbound_paused_.store(false, std::memory_order_release);
-    for (std::size_t i = 0; i < links_.size(); ++i) io_update_events(i);
+  if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, link.fd, &ev) == 0) {
+    link.epoll_mask = ev.events;
   }
 }
 
-bool NetRuntime::io_handle_frame(std::size_t peer, net::Frame& f) {
+/// Pauses/resumes reading around the inbound byte budget: when workers lag,
+/// queued-but-undelivered frames are capped, TCP's own flow control pushes
+/// back to the senders, and their outbox caps block send() — bounded memory
+/// end to end, with no blocking on any I/O thread.  The pause decision is
+/// global (one budget per process); each thread applies it to its own links.
+void NetRuntime::io_apply_inbound_flow_control(IoThread& io) {
+  const std::size_t budget = opts_.transport.inbound_budget_bytes;
+  const std::size_t queued = inbound_bytes_.load(std::memory_order_acquire);
+  const std::size_t resume_below = std::max<std::size_t>(1, budget / 2);
+  bool paused = inbound_paused_.load(std::memory_order_acquire);
+  if (!paused && queued >= budget) {
+    bool expected = false;
+    if (inbound_paused_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      stats_.inbound_pauses.fetch_add(1, std::memory_order_relaxed);
+    }
+    paused = true;
+  } else if (paused && queued < resume_below) {
+    inbound_paused_.store(false, std::memory_order_release);
+    paused = false;
+  }
+  if (paused != io.inbound_paused_applied) {
+    io.inbound_paused_applied = paused;
+    for (const std::size_t peer : io.links) io_update_events(peer);
+  }
+}
+
+bool NetRuntime::io_handle_frame(IoThread& io, std::size_t peer, net::Frame& f) {
   switch (f.type) {
     case net::FrameType::kHello:
       return true;  // duplicate hello on an established link: ignore.
@@ -626,7 +712,13 @@ bool NetRuntime::io_handle_frame(std::size_t peer, net::Frame& f) {
       // still trips the pause.
       item.charge = item.bytes.size() + 64;
       inbound_bytes_.fetch_add(item.charge, std::memory_order_relaxed);
-      enqueue_local(hdr.to, std::move(item));
+      // Batch decode: bucket per destination node; io_deliver_ready flushes
+      // each bucket as ONE mailbox burst (one lock, one notify) per epoll
+      // iteration instead of per frame.  Per-sender FIFO holds: one ordered
+      // stream per peer, decoded in order, appended in order.
+      auto& bucket = io.ready[hdr.to];
+      if (bucket.empty()) io.touched.push_back(hdr.to);
+      bucket.push_back(std::move(item));
       stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -643,14 +735,33 @@ bool NetRuntime::io_handle_frame(std::size_t peer, net::Frame& f) {
   return false;
 }
 
-void NetRuntime::io_read(std::size_t peer) {
+/// Flushes this iteration's decoded-frame buckets into their mailboxes, one
+/// burst per node.  Items were bucketed in arrival order, so per-sender FIFO
+/// delivery is preserved through the batch.
+void NetRuntime::io_deliver_ready(IoThread& io) {
+  for (const NodeId node : io.touched) {
+    auto& items = io.ready[node];
+    if (items.empty()) continue;
+    Mailbox* mb = mailboxes_[node].get();
+    {
+      std::lock_guard<std::mutex> lock(mb->mu);
+      for (auto& item : items) mb->queue.push_back(std::move(item));
+    }
+    mb->cv.notify_one();
+    stats_.mailbox_bursts.fetch_add(1, std::memory_order_relaxed);
+    items.clear();
+  }
+  io.touched.clear();
+}
+
+void NetRuntime::io_read(IoThread& io, std::size_t peer) {
   PeerLink& link = *links_[peer];
-  std::uint8_t buf[65536];
   while (link.fd >= 0) {
-    const auto n = ::read(link.fd, buf, sizeof buf);
+    const auto n = ::read(link.fd, io.rbuf.data(), io.rbuf.size());
     if (n > 0) {
+      stats_.recv_syscalls.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
-      link.decoder.feed(buf, static_cast<std::size_t>(n));
+      link.decoder.feed(io.rbuf.data(), static_cast<std::size_t>(n));
       net::Frame f;
       while (true) {
         const auto st = link.decoder.next(f);
@@ -659,9 +770,16 @@ void NetRuntime::io_read(std::size_t peer) {
           io_link_failed(peer, "stream corrupt: " + link.decoder.error());
           return;
         }
-        if (!io_handle_frame(peer, f)) return;
+        if (!io_handle_frame(io, peer, f)) return;
       }
-      if (static_cast<std::size_t>(n) < sizeof buf) return;  // drained
+      if (static_cast<std::size_t>(n) < io.rbuf.size()) return;  // drained
+      // A peer that keeps the buffer full must not let this loop outrun the
+      // inbound budget; stop here and let the end-of-iteration flow-control
+      // check pause reading properly.
+      if (inbound_bytes_.load(std::memory_order_relaxed) >=
+          opts_.transport.inbound_budget_bytes) {
+        return;
+      }
       continue;
     }
     if (n == 0) {
@@ -675,7 +793,7 @@ void NetRuntime::io_read(std::size_t peer) {
   }
 }
 
-void NetRuntime::io_accept_all() {
+void NetRuntime::io_accept_all(IoThread& io) {
   while (true) {
     std::string err;
     const int fd = net::tcp_accept(listen_fd_, err);
@@ -689,7 +807,7 @@ void NetRuntime::io_accept_all() {
         ++live;
       }
     }
-    if (live >= kMaxPendingConns) {
+    if (live >= opts_.transport.max_pending_conns) {
       // Handshake flood: refuse outright rather than pin another fd.  A
       // legitimate fleet peer retries with backoff and gets a slot once the
       // deadline reap (io_reap_stale_pending) clears the squatters.
@@ -706,31 +824,33 @@ void NetRuntime::io_accept_all() {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kTagPendingBit | slot;
-    SNOW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+    SNOW_CHECK(::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0);
   }
 }
 
 /// Drops accepted connections that have not completed their HELLO within the
 /// deadline: pre-HELLO peers are untrusted and must not hold fds forever.
-void NetRuntime::io_reap_stale_pending() {
+void NetRuntime::io_reap_stale_pending(IoThread& io) {
   const TimeNs now = now_ns();
   for (PendingConn& pc : pending_) {
-    if (pc.fd < 0 || now - pc.accepted_ns < kPendingHandshakeTimeoutNs) continue;
+    if (pc.fd < 0 || now - pc.accepted_ns < opts_.transport.pending_handshake_timeout_ns) {
+      continue;
+    }
     std::fprintf(stderr, "[snowkit-net %zu] rejecting connection: handshake timeout\n",
                  opts_.index);
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, pc.fd, nullptr);
+    ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, pc.fd, nullptr);
     ::close(pc.fd);
     pc.fd = -1;
   }
 }
 
-void NetRuntime::io_read_pending(std::size_t slot) {
+void NetRuntime::io_read_pending(IoThread& io, std::size_t slot) {
   if (slot >= pending_.size() || pending_[slot].fd < 0) return;
   PendingConn& pc = pending_[slot];
   std::uint8_t buf[4096];
   const auto n = ::read(pc.fd, buf, sizeof buf);
   auto drop = [&] {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, pc.fd, nullptr);
+    ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, pc.fd, nullptr);
     ::close(pc.fd);
     pc.fd = -1;
   };
@@ -744,7 +864,7 @@ void NetRuntime::io_read_pending(std::size_t slot) {
   net::Frame f;
   const auto st = pc.decoder.next(f);
   if (st == net::FrameDecoder::Status::kNeedMore) {
-    if (pc.fed_bytes > kMaxPendingHandshakeBytes) {
+    if (pc.fed_bytes > opts_.transport.max_pending_handshake_bytes) {
       // A "HELLO" still incomplete after this many bytes is never going to
       // be one (e.g. a huge length prefix trickling a body in) — don't let
       // an unauthenticated peer buffer up to kMaxFrameBytes.
@@ -772,52 +892,88 @@ void NetRuntime::io_read_pending(std::size_t slot) {
     drop();
     return;
   }
-  PeerLink& link = *links_[peer];
-  if (link.fd >= 0) close_link(link);  // peer reconnected before we saw the drop
-  link.fd = pc.fd;
-  ++link.gen;
-  link.state = PeerLink::State::kUp;
-  link.decoder = std::move(pc.decoder);  // bytes buffered past the HELLO carry over
+  // Greeted: hand the connection to the peer's home thread.  ONLY that
+  // thread may touch the PeerLink (including displacing a previous
+  // connection), so even home==0 goes through the handoff queue — it is
+  // processed later this same iteration.
+  ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, pc.fd, nullptr);
+  IoThread& h = home(peer);
+  {
+    std::lock_guard<std::mutex> lock(h.handoff_mu);
+    h.handoffs.push_back(Handoff{peer, pc.fd, std::move(pc.decoder)});
+  }
   pc.fd = -1;
-  io_update_events(peer);
-  note_connected(peer);
-  // Frames that arrived in the same chunk as the HELLO are already buffered.
-  net::Frame more;
-  while (true) {
-    const auto st2 = link.decoder.next(more);
-    if (st2 == net::FrameDecoder::Status::kNeedMore) break;
-    if (st2 == net::FrameDecoder::Status::kError) {
-      io_link_failed(peer, "stream corrupt: " + link.decoder.error());
-      return;
+  pc.decoder = net::FrameDecoder{};
+  h.pending.store(true, std::memory_order_seq_cst);
+  if (h.armed.load(std::memory_order_seq_cst)) io_wake(h);
+}
+
+/// Adopts connections greeted on thread 0: registers the fd under a fresh
+/// generation, displaces any previous connection for the peer, and drains
+/// frames that arrived in the same chunk as the HELLO.
+void NetRuntime::io_adopt_handoffs(IoThread& io) {
+  std::vector<Handoff> handoffs;
+  {
+    std::lock_guard<std::mutex> lock(io.handoff_mu);
+    handoffs.swap(io.handoffs);
+  }
+  for (Handoff& h : handoffs) {
+    PeerLink& link = *links_[h.peer];
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(h.fd);
+      continue;
     }
-    if (!io_handle_frame(peer, more)) return;
+    if (link.fd >= 0) close_link(h.peer);  // peer reconnected before we saw the drop
+    link.fd = h.fd;
+    ++link.gen;
+    link.state = PeerLink::State::kUp;
+    link.decoder = std::move(h.decoder);  // bytes buffered past the HELLO carry over
+    epoll_event ev{};
+    ev.events = io.inbound_paused_applied ? 0u : EPOLLIN;
+    link.epoll_mask = ev.events;
+    ev.data.u64 = peer_tag(h.peer, link.gen);
+    SNOW_CHECK(::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, link.fd, &ev) == 0);
+    note_connected(h.peer);
+    // Frames that arrived in the same chunk as the HELLO are already
+    // buffered in the carried-over decoder.
+    net::Frame more;
+    while (link.fd >= 0) {
+      const auto st = link.decoder.next(more);
+      if (st == net::FrameDecoder::Status::kNeedMore) break;
+      if (st == net::FrameDecoder::Status::kError) {
+        io_link_failed(h.peer, "stream corrupt: " + link.decoder.error());
+        break;
+      }
+      if (!io_handle_frame(io, h.peer, more)) break;
+    }
   }
 }
 
-void NetRuntime::io_fire_timers() {
+void NetRuntime::io_fire_timers(IoThread& io) {
   while (true) {
     UserTimer t;
     {
-      std::lock_guard<std::mutex> lock(timer_mu_);
-      if (timers_.empty() || timers_.front().due_ns > now_ns()) break;
-      std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
-      t = std::move(timers_.back());
-      timers_.pop_back();
+      std::lock_guard<std::mutex> lock(io.timer_mu);
+      if (io.timers.empty() || io.timers.front().due_ns > now_ns()) break;
+      std::pop_heap(io.timers.begin(), io.timers.end(), std::greater<>());
+      t = std::move(io.timers.back());
+      io.timers.pop_back();
     }
     if (t.node == kInvalidNode) {
-      t.fn();  // internal (reconnect) callback: runs on the I/O thread
+      t.fn();  // internal (reconnect/drop) callback: runs on the home thread
     } else {
       enqueue_local(t.node, Mailbox::Item{kInvalidNode, {}, std::move(t.fn)});
     }
   }
 }
 
-void NetRuntime::io_rearm_timerfd() {
+void NetRuntime::io_rearm_timerfd(IoThread& io) {
   TimeNs due = 0;
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
-    if (!timers_.empty()) due = timers_.front().due_ns;
+    std::lock_guard<std::mutex> lock(io.timer_mu);
+    if (!io.timers.empty()) due = io.timers.front().due_ns;
   }
+  if (due == io.armed_due) return;  // unchanged deadline: skip the syscall
   itimerspec its{};
   if (due != 0) {
     const TimeNs now = now_ns();
@@ -826,34 +982,48 @@ void NetRuntime::io_rearm_timerfd() {
     its.it_value.tv_nsec = static_cast<long>(delta % 1'000'000'000ull);
     if (its.it_value.tv_sec == 0 && its.it_value.tv_nsec == 0) its.it_value.tv_nsec = 1;
   }
-  ::timerfd_settime(timer_fd_, 0, &its, nullptr);
+  ::timerfd_settime(io.timer_fd, 0, &its, nullptr);
+  io.armed_due = due;
 }
 
-void NetRuntime::io_loop() {
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i]->initiator) io_start_connect(i);
+void NetRuntime::io_loop(IoThread& io) {
+  for (const std::size_t peer : io.links) {
+    if (links_[peer]->initiator) io_start_connect(peer);
   }
-  epoll_event events[64];
+  epoll_event events[128];
   while (!stopping_.load(std::memory_order_acquire)) {
-    io_rearm_timerfd();
-    const int n = ::epoll_wait(epoll_fd_, events, 64, 200);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+    // Wakeup elision handshake (see IoThread): arm, then re-check pending.
+    // A sender that queued after our last sweep either sees armed==true and
+    // writes the eventfd, or stored pending before our exchange — both wake
+    // us.  Under load this skips both the eventfd write and the epoll_wait.
+    io.armed.store(true, std::memory_order_seq_cst);
+    int n = 0;
+    if (io.pending.exchange(false, std::memory_order_seq_cst)) {
+      io.armed.store(false, std::memory_order_seq_cst);
+    } else {
+      io_rearm_timerfd(io);
+      n = ::epoll_wait(io.epoll_fd, events, 128, 200);
+      io.armed.store(false, std::memory_order_seq_cst);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n > 0) io.wakeups.fetch_add(1, std::memory_order_relaxed);
     }
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       const std::uint32_t evs = events[i].events;
       if (tag == kTagWake) {
         std::uint64_t tmp;
-        while (::read(wake_fd_, &tmp, sizeof tmp) > 0) {
+        while (::read(io.wake_fd, &tmp, sizeof tmp) > 0) {
         }
       } else if (tag == kTagListen) {
-        io_accept_all();
+        io_accept_all(io);
       } else if (tag == kTagTimer) {
         std::uint64_t tmp;
-        while (::read(timer_fd_, &tmp, sizeof tmp) > 0) {
+        while (::read(io.timer_fd, &tmp, sizeof tmp) > 0) {
         }
+        io.armed_due = 0;  // one-shot fired; force a rearm
       } else if (tag & kTagPeerBit) {
         const std::size_t peer = static_cast<std::size_t>(tag & kTagPeerMask);
         const std::uint32_t gen = static_cast<std::uint32_t>(tag >> 24);
@@ -874,49 +1044,65 @@ void NetRuntime::io_loop() {
           io_link_failed(peer, "socket error/hup");
           continue;
         }
-        if (evs & EPOLLIN) io_read(peer);
+        if (evs & EPOLLIN) io_read(io, peer);
         if (link.gen == gen && link.fd >= 0 && (evs & EPOLLOUT)) io_flush(peer);
       } else if (tag & kTagPendingBit) {
-        io_read_pending(static_cast<std::size_t>(tag & ~kTagPendingBit));
+        io_read_pending(io, static_cast<std::size_t>(tag & ~kTagPendingBit));
       }
     }
-    io_fire_timers();
-    io_reap_stale_pending();
-    if (kick_connects_.load(std::memory_order_acquire)) {
+    io_adopt_handoffs(io);
+    io_fire_timers(io);
+    if (io.id == 0) io_reap_stale_pending(io);
+    if (io.kick_connects.load(std::memory_order_acquire)) {
       // broadcast_shutdown queued SHUTDOWN frames; redial links sitting in
       // reconnect backoff NOW so those frames can still flush before stop().
-      for (std::size_t i = 0; i < links_.size(); ++i) {
-        if (links_[i]->initiator && links_[i]->state == PeerLink::State::kIdle) {
-          io_start_connect(i);
+      for (const std::size_t peer : io.links) {
+        if (links_[peer]->initiator && links_[peer]->state == PeerLink::State::kIdle) {
+          io_start_connect(peer);
         }
       }
       // Cleared only AFTER the dials: stop()'s drain skip reads this flag
       // and must never observe it false while a kicked link is still kIdle.
-      kick_connects_.store(false, std::memory_order_release);
+      io.kick_connects.store(false, std::memory_order_release);
     }
-    io_apply_inbound_flow_control();
-    // Flush any peer with queued outbound frames (sends wake us via eventfd
-    // but do not name the peer; fleets are small, so a sweep is cheap).
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      PeerLink& link = *links_[i];
+    io_apply_inbound_flow_control(io);
+    // Flush any of our links with queued outbound frames (sends mark the
+    // home thread pending but do not name the peer; per-thread link sets
+    // are small, so a sweep is cheap).
+    for (const std::size_t peer : io.links) {
+      PeerLink& link = *links_[peer];
       if (link.state != PeerLink::State::kUp) continue;
-      bool pending_out = link.wbuf_off < link.wbuf.size();
+      bool pending_out = !link.wq.empty();
       if (!pending_out) {
         std::lock_guard<std::mutex> lock(link.out_mu);
         pending_out = !link.outbox.empty();
       }
-      if (pending_out) io_flush(i);
+      if (pending_out) io_flush(peer);
     }
+    // One mailbox burst per touched node for everything decoded this
+    // iteration — the read-side half of the batching story.
+    io_deliver_ready(io);
   }
-  // Final flush attempt, then close all sockets.
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i]->state == PeerLink::State::kUp) io_flush(i);
-    close_link(*links_[i]);
+  // Final flush attempt, then close our links (and, on thread 0, the
+  // pending set).  Deliver anything decoded by the final reads.
+  for (const std::size_t peer : io.links) {
+    if (links_[peer]->state == PeerLink::State::kUp) io_flush(peer);
+    close_link(peer);
   }
-  for (auto& pc : pending_) {
-    if (pc.fd >= 0) {
-      ::close(pc.fd);
-      pc.fd = -1;
+  io_deliver_ready(io);
+  {
+    std::lock_guard<std::mutex> lock(io.handoff_mu);
+    for (Handoff& h : io.handoffs) {
+      if (h.fd >= 0) ::close(h.fd);
+    }
+    io.handoffs.clear();
+  }
+  if (io.id == 0) {
+    for (auto& pc : pending_) {
+      if (pc.fd >= 0) {
+        ::close(pc.fd);
+        pc.fd = -1;
+      }
     }
   }
 }
@@ -942,13 +1128,16 @@ void NetRuntime::broadcast_shutdown() {
   for (std::size_t i = 0; i < links_.size(); ++i) {
     if (i == opts_.index) continue;
     PeerLink& link = *links_[i];
+    std::vector<std::uint8_t> frame;
+    net::append_shutdown(frame);
     std::lock_guard<std::mutex> lock(link.out_mu);
-    net::append_shutdown(link.outbox);
+    link.outbox_bytes += frame.size();
+    link.outbox.push_back(std::move(frame));
   }
   // Links down in reconnect backoff would silently eat their SHUTDOWN;
-  // have the I/O thread redial them immediately.
-  kick_connects_.store(true, std::memory_order_release);
-  io_wake();
+  // have every I/O thread redial its own immediately.
+  for (auto& io : io_threads_) io->kick_connects.store(true, std::memory_order_release);
+  io_wake_all();
 }
 
 void NetRuntime::run_until_shutdown() {
@@ -969,15 +1158,24 @@ void NetRuntime::request_shutdown() {
   conn_cv_.notify_all();
 }
 
-NetRuntime::NetStats NetRuntime::net_stats() const {
-  NetStats s;
+TransportStats NetRuntime::transport_stats() const {
+  TransportStats s;
   s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
   s.frames_received = stats_.frames_received.load(std::memory_order_relaxed);
   s.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
   s.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  s.send_syscalls = stats_.send_syscalls.load(std::memory_order_relaxed);
+  s.frames_written = stats_.frames_written.load(std::memory_order_relaxed);
+  s.short_writes = stats_.short_writes.load(std::memory_order_relaxed);
+  s.recv_syscalls = stats_.recv_syscalls.load(std::memory_order_relaxed);
+  s.mailbox_bursts = stats_.mailbox_bursts.load(std::memory_order_relaxed);
   s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
   s.backpressure_waits = stats_.backpressure_waits.load(std::memory_order_relaxed);
   s.inbound_pauses = stats_.inbound_pauses.load(std::memory_order_relaxed);
+  s.epoll_wakeups.reserve(io_threads_.size());
+  for (const auto& io : io_threads_) {
+    s.epoll_wakeups.push_back(io->wakeups.load(std::memory_order_relaxed));
+  }
   return s;
 }
 
@@ -992,33 +1190,37 @@ void NetRuntime::post(NodeId, std::function<void()>) {
 void NetRuntime::post_after(NodeId, TimeNs, std::function<void()>) {
   SNOW_UNREACHABLE("NetRuntime on non-Linux");
 }
+void NetRuntime::push_timer(IoThread&, UserTimer) {}
 void NetRuntime::enqueue_local(NodeId, Mailbox::Item) {}
 void NetRuntime::request_link_drop(std::size_t, std::uint32_t) {}
 void NetRuntime::worker(NodeId) {}
-void NetRuntime::io_loop() {}
-void NetRuntime::io_wake() {}
+void NetRuntime::io_loop(IoThread&) {}
+void NetRuntime::io_wake(IoThread&) {}
+void NetRuntime::io_wake_all() {}
 void NetRuntime::io_update_events(std::size_t) {}
-void NetRuntime::io_apply_inbound_flow_control() {}
+void NetRuntime::io_apply_inbound_flow_control(IoThread&) {}
 void NetRuntime::io_start_connect(std::size_t) {}
 void NetRuntime::io_schedule_reconnect(std::size_t) {}
 void NetRuntime::io_link_failed(std::size_t, const std::string&) {}
 void NetRuntime::io_on_connect_ready(std::size_t) {}
 void NetRuntime::io_flush(std::size_t) {}
-void NetRuntime::io_read(std::size_t) {}
-bool NetRuntime::io_handle_frame(std::size_t, net::Frame&) { return false; }
-void NetRuntime::io_accept_all() {}
-void NetRuntime::io_reap_stale_pending() {}
-void NetRuntime::io_read_pending(std::size_t) {}
-void NetRuntime::io_fire_timers() {}
-void NetRuntime::io_rearm_timerfd() {}
-void NetRuntime::close_link(PeerLink&) {}
+void NetRuntime::io_read(IoThread&, std::size_t) {}
+bool NetRuntime::io_handle_frame(IoThread&, std::size_t, net::Frame&) { return false; }
+void NetRuntime::io_deliver_ready(IoThread&) {}
+void NetRuntime::io_adopt_handoffs(IoThread&) {}
+void NetRuntime::io_accept_all(IoThread&) {}
+void NetRuntime::io_reap_stale_pending(IoThread&) {}
+void NetRuntime::io_read_pending(IoThread&, std::size_t) {}
+void NetRuntime::io_fire_timers(IoThread&) {}
+void NetRuntime::io_rearm_timerfd(IoThread&) {}
+void NetRuntime::close_link(std::size_t) {}
 void NetRuntime::note_connected(std::size_t) {}
 void NetRuntime::wait_connected() {}
 bool NetRuntime::wait_connected_for(TimeNs) { return false; }
 void NetRuntime::broadcast_shutdown() {}
 void NetRuntime::run_until_shutdown() {}
 void NetRuntime::request_shutdown() {}
-NetRuntime::NetStats NetRuntime::net_stats() const { return {}; }
+TransportStats NetRuntime::transport_stats() const { return {}; }
 
 #endif
 

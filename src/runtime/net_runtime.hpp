@@ -12,8 +12,24 @@
 // paper's model — clients and servers as separate processes over
 // asynchronous reliable channels (§2) — finally matches the deployment.
 //
-// Transport properties:
-//  * nonblocking sockets driven by one epoll I/O thread per process;
+// Transport properties (every knob below is a TransportOptions field —
+// runtime/transport_options.hpp is the single configuration surface):
+//  * nonblocking sockets driven by `io_threads` epoll threads with PER-LINK
+//    AFFINITY: link -> thread `peer % io_threads`, so each link's socket
+//    state is touched by exactly one thread, no locks on the socket path.
+//    Thread 0 additionally owns the listen socket and the untrusted
+//    pre-HELLO pending set; once a HELLO names the peer, the accepted fd is
+//    handed off to its home thread (the per-link connection GENERATION in
+//    every epoll tag makes event routing and stale-drop safe across the
+//    handoff, exactly as it already did across fd reuse);
+//  * WRITE-SIDE COALESCING: each flush gathers up to coalesce_max_frames /
+//    coalesce_max_bytes of queued frames into one sendmsg, resuming
+//    partial writes at any byte offset (net::WriteCoalescer) — frame BYTES
+//    are unchanged, only the syscall boundaries move;
+//  * READ-SIDE BATCH DECODE: each recv fills a read_chunk_bytes buffer,
+//    frames split out in bulk, and decoded messages reach workers as one
+//    mailbox burst per (node, epoll iteration) instead of one lock+notify
+//    per frame;
 //  * per-peer write queues with byte-bounded BACKPRESSURE: a sender whose
 //    peer outbox is full blocks in send() until the socket drains — flow
 //    control reaches protocol code as scheduling delay, never unbounded
@@ -23,17 +39,17 @@
 //    exponential backoff — starting the client before the servers just
 //    works, and a dropped link re-establishes itself;
 //  * FIFO per (sender, receiver) pair is preserved: one ordered TCP stream
-//    per process pair, arrival-order delivery into the receiver's mailbox;
-//  * post_after timers ride a timerfd in the epoll loop, so the open-loop
-//    WorkloadDriver paces wall-clock arrivals unchanged.
+//    per process pair, frames coalesce in queue order, batches deliver in
+//    arrival order into the receiver's mailbox;
+//  * post_after timers ride a per-thread timerfd in the epoll loops, so the
+//    open-loop WorkloadDriver paces wall-clock arrivals unchanged.
 //
-// Delivery is reliable WHILE connected; frames buffered in a peer outbox
-// survive reconnects, and staged frames the socket never accepted are
-// re-queued on a drop — a reconnect loses at most the one frame cut by a
-// partial write plus bytes already handed to the dead socket (TCP's
-// contract).  The SNOW protocols tolerate that only at fleet shutdown,
-// where the SHUTDOWN frame (broadcast_shutdown) already ends the run;
-// mid-run process crashes are out of scope for snowkit-wire-v1.
+// Delivery is reliable WHILE connected; frames queued for a peer survive
+// reconnects — a drop loses at most the one frame cut by a partial write
+// plus bytes already handed to the dead socket (TCP's contract).  The SNOW
+// protocols tolerate that only at fleet shutdown, where the SHUTDOWN frame
+// (broadcast_shutdown) already ends the run; mid-run process crashes are out
+// of scope for snowkit-wire-v1.
 //
 // Trust model: a peer's only credential is its unauthenticated HELLO, so
 // every byte off the wire is handled as untrusted input — malformed frames,
@@ -60,6 +76,7 @@
 #include "runtime/mailbox.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/socket.hpp"
+#include "runtime/transport_options.hpp"
 
 namespace snowkit {
 
@@ -79,38 +96,21 @@ struct NetOptions {
   /// be a pure function, identical in every process (runtime/fleet.hpp
   /// derives it from the shared FleetConfig).
   std::function<std::size_t(NodeId)> owner;
-
-  /// Backpressure cap per peer outbox: send() blocks above this.
-  std::size_t max_outbox_bytes{8u << 20};
-  /// Inbound flow-control budget: when frames queued into local mailboxes
-  /// (and not yet delivered) exceed this, the I/O thread stops READING all
-  /// peer sockets until workers drain below half of it — TCP then
-  /// backpressures the senders, whose own outbox caps block their send()
-  /// calls.  Bounded memory end to end.
-  ///
-  /// Caveat (configuration-dependent, not structural): if request/reply
-  /// traffic flows both ways and BOTH processes exhaust their outbox AND
-  /// inbound budgets simultaneously, every worker is blocked in send() and
-  /// no one refunds inbound charges — a distributed stall.  Keep the
-  /// budgets large relative to peak in-flight work (the defaults are; the
-  /// paper's one-outstanding-txn well-formedness also bounds in-flight
-  /// traffic structurally).  Shrink them only on one side at a time, as
-  /// the flow-control tests do.
-  std::size_t max_inbound_bytes{8u << 20};
-  /// Reconnect backoff: initial delay, doubling to the max.
-  TimeNs reconnect_initial_ns{20'000'000};   // 20ms
-  TimeNs reconnect_max_ns{2'000'000'000};    // 2s
+  /// All transport tuning — threading, coalescing, budgets, backoff, the
+  /// pre-HELLO bounds.  Validated (fail-fast) by the NetRuntime constructor.
+  TransportOptions transport;
 };
 
 class NetRuntime final : public Runtime {
  public:
-  /// Validates the options; throws std::runtime_error on non-Linux builds
-  /// (the framing layer is portable, the epoll transport is not).
+  /// Validates the options (including TransportOptions::validate); throws
+  /// std::runtime_error on non-Linux builds (the framing layer is portable,
+  /// the epoll transport is not).
   explicit NetRuntime(NetOptions opts);
   ~NetRuntime() override;
 
   /// Binds the listen socket (if any inbound peer exists), spawns the I/O
-  /// thread and one executor per OWNED node, calls on_start on owned nodes,
+  /// threads and one executor per OWNED node, calls on_start on owned nodes,
   /// and starts dialing lower-index peers.  Throws std::runtime_error if the
   /// listen address is unavailable.
   void start();
@@ -154,17 +154,10 @@ class NetRuntime final : public Runtime {
   void request_shutdown();
   bool shutdown_requested() const { return shutdown_.load(std::memory_order_acquire); }
 
-  struct NetStats {
-    std::uint64_t frames_sent{0};
-    std::uint64_t frames_received{0};
-    std::uint64_t bytes_sent{0};      ///< TCP payload bytes actually written.
-    std::uint64_t bytes_received{0};
-    std::uint64_t reconnects{0};      ///< successful re-establishments after a drop.
-    std::uint64_t backpressure_waits{0};  ///< send() calls that had to block.
-    std::uint64_t inbound_pauses{0};  ///< times the I/O thread paused reading.
-  };
-  /// Relaxed-atomic snapshot; counters are bumped lock-free on the hot path.
-  NetStats net_stats() const;
+  /// Relaxed-atomic snapshot of the typed transport counters (the one stats
+  /// seam — runtime/transport_stats.hpp); counters are bumped lock-free on
+  /// the hot path, so mid-run snapshots are approximate, quiesced ones exact.
+  TransportStats transport_stats() const override;
 
   const NetOptions& options() const { return opts_; }
 
@@ -173,7 +166,7 @@ class NetRuntime final : public Runtime {
   /// shared with ThreadRuntime — runtime/mailbox.hpp.
   using Mailbox = NodeMailbox;
 
-  // --- peer links (I/O-thread state except the locked outbox) --------------
+  // --- peer links (home-I/O-thread state except the locked outbox) ----------
   struct PeerLink {
     enum class State : std::uint8_t {
       kIdle,        ///< inbound peer not yet connected to us.
@@ -181,34 +174,45 @@ class NetRuntime final : public Runtime {
       kUp,          ///< link established (HELLO exchanged / sent).
       kSelf,        ///< the local process; never used.
     };
-    /// Written by the I/O thread; read by stop()/broadcast_shutdown() from
-    /// other threads, hence atomic.
+    /// Written by the home I/O thread; read by stop()/broadcast_shutdown()
+    /// from other threads, hence atomic.
     std::atomic<State> state{State::kIdle};
     int fd = -1;
     /// Monotonic connection generation, bumped whenever fd is assigned or
     /// closed.  Epoll tags carry it so a stale event queued for an earlier
     /// connection is detectably stale even if the kernel reuses the same fd
-    /// number for the replacement socket.
+    /// number for the replacement socket — and so a pre-HELLO handoff from
+    /// thread 0 can never be confused with the connection it displaced.
     std::uint32_t gen = 0;
     bool initiator = false;         ///< we dial (peer index < ours).
     net::FrameDecoder decoder;
-    std::vector<std::uint8_t> wbuf;  ///< I/O-thread write staging (unsent tail).
-    std::size_t wbuf_off = 0;
+    /// Home-thread write staging: whole frames queued for the socket,
+    /// gathered into capped sendmsg batches (see socket.hpp).
+    net::WriteCoalescer wq;
+    /// Cached epoll interest mask so unchanged masks skip the epoll_ctl
+    /// syscall on the per-flush path.
+    std::uint32_t epoll_mask = 0;
     TimeNs backoff_ns = 0;          ///< current reconnect delay.
-    /// Written by the I/O thread; also read by stop()'s drain loop (which
-    /// skips links that never connected), hence atomic.
+    /// Written by the home I/O thread; also read by stop()'s drain loop
+    /// (which skips links that never connected), hence atomic.
     std::atomic<bool> ever_connected{false};
 
-    std::mutex out_mu;               ///< guards outbox + drain cv.
+    std::mutex out_mu;               ///< guards outbox/outbox_bytes/pool + drain cv.
     std::condition_variable out_cv;  ///< signaled when outbox drains.
-    std::vector<std::uint8_t> outbox;  ///< frames queued by sender threads.
-    /// Unsent staging bytes (wbuf.size() - wbuf_off), mirrored atomically by
-    /// the I/O thread so stop()'s drain loop can see frames stuck behind
+    std::deque<std::vector<std::uint8_t>> outbox;  ///< one whole frame per entry.
+    std::size_t outbox_bytes = 0;    ///< backpressure accounting for outbox.
+    /// Recycled frame buffers (capacity retained): senders swap their
+    /// thread-local framing scratch against one of these, the home I/O
+    /// thread returns fully-written buffers — allocation-free steady state,
+    /// same pooling rules as the mailboxes.
+    std::vector<std::vector<std::uint8_t>> pool;
+    /// Unsent staging bytes (wq.pending_bytes()), mirrored atomically by the
+    /// home I/O thread so stop()'s drain loop can see frames stuck behind
     /// EAGAIN without touching I/O-thread state.
     std::atomic<std::size_t> staged{0};
   };
 
-  struct PendingConn {  ///< accepted, HELLO not yet seen.
+  struct PendingConn {  ///< accepted, HELLO not yet seen (thread 0 only).
     int fd = -1;
     net::FrameDecoder decoder;
     TimeNs accepted_ns = 0;     ///< for the handshake deadline reap.
@@ -225,56 +229,104 @@ class NetRuntime final : public Runtime {
     }
   };
 
+  /// A greeted connection handed from thread 0 to the peer's home thread.
+  struct Handoff {
+    std::size_t peer = 0;
+    int fd = -1;
+    net::FrameDecoder decoder;  ///< bytes buffered past the HELLO carry over.
+  };
+
+  // --- one epoll I/O thread ---------------------------------------------------
+  struct IoThread {
+    std::size_t id = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    int timer_fd = -1;
+    std::thread thread;
+
+    /// Timer min-heap by (due, seq).  Thread 0's heap carries post_after
+    /// timers; every heap carries its own links' internal (reconnect/drop)
+    /// callbacks.  Locked: senders and workers push from outside.
+    std::mutex timer_mu;
+    std::vector<UserTimer> timers;
+    std::uint64_t timer_seq = 0;  ///< FIFO tiebreak within this heap.
+    TimeNs armed_due = 0;  ///< timerfd's current deadline (0 = disarmed).
+
+    /// Connections greeted on thread 0, waiting for this thread to adopt.
+    std::mutex handoff_mu;
+    std::vector<Handoff> handoffs;
+
+    /// Wakeup elision handshake: a sender marks `pending` after queueing and
+    /// writes the eventfd only if this thread is `armed` (about to block in
+    /// epoll_wait).  The loop re-checks `pending` after arming, so the
+    /// queue-without-wake window can never stall a frame; seq_cst on all
+    /// four accesses makes the flag dance airtight.  Under load this elides
+    /// one eventfd write per send.
+    std::atomic<bool> armed{false};
+    std::atomic<bool> pending{false};
+
+    std::atomic<bool> kick_connects{false};  ///< broadcast_shutdown redial request.
+    std::atomic<std::uint64_t> wakeups{0};   ///< epoll_wait returns with >= 1 event.
+    bool inbound_paused_applied = false;     ///< this thread's view of the global pause.
+
+    std::vector<std::size_t> links;       ///< peer indexes homed here.
+    std::vector<std::uint8_t> rbuf;       ///< batch-read buffer (read_chunk_bytes).
+    std::vector<net::IoSlice> slices;     ///< gather scratch (coalesce_max_frames).
+    /// Read-side delivery buckets: decoded items per node, flushed as one
+    /// mailbox burst per epoll iteration.
+    std::vector<std::vector<Mailbox::Item>> ready;
+    std::vector<NodeId> touched;          ///< nodes with non-empty buckets.
+  };
+
+  std::size_t home_index(std::size_t peer) const {
+    return peer % opts_.transport.io_threads;
+  }
+  IoThread& home(std::size_t peer) { return *io_threads_[home_index(peer)]; }
+
   void worker(NodeId id);
   void enqueue_local(NodeId to, Mailbox::Item item);
   void request_link_drop(std::size_t peer, std::uint32_t gen);
-  void io_loop();
-  void io_wake();
+  void push_timer(IoThread& io, UserTimer t);
+  void io_loop(IoThread& io);
+  void io_wake(IoThread& io);
+  void io_wake_all();
   void io_update_events(std::size_t peer);
-  void io_apply_inbound_flow_control();
+  void io_apply_inbound_flow_control(IoThread& io);
   void io_start_connect(std::size_t peer);
   void io_schedule_reconnect(std::size_t peer);
   void io_link_failed(std::size_t peer, const std::string& why);
   void io_on_connect_ready(std::size_t peer);
   void io_flush(std::size_t peer);
-  void io_read(std::size_t peer);
-  bool io_handle_frame(std::size_t peer, net::Frame& f);
-  void io_accept_all();
-  void io_reap_stale_pending();
-  void io_read_pending(std::size_t slot);
-  void io_fire_timers();
-  void io_rearm_timerfd();
-  void close_link(PeerLink& link);
+  void io_read(IoThread& io, std::size_t peer);
+  bool io_handle_frame(IoThread& io, std::size_t peer, net::Frame& f);
+  void io_deliver_ready(IoThread& io);
+  void io_adopt_handoffs(IoThread& io);
+  void io_accept_all(IoThread& io);
+  void io_reap_stale_pending(IoThread& io);
+  void io_read_pending(IoThread& io, std::size_t slot);
+  void io_fire_timers(IoThread& io);
+  void io_rearm_timerfd(IoThread& io);
+  void close_link(std::size_t peer);
   void note_connected(std::size_t peer);
 
   NetOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< index-aligned; null for remote nodes.
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<PeerLink>> links_;  ///< index-aligned with peers.
-  std::vector<PendingConn> pending_;
+  std::vector<PendingConn> pending_;              ///< thread 0 only.
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
 
-  int epoll_fd_ = -1;
   int listen_fd_ = -1;
-  int wake_fd_ = -1;
-  int timer_fd_ = -1;
-  std::thread io_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_{false};
   bool started_ = false;
 
   /// Inbound flow control: bytes enqueued from the network and not yet
-  /// delivered.  Above max_inbound_bytes the I/O thread unsubscribes every
-  /// socket from EPOLLIN; workers refund charges and wake it to resume
-  /// below half the budget.
+  /// delivered.  Above the budget every I/O thread unsubscribes its sockets
+  /// from EPOLLIN; workers refund charges and wake them to resume below half
+  /// the budget.
   std::atomic<std::size_t> inbound_bytes_{0};
   std::atomic<bool> inbound_paused_{false};
-  /// broadcast_shutdown sets this: links sitting in reconnect backoff are
-  /// redialed immediately so the queued SHUTDOWN frames can still flush.
-  std::atomic<bool> kick_connects_{false};
-
-  std::mutex timer_mu_;
-  std::vector<UserTimer> timers_;  ///< min-heap by (due, seq).
-  std::uint64_t timer_seq_ = 0;
 
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;  ///< wait_connected / run_until_shutdown.
@@ -286,6 +338,11 @@ class NetRuntime final : public Runtime {
     std::atomic<std::uint64_t> frames_received{0};
     std::atomic<std::uint64_t> bytes_sent{0};
     std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> send_syscalls{0};
+    std::atomic<std::uint64_t> frames_written{0};
+    std::atomic<std::uint64_t> short_writes{0};
+    std::atomic<std::uint64_t> recv_syscalls{0};
+    std::atomic<std::uint64_t> mailbox_bursts{0};
     std::atomic<std::uint64_t> reconnects{0};
     std::atomic<std::uint64_t> backpressure_waits{0};
     std::atomic<std::uint64_t> inbound_pauses{0};

@@ -19,6 +19,7 @@
 
 #include "msg/message.hpp"
 #include "runtime/observer.hpp"
+#include "runtime/transport_stats.hpp"
 
 namespace snowkit {
 
@@ -86,6 +87,12 @@ class Runtime {
     (void)id;
     return true;
   }
+
+  /// Typed transport-counters snapshot (runtime/transport_stats.hpp): the one
+  /// stats seam benches, daemons and audit tooling consume.  Substrates with
+  /// no network transport return the default (all-zero, zero-thread)
+  /// snapshot; NetRuntime overrides with live counters.
+  virtual TransportStats transport_stats() const { return {}; }
 
   /// Transaction lifecycle notes.  SimRuntime records these as INV/RESP
   /// actions in its trace; ThreadRuntime ignores them.

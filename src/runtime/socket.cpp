@@ -1,6 +1,7 @@
 #include "runtime/socket.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "msg/codec.hpp"
@@ -104,6 +105,53 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
     pos_ = 0;
   }
   return Status::kFrame;
+}
+
+// --- WriteCoalescer ----------------------------------------------------------
+
+std::size_t WriteCoalescer::gather(IoSlice* out, std::size_t max_iov) const {
+  std::size_t n = 0;
+  std::size_t gathered = 0;
+  std::size_t off = off_;
+  for (const auto& frame : q_) {
+    if (n >= max_iov || n >= max_frames_) break;
+    // The byte cap never blocks the FIRST slice: a frame bigger than
+    // max_bytes must still drain (one frame per syscall, worst case).
+    if (n > 0 && gathered + (frame.size() - off) > max_bytes_) break;
+    out[n].data = frame.data() + off;
+    out[n].len = frame.size() - off;
+    gathered += out[n].len;
+    ++n;
+    off = 0;  // only the front frame has a resume offset
+  }
+  return n;
+}
+
+std::size_t WriteCoalescer::consume(std::size_t n,
+                                    std::vector<std::vector<std::uint8_t>>* spent) {
+  bytes_ -= n;  // caller never consumes more than it gathered
+  std::size_t completed = 0;
+  while (n > 0) {
+    auto& front = q_.front();
+    const std::size_t remaining = front.size() - off_;
+    if (n < remaining) {
+      off_ += n;  // partial write: resume mid-frame on the next gather
+      return completed;
+    }
+    n -= remaining;
+    off_ = 0;
+    if (spent != nullptr) spent->push_back(std::move(front));
+    q_.pop_front();
+    ++completed;
+  }
+  return completed;
+}
+
+std::deque<std::vector<std::uint8_t>> WriteCoalescer::take_unsent() {
+  if (off_ > 0 && !q_.empty()) q_.pop_front();  // its prefix died with the socket
+  off_ = 0;
+  bytes_ = 0;
+  return std::exchange(q_, {});
 }
 
 // --- frame builders ----------------------------------------------------------

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,77 @@ class FrameDecoder {
   std::vector<std::uint8_t> buf_;  ///< unconsumed bytes (compacted on pop).
   std::size_t pos_ = 0;            ///< consumed prefix of buf_.
   std::string error_;
+};
+
+// --- write-side coalescing ---------------------------------------------------
+
+/// One gather segment: a view into a queued frame's unsent bytes.  Portable
+/// stand-in for struct iovec so this layer (and its every-byte-offset tests)
+/// never touches <sys/uio.h>; the transport casts slices into its iovec array
+/// at the sendmsg call site.
+struct IoSlice {
+  const std::uint8_t* data{nullptr};
+  std::size_t len{0};
+};
+
+/// The send-side frame queue of one peer link: whole frames go in, gather
+/// lists capped by (max_frames, max_bytes) come out, and consume() advances
+/// past whatever the kernel actually accepted — including a partial write
+/// that stops at ANY byte offset inside or across frame boundaries (the next
+/// gather resumes mid-frame).  Frames are never re-encoded, split or merged:
+/// coalescing is purely how many of the SAME snowkit-wire-v1 bytes share one
+/// syscall, which frame_roundtrip_test proves by comparing gathered bytes
+/// against the flat reference stream.
+///
+/// Separable from the transport on purpose: no fds, no syscalls — just the
+/// bookkeeping whose edge cases (partial resume, iovec-cap overflow,
+/// reconnect recovery) need exhaustive testing.
+class WriteCoalescer {
+ public:
+  /// Both caps must be positive (TransportOptions::validate enforces the
+  /// real bounds; this layer just honors them).
+  void set_limits(std::size_t max_frames, std::size_t max_bytes) {
+    max_frames_ = max_frames;
+    max_bytes_ = max_bytes;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t pending_bytes() const { return bytes_; }
+  std::size_t pending_frames() const { return q_.size(); }
+  /// True when the front frame is partially written — a connection drop now
+  /// loses that frame (its tail is meaningless to a fresh peer decoder).
+  bool front_partially_written() const { return off_ > 0; }
+
+  /// Queues one whole frame (length prefix included).  Empty frames are
+  /// meaningless at this layer and ignored.
+  void push(std::vector<std::uint8_t>&& frame) {
+    if (frame.empty()) return;
+    bytes_ += frame.size();
+    q_.push_back(std::move(frame));
+  }
+
+  /// Fills `out` with the next gather list: at most max_iov and the
+  /// configured max_frames slices, stopping at max_bytes — but always at
+  /// least one slice when non-empty, so an oversized frame still makes
+  /// progress.  The first slice starts at the front frame's unsent offset.
+  std::size_t gather(IoSlice* out, std::size_t max_iov) const;
+
+  /// Advances past `n` bytes the kernel accepted (n may end anywhere).
+  /// Returns the number of frames fully written; their buffers are moved
+  /// into `*spent` (capacity recycling) when it is non-null.
+  std::size_t consume(std::size_t n, std::vector<std::vector<std::uint8_t>>* spent = nullptr);
+
+  /// Connection-drop recovery: returns every frame the socket never touched
+  /// (oldest first) and resets.  The partially-written front frame, if any,
+  /// is dropped — its prefix is on the dead socket and cannot be resent.
+  std::deque<std::vector<std::uint8_t>> take_unsent();
+
+ private:
+  std::deque<std::vector<std::uint8_t>> q_;  ///< whole frames, send order.
+  std::size_t off_ = 0;                      ///< sent bytes of q_.front().
+  std::size_t bytes_ = 0;                    ///< unsent bytes across q_.
+  std::size_t max_frames_ = 64;
+  std::size_t max_bytes_ = 1u << 20;
 };
 
 // --- frame builders (append to an outbox buffer) ----------------------------

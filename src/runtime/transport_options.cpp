@@ -1,0 +1,130 @@
+#include "runtime/transport_options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace snowkit {
+
+namespace {
+
+// The sendmsg gather list is stack-allocated per flush; IOV_MAX is at least
+// 1024 everywhere Linux runs, so the cap doubles as the validation bound.
+constexpr std::size_t kMaxCoalesceFrames = 1024;
+constexpr std::size_t kMaxIoThreads = 64;
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::invalid_argument("TransportOptions: " + why);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  // std::stoull accepts "-1" by wrapping; reject any non-digit up front.
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    bad("'" + key + "' value '" + value + "' is not a non-negative integer");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    bad("'" + key + "' value '" + value + "' is out of range");
+  }
+}
+
+}  // namespace
+
+void TransportOptions::validate() const {
+  if (io_threads == 0 || io_threads > kMaxIoThreads) {
+    bad("io_threads must be in [1, " + std::to_string(kMaxIoThreads) + "], got " +
+        std::to_string(io_threads));
+  }
+  if (coalesce_max_frames == 0 || coalesce_max_frames > kMaxCoalesceFrames) {
+    bad("coalesce_max_frames must be in [1, " + std::to_string(kMaxCoalesceFrames) +
+        "] (IOV_MAX bound), got " + std::to_string(coalesce_max_frames));
+  }
+  if (coalesce_max_bytes == 0) bad("coalesce_max_bytes must be positive");
+  if (backpressure_bytes == 0) bad("backpressure_bytes must be positive");
+  if (inbound_budget_bytes == 0) bad("inbound_budget_bytes must be positive");
+  if (read_chunk_bytes < 4096) {
+    bad("read_chunk_bytes must be at least 4096, got " + std::to_string(read_chunk_bytes));
+  }
+  if (reconnect_initial_ns == 0) bad("reconnect_initial_ms must be positive");
+  if (reconnect_max_ns < reconnect_initial_ns) {
+    bad("reconnect_max_ms (" + std::to_string(reconnect_max_ns / 1'000'000) +
+        "ms) must be >= reconnect_initial_ms (" +
+        std::to_string(reconnect_initial_ns / 1'000'000) + "ms)");
+  }
+  if (max_pending_conns == 0) bad("max_pending_conns must be positive");
+  // A HELLO frame is 4 (len) + 1 (type) + 4 (magic) + up to 10+10 (varints);
+  // a bound below that would reject every legitimate handshake.
+  if (max_pending_handshake_bytes < 32) {
+    bad("max_pending_handshake_bytes must be at least 32 (a HELLO frame), got " +
+        std::to_string(max_pending_handshake_bytes));
+  }
+  if (pending_handshake_timeout_ns == 0) bad("pending_handshake_timeout_ms must be positive");
+}
+
+void TransportOptions::apply(const std::string& key, const std::string& value) {
+  const std::uint64_t v = parse_u64(key, value);
+  if (key == "io_threads") {
+    io_threads = static_cast<std::size_t>(v);
+  } else if (key == "coalesce_max_frames") {
+    coalesce_max_frames = static_cast<std::size_t>(v);
+  } else if (key == "coalesce_max_bytes") {
+    coalesce_max_bytes = static_cast<std::size_t>(v);
+  } else if (key == "backpressure_bytes") {
+    backpressure_bytes = static_cast<std::size_t>(v);
+  } else if (key == "inbound_budget_bytes") {
+    inbound_budget_bytes = static_cast<std::size_t>(v);
+  } else if (key == "read_chunk_bytes") {
+    read_chunk_bytes = static_cast<std::size_t>(v);
+  } else if (key == "reconnect_initial_ms") {
+    reconnect_initial_ns = static_cast<TimeNs>(v) * 1'000'000;
+  } else if (key == "reconnect_max_ms") {
+    reconnect_max_ns = static_cast<TimeNs>(v) * 1'000'000;
+  } else if (key == "max_pending_conns") {
+    max_pending_conns = static_cast<std::size_t>(v);
+  } else if (key == "max_pending_handshake_bytes") {
+    max_pending_handshake_bytes = static_cast<std::size_t>(v);
+  } else if (key == "pending_handshake_timeout_ms") {
+    pending_handshake_timeout_ns = static_cast<TimeNs>(v) * 1'000'000;
+  } else {
+    bad("unknown key '" + key + "'");
+  }
+}
+
+void TransportOptions::parse_csv(const std::string& csv) {
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad("expected key=value, got '" + item + "'");
+    }
+    apply(item.substr(0, eq), item.substr(eq + 1));
+  }
+  validate();
+}
+
+std::vector<std::pair<std::string, std::string>> TransportOptions::non_default_entries() const {
+  const TransportOptions defaults;
+  std::vector<std::pair<std::string, std::string>> out;
+  auto diff = [&](const char* key, std::uint64_t mine, std::uint64_t theirs) {
+    if (mine != theirs) out.emplace_back(key, std::to_string(mine));
+  };
+  diff("io_threads", io_threads, defaults.io_threads);
+  diff("coalesce_max_frames", coalesce_max_frames, defaults.coalesce_max_frames);
+  diff("coalesce_max_bytes", coalesce_max_bytes, defaults.coalesce_max_bytes);
+  diff("backpressure_bytes", backpressure_bytes, defaults.backpressure_bytes);
+  diff("inbound_budget_bytes", inbound_budget_bytes, defaults.inbound_budget_bytes);
+  diff("read_chunk_bytes", read_chunk_bytes, defaults.read_chunk_bytes);
+  diff("reconnect_initial_ms", reconnect_initial_ns / 1'000'000,
+       defaults.reconnect_initial_ns / 1'000'000);
+  diff("reconnect_max_ms", reconnect_max_ns / 1'000'000, defaults.reconnect_max_ns / 1'000'000);
+  diff("max_pending_conns", max_pending_conns, defaults.max_pending_conns);
+  diff("max_pending_handshake_bytes", max_pending_handshake_bytes,
+       defaults.max_pending_handshake_bytes);
+  diff("pending_handshake_timeout_ms", pending_handshake_timeout_ns / 1'000'000,
+       defaults.pending_handshake_timeout_ns / 1'000'000);
+  return out;
+}
+
+}  // namespace snowkit

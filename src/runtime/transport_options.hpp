@@ -1,0 +1,106 @@
+// TransportOptions: THE configuration surface of the TCP transport.
+//
+// Every NetRuntime knob — I/O thread count, writev coalescing caps,
+// backpressure and inbound-flow-control budgets, reconnect backoff, the
+// pre-HELLO handshake bounds — lives in this one struct.  It is exposed
+// uniformly at every layer:
+//
+//   * fleet files:      transport io_threads=2,coalesce_max_frames=64
+//   * snowkit_server:   --transport io_threads=2,coalesce_max_frames=64
+//   * C++ callers:      NetOptions::transport (runtime/net_runtime.hpp)
+//
+// All three funnel through the same csv parser (`apply`/`parse_csv`), and
+// every construction path calls validate() — invalid combinations fail fast
+// at build time with a named error, exactly like BuildOptions does for
+// protocol knobs (core/registry.hpp).  There are deliberately no scattered
+// constants left in net_runtime.cpp: if a limit matters enough to exist, it
+// matters enough to be configurable and validated here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snowkit {
+
+struct TransportOptions {
+  /// Number of epoll I/O threads.  Peer links are partitioned by index
+  /// (link -> thread `peer % io_threads`), so each link's socket state is
+  /// touched by exactly one thread; thread 0 additionally owns the listen
+  /// socket and the pre-HELLO pending set, handing accepted links off to
+  /// their home thread after the HELLO names the peer.
+  std::size_t io_threads{1};
+
+  /// Write-side coalescing: one sendmsg gathers up to this many queued
+  /// frames...
+  std::size_t coalesce_max_frames{64};
+  /// ...or this many bytes, whichever cap is hit first.  A single frame
+  /// larger than the byte cap still goes out alone (progress is never
+  /// blocked by the cap).
+  std::size_t coalesce_max_bytes{1u << 20};
+
+  /// Backpressure cap per peer outbox: send() blocks above this.
+  std::size_t backpressure_bytes{8u << 20};
+  /// Inbound flow-control budget: when frames queued into local mailboxes
+  /// (and not yet delivered) exceed this, the I/O threads stop READING all
+  /// peer sockets until workers drain below half of it — TCP then
+  /// backpressures the senders, whose own outbox caps block their send()
+  /// calls.  Bounded memory end to end.
+  ///
+  /// Caveat (configuration-dependent, not structural): if request/reply
+  /// traffic flows both ways and BOTH processes exhaust their outbox AND
+  /// inbound budgets simultaneously, every worker is blocked in send() and
+  /// no one refunds inbound charges — a distributed stall.  Keep the
+  /// budgets large relative to peak in-flight work (the defaults are; the
+  /// paper's one-outstanding-txn well-formedness also bounds in-flight
+  /// traffic structurally).  Shrink them only on one side at a time, as
+  /// the flow-control tests do.
+  std::size_t inbound_budget_bytes{8u << 20};
+
+  /// Read-side batch decode: each recv fills a buffer of this size, frames
+  /// are split out of it in bulk and delivered to workers as one mailbox
+  /// burst per (node, epoll iteration).
+  std::size_t read_chunk_bytes{256u << 10};
+
+  /// Reconnect backoff: initial delay, doubling to the max.
+  TimeNs reconnect_initial_ns{20'000'000};   // 20ms
+  TimeNs reconnect_max_ns{2'000'000'000};    // 2s
+
+  /// Pre-HELLO bounds.  Accepted-but-not-greeted connections are fully
+  /// untrusted, so their resource footprint is hard-capped: at most
+  /// `max_pending_conns` live at once, at most `max_pending_handshake_bytes`
+  /// buffered each (a HELLO is tens of bytes — a partial frame bigger than
+  /// this is never going to become one), and at most
+  /// `pending_handshake_timeout_ns` to complete the handshake before being
+  /// reaped.  Without these, anyone who can reach the listen socket could
+  /// pin fds and up to kMaxFrameBytes of decoder buffer each, forever.
+  std::size_t max_pending_conns{64};
+  std::size_t max_pending_handshake_bytes{512};
+  TimeNs pending_handshake_timeout_ns{5'000'000'000};  // 5s
+
+  /// Throws std::invalid_argument naming the offending field on any invalid
+  /// value or combination.  Called by every construction path (NetRuntime
+  /// ctor, fleet parsing, CLI flags) — misconfiguration fails at build time.
+  void validate() const;
+
+  /// Applies one `key=value` (csv grammar below); throws std::invalid_argument
+  /// on an unknown key or unparseable value.  Durations take MILLISECONDS on
+  /// the text surface (`reconnect_initial_ms=20`) — fleet files are written
+  /// by humans.
+  void apply(const std::string& key, const std::string& value);
+
+  /// Applies `key=value[,key=value...]` on top of *this, then validates.
+  /// This is the single parser behind the fleet-file `transport` key and the
+  /// snowkit_server `--transport` flag.
+  void parse_csv(const std::string& csv);
+
+  /// The fields differing from a default-constructed TransportOptions, as
+  /// (key, value) pairs in `apply` grammar — fleet_text uses this so configs
+  /// only show what they changed, and parse(fleet_text(x)) == x.
+  std::vector<std::pair<std::string, std::string>> non_default_entries() const;
+};
+
+}  // namespace snowkit

@@ -1,0 +1,32 @@
+#include "runtime/transport_stats.hpp"
+
+#include <cstdio>
+
+namespace snowkit {
+
+std::vector<std::pair<std::string, std::string>> TransportStats::extras() const {
+  auto fixed2 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return std::string(buf);
+  };
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("tcp_frames_sent", std::to_string(frames_sent));
+  out.emplace_back("tcp_frames_received", std::to_string(frames_received));
+  out.emplace_back("tcp_bytes_sent", std::to_string(bytes_sent));
+  out.emplace_back("tcp_bytes_received", std::to_string(bytes_received));
+  out.emplace_back("tcp_send_syscalls", std::to_string(send_syscalls));
+  out.emplace_back("tcp_recv_syscalls", std::to_string(recv_syscalls));
+  out.emplace_back("tcp_short_writes", std::to_string(short_writes));
+  out.emplace_back("tcp_mailbox_bursts", std::to_string(mailbox_bursts));
+  out.emplace_back("frames_per_syscall", fixed2(frames_per_syscall()));
+  out.emplace_back("bytes_per_writev", fixed2(bytes_per_writev()));
+  out.emplace_back("tcp_reconnects", std::to_string(reconnects));
+  out.emplace_back("tcp_backpressure_waits", std::to_string(backpressure_waits));
+  out.emplace_back("tcp_inbound_pauses", std::to_string(inbound_pauses));
+  out.emplace_back("io_threads", std::to_string(epoll_wakeups.size()));
+  out.emplace_back("tcp_epoll_wakeups", std::to_string(total_epoll_wakeups()));
+  return out;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,66 @@
+// TransportStats: the typed transport-counters snapshot every Runtime can
+// answer.  This is the ONE stats seam between the transport and its
+// consumers — the bench harness (bench/net_loopback.cpp), the snowkit_server
+// shutdown banner, and audit tooling all read the same struct instead of
+// assembling stringly-typed extras by hand.  Single-process substrates
+// (SimRuntime, ThreadRuntime) return the default snapshot: zero syscalls,
+// zero threads — "no transport" is an answer, not an error.
+//
+// Counters are sampled with relaxed atomics on the hot path, so a snapshot
+// taken mid-run is approximate (fields may be mutually skewed by in-flight
+// increments); a snapshot taken after traffic quiesces is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snowkit {
+
+struct TransportStats {
+  // --- frame + byte totals ---------------------------------------------------
+  std::uint64_t frames_sent{0};       ///< frames queued by senders.
+  std::uint64_t frames_received{0};   ///< MSG frames decoded off the wire.
+  std::uint64_t bytes_sent{0};        ///< TCP payload bytes actually written.
+  std::uint64_t bytes_received{0};
+
+  // --- syscall-level efficiency (the coalescing scoreboard) ------------------
+  std::uint64_t send_syscalls{0};     ///< sendmsg calls that wrote >= 1 byte.
+  std::uint64_t frames_written{0};    ///< frames whose final byte was written.
+  std::uint64_t short_writes{0};      ///< sendmsg accepted fewer bytes than offered.
+  std::uint64_t recv_syscalls{0};     ///< read calls that returned >= 1 byte.
+  std::uint64_t mailbox_bursts{0};    ///< batched (node, iteration) deliveries.
+
+  // --- link + flow-control events --------------------------------------------
+  std::uint64_t reconnects{0};          ///< successful re-establishments after a drop.
+  std::uint64_t backpressure_waits{0};  ///< send() calls that had to block.
+  std::uint64_t inbound_pauses{0};      ///< times reading was paused fleet-wide.
+
+  /// Wakeups (epoll_wait returns with >= 1 event) per I/O thread, index-
+  /// aligned; size() is the transport's io_threads (empty: no transport).
+  std::vector<std::uint64_t> epoll_wakeups;
+
+  // --- derived ----------------------------------------------------------------
+  double frames_per_syscall() const {
+    return send_syscalls == 0 ? 0.0
+                              : static_cast<double>(frames_written) /
+                                    static_cast<double>(send_syscalls);
+  }
+  double bytes_per_writev() const {
+    return send_syscalls == 0
+               ? 0.0
+               : static_cast<double>(bytes_sent) / static_cast<double>(send_syscalls);
+  }
+  std::uint64_t total_epoll_wakeups() const {
+    std::uint64_t sum = 0;
+    for (const auto w : epoll_wakeups) sum += w;
+    return sum;
+  }
+
+  /// The snapshot as bench-record extras — key names are the stable contract
+  /// the CI jq gates and the checked-in BENCH json trajectory read.
+  std::vector<std::pair<std::string, std::string>> extras() const;
+};
+
+}  // namespace snowkit

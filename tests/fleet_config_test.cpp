@@ -90,6 +90,60 @@ TEST(FleetConfig, NetOptionsShareTheOwnerMapAndOutliveTheConfig) {
   EXPECT_EQ(opts.owner(7), 3u);
 }
 
+TEST(FleetConfig, TransportLineConfiguresEveryProcess) {
+  const std::string text = std::string(kSample) +
+                           "transport io_threads=2,coalesce_max_frames=128,reconnect_initial_ms=5\n";
+  const FleetConfig fleet = parse_fleet_text(text);
+  EXPECT_EQ(fleet.transport.io_threads, 2u);
+  EXPECT_EQ(fleet.transport.coalesce_max_frames, 128u);
+  EXPECT_EQ(fleet.transport.reconnect_initial_ns, 5'000'000u);
+  // Unset knobs keep their defaults.
+  EXPECT_EQ(fleet.transport.coalesce_max_bytes, TransportOptions{}.coalesce_max_bytes);
+
+  // Every process derives the SAME transport config from the one file —
+  // that is the point of putting it in the fleet file instead of a flag.
+  for (std::size_t i = 0; i < fleet.processes.size(); ++i) {
+    EXPECT_EQ(fleet.net_options(i).transport.io_threads, 2u) << "process " << i;
+  }
+}
+
+TEST(FleetConfig, TransportLineRoundTripsAndDefaultsStayImplicit) {
+  // A config that never mentions transport must serialize without a
+  // transport line (old fleet files stay byte-stable).
+  const FleetConfig plain = parse_fleet_text(kSample);
+  EXPECT_EQ(fleet_text(plain).find("transport"), std::string::npos);
+
+  // Non-default knobs survive parse(fleet_text(x)) exactly.
+  FleetConfig tuned = plain;
+  tuned.transport.io_threads = 4;
+  tuned.transport.coalesce_max_bytes = 1u << 18;
+  tuned.transport.backpressure_bytes = 1u << 22;
+  const FleetConfig again = parse_fleet_text(fleet_text(tuned));
+  EXPECT_EQ(again.transport.io_threads, 4u);
+  EXPECT_EQ(again.transport.coalesce_max_bytes, 1u << 18);
+  EXPECT_EQ(again.transport.backpressure_bytes, 1u << 22);
+  EXPECT_EQ(fleet_text(again), fleet_text(tuned));
+}
+
+TEST(FleetConfig, TransportLineFailsFastWithLineNumbers) {
+  auto with_transport = [](const std::string& csv) {
+    return "protocol simple\nobjects 2\nshards 2\ntransport " + csv +
+           "\nserver 127.0.0.1 1\nserver 127.0.0.1 2\nclient 127.0.0.1 3\n";
+  };
+  // Unknown key, bad value, out-of-range value: all rejected at parse time
+  // with the offending line number, before any runtime exists.
+  for (const char* bad : {"frobnicate=1", "io_threads=zero", "io_threads=0",
+                          "io_threads=65", "coalesce_max_frames=0", "read_chunk_bytes=16"}) {
+    try {
+      parse_fleet_text(with_transport(bad));
+      FAIL() << "accepted transport csv '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+          << "'" << bad << "' error lacks the line number: " << e.what();
+    }
+  }
+}
+
 TEST(FleetConfig, RejectsMalformedInput) {
   // no client line
   EXPECT_THROW(parse_fleet_text("protocol simple\nobjects 2\nserver 127.0.0.1 1\n"),

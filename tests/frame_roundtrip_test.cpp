@@ -234,5 +234,179 @@ TEST(FrameRoundtrip, FramedCodecBytesMatchEncodeMessage) {
   }
 }
 
+// --- write-side coalescing ---------------------------------------------------
+//
+// WriteCoalescer is the transport's send queue; coalescing must be invisible
+// on the wire.  The proof obligation (docs/WIRE.md): the bytes that come out
+// of gather()/consume() equal the flat reference stream byte-for-byte, no
+// matter where partial writes land or how tight the iovec caps are.
+
+using net::IoSlice;
+using net::WriteCoalescer;
+
+/// The corpus as individual whole frames — what NetRuntime queues per send.
+std::vector<std::vector<std::uint8_t>> corpus_frames(const std::vector<Message>& msgs) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.emplace_back();
+  net::append_hello(frames.back(), 3);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    frames.emplace_back();
+    net::append_msg(frames.back(), static_cast<NodeId>(10 + i), static_cast<NodeId>(i), msgs[i]);
+  }
+  frames.emplace_back();
+  net::append_shutdown(frames.back());
+  return frames;
+}
+
+/// Simulates the kernel accepting exactly `budget` bytes: gather, copy the
+/// accepted prefix onto `wire`, consume — the transport's sendmsg loop with a
+/// miserly socket.
+void accept_bytes(WriteCoalescer& wq, std::size_t budget, std::size_t max_iov,
+                  std::vector<std::uint8_t>& wire) {
+  std::vector<IoSlice> slices(max_iov);
+  while (budget > 0 && !wq.empty()) {
+    const std::size_t cnt = wq.gather(slices.data(), max_iov);
+    ASSERT_GT(cnt, 0u) << "non-empty queue gathered nothing";
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < cnt && taken < budget; ++i) {
+      const std::size_t m = std::min(slices[i].len, budget - taken);
+      wire.insert(wire.end(), slices[i].data, slices[i].data + m);
+      taken += m;
+    }
+    wq.consume(taken);
+    budget -= taken;
+  }
+}
+
+TEST(WriteCoalescerTest, PartialWriteResumesAtEveryByteOffset) {
+  const auto msgs = corpus();
+  const auto frames = corpus_frames(msgs);
+  const auto reference = reference_stream(msgs);
+  for (std::size_t split = 0; split <= reference.size(); ++split) {
+    WriteCoalescer wq;
+    for (const auto& f : frames) wq.push(std::vector<std::uint8_t>(f));
+    ASSERT_EQ(wq.pending_bytes(), reference.size());
+    std::vector<std::uint8_t> wire;
+    // First write stops at `split` — inside a length prefix, a type byte, a
+    // payload, or exactly on a frame boundary — then the link drains.
+    accept_bytes(wq, split, 8, wire);
+    if (HasFatalFailure()) return;
+    accept_bytes(wq, reference.size() - split, 8, wire);
+    if (HasFatalFailure()) return;
+    ASSERT_TRUE(wq.empty()) << "split at " << split;
+    ASSERT_EQ(wq.pending_bytes(), 0u) << "split at " << split;
+    ASSERT_EQ(wire, reference) << "split at " << split;
+    // And the stream a peer decoder sees is untouched by coalescing.
+    FrameDecoder dec;
+    Decoded out;
+    dec.feed(wire);
+    drain(dec, out);
+    if (HasFatalFailure()) return;
+    ASSERT_EQ(out.msgs.size(), msgs.size()) << "split at " << split;
+    for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(out.msgs[i], msgs[i]);
+  }
+}
+
+TEST(WriteCoalescerTest, ByteAtATimeKernelStillYieldsTheReferenceStream) {
+  const auto msgs = corpus();
+  const auto reference = reference_stream(msgs);
+  WriteCoalescer wq;
+  for (auto& f : corpus_frames(msgs)) wq.push(std::move(f));
+  std::vector<std::uint8_t> wire;
+  while (!wq.empty()) {
+    accept_bytes(wq, 1, 4, wire);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(wire, reference);
+}
+
+TEST(WriteCoalescerTest, GatherHonorsFrameIovAndByteCapsWithoutStalling) {
+  auto five_byte_frame = [] {  // a SHUTDOWN frame is 5 bytes on the wire
+    std::vector<std::uint8_t> f;
+    net::append_shutdown(f);
+    return f;
+  };
+  WriteCoalescer wq;
+  for (int i = 0; i < 100; ++i) wq.push(five_byte_frame());
+  std::vector<IoSlice> slices(128);
+
+  // Frame cap: 100 queued, limits say 8 per syscall.
+  wq.set_limits(/*max_frames=*/8, /*max_bytes=*/1u << 20);
+  EXPECT_EQ(wq.gather(slices.data(), slices.size()), 8u);
+  // The caller's iovec array can be smaller still (IOV_MAX clamp).
+  EXPECT_EQ(wq.gather(slices.data(), 3), 3u);
+
+  // Byte cap: 12 bytes admits two whole 5-byte frames, never a torn third.
+  wq.set_limits(/*max_frames=*/64, /*max_bytes=*/12);
+  EXPECT_EQ(wq.gather(slices.data(), slices.size()), 2u);
+
+  // A frame bigger than max_bytes must still go out alone — the byte cap
+  // never blocks the first slice, else the queue would stall forever.
+  wq.set_limits(/*max_frames=*/64, /*max_bytes=*/4);
+  ASSERT_EQ(wq.gather(slices.data(), slices.size()), 1u);
+  EXPECT_EQ(slices[0].len, 5u);
+
+  // Under the tightest caps the queue still drains completely and emits
+  // every byte exactly once.
+  std::vector<std::uint8_t> wire;
+  while (!wq.empty()) {
+    accept_bytes(wq, 3, 1, wire);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(wire.size(), 100u * 5u);
+  EXPECT_EQ(wq.pending_frames(), 0u);
+}
+
+TEST(WriteCoalescerTest, ConsumeReturnsSpentBuffersForRecycling) {
+  const auto msgs = corpus();
+  auto frames = corpus_frames(msgs);
+  WriteCoalescer wq;
+  std::size_t total = 0;
+  for (const auto& f : frames) {
+    total += f.size();
+    wq.push(std::vector<std::uint8_t>(f));
+  }
+  std::vector<IoSlice> slices(frames.size());
+  ASSERT_EQ(wq.gather(slices.data(), slices.size()), frames.size());
+  std::vector<std::vector<std::uint8_t>> spent;
+  EXPECT_EQ(wq.consume(total, &spent), frames.size());
+  ASSERT_EQ(spent.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) EXPECT_EQ(spent[i], frames[i]);
+  EXPECT_TRUE(wq.empty());
+}
+
+TEST(WriteCoalescerTest, TakeUnsentDropsOnlyThePartiallyWrittenFront) {
+  const auto msgs = corpus();
+  const auto frames = corpus_frames(msgs);
+  {
+    // Connection dies 3 bytes into frame 1: frame 0 is fully on the old
+    // socket, frame 1's prefix died with it, frames 2.. must be requeued.
+    WriteCoalescer wq;
+    for (const auto& f : frames) wq.push(std::vector<std::uint8_t>(f));
+    std::vector<std::uint8_t> wire;
+    accept_bytes(wq, frames[0].size() + 3, 8, wire);
+    if (HasFatalFailure()) return;
+    ASSERT_TRUE(wq.front_partially_written());
+    const auto unsent = wq.take_unsent();
+    ASSERT_EQ(unsent.size(), frames.size() - 2);
+    for (std::size_t i = 0; i < unsent.size(); ++i) EXPECT_EQ(unsent[i], frames[i + 2]);
+    EXPECT_TRUE(wq.empty());
+    EXPECT_EQ(wq.pending_bytes(), 0u);
+    EXPECT_FALSE(wq.front_partially_written());
+  }
+  {
+    // Death exactly on a frame boundary: nothing is torn, nothing dropped.
+    WriteCoalescer wq;
+    for (const auto& f : frames) wq.push(std::vector<std::uint8_t>(f));
+    std::vector<std::uint8_t> wire;
+    accept_bytes(wq, frames[0].size(), 8, wire);
+    if (HasFatalFailure()) return;
+    ASSERT_FALSE(wq.front_partially_written());
+    const auto unsent = wq.take_unsent();
+    ASSERT_EQ(unsent.size(), frames.size() - 1);
+    for (std::size_t i = 0; i < unsent.size(); ++i) EXPECT_EQ(unsent[i], frames[i + 1]);
+  }
+}
+
 }  // namespace
 }  // namespace snowkit

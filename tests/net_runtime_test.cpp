@@ -139,7 +139,7 @@ TEST(NetRuntime, ClientBeforeServersReconnectsWithBackoff) {
   client.build(fleet, fleet.client_index());
   client.rt->start();  // server is NOT up: connects fail, backoff kicks in
   std::this_thread::sleep_for(std::chrono::milliseconds(120));
-  EXPECT_EQ(client.rt->net_stats().frames_received, 0u);
+  EXPECT_EQ(client.rt->transport_stats().frames_received, 0u);
 
   FleetProc server;
   server.build(fleet, 0);
@@ -215,8 +215,8 @@ TEST(NetRuntime, StatsCountFramesAndBytes) {
   WorkloadDriver driver(*procs[1].rt, *procs[1].sys, spec);
   driver.start();
   driver.wait();
-  const auto client = procs[1].rt->net_stats();
-  const auto server = procs[0].rt->net_stats();
+  const TransportStats client = procs[1].rt->transport_stats();
+  const TransportStats server = procs[0].rt->transport_stats();
   // simple: every op fans out one request per object and gets one response.
   EXPECT_GT(server.frames_received, 0u);
   EXPECT_GT(client.frames_received, 0u);
@@ -224,6 +224,21 @@ TEST(NetRuntime, StatsCountFramesAndBytes) {
   EXPECT_GT(client.bytes_sent, 0u);
   EXPECT_GT(client.bytes_received, 0u);
   EXPECT_EQ(client.reconnects, 0u);
+  // Syscall-level accounting must reconcile with itself: every queued frame
+  // either hit the wire or is still queued, sendmsg calls were counted, and
+  // the per-thread wakeup vector matches the configured io_threads (1 here).
+  EXPECT_GT(client.send_syscalls, 0u);
+  EXPECT_GT(client.recv_syscalls, 0u);
+  // frames_written counts every frame whose last byte hit the wire —
+  // including the one HELLO per connection — while frames_sent counts only
+  // queued MSG frames.  Quiesced (every response arrived), they reconcile
+  // exactly: all sent frames were written, plus one HELLO per connection.
+  EXPECT_GE(client.frames_written, client.frames_sent);
+  EXPECT_LE(client.frames_written, client.frames_sent + 1 + client.reconnects);
+  EXPECT_GT(client.mailbox_bursts, 0u);
+  EXPECT_LE(client.mailbox_bursts, client.frames_received);
+  ASSERT_EQ(client.epoll_wakeups.size(), 1u);
+  EXPECT_GT(client.total_epoll_wakeups(), 0u);
   procs[1].rt->broadcast_shutdown();
   procs[0].rt->stop();
   procs[1].rt->stop();
@@ -238,7 +253,7 @@ TEST(NetRuntime, InboundFlowControlPausesAndResumes) {
   std::vector<FleetProc> procs(2);
   for (std::size_t i = 0; i < procs.size(); ++i) {
     NetOptions opts = fleet.net_options(i);
-    opts.max_inbound_bytes = 1;
+    opts.transport.inbound_budget_bytes = 1;
     procs[i].rt = std::make_unique<NetRuntime>(opts);
     procs[i].rec = std::make_unique<HistoryRecorder>(fleet.system.num_objects);
     procs[i].sys = build_protocol(fleet.protocol, *procs[i].rt, *procs[i].rec, fleet.system,
@@ -256,7 +271,7 @@ TEST(NetRuntime, InboundFlowControlPausesAndResumes) {
   driver.start();
   driver.wait();
   EXPECT_EQ(driver.completed_reads(), 2u * 15u);
-  EXPECT_GT(procs[0].rt->net_stats().inbound_pauses, 0u);  // servers saw bursts
+  EXPECT_GT(procs[0].rt->transport_stats().inbound_pauses, 0u);  // servers saw bursts
   procs[1].rt->broadcast_shutdown();
   procs[1].rt->stop();
   procs[0].rt->stop();
@@ -436,8 +451,8 @@ TEST(NetRuntime, ShutdownReachesSlowStartingServer) {
   const FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
   FleetProc client;
   NetOptions copts = fleet.net_options(fleet.client_index());
-  copts.reconnect_initial_ns = 5'000'000;  // retry every 5-10ms
-  copts.reconnect_max_ns = 10'000'000;
+  copts.transport.reconnect_initial_ns = 5'000'000;  // retry every 5-10ms
+  copts.transport.reconnect_max_ns = 10'000'000;
   client.rt = std::make_unique<NetRuntime>(copts);
   client.rec = std::make_unique<HistoryRecorder>(fleet.system.num_objects);
   client.sys = build_protocol(fleet.protocol, *client.rt, *client.rec, fleet.system,
@@ -476,6 +491,150 @@ TEST(NetRuntime, StopDoesNotWaitOnNeverConnectedLinks) {
   const auto wall =
       std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
   EXPECT_LT(wall.count(), 500) << "stop() drained against a never-connected link";
+}
+
+TEST(NetRuntime, MultiThreadIoRunsProtocolsAndSplitsLinks) {
+  SKIP_WITHOUT_TRANSPORT();
+  // io_threads=2 on every fleet process: with 3 server processes the client
+  // homes its links on BOTH threads (0,2 -> thread 0; 1 -> thread 1), so
+  // cross-thread handoff, per-thread timers and per-thread flushing all run
+  // under a real protocol workload.  TSan runs this test too.
+  FleetConfig fleet = make_fleet("algo-c", 4, 2, 2, 3, 3);
+  fleet.transport.io_threads = 2;
+  const History h = run_fleet_workload(fleet, 15, 8);
+  EXPECT_EQ(h.completed_reads(), 2u * 15u);
+  EXPECT_EQ(h.completed_writes(), 2u * 8u);
+  const auto verdict = check_tag_order(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(NetRuntime, MultiThreadStatsReportPerThreadWakeups) {
+  SKIP_WITHOUT_TRANSPORT();
+  FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  fleet.transport.io_threads = 3;
+  std::vector<FleetProc> procs(2);
+  procs[0].build(fleet, 0);
+  procs[1].build(fleet, 1);
+  procs[0].rt->start();
+  procs[1].rt->start();
+  procs[1].rt->wait_connected();
+  WorkloadSpec spec;
+  spec.ops_per_reader = 10;
+  spec.ops_per_writer = 10;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*procs[1].rt, *procs[1].sys, spec);
+  driver.start();
+  driver.wait();
+  const TransportStats stats = procs[1].rt->transport_stats();
+  ASSERT_EQ(stats.epoll_wakeups.size(), 3u);
+  // The client's single link to the server homes on thread 0 % 3; that
+  // thread must have seen traffic wakeups.
+  EXPECT_GT(stats.total_epoll_wakeups(), 0u);
+  EXPECT_GT(stats.frames_received, 0u);
+  procs[1].rt->broadcast_shutdown();
+  procs[0].rt->stop();
+  procs[1].rt->stop();
+}
+
+TEST(NetRuntime, ReconnectStormUnderMultiThreadEpoll) {
+  SKIP_WITHOUT_TRANSPORT();
+  // Hostile displacement storm against a MULTI-THREAD server: every raw
+  // connection claims (via the public HELLO) to be the client process and
+  // displaces the previous impostor, hammering the thread0 -> home-thread
+  // handoff path while the home thread is also adopting, closing and
+  // re-registering fds.  The real client then connects LAST and must win the
+  // link and complete a full workload.  Under TSan this is the data-race
+  // probe for the handoff design.
+  FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+  fleet.transport.io_threads = 2;
+  FleetProc server;
+  server.build(fleet, 0);
+  server.rt->start();
+
+  std::vector<int> fds;
+  for (int round = 0; round < 40; ++round) {
+    const int fd = raw_connect(fleet.processes[0].port);
+    ASSERT_GE(fd, 0);
+    std::vector<std::uint8_t> hello;
+    net::append_hello(hello, 1);  // impostor: claims to be fleet process 1
+    ASSERT_EQ(::write(fd, hello.data(), hello.size()), static_cast<ssize_t>(hello.size()));
+    fds.push_back(fd);
+    if (fds.size() > 8) {  // keep a rolling window of live impostors
+      ::close(fds.front());
+      fds.erase(fds.begin());
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+
+  // The genuine client dials after the storm; its connection displaces the
+  // last impostor and the workload must complete.
+  FleetProc client;
+  client.build(fleet, fleet.client_index());
+  client.rt->start();
+  client.rt->wait_connected();
+  WorkloadSpec spec;
+  spec.ops_per_reader = 10;
+  spec.ops_per_writer = 10;
+  spec.read_span = 2;
+  spec.write_span = 2;
+  WorkloadDriver driver(*client.rt, *client.sys, spec);
+  driver.start();
+  driver.wait();
+  EXPECT_EQ(client.rec->snapshot().completed_reads(), 10u);
+  EXPECT_GT(server.rt->transport_stats().reconnects, 0u);  // displacements counted
+
+  client.rt->broadcast_shutdown();
+  client.rt->stop();
+  server.rt->stop();
+}
+
+TEST(NetRuntime, TransportOptionsValidateFailFast) {
+  // Pure validation (no sockets): every invalid field must throw a named
+  // std::invalid_argument from every construction surface.
+  TransportOptions t;
+  t.io_threads = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.io_threads = 65;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.coalesce_max_frames = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.coalesce_max_frames = 2048;  // above the IOV_MAX bound
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.read_chunk_bytes = 1024;  // below the 4096 floor
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.reconnect_max_ns = t.reconnect_initial_ns - 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  t.max_pending_handshake_bytes = 16;  // too small to ever hold a HELLO
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = {};
+  EXPECT_NO_THROW(t.validate());
+
+  // The csv surface parses, applies and validates in one step...
+  t.parse_csv("io_threads=4,coalesce_max_frames=128,reconnect_initial_ms=5");
+  EXPECT_EQ(t.io_threads, 4u);
+  EXPECT_EQ(t.coalesce_max_frames, 128u);
+  EXPECT_EQ(t.reconnect_initial_ns, TimeNs{5'000'000});
+  // ...and rejects unknown keys, bad grammar and invalid values by name.
+  EXPECT_THROW(t.parse_csv("iothreads=2"), std::invalid_argument);
+  EXPECT_THROW(t.parse_csv("io_threads"), std::invalid_argument);
+  EXPECT_THROW(t.parse_csv("io_threads=-1"), std::invalid_argument);
+  EXPECT_THROW(t.parse_csv("io_threads=0"), std::invalid_argument);
+
+  // The NetRuntime constructor is a validation surface too: a bad transport
+  // config must fail before any socket exists.
+  if (net::transport_supported()) {
+    FleetConfig fleet = make_fleet("simple", 2, 1, 1, 2, 1);
+    NetOptions opts = fleet.net_options(0);
+    opts.transport.io_threads = 0;
+    EXPECT_THROW(NetRuntime{opts}, std::invalid_argument);
+  }
 }
 
 TEST(NetRuntime, RefusesRemotePostAndForeignConfigs) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #ifdef __linux__
 #include <unistd.h>
@@ -40,11 +41,16 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: snowkit_server --config FILE --index N [--audit-dir DIR] [--quiet]\n"
+      "usage: snowkit_server --config FILE --index N [--transport CSV]\n"
+      "                      [--audit-dir DIR] [--quiet]\n"
       "\n"
       "  --config FILE    fleet file (see src/runtime/fleet.hpp for the format)\n"
       "  --index N        which fleet process this daemon is (0-based; must be\n"
       "                   one of the 'server' lines, not the client)\n"
+      "  --transport CSV  TransportOptions overrides layered on the fleet file's\n"
+      "                   transport line, same key=value[,key=value] grammar\n"
+      "                   (e.g. io_threads=2,coalesce_max_frames=128); validated\n"
+      "                   fail-fast before the runtime starts\n"
       "  --audit-dir DIR  record message traffic as snowkit-audit-chunk-v1\n"
       "                   files in DIR (see docs/AUDIT.md)\n"
       "  --audit-sample N capture 1 of every N messages (default 1 = all)\n"
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   std::string config_path;
+  std::string transport_csv;
   std::string audit_dir;
   long audit_sample = 1;
   long index = -1;
@@ -86,6 +93,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --index value '%s' is not a non-negative integer\n", value);
         return 1;
       }
+    } else if (arg == "--transport") {
+      transport_csv = next();
     } else if (arg == "--audit-dir") {
       audit_dir = next();
     } else if (arg == "--audit-sample") {
@@ -138,7 +147,14 @@ int main(int argc, char** argv) {
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 #endif
 
-    snowkit::NetRuntime rt(fleet.net_options(static_cast<std::size_t>(index)));
+    snowkit::NetOptions net_opts = fleet.net_options(static_cast<std::size_t>(index));
+    if (!transport_csv.empty()) {
+      // Layered on top of the fleet file's transport line; parse_csv
+      // re-validates the combined result, so a bad override fails here with
+      // a named field instead of misconfiguring a running daemon.
+      net_opts.transport.parse_csv(transport_csv);
+    }
+    snowkit::NetRuntime rt(std::move(net_opts));
 
     std::unique_ptr<snowkit::audit::AuditCapture> capture;
     if (!audit_dir.empty()) {
@@ -191,11 +207,13 @@ int main(int argc, char** argv) {
     rt.stop();
     if (capture) capture->close();
     if (!quiet) {
-      const auto stats = rt.net_stats();
-      std::printf("[snowkit_server %ld] shutdown (frames in %llu, bytes in %llu / out %llu)\n",
+      const snowkit::TransportStats stats = rt.transport_stats();
+      std::printf("[snowkit_server %ld] shutdown (frames in %llu, bytes in %llu / out %llu, "
+                  "%.2f frames/syscall over %zu io thread(s))\n",
                   index, static_cast<unsigned long long>(stats.frames_received),
                   static_cast<unsigned long long>(stats.bytes_received),
-                  static_cast<unsigned long long>(stats.bytes_sent));
+                  static_cast<unsigned long long>(stats.bytes_sent),
+                  stats.frames_per_syscall(), stats.epoll_wakeups.size());
       if (capture) {
         const auto cs = capture->stats();
         std::printf("[snowkit_server %ld] audit: %llu events, %llu drops, %llu bytes in %llu "
