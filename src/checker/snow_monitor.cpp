@@ -12,11 +12,18 @@ SnowTraceReport analyze_snow_trace(const Trace& trace, std::size_t num_servers,
 
   std::set<TxnId> read_txns;
   std::map<TxnId, NodeId> txn_client;
+  std::set<NodeId> client_nodes;
   for (const auto& t : history.txns) {
     txn_client[t.id] = t.client;
+    client_nodes.insert(t.client);
     if (t.is_read) read_txns.insert(t.id);
   }
-  const auto is_server = [num_servers](NodeId n) { return n < num_servers; };
+  // Replicated fleets place backup shards ABOVE the client node ids, so
+  // "n < num_servers" alone would miss a backup that took over mid-run.  Any
+  // node that never invoked a transaction is held to the server obligations.
+  const auto is_server = [num_servers, &client_nodes](NodeId n) {
+    return n < num_servers || client_nodes.count(n) == 0;
+  };
   const auto is_read_txn = [&read_txns](TxnId t) { return read_txns.count(t) != 0; };
 
   // --- N: every server that receives a READ-transaction message responds to
@@ -27,9 +34,17 @@ SnowTraceReport analyze_snow_trace(const Trace& trace, std::size_t num_servers,
     if (a.kind != ActionKind::Recv || !is_server(a.node) || !is_read_txn(a.txn)) continue;
     bool responded = false;
     bool blocked = false;
+    bool crashed = false;
     for (std::size_t j = i + 1; j < acts.size(); ++j) {
       const Action& b = acts[j];
       if (b.node != a.node) continue;
+      if (b.kind == ActionKind::Crash) {
+        // A server that dies before answering is excused: the CLIENT's
+        // non-blocking obligation is covered by the rounds check (its retry
+        // against the new primary still completes the READ).
+        crashed = true;
+        break;
+      }
       if (b.kind == ActionKind::Send && b.txn == a.txn && b.peer == a.peer) {
         responded = true;
         break;
@@ -39,7 +54,7 @@ SnowTraceReport analyze_snow_trace(const Trace& trace, std::size_t num_servers,
         break;
       }
     }
-    if (!responded) {
+    if (!responded && !crashed) {
       report.non_blocking = false;
       std::ostringstream oss;
       oss << "server n" << a.node << " did not respond to " << a.msg << " of READ txn " << a.txn

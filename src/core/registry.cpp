@@ -7,6 +7,13 @@ namespace snowkit {
 
 namespace {
 
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
 std::string join(const std::vector<std::string>& names) {
   std::string out;
   for (const auto& n : names) {
@@ -68,12 +75,20 @@ BuildOptions BuildOptions::parse(const std::string& csv) {
   std::istringstream stream(csv);
   std::string item;
   while (std::getline(stream, item, ',')) {
-    if (item.empty()) continue;
+    // Trim around '=' and between items so "gc = off" is diagnosed as the
+    // key it names, not as an unknown key with embedded spaces.
+    if (trim(item).empty()) continue;
     const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("BuildOptions: expected key=value, got '" + item + "'");
+    const std::string key = eq == std::string::npos ? "" : trim(item.substr(0, eq));
+    if (key.empty()) {
+      throw std::invalid_argument("BuildOptions: expected key=value, got '" + trim(item) + "'");
     }
-    opts.set(item.substr(0, eq), item.substr(eq + 1));
+    // Duplicates within one csv are conflicts, never silent last-wins — the
+    // same rule TransportOptions::parse_csv enforces.
+    if (opts.entries_.count(key) != 0) {
+      throw std::invalid_argument("BuildOptions: duplicate key '" + key + "' in '" + csv + "'");
+    }
+    opts.set(key, trim(item.substr(eq + 1)));
   }
   return opts;
 }

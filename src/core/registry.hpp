@@ -52,6 +52,11 @@ struct ProtocolTraits {
   /// True when READs are multi-writer multi-reader; Algorithm A is MWSR.
   bool mwmr{true};
 
+  /// Understands `replicas=2` in BuildOptions: builds a per-shard
+  /// primary/backup pair with WAL-backed failover (proto/replica.hpp).
+  /// Fleet files may only say `replicas 2` for protocols that set this.
+  bool supports_replication{false};
+
   /// Guaranteed bound on versions per read response (Fig. 1(b)'s versions
   /// row), e.g. "1" or "<=|W|+1"; "unbounded" when responses can grow with
   /// history length.

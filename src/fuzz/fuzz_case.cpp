@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "core/registry.hpp"
 #include "core/system.hpp"
 
 namespace snowkit::fuzz {
@@ -25,6 +26,15 @@ void validate_case(const FuzzCase& c) {
       c.num_servers > kMaxFleet) {
     throw std::invalid_argument("FuzzCase: topology exceeds the " +
                                 std::to_string(kMaxFleet) + "-node sanity bound");
+  }
+  if (c.replicas != 1 && c.replicas != 2) {
+    throw std::invalid_argument("FuzzCase: replicas must be 1 or 2, got " +
+                                std::to_string(c.replicas));
+  }
+  if (c.replicas == 2 &&
+      !ProtocolRegistry::global().traits(c.protocol).supports_replication) {
+    throw std::invalid_argument("FuzzCase: protocol '" + c.protocol +
+                                "' does not support replicas=2");
   }
   const std::size_t clients = c.num_clients();
   for (std::size_t i = 0; i < c.ops.size(); ++i) {
@@ -71,7 +81,9 @@ CaseRun execute(const FuzzCase& c, SchedulePolicy& policy, ScheduleLog* record,
   CaseRun out;
   SimRuntime sim;
   HistoryRecorder rec(c.num_objects);
-  auto sys = build_protocol(c.protocol, sim, rec, c.config());
+  BuildOptions build_opts;
+  if (c.replicas != 1) build_opts.set("replicas", c.replicas);
+  auto sys = build_protocol(c.protocol, sim, rec, c.config(), build_opts);
   out.num_servers = sys->num_servers();
 
   std::vector<std::vector<const FuzzOp*>> per_client(sys->num_clients());
@@ -172,6 +184,20 @@ FuzzCase generate_case(const std::string& protocol, const GenParams& params, std
 
 CaseRun run_case(const FuzzCase& c, std::size_t max_decisions) {
   RandomSchedulePolicy policy(c.schedule_seed, c.hold_probability, c.release_probability);
+  ScheduleLog log;
+  CaseRun out = execute(c, policy, &log, max_decisions);
+  out.log = std::move(log);
+  return out;
+}
+
+CaseRun run_case_with_crash(const FuzzCase& c, NodeId victim, std::size_t crash_at,
+                            std::size_t restart_at, std::size_t max_decisions) {
+  if (c.replicas != 2) {
+    throw std::invalid_argument("run_case_with_crash: case must have replicas=2 "
+                                "(unreplicated servers never opt into crashes)");
+  }
+  RandomSchedulePolicy inner(c.schedule_seed, c.hold_probability, c.release_probability);
+  CrashRestartPolicy policy(inner, victim, crash_at, restart_at);
   ScheduleLog log;
   CaseRun out = execute(c, policy, &log, max_decisions);
   out.log = std::move(log);

@@ -42,6 +42,10 @@ struct FuzzCase {
   std::uint32_t num_readers{1};
   std::uint32_t num_writers{1};
   std::uint32_t num_servers{0};  ///< 0 = one server per object (paper model).
+  /// 2 = crash-tolerant shards (proto/replica.hpp): each server gets a
+  /// WAL-backed backup and crash/restart schedule decisions become
+  /// applicable.  Requires ProtocolTraits::supports_replication.
+  std::uint32_t replicas{1};
   PlacementKind placement{PlacementKind::kHash};
   std::uint64_t schedule_seed{1};
   double hold_probability{0.6};
@@ -86,6 +90,17 @@ struct CaseRun {
 /// the complete ScheduleLog.  `max_decisions` is the liveness guard passed
 /// to run_scheduled (0 = unlimited).
 CaseRun run_case(const FuzzCase& c, std::size_t max_decisions = 1'000'000);
+
+/// Like run_case, but wraps the random policy in CrashRestartPolicy: at
+/// decision `crash_at` node `victim` crashes, and at `restart_at` (if
+/// non-zero and later) it restarts.  The injected decisions are recorded in
+/// the returned log like any others, so the run replays through the plain
+/// replay_case with no wrapper — recorded schedules can kill a primary
+/// mid-transaction.  Requires c.replicas == 2 (only replicated servers opt
+/// into crashes); a victim that cannot crash at that point simply trips the
+/// deterministic-drain guard.
+CaseRun run_case_with_crash(const FuzzCase& c, NodeId victim, std::size_t crash_at,
+                            std::size_t restart_at = 0, std::size_t max_decisions = 1'000'000);
 
 /// Re-executes the case under a recorded log.  For the exact case the log
 /// was recorded from this reproduces the original run byte-identically

@@ -22,6 +22,7 @@ void encode_case(const FuzzCase& c, BufWriter& w) {
   w.u32(c.num_readers);
   w.u32(c.num_writers);
   w.u32(c.num_servers);
+  w.u32(c.replicas);
   w.u8(static_cast<std::uint8_t>(c.placement));
   w.u64(c.schedule_seed);
   w.u64(std::bit_cast<std::uint64_t>(c.hold_probability));
@@ -34,13 +35,14 @@ void encode_case(const FuzzCase& c, BufWriter& w) {
   });
 }
 
-FuzzCase decode_case(ThrowingReader& r) {
+FuzzCase decode_case(ThrowingReader& r, bool has_replicas) {
   FuzzCase c;
   c.protocol = r.str();
   c.num_objects = r.u32();
   c.num_readers = r.u32();
   c.num_writers = r.u32();
   c.num_servers = r.u32();
+  c.replicas = has_replicas ? r.u32() : 1;  // v1 predates replication
   c.placement = static_cast<PlacementKind>(r.u8());
   c.schedule_seed = r.u64();
   c.hold_probability = std::bit_cast<double>(r.u64());
@@ -72,12 +74,12 @@ std::vector<std::uint8_t> encode_trace_file(const FuzzTraceFile& f) {
 FuzzTraceFile decode_trace_file(const std::vector<std::uint8_t>& bytes) {
   ThrowingReader r(bytes, "fuzz trace");
   const std::string schema = r.str();
-  if (schema != kFuzzTraceSchema) {
+  if (schema != kFuzzTraceSchema && schema != kFuzzTraceSchemaV1) {
     throw std::invalid_argument("fuzz trace: unknown schema '" + schema + "' (expected " +
-                                kFuzzTraceSchema + ")");
+                                kFuzzTraceSchema + " or " + kFuzzTraceSchemaV1 + ")");
   }
   FuzzTraceFile f;
-  f.c = decode_case(r);
+  f.c = decode_case(r, /*has_replicas=*/schema == kFuzzTraceSchema);
   f.log = decode_schedule_log(r);
   f.checker = r.str();
   f.explanation = r.str();

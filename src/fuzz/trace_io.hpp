@@ -5,8 +5,11 @@
 // failing run, the checker that fired with its explanation, and an FNV-1a
 // fingerprint of the failing run's sim/trace so a replay can assert
 // byte-identical reproduction.  The binary format reuses the wire codec's
-// Buffer machinery (schema tag "snowkit-fuzz-trace-v1"); files are
+// Buffer machinery (schema tag "snowkit-fuzz-trace-v2"); files are
 // platform-independent on little-endian machines, like the wire codec.
+//
+// v2 added FuzzCase::replicas.  v1 files (no replicas field) still decode —
+// they predate replication, so replicas=1 is implied.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,8 @@
 
 namespace snowkit::fuzz {
 
-inline constexpr const char* kFuzzTraceSchema = "snowkit-fuzz-trace-v1";
+inline constexpr const char* kFuzzTraceSchema = "snowkit-fuzz-trace-v2";
+inline constexpr const char* kFuzzTraceSchemaV1 = "snowkit-fuzz-trace-v1";
 
 struct FuzzTraceFile {
   FuzzCase c;

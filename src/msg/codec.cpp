@@ -102,6 +102,39 @@ std::vector<ListedKey> get_history(BufReader& r) {
   return h;
 }
 
+/// Replication log records: flat field-by-field encode.  Unused fields cost
+/// one varint byte each, and replica traffic never rides a hot client path.
+template <typename W>
+void put_repl_record(W& w, const ReplRecord& r) {
+  w.u8(r.kind);
+  w.uv(r.obj);
+  put_key(w, r.key);
+  w.zz(r.value);
+  w.uv(r.position);
+  w.uv(r.watermark);
+  w.mask(r.mask);
+  w.uv(r.txn);
+  put_writer(w, r.writer);
+  w.uv(r.epoch);
+  w.u8(r.primary);
+}
+
+ReplRecord get_repl_record(BufReader& r) {
+  ReplRecord rec;
+  rec.kind = r.u8();
+  rec.obj = static_cast<ObjectId>(r.uv());
+  rec.key = get_key(r);
+  rec.value = r.zz();
+  rec.position = r.uv();
+  rec.watermark = r.uv();
+  rec.mask = r.mask();
+  rec.txn = r.uv();
+  rec.writer = get_writer(r);
+  rec.epoch = r.uv();
+  rec.primary = r.u8();
+  return rec;
+}
+
 template <typename W>
 struct Encoder {
   W& w;
@@ -148,6 +181,25 @@ struct Encoder {
   void operator()(const SimpleReadResp& p) { w.uv(p.obj); w.zz(p.value); }
   void operator()(const SimpleWriteReq& p) { w.uv(p.obj); w.zz(p.value); }
   void operator()(const SimpleWriteAck& p) { w.uv(p.obj); }
+  void operator()(const ReplAppendReq& p) {
+    w.uv(p.epoch);
+    w.uv(p.first_seq);
+    w.cvec(p.records, [](auto& w2, const ReplRecord& r) { put_repl_record(w2, r); });
+  }
+  void operator()(const ReplAppendAck& p) { w.uv(p.epoch); w.uv(p.acked_seq); }
+  void operator()(const ReplJoinReq& p) {
+    w.uv(p.epoch); w.uv(p.have_seq); w.u8(p.was_primary);
+  }
+  void operator()(const ReplJoinResp& p) {
+    w.uv(p.epoch);
+    w.u8(p.reset);
+    w.uv(p.first_seq);
+    w.cvec(p.records, [](auto& w2, const ReplRecord& r) { put_repl_record(w2, r); });
+  }
+  void operator()(const TakeoverNotice& p) {
+    w.uv(p.shard); put_writer(w, p.node); w.uv(p.epoch);
+  }
+  void operator()(const NodeDownNotice& p) { put_writer(w, p.node); }
 };
 
 template <std::size_t I = 0>
@@ -304,6 +356,39 @@ template <>
 SimpleWriteAck Decoder::get<SimpleWriteAck>() {
   SimpleWriteAck p; p.obj = static_cast<ObjectId>(r.uv()); return p;
 }
+template <>
+ReplAppendReq Decoder::get<ReplAppendReq>() {
+  ReplAppendReq p;
+  p.epoch = r.uv();
+  p.first_seq = r.uv();
+  p.records = r.cvec<ReplRecord>([](BufReader& r2) { return get_repl_record(r2); });
+  return p;
+}
+template <>
+ReplAppendAck Decoder::get<ReplAppendAck>() {
+  ReplAppendAck p; p.epoch = r.uv(); p.acked_seq = r.uv(); return p;
+}
+template <>
+ReplJoinReq Decoder::get<ReplJoinReq>() {
+  ReplJoinReq p; p.epoch = r.uv(); p.have_seq = r.uv(); p.was_primary = r.u8(); return p;
+}
+template <>
+ReplJoinResp Decoder::get<ReplJoinResp>() {
+  ReplJoinResp p;
+  p.epoch = r.uv();
+  p.reset = r.u8();
+  p.first_seq = r.uv();
+  p.records = r.cvec<ReplRecord>([](BufReader& r2) { return get_repl_record(r2); });
+  return p;
+}
+template <>
+TakeoverNotice Decoder::get<TakeoverNotice>() {
+  TakeoverNotice p; p.shard = r.uv(); p.node = get_writer(r); p.epoch = r.uv(); return p;
+}
+template <>
+NodeDownNotice Decoder::get<NodeDownNotice>() {
+  NodeDownNotice p; p.node = get_writer(r); return p;
+}
 
 template <std::size_t I>
 Payload decode_alternative(std::size_t index, BufReader& r) {
@@ -341,7 +426,10 @@ static_assert(payload_tag<WriteValReq> == 0 && payload_tag<WriteValAck> == 1 &&
               payload_tag<UnlockReq> == 22 && payload_tag<UnlockAck> == 23 &&
               payload_tag<SimpleReadReq> == 24 && payload_tag<SimpleReadResp> == 25 &&
               payload_tag<SimpleWriteReq> == 26 && payload_tag<SimpleWriteAck> == 27 &&
-              payload_tag<FinalizeCoorReq> == 28 && payload_tag<ReadDoneReq> == 29,
+              payload_tag<FinalizeCoorReq> == 28 && payload_tag<ReadDoneReq> == 29 &&
+              payload_tag<ReplAppendReq> == 30 && payload_tag<ReplAppendAck> == 31 &&
+              payload_tag<ReplJoinReq> == 32 && payload_tag<ReplJoinResp> == 33 &&
+              payload_tag<TakeoverNotice> == 34 && payload_tag<NodeDownNotice> == 35,
               "snowkit-wire-v1 payload tags are frozen (docs/WIRE.md): append new payloads, "
               "never reorder; a reorder requires a wire-version bump");
 

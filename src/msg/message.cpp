@@ -48,6 +48,12 @@ const char* payload_name(const Payload& p) {
           [](const SimpleWriteAck&) { return "simple-write-ack"; },
           [](const FinalizeCoorReq&) { return "finalize-coor"; },
           [](const ReadDoneReq&) { return "read-done"; },
+          [](const ReplAppendReq&) { return "repl-append"; },
+          [](const ReplAppendAck&) { return "repl-append-ack"; },
+          [](const ReplJoinReq&) { return "repl-join"; },
+          [](const ReplJoinResp&) { return "repl-join-resp"; },
+          [](const TakeoverNotice&) { return "takeover-notice"; },
+          [](const NodeDownNotice&) { return "node-down-notice"; },
       },
       p);
 }

@@ -302,6 +302,105 @@ struct SimpleWriteAck {
   friend bool operator==(const SimpleWriteAck&, const SimpleWriteAck&) = default;
 };
 
+// --- per-shard primary/backup replication (proto/replica.hpp) ---------------
+//
+// Replication envelopes all carry txn = kInvalidTxn, so the SNOW monitors
+// never count replica traffic as transaction rounds.  Tags 30-35; appended
+// per the snowkit-wire-v1 freeze (docs/WIRE.md).
+
+/// One entry of a shard's replicated operation log: the primary's mutations
+/// to its VersionStores (and, on the coordinator shard, its CoorList),
+/// exactly the stream a backup must apply to reach the same state.
+struct ReplRecord {
+  enum Kind : std::uint8_t {
+    kInsert = 0,        ///< VersionStore::insert(key, value) on `obj`.
+    kFinalize = 1,      ///< finalize(key, position) + advance_watermark on `obj`.
+    kListPush = 2,      ///< CoorList::push(key, mask) -> must yield `position`.
+    kCoorFinalize = 3,  ///< CoorList::finalize(position).
+    kEpoch = 4,         ///< local-only WAL marker: epoch/role change (never shipped).
+  };
+  std::uint8_t kind{kInsert};
+  ObjectId obj{0};
+  WriteKey key;
+  Value value{kInitialValue};
+  Tag position{0};
+  Tag watermark{0};
+  std::vector<std::uint8_t> mask;  ///< kListPush: the update-coor interest mask.
+  TxnId txn{kInvalidTxn};          ///< kListPush: the writer's txn (retry dedup).
+  NodeId writer{kInvalidNode};     ///< kListPush: the writer node (retry dedup).
+  std::uint64_t epoch{0};          ///< kEpoch: new epoch value.
+  std::uint8_t primary{0};         ///< kEpoch: 1 iff the appender is primary.
+
+  friend bool operator==(const ReplRecord&, const ReplRecord&) = default;
+};
+
+/// Primary -> backup: log records [first_seq, first_seq + records.size()).
+/// Also the WAL batch format and the rejoin catch-up stream.
+struct ReplAppendReq {
+  std::uint64_t epoch{0};
+  std::uint64_t first_seq{0};
+  std::vector<ReplRecord> records;
+
+  friend bool operator==(const ReplAppendReq&, const ReplAppendReq&) = default;
+};
+
+/// Backup -> primary: "my log now holds `acked_seq` records."  An ack with a
+/// HIGHER epoch than the receiver's is the fencing signal that demotes a
+/// stale primary.
+struct ReplAppendAck {
+  std::uint64_t epoch{0};
+  std::uint64_t acked_seq{0};
+
+  friend bool operator==(const ReplAppendAck&, const ReplAppendAck&) = default;
+};
+
+/// (Re)joining replica -> its peer: "adopt me as your backup; I have
+/// `have_seq` records from epoch `epoch`."  `was_primary` forces a full
+/// resync — a deposed primary's log tail may diverge from the new lineage.
+struct ReplJoinReq {
+  std::uint64_t epoch{0};
+  std::uint64_t have_seq{0};
+  std::uint8_t was_primary{0};
+
+  friend bool operator==(const ReplJoinReq&, const ReplJoinReq&) = default;
+};
+
+/// Primary -> joiner: accepted at `epoch`; if `reset`, the joiner discards
+/// its state and WAL first.  The catch-up stream rides IN the response
+/// (`records` starting at `first_seq`) rather than as a separate append so
+/// that message reordering can never deliver catch-up records against the
+/// joiner's pre-reset state.
+struct ReplJoinResp {
+  std::uint64_t epoch{0};
+  std::uint8_t reset{0};
+  std::uint64_t first_seq{0};
+  std::vector<ReplRecord> records;
+
+  friend bool operator==(const ReplJoinResp&, const ReplJoinResp&) = default;
+};
+
+/// New primary -> every client node: shard `shard` is now served by `node`.
+/// Clients keep a per-shard route table ordered by epoch and re-send
+/// un-acked requests to the new primary.
+struct TakeoverNotice {
+  std::uint64_t shard{0};
+  NodeId node{kInvalidNode};
+  std::uint64_t epoch{0};
+
+  friend bool operator==(const TakeoverNotice&, const TakeoverNotice&) = default;
+};
+
+/// Failure detector -> watcher (Runtime::watch_node): `node` is down.  In
+/// SimRuntime this is exact (emitted by crash()); in NetRuntime it fires
+/// after a peer link stays down past TransportOptions::peer_down_grace_ns,
+/// so it can be a false positive — receivers must treat it as a hint that
+/// self-heals (a live peer's next message restores liveness tracking).
+struct NodeDownNotice {
+  NodeId node{kInvalidNode};
+
+  friend bool operator==(const NodeDownNotice&, const NodeDownNotice&) = default;
+};
+
 using Payload = std::variant<
     WriteValReq, WriteValAck, InfoReaderReq, InfoReaderAck, UpdateCoorReq,
     UpdateCoorAck, GetTagArrReq, GetTagArrResp, ReadValReq, ReadValResp,
@@ -309,6 +408,7 @@ using Payload = std::variant<
     EigerReadReq, EigerReadResp, EigerReadAtReq, EigerReadAtResp, LockReq,
     LockGrant, WriteUnlockReq, UnlockReq, UnlockAck, SimpleReadReq,
     SimpleReadResp, SimpleWriteReq, SimpleWriteAck, FinalizeCoorReq,
-    ReadDoneReq>;
+    ReadDoneReq, ReplAppendReq, ReplAppendAck, ReplJoinReq, ReplJoinResp,
+    TakeoverNotice, NodeDownNotice>;
 
 }  // namespace snowkit

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "proto/api.hpp"
 
@@ -31,6 +32,17 @@ struct AlgoBOptions {
   /// still see exactly one version either way; off restores keep-everything
   /// Vals (the paper's literal state).
   bool gc_versions{true};
+  /// 1 = the paper's failure-free servers; 2 = crash-tolerant shards: each
+  /// server gets a WAL-backed backup replica, acks wait for replication, and
+  /// the backup takes over on primary death (proto/replica.hpp).
+  std::size_t replicas{1};
+  /// Directory for per-node WAL files; empty = in-memory WALs (sim).
+  std::string wal_dir;
+  /// FAULT INJECTION ONLY: ack writers before the backup confirms.
+  bool unsafe_ack{false};
+  /// System name reported to the registry/checkers; fault-injection stubs
+  /// that wrap this builder (fuzz/broken_lostack) register under their own.
+  std::string name{"algo-b"};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_b(Runtime& rt, HistoryRecorder& rec,

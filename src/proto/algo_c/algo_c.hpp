@@ -31,7 +31,9 @@
 //    keep-everything Vals for comparison.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <string>
 
 #include "proto/api.hpp"
 
@@ -43,6 +45,13 @@ struct AlgoCOptions {
   /// Finalize fan-out + watermark version GC (bounded responses).  Off means
   /// the paper's literal keep-everything Vals, which grows without bound.
   bool gc_versions{true};
+  /// 1 = the paper's failure-free servers; 2 = crash-tolerant shards (see
+  /// AlgoBOptions::replicas and proto/replica.hpp).
+  std::size_t replicas{1};
+  /// Directory for per-node WAL files; empty = in-memory WALs (sim).
+  std::string wal_dir;
+  /// FAULT INJECTION ONLY: ack writers before the backup confirms.
+  bool unsafe_ack{false};
 };
 
 std::unique_ptr<ProtocolSystem> build_algo_c(Runtime& rt, HistoryRecorder& rec,

@@ -22,6 +22,18 @@ std::size_t FleetConfig::owner_of(NodeId node) const {
     // S goes to server process s*P/S.
     return static_cast<std::size_t>(node) * sprocs / shards;
   }
+  if (replicas == 2) {
+    // Backup nodes are registered AFTER the clients (build_algo_b/c), at ids
+    // [base, base + shards).  The backup of shard s lives on the server
+    // process AFTER s's primary (cyclically) — validate() requires >= 2
+    // server processes, so primary and backup never share a process and one
+    // SIGKILL never takes both copies of a shard.
+    const std::size_t base = shards + system.num_readers + system.num_writers;
+    if (node >= base && node < base + shards) {
+      const std::size_t s = node - base;
+      return (s * sprocs / shards + 1) % sprocs;
+    }
+  }
   return client_index();
 }
 
@@ -63,6 +75,21 @@ void FleetConfig::validate() const {
         "fleet config: " + std::to_string(server_processes()) + " server processes but only " +
         std::to_string(system.server_count()) +
         " shards — every server process must host at least one shard");
+  }
+  if (replicas != 1 && replicas != 2) {
+    throw std::invalid_argument("fleet config: replicas must be 1 or 2, got " +
+                                std::to_string(replicas));
+  }
+  if (replicas == 2) {
+    if (!ProtocolRegistry::global().traits(protocol).supports_replication) {
+      throw std::invalid_argument("fleet config: protocol '" + protocol +
+                                  "' does not support replicas 2");
+    }
+    if (server_processes() < 2) {
+      throw std::invalid_argument(
+          "fleet config: replicas 2 needs at least two server processes so a shard's "
+          "primary and backup never share a process");
+    }
   }
 }
 
@@ -113,6 +140,14 @@ FleetConfig parse_fleet_text(const std::string& text) {
       return addr;
     };
 
+    // The documented format puts the client line LAST; enforce it for EVERY
+    // key, not just `server` — a `shards` or `transport` line after `client`
+    // used to be silently applied, diverging from what fleet_text round-trips.
+    if (saw_client) {
+      if (key == "client") bad_line(lineno, "exactly one client line is allowed");
+      bad_line(lineno, "'" + key + "' appears after the client line (client must be last)");
+    }
+
     if (key == "protocol") {
       fleet.protocol = need_value("a protocol name");
     } else if (key == "objects") {
@@ -132,8 +167,17 @@ FleetConfig parse_fleet_text(const std::string& text) {
       } else {
         bad_line(lineno, "placement '" + v + "' is not hash|range");
       }
+    } else if (key == "replicas") {
+      fleet.replicas = need_size();
+      if (fleet.replicas != 1 && fleet.replicas != 2) {
+        bad_line(lineno, "replicas must be 1 or 2, got " + std::to_string(fleet.replicas));
+      }
     } else if (key == "options") {
-      fleet.options = BuildOptions::parse(need_value("key=value[,key=value]"));
+      try {
+        fleet.options = BuildOptions::parse(need_value("key=value[,key=value]"));
+      } catch (const std::invalid_argument& e) {
+        bad_line(lineno, e.what());
+      }
     } else if (key == "transport") {
       try {
         fleet.transport.parse_csv(need_value("key=value[,key=value]"));
@@ -141,10 +185,8 @@ FleetConfig parse_fleet_text(const std::string& text) {
         bad_line(lineno, e.what());
       }
     } else if (key == "server") {
-      if (saw_client) bad_line(lineno, "server lines must precede the client line");
       servers.push_back(need_addr());
     } else if (key == "client") {
-      if (saw_client) bad_line(lineno, "exactly one client line is allowed");
       saw_client = true;
       clients.push_back(need_addr());
     } else {
@@ -159,6 +201,10 @@ FleetConfig parse_fleet_text(const std::string& text) {
   }
   fleet.processes = std::move(servers);
   fleet.processes.push_back(clients.front());
+  // Protocol factories only see BuildOptions, so the replicas line mirrors
+  // itself there (build_algo_b/c read it back); fleet_text skips the mirror
+  // so the round-trip stays one `replicas` line.
+  if (fleet.replicas == 2) fleet.options.set("replicas", std::int64_t{2});
   fleet.validate();
   return fleet;
 }
@@ -180,10 +226,18 @@ std::string fleet_text(const FleetConfig& fleet) {
   out << "shards " << fleet.system.num_servers << "\n";
   out << "placement " << (fleet.system.placement == PlacementKind::kHash ? "hash" : "range")
       << "\n";
-  if (!fleet.options.entries().empty()) {
+  if (fleet.replicas != 1) out << "replicas " << fleet.replicas << "\n";
+  // Skip the parse-time `replicas` mirror: it re-materializes from the
+  // replicas line above, keeping parse(fleet_text(x)) == x.
+  bool has_options = false;
+  for (const auto& [k, v] : fleet.options.entries()) {
+    if (k != "replicas") has_options = true;
+  }
+  if (has_options) {
     out << "options ";
     bool first = true;
     for (const auto& [k, v] : fleet.options.entries()) {
+      if (k == "replicas") continue;
       if (!first) out << ",";
       first = false;
       out << k << "=" << v;

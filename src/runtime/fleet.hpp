@@ -12,6 +12,7 @@
 //   writers   2
 //   shards    3                  # num_servers (0 = one server per object)
 //   placement hash               # hash | range (optional, default hash)
+//   replicas  2                  # copies per shard: 1 (default) or 2
 //   options   gc_versions=true   # BuildOptions csv (optional)
 //   transport io_threads=2       # TransportOptions csv (optional)
 //   server    127.0.0.1 7101     # fleet process 0
@@ -19,11 +20,20 @@
 //   server    127.0.0.1 7103     # fleet process 2
 //   client    127.0.0.1 7100     # the LAST process hosts every client node
 //
+// The client line must be LAST — any key after it is a parse error.
+//
 // Server shards are split contiguously over the server processes; all client
 // nodes (readers, writers, and anything a protocol registers after the
 // servers) live on the single client process.  The client is last by
 // convention so it INITIATES every one of its links (NetRuntime dials
 // lower-index peers), which is what makes "start the client whenever" work.
+//
+// `replicas 2` gives every shard a backup node (proto/replica.hpp); backup
+// node ids start after the clients, and owner_of places the backup of shard
+// s on the NEXT server process after s's primary (cyclically), so killing
+// one server process never takes out both copies of a shard.  Requires a
+// protocol with ProtocolTraits::supports_replication and at least two
+// server processes.
 #pragma once
 
 #include <string>
@@ -45,6 +55,10 @@ struct FleetConfig {
   /// All fleet processes in index order: the server processes, then the one
   /// client process (always last).
   std::vector<NetPeerAddr> processes;
+  /// Copies per shard: 1 (single-copy, the default) or 2 (primary/backup —
+  /// see proto/replica.hpp).  Parsed from the `replicas` line, which also
+  /// mirrors itself into `options` so protocol builds see it.
+  std::size_t replicas{1};
 
   std::size_t server_processes() const { return processes.empty() ? 0 : processes.size() - 1; }
   std::size_t client_index() const { return processes.size() - 1; }

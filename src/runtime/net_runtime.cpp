@@ -510,6 +510,46 @@ void NetRuntime::io_link_failed(std::size_t peer, const std::string& why) {
   if (link.initiator && !stopping_.load(std::memory_order_acquire)) {
     io_schedule_reconnect(peer);
   }
+  // Failure suspicion for replicated shards: if the link stays down past the
+  // grace period, watchers of that peer's nodes get a NodeDownNotice.  Only
+  // once per outage, and only for peers that were ever actually up — dial
+  // retries against a fleet still coming up are not a death.
+  if (link.ever_connected && !link.down_notice_armed &&
+      !stopping_.load(std::memory_order_acquire) &&
+      !shutdown_.load(std::memory_order_acquire)) {
+    link.down_notice_armed = true;
+    push_timer(home(peer),
+               UserTimer{now_ns() + static_cast<TimeNs>(opts_.transport.peer_down_grace_ns), 0,
+                         kInvalidNode, [this, peer] { io_peer_down_check(peer); }});
+  }
+}
+
+void NetRuntime::io_peer_down_check(std::size_t peer) {
+  PeerLink& link = *links_[peer];
+  if (link.state.load(std::memory_order_acquire) == PeerLink::State::kUp) {
+    // Recovered within the grace period; a future drop re-arms.
+    link.down_notice_armed = false;
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire) ||
+      shutdown_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::vector<std::pair<NodeId, NodeId>> watches;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watches = watches_;
+  }
+  for (const auto& [watcher, watched] : watches) {
+    if (owner_of(watched) != peer) continue;
+    // Injected through the trusted local-bytes mailbox path, attributed to
+    // the watched node itself — exactly how SimRuntime::crash delivers it.
+    enqueue_local(watcher,
+                  Mailbox::Item{watched,
+                                encode_message(Message{kInvalidTxn, NodeDownNotice{watched}}),
+                                nullptr});
+  }
+  // Stays armed: one suspicion per outage; note_connected re-enables.
 }
 
 void NetRuntime::note_connected(std::size_t peer) {
@@ -519,6 +559,7 @@ void NetRuntime::note_connected(std::size_t peer) {
   }
   link.ever_connected = true;
   link.backoff_ns = 0;
+  link.down_notice_armed = false;  // next outage may suspect again
   if (link.initiator) {
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
@@ -1179,6 +1220,14 @@ TransportStats NetRuntime::transport_stats() const {
   return s;
 }
 
+void NetRuntime::watch_node(NodeId watcher, NodeId watched) {
+  SNOW_CHECK_MSG(owns(watcher), "watch_node by remote node " << watcher);
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  const auto pair = std::make_pair(watcher, watched);
+  if (std::find(watches_.begin(), watches_.end(), pair) != watches_.end()) return;
+  watches_.push_back(pair);
+}
+
 #else  // !__linux__ — constructor already threw; keep the linker satisfied.
 
 void NetRuntime::start() { SNOW_UNREACHABLE("NetRuntime on non-Linux"); }
@@ -1221,6 +1270,8 @@ void NetRuntime::broadcast_shutdown() {}
 void NetRuntime::run_until_shutdown() {}
 void NetRuntime::request_shutdown() {}
 TransportStats NetRuntime::transport_stats() const { return {}; }
+void NetRuntime::watch_node(NodeId, NodeId) {}
+void NetRuntime::io_peer_down_check(std::size_t) {}
 
 #endif
 

@@ -71,6 +71,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/mailbox.hpp"
@@ -159,6 +160,14 @@ class NetRuntime final : public Runtime {
   /// the hot path, so mid-run snapshots are approximate, quiesced ones exact.
   TransportStats transport_stats() const override;
 
+  /// Timeout failure detection for replicated shards: when the link to a
+  /// peer process stays down for transport.peer_down_grace_ns after a drop,
+  /// every locally-owned `watcher` watching a node owned by that peer gets a
+  /// NodeDownNotice delivered through its normal mailbox.  This detector can
+  /// be WRONG (a slow peer looks dead) — see proto/replica.hpp for what that
+  /// costs a 2-replica group.  Reconnecting re-arms it.
+  void watch_node(NodeId watcher, NodeId watched) override;
+
   const NetOptions& options() const { return opts_; }
 
  private:
@@ -193,6 +202,9 @@ class NetRuntime final : public Runtime {
     /// syscall on the per-flush path.
     std::uint32_t epoll_mask = 0;
     TimeNs backoff_ns = 0;          ///< current reconnect delay.
+    /// One suspicion per outage: set when the grace timer is armed after a
+    /// drop, cleared on reconnect.  Home-I/O-thread state.
+    bool down_notice_armed = false;
     /// Written by the home I/O thread; also read by stop()'s drain loop
     /// (which skips links that never connected), hence atomic.
     std::atomic<bool> ever_connected{false};
@@ -308,6 +320,7 @@ class NetRuntime final : public Runtime {
   void io_rearm_timerfd(IoThread& io);
   void close_link(std::size_t peer);
   void note_connected(std::size_t peer);
+  void io_peer_down_check(std::size_t peer);
 
   NetOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< index-aligned; null for remote nodes.
@@ -327,6 +340,11 @@ class NetRuntime final : public Runtime {
   /// the budget.
   std::atomic<std::size_t> inbound_bytes_{0};
   std::atomic<bool> inbound_paused_{false};
+
+  /// watch_node registrations (watcher, watched); appended from worker
+  /// threads at on_start, read by I/O threads when a grace timer fires.
+  std::mutex watch_mu_;
+  std::vector<std::pair<NodeId, NodeId>> watches_;
 
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;  ///< wait_connected / run_until_shutdown.

@@ -39,6 +39,16 @@ class Node {
   /// Called once before any message delivery.
   virtual void on_start() {}
 
+  /// Crash/restart hooks (SimRuntime::crash/restart).  A node that returns
+  /// true from supports_crash() must clear ALL volatile state in on_crash()
+  /// and recover from durable state (its WAL) in on_restart() — the node
+  /// OBJECT survives a simulated crash, only its in-memory protocol state
+  /// dies.  Nodes without durable state keep the default false and the
+  /// schedule machinery never crashes them.
+  virtual bool supports_crash() const { return false; }
+  virtual void on_crash() {}
+  virtual void on_restart() { on_start(); }
+
   NodeId id() const { return id_; }
 
  protected:
@@ -98,6 +108,14 @@ class Runtime {
   /// actions in its trace; ThreadRuntime ignores them.
   virtual void note_invoke(NodeId client, TxnId txn) { (void)client; (void)txn; }
   virtual void note_respond(NodeId client, TxnId txn) { (void)client; (void)txn; }
+
+  /// Failure detection: `watcher` asks to receive a NodeDownNotice message
+  /// (from `watched`) when the substrate believes `watched` has died.
+  /// SimRuntime delivers an exact notice when crash(watched) runs; NetRuntime
+  /// fires after the peer's link stays down past peer_down_grace_ns (a
+  /// TIMEOUT detector — false positives possible); ThreadRuntime never fires
+  /// (in-process nodes don't die alone).  The default is that no-op.
+  virtual void watch_node(NodeId watcher, NodeId watched) { (void)watcher; (void)watched; }
 
   void set_observer(MessageObserver* obs) { observer_ = obs; }
   MessageObserver* observer() const { return observer_; }

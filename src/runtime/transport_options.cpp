@@ -1,5 +1,6 @@
 #include "runtime/transport_options.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -28,6 +29,13 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
   }
 }
 
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
 }  // namespace
 
 void TransportOptions::validate() const {
@@ -51,6 +59,7 @@ void TransportOptions::validate() const {
         "ms) must be >= reconnect_initial_ms (" +
         std::to_string(reconnect_initial_ns / 1'000'000) + "ms)");
   }
+  if (peer_down_grace_ns == 0) bad("peer_down_grace_ms must be positive");
   if (max_pending_conns == 0) bad("max_pending_conns must be positive");
   // A HELLO frame is 4 (len) + 1 (type) + 4 (magic) + up to 10+10 (varints);
   // a bound below that would reject every legitimate handshake.
@@ -79,6 +88,8 @@ void TransportOptions::apply(const std::string& key, const std::string& value) {
     reconnect_initial_ns = static_cast<TimeNs>(v) * 1'000'000;
   } else if (key == "reconnect_max_ms") {
     reconnect_max_ns = static_cast<TimeNs>(v) * 1'000'000;
+  } else if (key == "peer_down_grace_ms") {
+    peer_down_grace_ns = static_cast<TimeNs>(v) * 1'000'000;
   } else if (key == "max_pending_conns") {
     max_pending_conns = static_cast<std::size_t>(v);
   } else if (key == "max_pending_handshake_bytes") {
@@ -93,13 +104,28 @@ void TransportOptions::apply(const std::string& key, const std::string& value) {
 void TransportOptions::parse_csv(const std::string& csv) {
   std::istringstream stream(csv);
   std::string item;
+  std::vector<std::string> seen;
   while (std::getline(stream, item, ',')) {
-    if (item.empty()) continue;
+    // Whitespace around '=' or between items is a typo, not a different key:
+    // trim before dispatch so "io_threads = 2" gets the real diagnostic.
+    if (trim(item).empty()) continue;
     const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      bad("expected key=value, got '" + item + "'");
+    if (eq == std::string::npos) {
+      bad("expected key=value, got '" + trim(item) + "'");
     }
-    apply(item.substr(0, eq), item.substr(eq + 1));
+    const std::string key = trim(item.substr(0, eq));
+    if (key.empty()) {
+      bad("expected key=value, got '" + trim(item) + "'");
+    }
+    // A duplicate key in ONE csv string is a conflict, not an override —
+    // "io_threads=4,io_threads=1" silently masking the intended setting is
+    // exactly the misconfiguration this parser exists to catch.  Layering
+    // (fleet file then --transport) still works: each layer is its own call.
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      bad("duplicate key '" + key + "' in '" + csv + "'");
+    }
+    seen.push_back(key);
+    apply(key, trim(item.substr(eq + 1)));
   }
   validate();
 }
@@ -119,6 +145,8 @@ std::vector<std::pair<std::string, std::string>> TransportOptions::non_default_e
   diff("reconnect_initial_ms", reconnect_initial_ns / 1'000'000,
        defaults.reconnect_initial_ns / 1'000'000);
   diff("reconnect_max_ms", reconnect_max_ns / 1'000'000, defaults.reconnect_max_ns / 1'000'000);
+  diff("peer_down_grace_ms", peer_down_grace_ns / 1'000'000,
+       defaults.peer_down_grace_ns / 1'000'000);
   diff("max_pending_conns", max_pending_conns, defaults.max_pending_conns);
   diff("max_pending_handshake_bytes", max_pending_handshake_bytes,
        defaults.max_pending_handshake_bytes);

@@ -69,6 +69,14 @@ struct TransportOptions {
   TimeNs reconnect_initial_ns{20'000'000};   // 20ms
   TimeNs reconnect_max_ns{2'000'000'000};    // 2s
 
+  /// Failure-detection grace for Runtime::watch_node: after a peer link
+  /// drops, the watcher's NodeDownNotice fires only once the link has stayed
+  /// down this long (a clean reconnect cancels it).  This is a TIMEOUT-based
+  /// detector and therefore fallible — see the replication caveat in
+  /// docs/ARCHITECTURE.md; keep it well above reconnect_initial_ms so a
+  /// transient drop rides out its first redial quietly.
+  TimeNs peer_down_grace_ns{1'000'000'000};  // 1s
+
   /// Pre-HELLO bounds.  Accepted-but-not-greeted connections are fully
   /// untrusted, so their resource footprint is hard-capped: at most
   /// `max_pending_conns` live at once, at most `max_pending_handshake_bytes`

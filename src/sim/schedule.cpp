@@ -43,19 +43,23 @@ ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy, Schedule
       d = sim.held_count() > 0 ? ScheduleDecision{ScheduleDecisionKind::kRelease, 0}
                                : ScheduleDecision{ScheduleDecisionKind::kStep, 0};
     } else if ((d->kind == ScheduleDecisionKind::kRelease && d->held_index >= sim.held_count()) ||
-               (d->kind == ScheduleDecisionKind::kStep && sim.pending_events() == 0)) {
+               (d->kind == ScheduleDecisionKind::kStep && sim.pending_events() == 0) ||
+               (d->kind == ScheduleDecisionKind::kCrash && !sim.can_crash(d->held_index)) ||
+               (d->kind == ScheduleDecisionKind::kRestart && !sim.can_restart(d->held_index))) {
       // Inapplicable decision (e.g. a recorded log replayed over a shrunk
-      // workload): abandon the policy rather than guessing at intent.
+      // workload, or a crash aimed at a node that never opted in): abandon
+      // the policy rather than guessing at intent.
       guard = true;
       stats.guard_tripped = true;
       continue;
     }
     if (record != nullptr) record->decisions.push_back(*d);
     ++stats.decisions;
-    if (d->kind == ScheduleDecisionKind::kRelease) {
-      sim.release(sim.held()[d->held_index].id);
-    } else {
-      sim.step();
+    switch (d->kind) {
+      case ScheduleDecisionKind::kRelease: sim.release(sim.held()[d->held_index].id); break;
+      case ScheduleDecisionKind::kCrash: sim.crash(d->held_index); break;
+      case ScheduleDecisionKind::kRestart: sim.restart(d->held_index); break;
+      case ScheduleDecisionKind::kStep: sim.step(); break;
     }
   }
 

@@ -30,11 +30,15 @@ namespace snowkit {
 enum class ScheduleDecisionKind : std::uint8_t {
   kStep = 0,     ///< deliver the next queued event.
   kRelease = 1,  ///< release held()[held_index] immediately.
+  kCrash = 2,    ///< crash node `held_index` (field reused as a NodeId).
+  kRestart = 3,  ///< restart node `held_index` (field reused as a NodeId).
 };
 
 struct ScheduleDecision {
   ScheduleDecisionKind kind{ScheduleDecisionKind::kStep};
-  std::uint32_t held_index{0};  ///< index into sim.held() at decision time.
+  /// Index into sim.held() for kRelease; the victim NodeId for
+  /// kCrash/kRestart (reusing the field keeps the log codec unchanged).
+  std::uint32_t held_index{0};
 
   friend bool operator==(const ScheduleDecision&, const ScheduleDecision&) = default;
 };
@@ -128,6 +132,44 @@ class RecordedSchedulePolicy final : public SchedulePolicy {
   ScheduleLog log_;
   std::size_t hold_pos_{0};
   std::size_t decision_pos_{0};
+};
+
+/// Injects one crash (and optionally one restart) into any inner policy's
+/// decision stream: at decision `crash_at` it emits {kCrash, victim}; at
+/// `restart_at` (if non-zero and later) it emits {kRestart, victim}; every
+/// other call delegates to the inner policy.  Because the emitted decisions
+/// are recorded in the ScheduleLog like any others, a recorded crash
+/// schedule replays byte-identically through RecordedSchedulePolicy with no
+/// wrapper at all.
+class CrashRestartPolicy final : public SchedulePolicy {
+ public:
+  CrashRestartPolicy(SchedulePolicy& inner, NodeId victim, std::size_t crash_at,
+                     std::size_t restart_at = 0)
+      : inner_(inner), victim_(victim), crash_at_(crash_at), restart_at_(restart_at) {}
+
+  bool should_hold(NodeId from, NodeId to, const Message& m) override {
+    return inner_.should_hold(from, to, m);
+  }
+
+  std::optional<ScheduleDecision> next(std::size_t pending_events,
+                                       std::size_t held_count) override {
+    const std::size_t i = calls_++;
+    if (i == crash_at_) {
+      return ScheduleDecision{ScheduleDecisionKind::kCrash, static_cast<std::uint32_t>(victim_)};
+    }
+    if (restart_at_ != 0 && i == restart_at_) {
+      return ScheduleDecision{ScheduleDecisionKind::kRestart,
+                              static_cast<std::uint32_t>(victim_)};
+    }
+    return inner_.next(pending_events, held_count);
+  }
+
+ private:
+  SchedulePolicy& inner_;
+  NodeId victim_;
+  std::size_t crash_at_;
+  std::size_t restart_at_;
+  std::size_t calls_{0};
 };
 
 struct ScheduleRunStats {

@@ -81,6 +81,10 @@ bool SimRuntime::step() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = std::max(now_, ev.time);
+  // Events destined for a crashed node vanish silently — the model's channels
+  // are reliable, but a dead automaton takes no steps.  The event is still
+  // consumed so time advances deterministically.
+  if (is_crashed(ev.to)) return true;
   if (ev.is_task) {
     ev.task();
     return true;
@@ -117,6 +121,8 @@ bool SimRuntime::release(HoldId id) {
   if (it == held_.end()) return false;
   HeldMessage h = std::move(*it);
   held_.erase(it);
+  // Releasing to a crashed node consumes the message without delivery.
+  if (is_crashed(h.to)) return true;
   // Deliver immediately: releasing IS the adversary's choice of "this
   // message arrives now", ahead of anything still sitting in the queue.
   start();
@@ -138,6 +144,43 @@ std::size_t SimRuntime::release_if(const HoldPredicate& pred) {
 
 std::size_t SimRuntime::release_all() {
   return release_if([](NodeId, NodeId, const Message&) { return true; });
+}
+
+bool SimRuntime::can_crash(NodeId n) const {
+  return n < node_count() && node(n).supports_crash() && !is_crashed(n);
+}
+
+bool SimRuntime::can_restart(NodeId n) const { return is_crashed(n); }
+
+void SimRuntime::crash(NodeId n) {
+  SNOW_CHECK_MSG(can_crash(n), "crash of node " << n << " not allowed");
+  // A schedule may crash before its first step(); watch registrations happen
+  // in on_start, so the nodes must have booted for the notice fan-out below.
+  start();
+  if (crashed_.size() <= n) crashed_.resize(n + 1, false);
+  crashed_[n] = true;
+  trace_.append(Action{ActionKind::Crash, now_, n, kInvalidNode, kInvalidTxn, "", 0, 0});
+  node(n).on_crash();
+  // Detection notices travel like any other message so the adversary can
+  // delay or reorder them relative to in-flight protocol traffic.
+  for (const auto& [watcher, watched] : watches_) {
+    if (watched == n) send(n, watcher, Message{kInvalidTxn, NodeDownNotice{n}});
+  }
+}
+
+void SimRuntime::restart(NodeId n) {
+  SNOW_CHECK_MSG(can_restart(n), "restart of node " << n << " not allowed");
+  start();
+  crashed_[n] = false;
+  trace_.append(Action{ActionKind::Restart, now_, n, kInvalidNode, kInvalidTxn, "", 0, 0});
+  post(n, [this, n] { node(n).on_restart(); });
+}
+
+void SimRuntime::watch_node(NodeId watcher, NodeId watched) {
+  // Idempotent: a restarted node re-registers its watch on every boot.
+  const auto pair = std::make_pair(watcher, watched);
+  if (std::find(watches_.begin(), watches_.end(), pair) != watches_.end()) return;
+  watches_.push_back(pair);
 }
 
 void SimRuntime::note_invoke(NodeId client, TxnId txn) {

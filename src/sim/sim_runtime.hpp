@@ -81,6 +81,28 @@ class SimRuntime final : public Runtime {
   /// Releases everything held.
   std::size_t release_all();
 
+  // --- crash/restart (replicated protocols only) ----------------------------
+
+  /// True if `n` exists, opted in via Node::supports_crash(), and is alive.
+  bool can_crash(NodeId n) const;
+  /// True if `n` is currently crashed.
+  bool can_restart(NodeId n) const;
+
+  /// Crashes `n`: records a Crash action, runs Node::on_crash() (volatile
+  /// state dies; the Node object itself survives, keeping any in-memory WAL),
+  /// and sends a NodeDownNotice to every registered watcher.  The notices go
+  /// through the normal send path, so they are traced, delayed, and holdable
+  /// like any other message — the adversary can reorder detection.
+  /// While crashed, every delivery and task destined for `n` is dropped.
+  void crash(NodeId n);
+
+  /// Restarts `n`: records a Restart action and posts Node::on_restart() to
+  /// its executor (recovery runs as an ordinary scheduled task).
+  void restart(NodeId n);
+
+  /// Registers `watcher` for NodeDownNotice when crash(watched) runs.
+  void watch_node(NodeId watcher, NodeId watched) override;
+
   // --- trace & transaction bookkeeping --------------------------------------
 
   const Trace& trace() const { return trace_; }
@@ -116,9 +138,15 @@ class SimRuntime final : public Runtime {
 
   void enqueue_delivery(NodeId from, NodeId to, Message m, std::uint64_t msg_seq, TimeNs at);
 
+  bool is_crashed(NodeId n) const {
+    return n < crashed_.size() && crashed_[n];
+  }
+
   std::unique_ptr<DelayModel> delay_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<HeldMessage> held_;
+  std::vector<bool> crashed_;                         // indexed by NodeId
+  std::vector<std::pair<NodeId, NodeId>> watches_;    // (watcher, watched)
   HoldPredicate hold_pred_;
   Trace trace_;
   TimeNs now_ = 0;

@@ -13,6 +13,8 @@ const char* action_kind_name(ActionKind k) {
     case ActionKind::Respond: return "RESP";
     case ActionKind::Send: return "send";
     case ActionKind::Recv: return "recv";
+    case ActionKind::Crash: return "CRASH";
+    case ActionKind::Restart: return "RESTART";
   }
   return "?";
 }

@@ -22,6 +22,8 @@ enum class ActionKind : std::uint8_t {
   Respond,  ///< RESP(T) at a client.
   Send,     ///< send(m)_{node,peer} at `node`.
   Recv,     ///< recv(m)_{peer,node} at `node`.
+  Crash,    ///< `node` crashes (volatile state lost; deliveries dropped).
+  Restart,  ///< `node` restarts (recovers from its WAL, rejoins as backup).
 };
 
 const char* action_kind_name(ActionKind k);

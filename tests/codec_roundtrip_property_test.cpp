@@ -127,6 +127,45 @@ SimpleWriteReq make_random(Xoshiro256& rng) { return {ru32(rng), ri64(rng)}; }
 template <>
 SimpleWriteAck make_random(Xoshiro256& rng) { return {ru32(rng)}; }
 
+ReplRecord rrecord(Xoshiro256& rng) {
+  ReplRecord rec;
+  rec.kind = static_cast<std::uint8_t>(rng.below(5));
+  rec.obj = ru32(rng);
+  rec.key = rkey(rng);
+  rec.value = ri64(rng);
+  rec.position = ru64(rng);
+  rec.watermark = ru64(rng);
+  rec.mask = rmask(rng);
+  rec.txn = ru64(rng);
+  rec.writer = ru32(rng);
+  rec.epoch = ru64(rng);
+  rec.primary = static_cast<std::uint8_t>(rng.below(2));
+  return rec;
+}
+
+std::vector<ReplRecord> rrecords(Xoshiro256& rng) {
+  std::vector<ReplRecord> v(rng.below(8));
+  for (auto& e : v) e = rrecord(rng);
+  return v;
+}
+
+template <>
+ReplAppendReq make_random(Xoshiro256& rng) { return {ru64(rng), ru64(rng), rrecords(rng)}; }
+template <>
+ReplAppendAck make_random(Xoshiro256& rng) { return {ru64(rng), ru64(rng)}; }
+template <>
+ReplJoinReq make_random(Xoshiro256& rng) {
+  return {ru64(rng), ru64(rng), static_cast<std::uint8_t>(rng.below(2))};
+}
+template <>
+ReplJoinResp make_random(Xoshiro256& rng) {
+  return {ru64(rng), static_cast<std::uint8_t>(rng.below(2)), ru64(rng), rrecords(rng)};
+}
+template <>
+TakeoverNotice make_random(Xoshiro256& rng) { return {ru64(rng), ru32(rng), ru64(rng)}; }
+template <>
+NodeDownNotice make_random(Xoshiro256& rng) { return {ru32(rng)}; }
+
 template <std::size_t I = 0>
 Payload random_alternative(std::size_t index, Xoshiro256& rng) {
   if constexpr (I < std::variant_size_v<Payload>) {

@@ -91,8 +91,10 @@ TEST(FleetConfig, NetOptionsShareTheOwnerMapAndOutliveTheConfig) {
 }
 
 TEST(FleetConfig, TransportLineConfiguresEveryProcess) {
-  const std::string text = std::string(kSample) +
-                           "transport io_threads=2,coalesce_max_frames=128,reconnect_initial_ms=5\n";
+  // The client line must stay last, so the transport line goes before it.
+  std::string text(kSample);
+  text.insert(text.find("client "),
+              "transport io_threads=2,coalesce_max_frames=128,reconnect_initial_ms=5\n");
   const FleetConfig fleet = parse_fleet_text(text);
   EXPECT_EQ(fleet.transport.io_threads, 2u);
   EXPECT_EQ(fleet.transport.coalesce_max_frames, 128u);

@@ -1,0 +1,166 @@
+// Crash-schedule fuzzing of the replicated protocols (ISSUE 8 acceptance).
+//
+// The battery injects a primary crash mid-workload into randomized schedules
+// and feeds the run to the oracle.  It must CONVICT broken-lostack — the stub
+// that acks writes before replication — within a bounded seed budget, while
+// the real replicated algo-b / algo-c survive the identical (seed, crash_at)
+// battery checker-green.  If broken-lostack ever runs clean the failover
+// fuzzing has gone vacuous and this test fails CI.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "fuzz/fuzz_case.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/trace_io.hpp"
+#include "sim/trace.hpp"
+
+namespace snowkit::fuzz {
+namespace {
+
+constexpr std::uint64_t kConvictionSeeds = 20;  // budget to catch broken-lostack
+constexpr std::uint64_t kSurvivalSeeds = 8;     // per real protocol
+// Early / mid / late relative to typical run lengths (a few hundred
+// decisions): covers crash-before-sync, crash-mid-commit and crash-after-
+// steady-state without a per-seed search.
+constexpr std::size_t kCrashPoints[] = {15, 40, 90};
+
+FuzzCase replicated_case(const std::string& protocol, std::uint64_t seed) {
+  FuzzCase c = generate_case(protocol, GenParams{}, seed);
+  c.replicas = 2;
+  return c;
+}
+
+/// First (seed, crash_at) that convicts `protocol`, or 0 if the whole budget
+/// runs clean.  The victim is node 0: always a server, and under the default
+/// coordinator choice the shard whose loss is most disruptive.
+std::uint64_t first_crash_conviction(const std::string& protocol, std::uint64_t max_seed,
+                                     OracleReport* out = nullptr) {
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
+    const FuzzCase c = replicated_case(protocol, seed);
+    for (const std::size_t crash_at : kCrashPoints) {
+      const CaseRun run = run_case_with_crash(c, /*victim=*/0, crash_at);
+      const OracleReport report = check_run(protocol, run);
+      if (report.violation) {
+        if (out != nullptr) *out = report;
+        return seed;
+      }
+    }
+  }
+  return 0;
+}
+
+TEST(ReplicaFuzz, CrashScheduleConvictsBrokenLostack) {
+  OracleReport report;
+  const std::uint64_t seed = first_crash_conviction("broken-lostack", kConvictionSeeds, &report);
+  ASSERT_NE(seed, 0u) << "lost-acknowledged-write injection survived " << kConvictionSeeds
+                      << " crash-schedule seeds: the failover battery is vacuous";
+  EXPECT_FALSE(report.checker.empty());
+}
+
+TEST(ReplicaFuzz, RealProtocolsSurviveTheCrashBattery) {
+  for (const std::string protocol : {"algo-b", "algo-c"}) {
+    for (std::uint64_t seed = 1; seed <= kSurvivalSeeds; ++seed) {
+      const FuzzCase c = replicated_case(protocol, seed);
+      for (const std::size_t crash_at : kCrashPoints) {
+        // Half the runs also restart the victim later, exercising the WAL
+        // rejoin path under the same schedule chaos.
+        const std::size_t restart_at = seed % 2 == 0 ? crash_at + 40 : 0;
+        const CaseRun run = run_case_with_crash(c, /*victim=*/0, crash_at, restart_at);
+        const OracleReport report = check_run(protocol, run);
+        EXPECT_FALSE(report.violation)
+            << protocol << " seed " << seed << " crash_at " << crash_at << " restart_at "
+            << restart_at << ": " << report.checker << ": " << report.explanation;
+        EXPECT_TRUE(run.completed)
+            << protocol << " seed " << seed << " crash_at " << crash_at
+            << ": workload wedged across failover";
+      }
+    }
+  }
+}
+
+TEST(ReplicaFuzz, CrashScheduleReplaysByteIdentically) {
+  // The crash/restart decisions live in the recorded ScheduleLog, so a plain
+  // replay_case — no CrashRestartPolicy wrapper — must reproduce the run
+  // bit-for-bit.  This is what makes crash repros shippable as trace files.
+  const FuzzCase c = replicated_case("algo-b", 7);
+  const CaseRun first = run_case_with_crash(c, /*victim=*/0, 25, /*restart_at=*/80);
+  ASSERT_TRUE(first.completed);
+  const CaseRun again = replay_case(c, first.log);
+  EXPECT_EQ(trace_fingerprint(first.trace), trace_fingerprint(again.trace));
+  EXPECT_TRUE(again.log == first.log);
+  EXPECT_FALSE(again.stats.guard_tripped);
+}
+
+TEST(ReplicaFuzz, CrashRunsRequireReplicatedCases) {
+  FuzzCase c = generate_case("algo-b", GenParams{}, 1);  // replicas=1
+  EXPECT_THROW(run_case_with_crash(c, 0, 10), std::invalid_argument);
+}
+
+TEST(ReplicaFuzz, ReplicationIsRejectedForProtocolsWithoutIt) {
+  FuzzCase c = generate_case("simple", GenParams{}, 1);
+  c.replicas = 2;
+  EXPECT_THROW(run_case(c), std::invalid_argument);
+  c.replicas = 3;
+  EXPECT_THROW(run_case(c), std::invalid_argument);
+}
+
+TEST(ReplicaFuzz, TraceFileRoundTripsReplicas) {
+  FuzzTraceFile f;
+  f.c = replicated_case("algo-b", 3);
+  f.log.holds = {1, 0, 0, 1};
+  f.log.decisions.push_back({ScheduleDecisionKind::kCrash, 0});
+  f.log.decisions.push_back({ScheduleDecisionKind::kStep, 0});
+  f.checker = "tag-order";
+  f.explanation = "example";
+  f.trace_hash = 7;
+  const FuzzTraceFile back = decode_trace_file(encode_trace_file(f));
+  EXPECT_TRUE(back == f);
+  EXPECT_EQ(back.c.replicas, 2u);
+}
+
+TEST(ReplicaFuzz, V1TraceFilesStillDecodeWithReplicasOne) {
+  // Hand-encode the v1 layout (no replicas field) and check the reader
+  // implies replicas=1 — repro files written before replication stay valid.
+  FuzzTraceFile f;
+  f.c = generate_case("algo-b", GenParams{}, 4);
+  f.log.holds = {0, 1};
+  f.log.decisions.push_back({ScheduleDecisionKind::kStep, 0});
+  f.checker = "liveness";
+  f.explanation = "wedged";
+  f.trace_hash = 11;
+
+  BufWriter w;
+  w.str(kFuzzTraceSchemaV1);
+  w.str(f.c.protocol);
+  w.u32(f.c.num_objects);
+  w.u32(f.c.num_readers);
+  w.u32(f.c.num_writers);
+  w.u32(f.c.num_servers);
+  // v1: no replicas field here.
+  w.u8(static_cast<std::uint8_t>(f.c.placement));
+  w.u64(f.c.schedule_seed);
+  w.u64(std::bit_cast<std::uint64_t>(f.c.hold_probability));
+  w.u64(std::bit_cast<std::uint64_t>(f.c.release_probability));
+  w.vec(f.c.ops, [](BufWriter& w2, const FuzzOp& op) {
+    w2.u32(op.client);
+    w2.u8(op.is_read ? 1 : 0);
+    w2.vec(op.objects, [](BufWriter& w3, ObjectId obj) { w3.u32(obj); });
+    w2.vec(op.values, [](BufWriter& w3, Value v) { w3.i64(v); });
+  });
+  encode_schedule_log(f.log, w);
+  w.str(f.checker);
+  w.str(f.explanation);
+  w.u64(f.trace_hash);
+
+  const FuzzTraceFile back = decode_trace_file(w.take());
+  EXPECT_EQ(back.c.replicas, 1u);
+  EXPECT_TRUE(back == f);  // f.c.replicas defaulted to 1, so full equality holds
+}
+
+}  // namespace
+}  // namespace snowkit::fuzz

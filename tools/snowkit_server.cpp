@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -53,6 +54,9 @@ void usage() {
       "                   fail-fast before the runtime starts\n"
       "  --audit-dir DIR  record message traffic as snowkit-audit-chunk-v1\n"
       "                   files in DIR (see docs/AUDIT.md)\n"
+      "  --wal-dir DIR    replicated fleets only (replicas 2): write each\n"
+      "                   hosted replica's write-ahead log to DIR/node-N.wal\n"
+      "                   so a SIGKILLed daemon recovers its shard on restart\n"
       "  --audit-sample N capture 1 of every N messages (default 1 = all)\n"
       "  --quiet          suppress the startup/shutdown banner\n");
 }
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string transport_csv;
   std::string audit_dir;
+  std::string wal_dir;
   long audit_sample = 1;
   long index = -1;
   bool quiet = false;
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
       transport_csv = next();
     } else if (arg == "--audit-dir") {
       audit_dir = next();
+    } else if (arg == "--wal-dir") {
+      wal_dir = next();
     } else if (arg == "--audit-sample") {
       const char* value = next();
       char* end = nullptr;
@@ -170,7 +177,15 @@ int main(int argc, char** argv) {
     }
 
     snowkit::HistoryRecorder rec(fleet.system.num_objects);
-    auto sys = snowkit::build_protocol(fleet.protocol, rt, rec, fleet.system, fleet.options);
+    snowkit::BuildOptions options = fleet.options;
+    // FileWals open lazily, so only the replicas this process owns ever
+    // create files under --wal-dir.  The directory itself is created here:
+    // the first append must not abort on a fresh deployment path.
+    if (!wal_dir.empty()) {
+      std::filesystem::create_directories(wal_dir);
+      options.set("wal_dir", wal_dir);
+    }
+    auto sys = snowkit::build_protocol(fleet.protocol, rt, rec, fleet.system, options);
 
 #ifdef __linux__
     std::thread signal_thread([&rt, &sigs] {
