@@ -1,0 +1,102 @@
+#include "core/churn.hpp"
+
+#include <chrono>
+#include <thread>
+
+#ifdef __linux__
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cstring>
+#endif
+
+namespace snowkit {
+
+namespace {
+
+void sleep_ns(TimeNs ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+/// Blocking garbage connect: dial the server, write bytes that can never be
+/// a valid HELLO, and hang up.  The server must score it against the
+/// pre-HELLO caps/deadline and drop it without disturbing the fleet.
+bool prehello_probe(const NetPeerAddr& addr) {
+#ifdef __linux__
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    return false;
+  }
+  // Looks like the start of a huge frame; decodes as nothing sane.
+  static constexpr unsigned char kGarbage[] = {0xff, 0xff, 0xff, 0x7f, 0xde,
+                                               0xad, 0xbe, 0xef, 0x00, 0x00};
+  [[maybe_unused]] const auto n = ::write(fd, kGarbage, sizeof kGarbage);
+  ::close(fd);
+  return true;
+#else
+  (void)addr;
+  return false;
+#endif
+}
+
+}  // namespace
+
+ChurnReport run_churn(NetRuntime& net, WorkloadDriver& driver, const ChurnOptions& opts) {
+  ChurnReport rep;
+  const std::size_t self = net.process_index();
+  const std::size_t fleet = net.options().peers.size();
+  std::size_t victim = 0;  // rotates over peers != self.
+
+  for (std::size_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    if (driver.done()) break;
+
+    // 1. Slow-reader stall while traffic keeps arriving.
+    net.inject_read_stall(opts.stall_ns);
+    sleep_ns(opts.stall_ns);
+
+    // 2. Quiesce: no acked-but-unresolved transaction may be on the wire
+    //    when the link goes down.
+    driver.pause();
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(opts.drain_timeout_ns);
+    bool drained;
+    while (!(drained = driver.in_flight() == 0) && !driver.done() &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      sleep_ns(1'000'000);
+    }
+    if (!drained && !driver.done()) ++rep.drain_timeouts;
+
+    // 3. Adversary moves: cut one live server link, poke the pre-HELLO path.
+    if (drained && fleet > 1) {
+      do { victim = (victim + 1) % fleet; } while (victim == self);
+      net.inject_link_drop(victim);
+      ++rep.drops_requested;
+      for (std::size_t p = 0; p < opts.prehello_probes; ++p) {
+        if (prehello_probe(net.options().peers[victim])) ++rep.prehello_probes;
+      }
+    }
+
+    // 4. Wait for the initiator-side redial to land before reopening the tap.
+    if (!net.wait_connected_for(opts.reconnect_timeout_ns)) ++rep.reconnect_timeouts;
+
+    // 5. Back to full rate; deadlines accrued through the outage, so the
+    //    catch-up burst is charged to sojourn.
+    driver.resume();
+    ++rep.cycles_run;
+    sleep_ns(opts.settle_ns);
+  }
+  driver.resume();  // idempotent; never leave the tap closed.
+  return rep;
+}
+
+}  // namespace snowkit

@@ -1,0 +1,61 @@
+// Client churn controller for open-loop runs over the TCP substrate.
+//
+// run_churn drives repeated connect/disconnect + slow-reader cycles against
+// a live NetRuntime fleet while a WorkloadDriver keeps traffic flowing:
+//
+//   1. STALL — inject_read_stall for ChurnOptions::stall_ns mid-traffic,
+//      so the kernel receive windows fill and the SERVERS' backpressure
+//      machinery (write-queue bounds, tcp_backpressure_waits) absorbs us as
+//      a slow reader;
+//   2. DRAIN — driver.pause(), then poll driver.in_flight() down to zero
+//      (bounded by drain_timeout_ns).  A link drop can cut a
+//      partially-written frame, so the controller never drops a link with
+//      an acknowledged-but-unresolved transaction on the wire — that is the
+//      "zero lost acked writes" contract the churn e2e test asserts;
+//   3. DROP — inject_link_drop on the next server peer (round-robin), plus
+//      prehello_probes raw TCP connects that write garbage bytes and
+//      disconnect, exercising the servers' pre-HELLO caps and deadlines;
+//   4. RECONNECT — wait_connected_for(reconnect_timeout_ns): the client is
+//      the initiator, so the dropped link redials with backoff and the
+//      re-established link scores tcp_reconnects on both sides;
+//   5. RESUME — driver.resume(); the paced deadlines kept accruing during
+//      the outage, so the catch-up burst charges the downtime to sojourn
+//      honestly (no coordinated omission through churn either).
+//
+// The controller runs on its own (caller) thread with wall-clock sleeps —
+// it is a fleet adversary, not a simulation actor, and only makes sense on
+// NetRuntime.
+#pragma once
+
+#include <cstdint>
+
+#include "core/run_workload.hpp"
+#include "runtime/net_runtime.hpp"
+
+namespace snowkit {
+
+struct ChurnOptions {
+  std::size_t cycles{3};
+  TimeNs stall_ns{20'000'000};              ///< slow-reader window per cycle (20 ms).
+  TimeNs drain_timeout_ns{5'000'000'000};   ///< max wait for in_flight() == 0.
+  TimeNs reconnect_timeout_ns{15'000'000'000};
+  TimeNs settle_ns{20'000'000};             ///< post-resume traffic window.
+  std::size_t prehello_probes{4};           ///< garbage pre-HELLO connects per cycle.
+};
+
+struct ChurnReport {
+  std::size_t cycles_run{0};
+  std::size_t drops_requested{0};    ///< inject_link_drop calls issued.
+  std::size_t prehello_probes{0};    ///< garbage connects that reached a server.
+  std::size_t drain_timeouts{0};     ///< cycles where in_flight() never hit 0.
+  std::size_t reconnect_timeouts{0}; ///< cycles where the fleet never came back.
+  bool clean() const { return drain_timeouts == 0 && reconnect_timeouts == 0; }
+};
+
+/// Runs ChurnOptions::cycles churn cycles against the fleet; returns what
+/// actually happened.  Drops rotate over every server peer (every fleet
+/// index except net.process_index()).  Blocking; call from a plain thread
+/// alongside driver.wait().
+ChurnReport run_churn(NetRuntime& net, WorkloadDriver& driver, const ChurnOptions& opts = {});
+
+}  // namespace snowkit

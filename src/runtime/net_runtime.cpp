@@ -420,6 +420,40 @@ void NetRuntime::request_link_drop(std::size_t peer, std::uint32_t gen) {
                                    }});
 }
 
+/// Churn injection: same home-thread close path as request_link_drop, but
+/// un-pinned from a generation — whatever connection is live when the
+/// callback runs is the one torn down (the caller wants "a drop now", not
+/// "drop the connection frame X arrived on").
+void NetRuntime::inject_link_drop(std::size_t peer) {
+  if (peer >= links_.size() || peer == opts_.index) return;
+  push_timer(home(peer), UserTimer{now_ns(), 0, kInvalidNode, [this, peer] {
+                                     PeerLink& link = *links_[peer];
+                                     if (link.fd >= 0 &&
+                                         link.state == PeerLink::State::kUp) {
+                                       stats_.churn_drops.fetch_add(
+                                           1, std::memory_order_relaxed);
+                                       io_link_failed(peer, "injected churn drop");
+                                     }
+                                   }});
+}
+
+void NetRuntime::inject_read_stall(TimeNs duration_ns) {
+  const TimeNs until = now_ns() + duration_ns;
+  TimeNs prev = stall_until_ns_.load(std::memory_order_relaxed);
+  while (prev < until &&
+         !stall_until_ns_.compare_exchange_weak(prev, until, std::memory_order_acq_rel)) {
+  }
+  stats_.churn_stalls.fetch_add(1, std::memory_order_relaxed);
+  // Each loop applies the stall in io_apply_inbound_flow_control at the top
+  // of its next iteration; the wake starts the stall promptly, the deadline
+  // timer (a no-op callback) guarantees an iteration happens to END it even
+  // on an otherwise-idle thread.
+  for (auto& io : io_threads_) {
+    push_timer(*io, UserTimer{until, 0, kInvalidNode, [] {}});
+    io_wake(*io);
+  }
+}
+
 void NetRuntime::io_wake(IoThread& io) {
   if (io.wake_fd < 0) return;
   const std::uint64_t one = 1;
@@ -703,6 +737,11 @@ void NetRuntime::io_apply_inbound_flow_control(IoThread& io) {
     inbound_paused_.store(false, std::memory_order_release);
     paused = false;
   }
+  // An injected slow-reader stall ORs in on top: the budget state machine
+  // above is untouched, the sockets just stay unsubscribed until the stall
+  // deadline passes (a timer pushed by inject_read_stall guarantees an
+  // iteration runs then to resubscribe).
+  if (now_ns() < stall_until_ns_.load(std::memory_order_acquire)) paused = true;
   if (paused != io.inbound_paused_applied) {
     io.inbound_paused_applied = paused;
     for (const std::size_t peer : io.links) io_update_events(peer);
@@ -1213,6 +1252,8 @@ TransportStats NetRuntime::transport_stats() const {
   s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
   s.backpressure_waits = stats_.backpressure_waits.load(std::memory_order_relaxed);
   s.inbound_pauses = stats_.inbound_pauses.load(std::memory_order_relaxed);
+  s.churn_drops = stats_.churn_drops.load(std::memory_order_relaxed);
+  s.churn_stalls = stats_.churn_stalls.load(std::memory_order_relaxed);
   s.epoll_wakeups.reserve(io_threads_.size());
   for (const auto& io : io_threads_) {
     s.epoll_wakeups.push_back(io->wakeups.load(std::memory_order_relaxed));
@@ -1242,6 +1283,8 @@ void NetRuntime::post_after(NodeId, TimeNs, std::function<void()>) {
 void NetRuntime::push_timer(IoThread&, UserTimer) {}
 void NetRuntime::enqueue_local(NodeId, Mailbox::Item) {}
 void NetRuntime::request_link_drop(std::size_t, std::uint32_t) {}
+void NetRuntime::inject_link_drop(std::size_t) {}
+void NetRuntime::inject_read_stall(TimeNs) {}
 void NetRuntime::worker(NodeId) {}
 void NetRuntime::io_loop(IoThread&) {}
 void NetRuntime::io_wake(IoThread&) {}

@@ -160,6 +160,26 @@ class NetRuntime final : public Runtime {
   /// the hot path, so mid-run snapshots are approximate, quiesced ones exact.
   TransportStats transport_stats() const override;
 
+  /// Churn injection (benches + e2e tests): asks `peer`'s home I/O thread to
+  /// drop the live link, exactly as a wire fault would — the initiator side
+  /// redials with backoff and the re-established link counts a reconnect.
+  /// Asynchronous (the close runs on the home thread); no-op for self, an
+  /// out-of-range peer, or a link that is already down.  Safe any thread.
+  ///
+  /// A drop can cut a partially-written frame (see the reliability note
+  /// above), so churn controllers quiesce traffic first — core/churn.hpp
+  /// drains the driver's in-flight window to zero before calling this.
+  void inject_link_drop(std::size_t peer);
+
+  /// Churn injection: stop reading from EVERY peer for `duration_ns` — a
+  /// process-wide slow-reader stall.  Each I/O thread unsubscribes its
+  /// sockets from EPOLLIN (the same mechanism as inbound flow control), so
+  /// the kernel receive windows fill and TCP pushes back into the peers'
+  /// write queues — their backpressure counters, not ours, score the stall.
+  /// Reading resumes automatically when the deadline passes.  Safe any
+  /// thread; overlapping calls extend the stall to the later deadline.
+  void inject_read_stall(TimeNs duration_ns);
+
   /// Timeout failure detection for replicated shards: when the link to a
   /// peer process stays down for transport.peer_down_grace_ns after a drop,
   /// every locally-owned `watcher` watching a node owned by that peer gets a
@@ -341,6 +361,11 @@ class NetRuntime final : public Runtime {
   std::atomic<std::size_t> inbound_bytes_{0};
   std::atomic<bool> inbound_paused_{false};
 
+  /// inject_read_stall deadline: while now < stall_until, every I/O thread
+  /// treats its links as inbound-paused (OR-ed with the budget pause, so the
+  /// budget state machine is untouched).  0 = no stall.
+  std::atomic<TimeNs> stall_until_ns_{0};
+
   /// watch_node registrations (watcher, watched); appended from worker
   /// threads at on_start, read by I/O threads when a grace timer fires.
   std::mutex watch_mu_;
@@ -364,6 +389,8 @@ class NetRuntime final : public Runtime {
     std::atomic<std::uint64_t> reconnects{0};
     std::atomic<std::uint64_t> backpressure_waits{0};
     std::atomic<std::uint64_t> inbound_pauses{0};
+    std::atomic<std::uint64_t> churn_drops{0};   ///< inject_link_drop calls that found a live link.
+    std::atomic<std::uint64_t> churn_stalls{0};  ///< inject_read_stall calls.
   };
   AtomicStats stats_;
 

@@ -24,6 +24,8 @@ std::vector<std::pair<std::string, std::string>> TransportStats::extras() const 
   out.emplace_back("tcp_reconnects", std::to_string(reconnects));
   out.emplace_back("tcp_backpressure_waits", std::to_string(backpressure_waits));
   out.emplace_back("tcp_inbound_pauses", std::to_string(inbound_pauses));
+  out.emplace_back("tcp_churn_drops", std::to_string(churn_drops));
+  out.emplace_back("tcp_churn_stalls", std::to_string(churn_stalls));
   out.emplace_back("io_threads", std::to_string(epoll_wakeups.size()));
   out.emplace_back("tcp_epoll_wakeups", std::to_string(total_epoll_wakeups()));
   return out;

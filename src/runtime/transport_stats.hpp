@@ -36,6 +36,8 @@ struct TransportStats {
   std::uint64_t reconnects{0};          ///< successful re-establishments after a drop.
   std::uint64_t backpressure_waits{0};  ///< send() calls that had to block.
   std::uint64_t inbound_pauses{0};      ///< times reading was paused fleet-wide.
+  std::uint64_t churn_drops{0};         ///< inject_link_drop calls that cut a live link.
+  std::uint64_t churn_stalls{0};        ///< inject_read_stall windows applied.
 
   /// Wakeups (epoll_wait returns with >= 1 event) per I/O thread, index-
   /// aligned; size() is the transport's io_threads (empty: no transport).

@@ -1,26 +1,80 @@
 #include "workload/workload.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "common/assert.hpp"
 
 namespace snowkit {
 
 namespace {
-double zeta(std::size_t n, double theta) {
+
+double zeta_sum(std::size_t n, double theta) {
   double sum = 0;
   for (std::size_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
   return sum;
 }
+
+std::mutex g_zeta_mu;
+std::map<std::pair<std::size_t, double>, double>& zeta_cache() {
+  static auto* cache = new std::map<std::pair<std::size_t, double>, double>();
+  return *cache;
+}
+std::atomic<std::uint64_t> g_zeta_hits{0};
+std::atomic<std::uint64_t> g_zeta_misses{0};
+
+void validate_theta(double theta) {
+  if (!(theta >= 0.0) || theta >= 1.0) {
+    throw std::invalid_argument("ZipfSampler: zipf_theta must be in [0, 1) (got " +
+                                std::to_string(theta) + ")");
+  }
+}
+
+/// SplitMix64 finalizer as a stateless 64-bit mixer (Feistel round function).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+double zipf_zeta(std::size_t n, double theta) {
+  const auto key = std::make_pair(n, theta);
+  {
+    std::lock_guard<std::mutex> lock(g_zeta_mu);
+    const auto it = zeta_cache().find(key);
+    if (it != zeta_cache().end()) {
+      g_zeta_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Summed outside the lock: a 10^6-term sum must not serialize unrelated
+  // samplers behind it.  A racing duplicate computes the identical value.
+  const double value = zeta_sum(n, theta);
+  std::lock_guard<std::mutex> lock(g_zeta_mu);
+  g_zeta_misses.fetch_add(1, std::memory_order_relaxed);
+  zeta_cache().emplace(key, value);
+  return value;
+}
+
+ZetaCacheStats zeta_cache_stats() {
+  return {g_zeta_hits.load(std::memory_order_relaxed),
+          g_zeta_misses.load(std::memory_order_relaxed)};
+}
 
 ZipfSampler::ZipfSampler(std::size_t n, double theta, std::uint64_t seed)
     : n_(n), theta_(theta), rng_(seed) {
   SNOW_CHECK(n_ > 0);
+  validate_theta(theta_);
   if (theta_ > 0) {
-    zetan_ = zeta(n_, theta_);
-    const double zeta2 = zeta(2, theta_);
+    zetan_ = zipf_zeta(n_, theta_);
+    const double zeta2 = zeta_sum(2, theta_);
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2 / zetan_);
@@ -37,6 +91,149 @@ std::size_t ZipfSampler::next() {
   const double v = eta_ * u - eta_ + 1.0;
   const auto idx = static_cast<std::size_t>(static_cast<double>(n_) * std::pow(v, alpha_));
   return std::min(idx, n_ - 1);
+}
+
+RankPermutation::RankPermutation(std::size_t n, std::uint64_t seed) : n_(n) {
+  SNOW_CHECK(n_ > 0);
+  // Smallest even bit-width whose domain covers n: the Feistel halves must
+  // be equal, and domain < 4n keeps the expected cycle walk under 4 steps.
+  unsigned bits = 2;
+  while ((std::size_t{1} << bits) < n_) bits += 2;
+  half_bits_ = bits / 2;
+  SplitMix64 ks(seed);
+  for (auto& k : keys_) k = ks.next();
+}
+
+std::size_t RankPermutation::encrypt(std::size_t x) const {
+  const std::size_t half_mask = (std::size_t{1} << half_bits_) - 1;
+  std::size_t left = x >> half_bits_;
+  std::size_t right = x & half_mask;
+  for (const std::uint64_t key : keys_) {
+    const std::size_t f = static_cast<std::size_t>(mix64(right ^ key)) & half_mask;
+    const std::size_t next_left = right;
+    right = left ^ f;
+    left = next_left;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::size_t RankPermutation::apply(std::size_t rank) const {
+  if (half_bits_ == 0) return rank;  // identity
+  SNOW_CHECK(rank < n_);
+  // Cycle walking: iterate the domain permutation until the image falls
+  // back inside [0, n).  Starting inside [0, n) guarantees termination (the
+  // cycle returns to `rank` itself at the latest) and bijectivity on [0, n).
+  std::size_t x = encrypt(rank);
+  while (x >= n_) x = encrypt(x);
+  return x;
+}
+
+std::size_t SpanDist::sample(Xoshiro256& rng) const {
+  switch (kind) {
+    case SpanKind::kFixed:
+      return min;
+    case SpanKind::kUniform:
+      return min + static_cast<std::size_t>(rng.below(max - min + 1));
+    case SpanKind::kGeometric: {
+      std::size_t span = min;
+      while (span < max && rng.chance(p)) ++span;
+      return span;
+    }
+  }
+  SNOW_UNREACHABLE("bad SpanKind");
+}
+
+void SpanDist::validate(const char* what, std::size_t num_objects) const {
+  const std::string name(what);
+  if (min == 0) throw std::invalid_argument("TrafficModel: " + name + ".min must be >= 1");
+  if (max < min) {
+    throw std::invalid_argument("TrafficModel: " + name + ".max (" + std::to_string(max) +
+                                ") is below .min (" + std::to_string(min) + ")");
+  }
+  if (max > num_objects) {
+    throw std::invalid_argument("TrafficModel: " + name + ".max (" + std::to_string(max) +
+                                ") exceeds num_objects (" + std::to_string(num_objects) + ")");
+  }
+  if (kind == SpanKind::kGeometric && (!(p >= 0.0) || p >= 1.0)) {
+    throw std::invalid_argument("TrafficModel: " + name + ".p must be in [0, 1)");
+  }
+}
+
+TimeNs RateCurve::interval_at(TimeNs elapsed, TimeNs fallback) const {
+  if (segments.empty()) return fallback;
+  TimeNs period = 0;
+  for (const RateSegment& s : segments) period += s.duration_ns;
+  TimeNs t = period > 0 ? elapsed % period : 0;
+  for (const RateSegment& s : segments) {
+    if (t < s.duration_ns) {
+      return std::max<TimeNs>(1, static_cast<TimeNs>(1e9 / s.ops_per_sec));
+    }
+    t -= s.duration_ns;
+  }
+  return std::max<TimeNs>(1, static_cast<TimeNs>(1e9 / segments.back().ops_per_sec));
+}
+
+void RateCurve::validate() const {
+  for (const RateSegment& s : segments) {
+    if (!(s.ops_per_sec > 0)) {
+      throw std::invalid_argument("RateCurve: every segment needs ops_per_sec > 0");
+    }
+    if (s.duration_ns == 0) {
+      throw std::invalid_argument("RateCurve: every segment needs duration_ns > 0");
+    }
+  }
+}
+
+void TrafficModel::validate(std::size_t num_objects) const {
+  validate_theta(zipf_theta);
+  if (!(read_fraction >= 0.0) || read_fraction > 1.0) {
+    throw std::invalid_argument("TrafficModel: read_fraction must be in [0, 1]");
+  }
+  read_span.validate("read_span", num_objects);
+  write_span.validate("write_span", num_objects);
+  rate.validate();
+  if (logical_clients == 0) {
+    throw std::invalid_argument("TrafficModel: logical_clients must be >= 1");
+  }
+}
+
+TrafficShard::TrafficShard(std::size_t num_objects, const TrafficModel& model,
+                           std::uint64_t seed, std::uint64_t client_lo, std::uint64_t client_hi)
+    : num_objects_(num_objects),
+      model_(model),
+      zipf_(num_objects, model.zipf_theta, seed ^ 0x5bd1e995u),
+      perm_(model.permute_ranks ? RankPermutation(num_objects, model.permute_seed)
+                                : RankPermutation()),
+      rng_(seed),
+      client_lo_(client_lo),
+      client_hi_(client_hi) {
+  SNOW_CHECK(client_hi_ > client_lo_);
+  model_.validate(num_objects_);
+}
+
+TrafficArrival TrafficShard::next() {
+  TrafficArrival a;
+  a.is_read = rng_.chance(model_.read_fraction);
+  a.logical_client = client_lo_ + rng_.below(client_hi_ - client_lo_);
+  const SpanDist& dist = a.is_read ? model_.read_span : model_.write_span;
+  std::size_t span = std::min(dist.sample(rng_), num_objects_);
+  a.objects.reserve(span);
+  // Dedup on RANKS (pre-permutation): the permutation is a bijection, so
+  // rank-distinctness and object-distinctness coincide, and the walk cost
+  // stays on the cheap side of the map.
+  std::vector<std::size_t> ranks;
+  ranks.reserve(span);
+  while (ranks.size() < span) {
+    const std::size_t candidate = zipf_.next();
+    if (std::find(ranks.begin(), ranks.end(), candidate) == ranks.end()) {
+      ranks.push_back(candidate);
+    }
+  }
+  for (const std::size_t rank : ranks) {
+    a.objects.push_back(static_cast<ObjectId>(perm_.apply(rank)));
+  }
+  std::sort(a.objects.begin(), a.objects.end());
+  return a;
 }
 
 OpStream::OpStream(std::size_t num_objects, const WorkloadSpec& spec, std::uint64_t client_seed)

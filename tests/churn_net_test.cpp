@@ -1,0 +1,277 @@
+// Client churn end-to-end over a real 3-daemon TCP fleet: the churn
+// controller (core/churn.hpp) repeatedly stalls the client's reader,
+// quiesces, cuts a live server link, pokes the servers' pre-HELLO bounds
+// with garbage connects, and lets NetRuntime's initiator-side redial bring
+// the fleet back — while an open-loop TrafficModel engine keeps a paced
+// workload flowing.  The run must finish with tcp_reconnects scored on BOTH
+// sides of the drop, ZERO lost acknowledged writes (max-tag read-back, as
+// in the failover e2e), and a green tag-order check.
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/tag_order.hpp"
+#include "core/churn.hpp"
+#include "core/run_workload.hpp"
+#include "core/system.hpp"
+#include "runtime/fleet.hpp"
+
+namespace snowkit {
+namespace {
+
+#ifndef __linux__
+
+TEST(ChurnNetE2E, RequiresLinux) { GTEST_SKIP() << "TCP transport requires Linux"; }
+
+#else
+
+std::string server_binary() {
+  if (const char* env = std::getenv("SNOWKIT_SERVER_BIN")) return env;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe");
+  return (self.parent_path() / "snowkit_server").string();
+}
+
+bool wait_listening(std::uint16_t port, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::close(fd);
+    if (rc == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+struct Daemon {
+  pid_t pid{-1};
+  std::string stats_json;
+
+  bool sigterm() {
+    if (pid <= 0) return false;
+    if (::kill(pid, SIGTERM) != 0) return false;
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) return false;
+    pid = -1;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  ~Daemon() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+struct Fixture {
+  FleetConfig fleet;
+  std::string root;
+  std::vector<Daemon> daemons;
+
+  ~Fixture() {
+    daemons.clear();
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+  }
+};
+
+/// Reads one numeric field from a snowkit_server --stats-json file.  The
+/// format is a flat JSON object with numeric values; a missing key is -1.
+long long stats_field(const std::string& path, const std::string& key) {
+  std::ifstream f(path);
+  if (!f) return -1;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  const auto at = text.find("\"" + key + "\":");
+  if (at == std::string::npos) return -1;
+  return std::atoll(text.c_str() + at + key.size() + 3);
+}
+
+void spawn_daemons(Fixture& fx) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  fx.root =
+      (tmp / ("snowkit_churn_" + std::to_string(static_cast<unsigned>(::getpid())))).string();
+  std::filesystem::remove_all(fx.root);
+  std::filesystem::create_directories(fx.root);
+  const std::string cfg = fx.root + "/fleet.cfg";
+  {
+    std::ofstream f(cfg, std::ios::trunc);
+    ASSERT_TRUE(f) << cfg;
+    f << fleet_text(fx.fleet);
+  }
+  const std::string bin = server_binary();
+  fx.daemons.resize(fx.fleet.server_processes());
+  for (std::size_t i = 0; i < fx.daemons.size(); ++i) {
+    Daemon& d = fx.daemons[i];
+    d.stats_json = fx.root + "/stats" + std::to_string(i) + ".json";
+    const std::string index = std::to_string(i);
+    d.pid = ::fork();
+    ASSERT_GE(d.pid, 0);
+    if (d.pid == 0) {
+      ::execl(bin.c_str(), bin.c_str(), "--config", cfg.c_str(), "--index", index.c_str(),
+              "--stats-json", d.stats_json.c_str(), "--quiet", static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+  }
+  for (std::size_t i = 0; i < fx.daemons.size(); ++i) {
+    ASSERT_TRUE(wait_listening(fx.fleet.processes[i].port, 15'000))
+        << "daemon " << i << " never listened";
+  }
+}
+
+bool wait_done(const WorkloadDriver& driver, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (driver.done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return driver.done();
+}
+
+TEST(ChurnNetE2E, ChurningClientLosesNoAckedWriteAndScoresReconnects) {
+  if (!net::transport_supported()) GTEST_SKIP() << "TCP transport requires Linux";
+  Fixture fx;
+  fx.fleet.protocol = "algo-b";
+  fx.fleet.system.num_objects = 8;
+  fx.fleet.system.num_readers = 2;
+  fx.fleet.system.num_writers = 2;
+  fx.fleet.system.num_servers = 3;
+  for (const std::uint16_t port : net::pick_free_ports(4)) {
+    fx.fleet.processes.push_back({"127.0.0.1", port});
+  }
+  spawn_daemons(fx);
+  ASSERT_FALSE(HasFatalFailure());
+
+  NetRuntime rt(fx.fleet.net_options(fx.fleet.client_index()));
+  HistoryRecorder rec(fx.fleet.system.num_objects);
+  auto sys = build_protocol(fx.fleet.protocol, rt, rec, fx.fleet.system, fx.fleet.options);
+  rt.start();
+  ASSERT_TRUE(rt.wait_connected_for(15'000'000'000ull));
+
+  // Open-loop TrafficModel engine: skewed, permuted, write-heavy enough that
+  // every churn cycle has acked writes at stake.
+  WorkloadSpec spec;
+  spec.seed = 41;
+  DriverOptions opts;
+  opts.mode = ArrivalMode::kOpenLoop;
+  opts.total_ops = 2000;
+  opts.arrival_interval_ns = 500'000;  // 2000 ops/s nominal.
+  TrafficModel model;
+  model.zipf_theta = 0.9;
+  model.permute_ranks = true;
+  model.read_fraction = 0.5;
+  model.write_span = SpanDist::fixed(2);
+  model.read_span = SpanDist{SpanKind::kUniform, 1, 4, 0.5};
+  model.logical_clients = 1'000'000;
+  opts.traffic = model;
+  opts.arrival_shards = 2;
+  WorkloadDriver driver(rt, *sys, spec, opts);
+  driver.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ChurnOptions copts;
+  copts.cycles = 2;
+  copts.stall_ns = 20'000'000;
+  copts.settle_ns = 50'000'000;
+  copts.prehello_probes = 4;
+  const ChurnReport rep = run_churn(rt, driver, copts);
+  EXPECT_GE(rep.cycles_run, 1u);
+  EXPECT_GE(rep.drops_requested, 1u);
+  EXPECT_GT(rep.prehello_probes, 0u);
+  EXPECT_TRUE(rep.clean()) << rep.drain_timeouts << " drain timeouts, "
+                           << rep.reconnect_timeouts << " reconnect timeouts";
+
+  ASSERT_TRUE(wait_done(driver, 120'000))
+      << "workload wedged across churn: " << driver.completed_reads() << " reads + "
+      << driver.completed_writes() << " writes of " << driver.total_ops() << " completed";
+  EXPECT_EQ(driver.completed_reads() + driver.completed_writes(), 2000u);
+  EXPECT_EQ(driver.sojourn_latency().count, 2000u);
+
+  // The client's side of the drops: every injected drop redialed.
+  const TransportStats client_stats = rt.transport_stats();
+  EXPECT_GE(client_stats.churn_drops, rep.drops_requested);
+  EXPECT_GE(client_stats.churn_stalls, rep.cycles_run);
+  EXPECT_GT(client_stats.reconnects, 0u) << "no reconnect ever happened — churn was a no-op";
+
+  // Zero lost acked writes: watermark + max-tag read-back (failover idiom).
+  const std::uint64_t watermark = [&] {
+    std::uint64_t max_order = 0;
+    for (const TxnRecord& t : rec.snapshot().txns) max_order = std::max(max_order, t.respond_order);
+    return max_order;
+  }();
+  WorkloadSpec readback;
+  readback.ops_per_reader = 4;
+  readback.ops_per_writer = 0;
+  readback.read_span = fx.fleet.system.num_objects;
+  readback.write_span = 1;
+  readback.seed = 43;
+  WorkloadDriver reader(rt, *sys, readback);
+  reader.start();
+  ASSERT_TRUE(wait_done(reader, 60'000)) << "read-back phase wedged";
+
+  const History h = rec.snapshot();
+  std::map<ObjectId, std::pair<Tag, Value>> winner;
+  for (const TxnRecord& t : h.txns) {
+    if (t.is_read || !t.complete) continue;
+    ASSERT_NE(t.tag, kInvalidTag);
+    for (const auto& [obj, val] : t.writes) {
+      auto it = winner.find(obj);
+      if (it == winner.end() || t.tag > it->second.first) winner[obj] = {t.tag, val};
+    }
+  }
+  EXPECT_EQ(winner.size(), fx.fleet.system.num_objects);
+  for (const TxnRecord& t : h.txns) {
+    if (!t.is_read || !t.complete || t.invoke_order <= watermark) continue;
+    for (const auto& [obj, val] : t.reads) {
+      ASSERT_TRUE(winner.count(obj));
+      EXPECT_EQ(val, winner[obj].second)
+          << "object " << obj << ": read-back saw value " << val << " but the max-tag "
+          << "acknowledged write put " << winner[obj].second << " — a write was lost";
+    }
+  }
+  const auto verdict = check_tag_order(h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+
+  rt.broadcast_shutdown();
+  rt.stop();
+
+  // The servers' side: clean exits, and at least one daemon scored the
+  // reconnect from the re-accepted client link in its --stats-json.
+  long long server_reconnects = 0;
+  for (std::size_t i = 0; i < fx.daemons.size(); ++i) {
+    EXPECT_TRUE(fx.daemons[i].sigterm()) << "daemon " << i << " did not exit cleanly";
+    const long long r = stats_field(fx.daemons[i].stats_json, "tcp_reconnects");
+    ASSERT_GE(r, 0) << "daemon " << i << " wrote no stats json";
+    server_reconnects += r;
+  }
+  EXPECT_GT(server_reconnects, 0) << "no server saw the dropped client link come back";
+}
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace snowkit

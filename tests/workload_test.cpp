@@ -1,7 +1,12 @@
-// Workload generation: zipfian sampler statistics, op streams, determinism.
+// Workload generation: zipfian sampler statistics, op streams, determinism,
+// and the TrafficModel engine (permuted ranks, span/rate distributions).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "workload/workload.hpp"
 
@@ -86,6 +91,193 @@ TEST(Rng, SplitMix64StreamsDiffer) {
   const auto a = sm.next();
   const auto b = sm.next();
   EXPECT_NE(a, b);
+}
+
+// --- zipf theta validation + zeta memoization --------------------------------
+
+TEST(Zipf, ThetaOutsideUnitIntervalThrows) {
+  EXPECT_THROW(ZipfSampler(10, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, std::nan(""), 1), std::invalid_argument);
+  EXPECT_NO_THROW(ZipfSampler(10, 0.0, 1));
+  EXPECT_NO_THROW(ZipfSampler(10, 0.99, 1));
+}
+
+TEST(Zipf, ZetaCacheSharesIdenticalParameters) {
+  // A (n, theta) pair this test owns exclusively — no other test uses
+  // n = 7919 — so the second construction MUST hit the cache.
+  const auto before = zeta_cache_stats();
+  ZipfSampler a(7919, 0.73, 1);
+  const auto mid = zeta_cache_stats();
+  EXPECT_EQ(mid.misses, before.misses + 1);
+  ZipfSampler b(7919, 0.73, 2);
+  const auto after = zeta_cache_stats();
+  EXPECT_EQ(after.misses, mid.misses) << "identical (n, theta) recomputed zeta";
+  EXPECT_GE(after.hits, mid.hits + 1);
+  // Sharing must not perturb sampling: a fresh sampler equals a same-seeded
+  // sampler built before the cache was warm for this pair.
+  ZipfSampler c(7919, 0.73, 1);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.next(), c.next());
+}
+
+// Distribution shape: empirical top-k mass matches the analytic zipf mass
+// zeta(k) / zeta(n) within a loose statistical tolerance.
+TEST(Zipf, TopKMassMatchesAnalytic) {
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kTopK = 100;
+  constexpr int kSamples = 200'000;
+  for (const double theta : {0.0, 0.5, 0.99}) {
+    ZipfSampler z(kN, theta, 42);
+    int head = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (z.next() < kTopK) ++head;
+    }
+    const double expected = zipf_zeta(kTopK, theta) / zipf_zeta(kN, theta);
+    const double observed = static_cast<double>(head) / kSamples;
+    // Gray et al.'s quick sampler is approximate; 3% absolute slack covers
+    // both the approximation and sampling noise at 2e5 draws.
+    EXPECT_NEAR(observed, expected, 0.03) << "theta=" << theta;
+  }
+}
+
+// --- RankPermutation ---------------------------------------------------------
+
+TEST(RankPermutation, BijectionOverOddDomain) {
+  // 1000 is not a power of two: cycle walking must still produce a bijection.
+  RankPermutation perm(1000, 99);
+  std::set<std::size_t> images;
+  for (std::size_t r = 0; r < 1000; ++r) {
+    const std::size_t img = perm.apply(r);
+    ASSERT_LT(img, 1000u);
+    images.insert(img);
+  }
+  EXPECT_EQ(images.size(), 1000u);
+}
+
+TEST(RankPermutation, DeterministicPerSeedAndDivergentAcrossSeeds) {
+  RankPermutation a(512, 7);
+  RankPermutation b(512, 7);
+  RankPermutation c(512, 8);
+  int diffs = 0;
+  for (std::size_t r = 0; r < 512; ++r) {
+    EXPECT_EQ(a.apply(r), b.apply(r));
+    if (a.apply(r) != c.apply(r)) ++diffs;
+  }
+  EXPECT_GT(diffs, 400) << "different seeds should give an unrelated permutation";
+}
+
+TEST(RankPermutation, DefaultIsIdentity) {
+  RankPermutation id;
+  EXPECT_TRUE(id.is_identity());
+  for (std::size_t r = 0; r < 64; ++r) EXPECT_EQ(id.apply(r), r);
+}
+
+TEST(RankPermutation, ScattersHotRanks) {
+  // The hot-shard fix: consecutive hot ranks must not stay consecutive.
+  // With 4 range shards over 1024 objects, the top 32 ranks map identity
+  // into shard 0; permuted they should spread over most shards.
+  RankPermutation perm(1024, 0x5eedf00dull);
+  std::set<std::size_t> shards;
+  for (std::size_t r = 0; r < 32; ++r) shards.insert(perm.apply(r) / 256);
+  EXPECT_GE(shards.size(), 3u);
+}
+
+// --- SpanDist / RateCurve ----------------------------------------------------
+
+TEST(SpanDist, SamplesStayInRange) {
+  Xoshiro256 rng(5);
+  SpanDist uni{SpanKind::kUniform, 1, 6, 0.5};
+  SpanDist geo{SpanKind::kGeometric, 2, 8, 0.6};
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = uni.sample(rng);
+    EXPECT_GE(u, 1u);
+    EXPECT_LE(u, 6u);
+    const auto g = geo.sample(rng);
+    EXPECT_GE(g, 2u);
+    EXPECT_LE(g, 8u);
+  }
+  EXPECT_EQ(SpanDist::fixed(3).sample(rng), 3u);
+}
+
+TEST(SpanDist, ValidateRejectsBadRanges) {
+  EXPECT_THROW((SpanDist{SpanKind::kFixed, 0, 0, 0.5}.validate("s", 8)), std::invalid_argument);
+  EXPECT_THROW((SpanDist{SpanKind::kUniform, 4, 2, 0.5}.validate("s", 8)), std::invalid_argument);
+  EXPECT_THROW((SpanDist{SpanKind::kFixed, 9, 9, 0.5}.validate("s", 8)), std::invalid_argument);
+  EXPECT_THROW((SpanDist{SpanKind::kGeometric, 1, 4, 1.0}.validate("s", 8)),
+               std::invalid_argument);
+  EXPECT_NO_THROW((SpanDist{SpanKind::kGeometric, 1, 4, 0.5}.validate("s", 8)));
+}
+
+TEST(RateCurve, PiecewiseCyclicIntervals) {
+  RateCurve curve;
+  curve.segments = {{1000.0, 1'000'000'000}, {2000.0, 1'000'000'000}};
+  curve.validate();
+  EXPECT_EQ(curve.interval_at(0, 99), 1'000'000);                  // 1k ops/s
+  EXPECT_EQ(curve.interval_at(1'500'000'000, 99), 500'000);        // 2k ops/s
+  EXPECT_EQ(curve.interval_at(2'250'000'000, 99), 1'000'000);      // wrapped
+  EXPECT_EQ(RateCurve{}.interval_at(0, 12345), 12345);             // empty -> fallback
+  RateCurve bad;
+  bad.segments = {{0.0, 1}};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+// --- TrafficShard ------------------------------------------------------------
+
+TEST(TrafficShard, DeterministicPerSeed) {
+  TrafficModel model;
+  model.zipf_theta = 0.9;
+  model.permute_ranks = true;
+  model.read_fraction = 0.5;
+  model.read_span = SpanDist{SpanKind::kUniform, 1, 4, 0.5};
+  model.write_span = SpanDist{SpanKind::kGeometric, 1, 4, 0.4};
+  model.logical_clients = 1'000'000;
+  TrafficShard a(256, model, 11, 0, 1'000'000);
+  TrafficShard b(256, model, 11, 0, 1'000'000);
+  TrafficShard c(256, model, 12, 0, 1'000'000);
+  int diffs = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TrafficArrival x = a.next();
+    const TrafficArrival y = b.next();
+    EXPECT_EQ(x.is_read, y.is_read);
+    EXPECT_EQ(x.logical_client, y.logical_client);
+    EXPECT_EQ(x.objects, y.objects);
+    if (x.objects != c.next().objects) ++diffs;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(TrafficShard, ArrivalsAreWellFormed) {
+  TrafficModel model;
+  model.zipf_theta = 0.99;
+  model.permute_ranks = true;
+  model.read_span = SpanDist{SpanKind::kUniform, 1, 5, 0.5};
+  model.write_span = SpanDist::fixed(2);
+  model.logical_clients = 1000;
+  TrafficShard s(64, model, 3, 250, 750);
+  for (int i = 0; i < 2000; ++i) {
+    const TrafficArrival a = s.next();
+    ASSERT_GE(a.objects.size(), 1u);
+    for (std::size_t j = 1; j < a.objects.size(); ++j) {
+      EXPECT_LT(a.objects[j - 1], a.objects[j]);  // sorted + distinct
+    }
+    for (const ObjectId o : a.objects) EXPECT_LT(o, 64u);
+    EXPECT_GE(a.logical_client, 250u);
+    EXPECT_LT(a.logical_client, 750u);
+  }
+}
+
+TEST(TrafficModel, ValidateRejectsMisconfiguration) {
+  TrafficModel model;
+  EXPECT_NO_THROW(model.validate(16));
+  model.zipf_theta = 1.0;
+  EXPECT_THROW(model.validate(16), std::invalid_argument);
+  model.zipf_theta = 0.5;
+  model.read_fraction = 1.5;
+  EXPECT_THROW(model.validate(16), std::invalid_argument);
+  model.read_fraction = 0.9;
+  model.logical_clients = 0;
+  EXPECT_THROW(model.validate(16), std::invalid_argument);
 }
 
 }  // namespace

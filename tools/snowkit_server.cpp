@@ -58,6 +58,10 @@ void usage() {
       "                   hosted replica's write-ahead log to DIR/node-N.wal\n"
       "                   so a SIGKILLed daemon recovers its shard on restart\n"
       "  --audit-sample N capture 1 of every N messages (default 1 = all)\n"
+      "  --stats-json F   on clean shutdown, write the quiesced TransportStats\n"
+      "                   snapshot to F as a flat JSON object (the same keys as\n"
+      "                   the bench extras, e.g. tcp_reconnects) — churn tests\n"
+      "                   read the SERVER side of a drop from this file\n"
       "  --quiet          suppress the startup/shutdown banner\n");
 }
 
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
   std::string transport_csv;
   std::string audit_dir;
   std::string wal_dir;
+  std::string stats_json;
   long audit_sample = 1;
   long index = -1;
   bool quiet = false;
@@ -104,6 +109,8 @@ int main(int argc, char** argv) {
       audit_dir = next();
     } else if (arg == "--wal-dir") {
       wal_dir = next();
+    } else if (arg == "--stats-json") {
+      stats_json = next();
     } else if (arg == "--audit-sample") {
       const char* value = next();
       char* end = nullptr;
@@ -221,6 +228,24 @@ int main(int argc, char** argv) {
 
     rt.stop();
     if (capture) capture->close();
+    if (!stats_json.empty()) {
+      // Quiesced snapshot (the runtime is stopped), so the counters are
+      // exact.  Every extras value is numeric; emit numbers so jq callers
+      // can compare without tonumber gymnastics.
+      if (std::FILE* f = std::fopen(stats_json.c_str(), "w")) {
+        std::fputs("{\n", f);
+        const auto extras = rt.transport_stats().extras();
+        for (std::size_t i = 0; i < extras.size(); ++i) {
+          std::fprintf(f, "  \"%s\": %s%s\n", extras[i].first.c_str(),
+                       extras[i].second.c_str(), i + 1 < extras.size() ? "," : "");
+        }
+        std::fputs("}\n", f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "snowkit_server: cannot write --stats-json %s\n",
+                     stats_json.c_str());
+      }
+    }
     if (!quiet) {
       const snowkit::TransportStats stats = rt.transport_stats();
       std::printf("[snowkit_server %ld] shutdown (frames in %llu, bytes in %llu / out %llu, "
