@@ -120,6 +120,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   run_coordinator_placement(opts, result);
   run_gc_ablation(opts, result);
   if (!opts.quick) run_c2c_cost(opts, result);
+  bench::stamp_host_cores(result);
   return result;
 }
 

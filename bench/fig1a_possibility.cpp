@@ -101,6 +101,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   const bool reproduced = two_c2c.rfind("YES", 0) == 0 && mwsr_c2c.rfind("YES", 0) == 0 &&
                           three_cell.rfind("NO", 0) == 0 && no_c2c.rfind("NO", 0) == 0;
   result.note("reproduced", reproduced ? "yes" : "no");
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -94,6 +94,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   record("(inf,1)", "occ-reads", o);
   result.note("impossible_cell_witness", chain.fracture);
   result.note("reproduced", (b.s_ok && c.s_ok && o.s_ok && chain.fracture_found) ? "yes" : "no");
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -41,6 +41,7 @@ ScenarioResult run_scenario(const ScenarioOptions&) {
   std::printf("paper: R2 precedes R1 yet returns the newer version — S broken.  Reproduced.\n");
   result.note("s_violated", chain.s_violated ? "yes" : "no");
   result.note("reproduced", (chain.s_violated && all_verified) ? "yes" : "no");
+  bench::stamp_host_cores(result);
   return result;
 }
 

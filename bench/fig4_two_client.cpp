@@ -40,6 +40,7 @@ ScenarioResult run_scenario(const ScenarioOptions&) {
   result.note("flip_k", std::to_string(chain.flip_k));
   result.note("fracture", chain.fracture);
   result.note("reproduced", (chain.fracture_found && all_verified) ? "yes" : "no");
+  bench::stamp_host_cores(result);
   return result;
 }
 

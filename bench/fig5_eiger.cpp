@@ -59,6 +59,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   rec.set("random_violations", std::to_string(violations) + "/" + std::to_string(runs));
   result.records.push_back(std::move(rec));
   result.note("reproduced", fig5.s_violated ? "yes" : "no");
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -1,9 +1,11 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 namespace snowkit::bench {
 
@@ -95,10 +97,33 @@ void append_string_map(std::string& out,
   out += "}";
 }
 
+bool has_host_cores(const BenchRecord& r) {
+  return std::any_of(r.extra.begin(), r.extra.end(),
+                     [](const auto& kv) { return kv.first == "host_cores"; });
+}
+
 }  // namespace
+
+std::string host_cores_string() {
+  return std::to_string(std::thread::hardware_concurrency());
+}
+
+void stamp_host_cores(ScenarioResult& result) {
+  const std::string cores = host_cores_string();
+  for (BenchRecord& r : result.records) {
+    if (!has_host_cores(r)) r.set("host_cores", cores);
+  }
+}
 
 std::string bench_json(const std::string& scenario, const ScenarioOptions& opts,
                        const ScenarioResult& result) {
+  for (const BenchRecord& r : result.records) {
+    if (!has_host_cores(r)) {
+      throw std::runtime_error("bench record \"" + r.protocol + "\" in scenario \"" + scenario +
+                               "\" carries no host_cores stamp — call "
+                               "bench::stamp_host_cores(result) before returning");
+    }
+  }
   std::string out;
   out += "{\n";
   out += "  \"schema\": \"snowkit-bench-v1\",\n";

@@ -93,6 +93,16 @@ struct ScenarioOptions {
   }
 };
 
+/// The host's core count as a string — the provenance stamp every record
+/// must carry (a cross-host perf diff without it is noise, not signal).
+std::string host_cores_string();
+
+/// Stamps "host_cores" into every record that does not already carry one.
+/// Scenarios call this once before returning; the harness REJECTS records
+/// missing the stamp at emit time (bench_json throws), so a new scenario
+/// cannot silently ship unattributed numbers.
+void stamp_host_cores(ScenarioResult& result);
+
 using ScenarioFn = std::function<ScenarioResult(const ScenarioOptions&)>;
 
 /// String-keyed scenario registry; same self-registration idiom as the

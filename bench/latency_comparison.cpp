@@ -130,6 +130,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   print_closed_loop_table(opts);
   run_open_loop_rows(opts, result);
   if (!opts.quick && opts.protocol.empty()) print_contention_sensitivity(opts);
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -430,6 +430,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
               "-> lower sojourn).  sat ops/s is the transport's closed-loop ceiling; its\n"
               "frames/syscall column > 1 is the write-coalescing win (percentiles there are\n"
               "protocol READ latency — closed loops have no arrival backlog to sojourn in).\n");
+  bench::stamp_host_cores(result);
   return result;
 }
 

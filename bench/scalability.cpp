@@ -207,6 +207,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   run_sharded_fleet(opts, result);
   run_open_loop(opts, result);
   run_version_growth(opts, result);
+  bench::stamp_host_cores(result);
   return result;
 }
 

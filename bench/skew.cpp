@@ -471,6 +471,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
               "write-heavy skew algo-c's 1-round multi-version reads hold sojourn flat\n"
               "while algo-b's 2-round reads queue behind the hot keys' write traffic\n"
               "(eiger stays fast but is not strictly serializable — see the fuzz gates).\n");
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -384,6 +384,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   }
   std::printf("\nshape check: fewer rounds -> fewer mailbox hops -> higher closed-loop\n"
               "throughput; blocking-2pl pays lock queuing on top of its extra rounds.\n");
+  bench::stamp_host_cores(result);
   return result;
 }
 

@@ -71,6 +71,7 @@ ScenarioResult run_scenario(const ScenarioOptions& opts) {
   ScenarioResult result;
   run_table(opts, result);
   if (!opts.quick) print_rounds_vs_span(opts);
+  bench::stamp_host_cores(result);
   return result;
 }
 

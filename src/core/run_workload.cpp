@@ -29,6 +29,7 @@ TimeNs pause_poll_ns(TimeNs interval) { return std::min<TimeNs>(interval, 1'000'
 WorkloadDriver::WorkloadDriver(Runtime& rt, ProtocolSystem& sys, WorkloadSpec spec,
                                DriverOptions opts)
     : rt_(rt), sys_(sys), spec_(spec), opts_(opts), coin_(spec.seed ^ 0xC0FFEEull) {
+  next_value_.store(opts_.value_base, std::memory_order_relaxed);
   const std::size_t k = sys_.num_objects();
   const bool engine = opts_.traffic.has_value();
   if (!engine) {
@@ -159,7 +160,7 @@ void WorkloadDriver::start() {
         // Phase-offset the shards: shard s's first deadline is (s+1) base
         // intervals out and it steps by S bases, so the AGGREGATE process
         // keeps the nominal per-arrival spacing.
-        const TimeNs base = sh.traffic->interval_at(0, opts_.arrival_interval_ns);
+        const TimeNs base = sh.traffic->next_interval(0, opts_.arrival_interval_ns);
         sh.next_deadline = start_ns_ + base * static_cast<TimeNs>(s + 1);
         engine_schedule(s);
       }
@@ -362,7 +363,7 @@ void WorkloadDriver::engine_tick(std::size_t shard) {
     submit_engine_arrival(sh, deadline);
     if (opts_.after_arrival) opts_.after_arrival();
     const TimeNs base =
-        sh.traffic->interval_at(deadline - start_ns_, opts_.arrival_interval_ns);
+        sh.traffic->next_interval(deadline - start_ns_, opts_.arrival_interval_ns);
     sh.next_deadline += base * stride;
   }
   if (sh.arrivals_left > 0) engine_schedule(shard);

@@ -200,6 +200,38 @@ struct Encoder {
     w.uv(p.shard); put_writer(w, p.node); w.uv(p.epoch);
   }
   void operator()(const NodeDownNotice& p) { put_writer(w, p.node); }
+  void operator()(const AdaptTagArrResp& p) {
+    w.uv(p.tag);
+    w.uv(p.watermark);
+    w.cvec(p.latest, [](auto& w2, const WriteKey& k) { put_key(w2, k); });
+    w.mask(p.modes);
+    w.uv(p.mode_epoch);
+  }
+  void operator()(const ReadValBatchReq& p) {
+    w.uv(p.watermark);
+    w.cvec(p.entries, [](auto& w2, const BatchReadEntry& e) {
+      w2.uv(e.obj);
+      put_key(w2, e.key);
+    });
+  }
+  void operator()(const ReadValBatchResp& p) {
+    w.cvec(p.entries, [](auto& w2, const BatchReadResult& e) {
+      w2.uv(e.obj);
+      put_key(w2, e.key);
+      w2.zz(e.value);
+      w2.u8(e.found ? 1 : 0);
+    });
+  }
+  void operator()(const ReadValsBatchReq& p) {
+    w.uv(p.watermark);
+    w.cvec(p.objs, [](auto& w2, ObjectId obj) { w2.uv(obj); });
+  }
+  void operator()(const ReadValsBatchResp& p) {
+    w.cvec(p.entries, [](auto& w2, const ObjectVersions& e) {
+      w2.uv(e.obj);
+      put_versions(w2, e.versions);
+    });
+  }
 };
 
 template <std::size_t I = 0>
@@ -389,6 +421,59 @@ template <>
 NodeDownNotice Decoder::get<NodeDownNotice>() {
   NodeDownNotice p; p.node = get_writer(r); return p;
 }
+template <>
+AdaptTagArrResp Decoder::get<AdaptTagArrResp>() {
+  AdaptTagArrResp p;
+  p.tag = r.uv();
+  p.watermark = r.uv();
+  p.latest = r.cvec<WriteKey>([](BufReader& r2) { return get_key(r2); });
+  p.modes = r.mask();
+  p.mode_epoch = r.uv();
+  return p;
+}
+template <>
+ReadValBatchReq Decoder::get<ReadValBatchReq>() {
+  ReadValBatchReq p;
+  p.watermark = r.uv();
+  p.entries = r.cvec<BatchReadEntry>([](BufReader& r2) {
+    BatchReadEntry e;
+    e.obj = static_cast<ObjectId>(r2.uv());
+    e.key = get_key(r2);
+    return e;
+  });
+  return p;
+}
+template <>
+ReadValBatchResp Decoder::get<ReadValBatchResp>() {
+  ReadValBatchResp p;
+  p.entries = r.cvec<BatchReadResult>([](BufReader& r2) {
+    BatchReadResult e;
+    e.obj = static_cast<ObjectId>(r2.uv());
+    e.key = get_key(r2);
+    e.value = r2.zz();
+    e.found = r2.u8() != 0;
+    return e;
+  });
+  return p;
+}
+template <>
+ReadValsBatchReq Decoder::get<ReadValsBatchReq>() {
+  ReadValsBatchReq p;
+  p.watermark = r.uv();
+  p.objs = r.cvec<ObjectId>([](BufReader& r2) { return static_cast<ObjectId>(r2.uv()); });
+  return p;
+}
+template <>
+ReadValsBatchResp Decoder::get<ReadValsBatchResp>() {
+  ReadValsBatchResp p;
+  p.entries = r.cvec<ObjectVersions>([](BufReader& r2) {
+    ObjectVersions e;
+    e.obj = static_cast<ObjectId>(r2.uv());
+    e.versions = get_versions(r2);
+    return e;
+  });
+  return p;
+}
 
 template <std::size_t I>
 Payload decode_alternative(std::size_t index, BufReader& r) {
@@ -432,6 +517,15 @@ static_assert(payload_tag<WriteValReq> == 0 && payload_tag<WriteValAck> == 1 &&
               payload_tag<TakeoverNotice> == 34 && payload_tag<NodeDownNotice> == 35,
               "snowkit-wire-v1 payload tags are frozen (docs/WIRE.md): append new payloads, "
               "never reorder; a reorder requires a wire-version bump");
+
+// Adaptive-layer payloads, appended in PR 10.  A separate assert so the
+// frozen 0-35 block above stays byte-identical to what earlier checkins
+// compiled against.
+static_assert(payload_tag<AdaptTagArrResp> == 36 && payload_tag<ReadValBatchReq> == 37 &&
+              payload_tag<ReadValBatchResp> == 38 && payload_tag<ReadValsBatchReq> == 39 &&
+              payload_tag<ReadValsBatchResp> == 40,
+              "snowkit-wire-v1 adaptive payload tags are frozen (docs/WIRE.md): append new "
+              "payloads, never reorder; a reorder requires a wire-version bump");
 
 }  // namespace
 

@@ -54,6 +54,11 @@ const char* payload_name(const Payload& p) {
           [](const ReplJoinResp&) { return "repl-join-resp"; },
           [](const TakeoverNotice&) { return "takeover-notice"; },
           [](const NodeDownNotice&) { return "node-down-notice"; },
+          [](const AdaptTagArrResp&) { return "adapt-tag-arr"; },
+          [](const ReadValBatchReq&) { return "read-val-batch"; },
+          [](const ReadValBatchResp&) { return "read-val-batch-resp"; },
+          [](const ReadValsBatchReq&) { return "read-vals-batch"; },
+          [](const ReadValsBatchResp&) { return "read-vals-batch-resp"; },
       },
       p);
 }
@@ -61,17 +66,33 @@ const char* payload_name(const Payload& p) {
 bool is_read_request(const Payload& p) {
   return std::holds_alternative<ReadValReq>(p) || std::holds_alternative<ReadValsReq>(p) ||
          std::holds_alternative<GetTagArrReq>(p) || std::holds_alternative<EigerReadReq>(p) ||
-         std::holds_alternative<EigerReadAtReq>(p) || std::holds_alternative<SimpleReadReq>(p);
+         std::holds_alternative<EigerReadAtReq>(p) || std::holds_alternative<SimpleReadReq>(p) ||
+         std::holds_alternative<ReadValBatchReq>(p) ||
+         std::holds_alternative<ReadValsBatchReq>(p);
 }
 
 bool is_read_response(const Payload& p) {
   return std::holds_alternative<ReadValResp>(p) || std::holds_alternative<ReadValsResp>(p) ||
          std::holds_alternative<GetTagArrResp>(p) || std::holds_alternative<EigerReadResp>(p) ||
-         std::holds_alternative<EigerReadAtResp>(p) || std::holds_alternative<SimpleReadResp>(p);
+         std::holds_alternative<EigerReadAtResp>(p) ||
+         std::holds_alternative<SimpleReadResp>(p) ||
+         std::holds_alternative<AdaptTagArrResp>(p) ||
+         std::holds_alternative<ReadValBatchResp>(p) ||
+         std::holds_alternative<ReadValsBatchResp>(p);
 }
 
 int version_count(const Payload& p) {
   if (const auto* rv = std::get_if<ReadValsResp>(&p)) return static_cast<int>(rv->versions.size());
+  if (const auto* bv = std::get_if<ReadValsBatchResp>(&p)) {
+    // The O-property metric is versions per server SEND; a batched prefetch
+    // response honestly carries the SUM over its objects, not the max.
+    std::size_t total = 0;
+    for (const ObjectVersions& e : bv->entries) total += e.versions.size();
+    return static_cast<int>(total);
+  }
+  if (const auto* b = std::get_if<ReadValBatchResp>(&p)) {
+    return static_cast<int>(b->entries.size());
+  }
   if (is_read_response(p)) return 1;
   return 0;
 }

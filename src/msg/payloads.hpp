@@ -401,6 +401,81 @@ struct NodeDownNotice {
   friend bool operator==(const NodeDownNotice&, const NodeDownNotice&) = default;
 };
 
+// --- adaptive meta-protocol (proto/adaptive) --------------------------------
+//
+// Tags 36-40; appended per the snowkit-wire-v1 freeze (docs/WIRE.md).  The
+// adaptive layer serializes every READ exactly like Algorithm B (serve
+// latest[obj] at the coordinator cut t_r); per-object modes only change the
+// MESSAGE SHAPE of the value fetch, never the version selected, which is why
+// a mode switch can ride an existing leg instead of needing a barrier.
+
+/// Coordinator -> reader, the adaptive tag-array response (replaces
+/// GetTagArrResp on the adaptive read path).  `modes` is the per-object
+/// fetch-mode mask (bit i = 1 iff object i is in C-mode, i.e. readers should
+/// prefetch its version list in round 1).  `mode_epoch` fences switches:
+/// readers adopt `modes` only when `mode_epoch` is >= their cached epoch, so
+/// a held or reordered response can never roll the mode table backwards —
+/// and an in-flight read always completes under the plan it started with.
+struct AdaptTagArrResp {
+  Tag tag{0};
+  Tag watermark{0};
+  std::vector<WriteKey> latest;    ///< kappa_i per object (index-aligned).
+  std::vector<std::uint8_t> modes; ///< per-object fetch mode (1 = C/prefetch).
+  std::uint64_t mode_epoch{0};     ///< bumps on every coordinator switch.
+  friend bool operator==(const AdaptTagArrResp&, const AdaptTagArrResp&) = default;
+};
+
+/// One (object, exact key) fetch within a batched read-val.
+struct BatchReadEntry {
+  ObjectId obj{0};
+  WriteKey key;
+  friend bool operator==(const BatchReadEntry&, const BatchReadEntry&) = default;
+};
+
+/// Reader -> server: all of this READ's round-2 read-vals for objects on one
+/// server, packed into a single frame (and thus a single coalescer write).
+struct ReadValBatchReq {
+  Tag watermark{0};  ///< piggybacked coordinator watermark, as in ReadValReq.
+  std::vector<BatchReadEntry> entries;
+  friend bool operator==(const ReadValBatchReq&, const ReadValBatchReq&) = default;
+};
+
+/// One resolved entry of a ReadValBatchReq (same semantics as ReadValResp).
+struct BatchReadResult {
+  ObjectId obj{0};
+  WriteKey key;
+  Value value{kInitialValue};
+  bool found{true};
+  friend bool operator==(const BatchReadResult&, const BatchReadResult&) = default;
+};
+
+/// Server -> reader: the batched one-version responses.
+struct ReadValBatchResp {
+  std::vector<BatchReadResult> entries;
+  friend bool operator==(const ReadValBatchResp&, const ReadValBatchResp&) = default;
+};
+
+/// Reader -> server: round-1 prefetch of the full version lists for this
+/// READ's C-mode objects on one server (batched Algorithm-C read-vals).
+struct ReadValsBatchReq {
+  Tag watermark{0};  ///< last watermark the reader saw (0 before any read).
+  std::vector<ObjectId> objs;
+  friend bool operator==(const ReadValsBatchReq&, const ReadValsBatchReq&) = default;
+};
+
+/// One object's version list within a batched prefetch response.
+struct ObjectVersions {
+  ObjectId obj{0};
+  std::vector<Version> versions;
+  friend bool operator==(const ObjectVersions&, const ObjectVersions&) = default;
+};
+
+/// Server -> reader: the batched multi-version responses.
+struct ReadValsBatchResp {
+  std::vector<ObjectVersions> entries;
+  friend bool operator==(const ReadValsBatchResp&, const ReadValsBatchResp&) = default;
+};
+
 using Payload = std::variant<
     WriteValReq, WriteValAck, InfoReaderReq, InfoReaderAck, UpdateCoorReq,
     UpdateCoorAck, GetTagArrReq, GetTagArrResp, ReadValReq, ReadValResp,
@@ -409,6 +484,7 @@ using Payload = std::variant<
     LockGrant, WriteUnlockReq, UnlockReq, UnlockAck, SimpleReadReq,
     SimpleReadResp, SimpleWriteReq, SimpleWriteAck, FinalizeCoorReq,
     ReadDoneReq, ReplAppendReq, ReplAppendAck, ReplJoinReq, ReplJoinResp,
-    TakeoverNotice, NodeDownNotice>;
+    TakeoverNotice, NodeDownNotice, AdaptTagArrResp, ReadValBatchReq,
+    ReadValBatchResp, ReadValsBatchReq, ReadValsBatchResp>;
 
 }  // namespace snowkit

@@ -109,6 +109,12 @@ class Runtime {
   virtual void note_invoke(NodeId client, TxnId txn) { (void)client; (void)txn; }
   virtual void note_respond(NodeId client, TxnId txn) { (void)client; (void)txn; }
 
+  /// Adaptive-layer note: the coordinator moved `obj` to fetch-mode `mode`
+  /// (0 = B/on-demand, 1 = C/prefetch).  SimRuntime forwards it to the
+  /// schedule recorder so switch decisions land in ScheduleLogs and shrink
+  /// with the repro; every other substrate ignores it.
+  virtual void note_switch(ObjectId obj, int mode) { (void)obj; (void)mode; }
+
   /// Failure detection: `watcher` asks to receive a NodeDownNotice message
   /// (from `watched`) when the substrate believes `watched` has died.
   /// SimRuntime delivers an exact notice when crash(watched) runs; NetRuntime

@@ -20,6 +20,18 @@ ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy, Schedule
     if (record != nullptr) record->holds.push_back(hold ? 1 : 0);
     return hold;
   });
+  // Adaptive mode switches are recorded as kSwitch annotations at their
+  // position in the decision stream.  They are a deterministic CONSEQUENCE
+  // of the delivery order, not a choice: replay skips them when the policy
+  // yields one (below) and the re-execution re-emits the identical entries
+  // here, so a replayed record matches the original byte-for-byte.
+  if (record != nullptr) {
+    sim.set_switch_sink([record](ObjectId obj, int mode) {
+      record->decisions.push_back(
+          {ScheduleDecisionKind::kSwitch,
+           (static_cast<std::uint32_t>(obj) << 1) | static_cast<std::uint32_t>(mode & 1)});
+    });
+  }
 
   while (sim.pending_events() > 0 || sim.held_count() > 0) {
     if (!guard && max_decisions != 0 && stats.decisions >= max_decisions) {
@@ -29,6 +41,11 @@ ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy, Schedule
     std::optional<ScheduleDecision> d;
     if (!guard) {
       d = policy.next(sim.pending_events(), sim.held_count());
+      if (d && d->kind == ScheduleDecisionKind::kSwitch) {
+        // Annotation from a recorded log: consume without applying,
+        // recording or counting — the live sink re-emits it.
+        continue;
+      }
       if (!d) {
         // The policy ran out before quiescence (e.g. a truncated recorded
         // log): that IS a trip — the header's contract for guard_tripped.
@@ -60,9 +77,11 @@ ScheduleRunStats run_scheduled(SimRuntime& sim, SchedulePolicy& policy, Schedule
       case ScheduleDecisionKind::kCrash: sim.crash(d->held_index); break;
       case ScheduleDecisionKind::kRestart: sim.restart(d->held_index); break;
       case ScheduleDecisionKind::kStep: sim.step(); break;
+      case ScheduleDecisionKind::kSwitch: break;  // unreachable: skipped above
     }
   }
 
+  sim.set_switch_sink(nullptr);
   sim.hold_matching(std::move(prev));
   return stats;
 }

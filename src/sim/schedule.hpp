@@ -32,12 +32,20 @@ enum class ScheduleDecisionKind : std::uint8_t {
   kRelease = 1,  ///< release held()[held_index] immediately.
   kCrash = 2,    ///< crash node `held_index` (field reused as a NodeId).
   kRestart = 3,  ///< restart node `held_index` (field reused as a NodeId).
+  /// Annotation only: the adaptive coordinator switched an object's fetch
+  /// mode at this point in the run (held_index packs (obj << 1) | mode).
+  /// Recorded via SimRuntime's switch sink, never applied by the runner —
+  /// the deterministic re-execution re-emits the identical entries itself,
+  /// so recorded logs still replay byte-for-byte and shrink through ddmin
+  /// with the switch history visible in the minimized repro.
+  kSwitch = 4,
 };
 
 struct ScheduleDecision {
   ScheduleDecisionKind kind{ScheduleDecisionKind::kStep};
   /// Index into sim.held() for kRelease; the victim NodeId for
-  /// kCrash/kRestart (reusing the field keeps the log codec unchanged).
+  /// kCrash/kRestart; (obj << 1) | mode for kSwitch (reusing the field keeps
+  /// the log codec unchanged).
   std::uint32_t held_index{0};
 
   friend bool operator==(const ScheduleDecision&, const ScheduleDecision&) = default;

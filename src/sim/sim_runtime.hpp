@@ -112,6 +112,16 @@ class SimRuntime final : public Runtime {
   void note_invoke(NodeId client, TxnId txn) override;
   void note_respond(NodeId client, TxnId txn) override;
 
+  /// Forwards adaptive mode switches to the installed sink (run_scheduled
+  /// installs one while recording a ScheduleLog, so switch decisions land in
+  /// repro logs).  No sink = dropped; switches never enter the trace, which
+  /// keeps trace fingerprints comparable across protocols.
+  void note_switch(ObjectId obj, int mode) override {
+    if (switch_sink_) switch_sink_(obj, mode);
+  }
+  using SwitchSink = std::function<void(ObjectId, int)>;
+  void set_switch_sink(SwitchSink sink) { switch_sink_ = std::move(sink); }
+
   /// When enabled, every sent message is encoded+decoded through the wire
   /// codec before delivery, guaranteeing protocols live on serializable state.
   void set_codec_check(bool on) { codec_check_ = on; }
@@ -148,6 +158,7 @@ class SimRuntime final : public Runtime {
   std::vector<bool> crashed_;                         // indexed by NodeId
   std::vector<std::pair<NodeId, NodeId>> watches_;    // (watcher, watched)
   HoldPredicate hold_pred_;
+  SwitchSink switch_sink_;
   Trace trace_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 1;

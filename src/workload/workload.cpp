@@ -205,10 +205,22 @@ TrafficShard::TrafficShard(std::size_t num_objects, const TrafficModel& model,
       perm_(model.permute_ranks ? RankPermutation(num_objects, model.permute_seed)
                                 : RankPermutation()),
       rng_(seed),
+      pacer_rng_(seed ^ 0x9e3779b97f4a7c15ull),
       client_lo_(client_lo),
       client_hi_(client_hi) {
   SNOW_CHECK(client_hi_ > client_lo_);
   model_.validate(num_objects_);
+}
+
+TimeNs TrafficShard::next_interval(TimeNs elapsed, TimeNs fallback) {
+  const TimeNs mean = model_.rate.interval_at(elapsed, fallback);
+  if (!model_.rate.poisson) return mean;
+  // Inverse-CDF exponential draw.  uniform() lands in [0, 1), so 1-u is in
+  // (0, 1] and the log is finite; the floor keeps the engine's deadline
+  // arithmetic strictly advancing.
+  const double u = pacer_rng_.uniform();
+  const double gap = -static_cast<double>(mean) * std::log(1.0 - u);
+  return std::max<TimeNs>(1, static_cast<TimeNs>(gap));
 }
 
 TrafficArrival TrafficShard::next() {

@@ -127,6 +127,14 @@ struct RateSegment {
 
 struct RateCurve {
   std::vector<RateSegment> segments;
+  /// Sampled-Poisson arrivals: when set, the pacer draws exponential
+  /// inter-arrival gaps whose mean tracks the curve (or the driver's fixed
+  /// interval when the curve is empty) instead of stepping by the constant
+  /// segment interval.  Same nominal rate, CV ~1 instead of 0 — the memoryless
+  /// burstiness real open-loop clients exhibit.  The draws come from a
+  /// DEDICATED pacer RNG inside TrafficShard, so flipping this never perturbs
+  /// the arrival-content stream (objects, spans, read/write mix).
+  bool poisson{false};
 
   bool empty() const { return segments.empty(); }
   /// Inter-arrival gap for the segment containing `elapsed` (cyclic);
@@ -175,6 +183,11 @@ class TrafficShard {
   TimeNs interval_at(TimeNs elapsed, TimeNs fallback) const {
     return model_.rate.interval_at(elapsed, fallback);
   }
+  /// The pacer's inter-arrival gap.  poisson=false returns interval_at
+  /// exactly (bit-compatible with every earlier checkin); poisson=true draws
+  /// an exponential gap with that interval as its mean from the dedicated
+  /// pacer RNG.
+  TimeNs next_interval(TimeNs elapsed, TimeNs fallback);
   std::uint64_t client_lo() const { return client_lo_; }
   std::uint64_t client_hi() const { return client_hi_; }
 
@@ -184,6 +197,7 @@ class TrafficShard {
   ZipfSampler zipf_;
   RankPermutation perm_;
   Xoshiro256 rng_;
+  Xoshiro256 pacer_rng_;  ///< own stream: pacing never consumes arrival-content draws.
   std::uint64_t client_lo_;
   std::uint64_t client_hi_;
 };

@@ -166,6 +166,37 @@ TakeoverNotice make_random(Xoshiro256& rng) { return {ru64(rng), ru32(rng), ru64
 template <>
 NodeDownNotice make_random(Xoshiro256& rng) { return {ru32(rng)}; }
 
+BatchReadEntry rentry(Xoshiro256& rng) { return {ru32(rng), rkey(rng)}; }
+
+template <>
+AdaptTagArrResp make_random(Xoshiro256& rng) {
+  return {ru64(rng), ru64(rng), rkeys(rng), rmask(rng), ru64(rng)};
+}
+template <>
+ReadValBatchReq make_random(Xoshiro256& rng) {
+  std::vector<BatchReadEntry> entries(rng.below(8));
+  for (auto& e : entries) e = rentry(rng);
+  return {ru64(rng), std::move(entries)};
+}
+template <>
+ReadValBatchResp make_random(Xoshiro256& rng) {
+  std::vector<BatchReadResult> entries(rng.below(8));
+  for (auto& e : entries) e = {ru32(rng), rkey(rng), ri64(rng), rbool(rng)};
+  return {std::move(entries)};
+}
+template <>
+ReadValsBatchReq make_random(Xoshiro256& rng) {
+  std::vector<ObjectId> objs(rng.below(8));
+  for (auto& o : objs) o = ru32(rng);
+  return {ru64(rng), std::move(objs)};
+}
+template <>
+ReadValsBatchResp make_random(Xoshiro256& rng) {
+  std::vector<ObjectVersions> entries(rng.below(6));
+  for (auto& e : entries) e = {ru32(rng), rversions(rng)};
+  return {std::move(entries)};
+}
+
 template <std::size_t I = 0>
 Payload random_alternative(std::size_t index, Xoshiro256& rng) {
   if constexpr (I < std::variant_size_v<Payload>) {
